@@ -1,0 +1,183 @@
+package cachecost_test
+
+// One benchmark per paper table/figure, plus per-operation benchmarks for
+// each caching architecture. Figure benchmarks regenerate the figure's
+// rows at reduced scale each iteration and report the headline number as
+// a custom metric; run them with
+//
+//	go test -bench=. -benchmem
+//
+// and see cmd/costbench for full-scale regeneration.
+
+import (
+	"testing"
+
+	"cachecost/internal/core"
+	"cachecost/internal/meter"
+	"cachecost/internal/workload"
+)
+
+func benchOpts() core.FigOptions {
+	return core.FigOptions{Ops: 400, Warmup: 150, Keys: 300, Tables: 60, Seed: 1}
+}
+
+// benchFigure regenerates one figure per iteration.
+func benchFigure(b *testing.B, run func(core.FigOptions) (*core.Table, error)) {
+	b.Helper()
+	var rows int
+	for i := 0; i < b.N; i++ {
+		tab, err := run(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = len(tab.Rows)
+	}
+	b.ReportMetric(float64(rows), "rows")
+}
+
+func BenchmarkFig2a(b *testing.B)       { benchFigure(b, core.Fig2a) }
+func BenchmarkFig2b(b *testing.B)       { benchFigure(b, core.Fig2b) }
+func BenchmarkFig3(b *testing.B)        { benchFigure(b, core.Fig3) }
+func BenchmarkFig4a(b *testing.B)       { benchFigure(b, core.Fig4a) }
+func BenchmarkFig4b(b *testing.B)       { benchFigure(b, core.Fig4b) }
+func BenchmarkFig5a(b *testing.B)       { benchFigure(b, core.Fig5a) }
+func BenchmarkFig5b(b *testing.B)       { benchFigure(b, core.Fig5b) }
+func BenchmarkFig6(b *testing.B)        { benchFigure(b, core.Fig6) }
+func BenchmarkFig7(b *testing.B)        { benchFigure(b, core.Fig7) }
+func BenchmarkFig8(b *testing.B)        { benchFigure(b, core.Fig8) }
+func BenchmarkConsistency(b *testing.B) { benchFigure(b, core.FigConsistency) }
+func BenchmarkMarginal(b *testing.B)    { benchFigure(b, core.FigMarginal) }
+
+// benchArch measures per-request latency and cost of one architecture
+// under the standard synthetic workload, reporting $/Mreq alongside
+// ns/op.
+func benchArch(b *testing.B, arch core.Arch, valueSize int) {
+	b.Helper()
+	m := meter.NewMeter()
+	gen := workload.NewSynthetic(workload.SyntheticConfig{
+		Keys: 300, Alpha: 1.2, ReadRatio: 0.9, ValueSize: valueSize, Seed: 1,
+	})
+	ws := int64(300 * valueSize)
+	svc, err := core.BuildKVService(core.ServiceConfig{
+		Arch:              arch,
+		Meter:             m,
+		StorageCacheBytes: ws * 15 / 100,
+		AppCacheBytes:     ws * 60 / 100,
+		RemoteCacheBytes:  ws * 60 / 100,
+	}, gen)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the caches.
+	for i := 0; i < 400; i++ {
+		op := gen.Next()
+		if op.Kind == workload.Read {
+			svc.Read(op.Key)
+		} else {
+			svc.Write(op.Key, core.ValueFor(op.Key, op.ValueSize))
+		}
+	}
+	m.Reset()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op := gen.Next()
+		var err error
+		if op.Kind == workload.Read {
+			_, err = svc.Read(op.Key)
+		} else {
+			err = svc.Write(op.Key, core.ValueFor(op.Key, op.ValueSize))
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	m.AddRequests(int64(b.N))
+	rep := meter.BuildReport(m, meter.GCP)
+	b.ReportMetric(rep.CostPerMillionRequests()*1e6, "µ$/Mreq")
+}
+
+func BenchmarkArchBase1KB(b *testing.B)          { benchArch(b, core.Base, 1<<10) }
+func BenchmarkArchRemote1KB(b *testing.B)        { benchArch(b, core.Remote, 1<<10) }
+func BenchmarkArchLinked1KB(b *testing.B)        { benchArch(b, core.Linked, 1<<10) }
+func BenchmarkArchLinkedVersion1KB(b *testing.B) { benchArch(b, core.LinkedVersion, 1<<10) }
+func BenchmarkArchLinkedOwned1KB(b *testing.B)   { benchArch(b, core.LinkedOwned, 1<<10) }
+func BenchmarkArchBase32KB(b *testing.B)         { benchArch(b, core.Base, 32<<10) }
+func BenchmarkArchLinked32KB(b *testing.B)       { benchArch(b, core.Linked, 32<<10) }
+
+// BenchmarkVersionCheck isolates the §5.5 cost: the storage-side price of
+// one consistency version check.
+func BenchmarkVersionCheck(b *testing.B) {
+	m := meter.NewMeter()
+	gen := workload.NewSynthetic(workload.SyntheticConfig{Keys: 300, ValueSize: 1 << 10, Seed: 1})
+	svc, err := core.BuildKVService(core.ServiceConfig{
+		Arch:  core.LinkedVersion,
+		Meter: m,
+	}, gen)
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := workload.KeyName(1)
+	svc.Read(key) // warm: subsequent reads are pure version checks
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svc.Read(key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOwnershipConsistent isolates the §6 design: consistent reads
+// without the per-read check.
+func BenchmarkOwnershipConsistent(b *testing.B) {
+	m := meter.NewMeter()
+	gen := workload.NewSynthetic(workload.SyntheticConfig{Keys: 300, ValueSize: 1 << 10, Seed: 1})
+	svc, err := core.BuildKVService(core.ServiceConfig{
+		Arch:  core.LinkedOwned,
+		Meter: m,
+	}, gen)
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := workload.KeyName(1)
+	svc.Read(key)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svc.Read(key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkModelEvaluation measures the analytic model itself (used
+// inside optimizers and sweeps).
+func BenchmarkModelEvaluation(b *testing.B) {
+	m := core.DefaultModel(1.2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.TotalCost(float64(i%16)*float64(1<<30), 1<<30)
+	}
+}
+
+// BenchmarkRichObjectRead measures a full 8-query getTable against the
+// governance schema (the §5.4 read path), per operation.
+func BenchmarkRichObjectRead(b *testing.B) {
+	m := meter.NewMeter()
+	gen := workload.NewUnity(workload.UnityConfig{Tables: 60, Seed: 1})
+	svc, err := core.NewCatalogService(core.CatalogServiceConfig{
+		ServiceConfig: core.ServiceConfig{Arch: core.Base, Meter: m},
+		Mode:          core.ModeObject,
+		Tables:        60,
+		StatsBytes:    8 << 10,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op := gen.Next()
+		if _, err := svc.Read(op.Key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

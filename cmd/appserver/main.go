@@ -1,0 +1,119 @@
+// Command appserver runs the application tier under one of the paper's
+// caching architectures, connected to remote storeserver and (for the
+// Remote architecture) cacheserver processes.
+//
+//	appserver -addr :7001 -arch linked -store localhost:7101
+//	appserver -addr :7001 -arch remote -store localhost:7101 -cache localhost:7201
+//
+// It serves app.Read / app.Write (see cmd/loadgen) and prints a cost
+// report on SIGINT.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"cachecost/internal/core"
+	"cachecost/internal/meter"
+	"cachecost/internal/rpc"
+	"cachecost/internal/workload"
+)
+
+func parseArch(s string) (core.Arch, error) {
+	switch strings.ToLower(s) {
+	case "base":
+		return core.Base, nil
+	case "remote":
+		return core.Remote, nil
+	case "linked":
+		return core.Linked, nil
+	case "linked-version", "linkedversion":
+		return core.LinkedVersion, nil
+	case "linked-owned", "linkedowned":
+		return core.LinkedOwned, nil
+	default:
+		return 0, fmt.Errorf("unknown architecture %q (base|remote|linked|linked-version|linked-owned)", s)
+	}
+}
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":7001", "listen address")
+		archName  = flag.String("arch", "linked", "caching architecture")
+		storeAddr = flag.String("store", "localhost:7101", "storeserver address")
+		cacheAddr = flag.String("cache", "", "cacheserver address (Remote architecture)")
+		appCache  = flag.Int64("appcache", 64<<20, "linked cache bytes (s_A)")
+		poolSize  = flag.Int("pool", 4, "connections per downstream endpoint")
+		preload   = flag.Int("preload", 0, "preload N keys before serving")
+		valueSize = flag.Int("valuesize", 1024, "preloaded value size")
+	)
+	flag.Parse()
+
+	arch, err := parseArch(*archName)
+	if err != nil {
+		log.Fatalf("appserver: %v", err)
+	}
+
+	m := meter.NewMeter()
+	appComp := m.Component("app")
+	dbConn, err := rpc.DialPool(*storeAddr, *poolSize, appComp, meter.NewBurner(), rpc.DefaultCost)
+	if err != nil {
+		log.Fatalf("appserver: dial store: %v", err)
+	}
+	eps := core.RemoteEndpoints{DB: dbConn}
+	if arch == core.Remote {
+		if *cacheAddr == "" {
+			log.Fatal("appserver: -cache is required for -arch remote")
+		}
+		cacheConn, err := rpc.DialPool(*cacheAddr, *poolSize, appComp, meter.NewBurner(), rpc.DefaultCost)
+		if err != nil {
+			log.Fatalf("appserver: dial cache: %v", err)
+		}
+		eps.Cache = cacheConn
+	}
+
+	svc, err := core.NewKVServiceRemote(core.ServiceConfig{
+		Arch:          arch,
+		Meter:         m,
+		AppCacheBytes: *appCache,
+	}, eps)
+	if err != nil {
+		log.Fatalf("appserver: %v", err)
+	}
+
+	if *preload > 0 {
+		log.Printf("appserver: preloading %d keys of %d bytes", *preload, *valueSize)
+		items := make([]core.PreloadItem, *preload)
+		for i := range items {
+			items[i] = core.PreloadItem{Key: workload.KeyName(i), Size: *valueSize}
+		}
+		if err := svc.Preload(items); err != nil {
+			log.Fatalf("appserver: preload: %v", err)
+		}
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("appserver: %v", err)
+	}
+	log.Printf("appserver: arch=%v store=%s listening on %s", arch, *storeAddr, l.Addr())
+
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		fmt.Println(meter.BuildReport(m, meter.GCP))
+		svc.Front().Close()
+		os.Exit(0)
+	}()
+
+	if err := svc.Front().Serve(l); err != nil {
+		log.Fatalf("appserver: %v", err)
+	}
+}

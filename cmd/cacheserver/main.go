@@ -1,0 +1,68 @@
+// Command cacheserver runs one remote cache node (memcached-style) as a
+// real network service.
+//
+//	cacheserver -addr :7201 -mem 268435456
+//
+// It serves the RPC methods cache.Get, cache.Set and cache.Delete;
+// cmd/appserver and internal/remotecache.Client speak its protocol.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cachecost/internal/meter"
+	"cachecost/internal/remotecache"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":7201", "listen address")
+		mem        = flag.Int64("mem", 256<<20, "cache capacity in bytes")
+		shards     = flag.Int("shards", 16, "lock shards")
+		statsEvery = flag.Duration("stats", 30*time.Second, "stats logging interval (0 = off)")
+	)
+	flag.Parse()
+
+	m := meter.NewMeter()
+	srv := remotecache.NewServer(remotecache.ServerConfig{
+		CapacityBytes: *mem,
+		Shards:        *shards,
+		Meter:         m,
+	})
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("cacheserver: %v", err)
+	}
+	log.Printf("cacheserver: %d MiB capacity, listening on %s", *mem>>20, l.Addr())
+
+	if *statsEvery > 0 {
+		go func() {
+			for range time.Tick(*statsEvery) {
+				st := srv.Stats()
+				log.Printf("cacheserver: hits=%d misses=%d hit-ratio=%.3f used=%d KiB",
+					st.Hits, st.Misses, st.HitRatio(), srv.UsedBytes()>>10)
+			}
+		}()
+	}
+
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		fmt.Println(meter.BuildReport(m, meter.GCP))
+		srv.RPCServer().Close()
+		os.Exit(0)
+	}()
+
+	if err := srv.RPCServer().Serve(l); err != nil {
+		log.Fatalf("cacheserver: %v", err)
+	}
+}

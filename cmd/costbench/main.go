@@ -1,0 +1,91 @@
+// Command costbench regenerates every table and figure of "Rethinking
+// the Cost of Distributed Caches for Datacenter Services" (HotNets '25)
+// against the simulated testbed in this repository.
+//
+// Usage:
+//
+//	costbench [flags] <figure>...
+//	costbench [flags] all
+//	costbench list
+//
+// Figures: fig2a fig2b fig3 fig4a fig4b fig5a fig5b fig6 fig7 fig8
+// consistency marginal.
+//
+// The default scale finishes in tens of seconds; raise -ops / -keys /
+// -tables to tighten estimates at the cost of runtime.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cachecost/internal/core"
+)
+
+func main() {
+	var (
+		ops      = flag.Int("ops", 3000, "metered operations per experiment cell")
+		warmup   = flag.Int("warmup", 1000, "unmetered warmup operations per cell")
+		keys     = flag.Int("keys", 2000, "synthetic key population (paper: 100000)")
+		tables   = flag.Int("tables", 300, "catalog table population")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		replicas = flag.Int("appreplicas", 3, "application servers carrying the linked cache")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: costbench [flags] <figure>...|all|list\n\nfigures:\n")
+		for _, f := range core.Figures {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", f.ID, f.Title)
+		}
+		fmt.Fprintf(os.Stderr, "\nflags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opts := core.FigOptions{
+		Ops:         *ops,
+		Warmup:      *warmup,
+		Keys:        *keys,
+		Tables:      *tables,
+		Seed:        *seed,
+		AppReplicas: *replicas,
+	}
+
+	if args[0] == "list" {
+		for _, f := range core.Figures {
+			fmt.Printf("%-12s %s\n", f.ID, f.Title)
+		}
+		return
+	}
+
+	var figs []core.Figure
+	if args[0] == "all" {
+		figs = core.Figures
+	} else {
+		for _, id := range args {
+			f, err := core.FigureByID(id)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			figs = append(figs, f)
+		}
+	}
+
+	for _, f := range figs {
+		t0 := time.Now()
+		table, err := f.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "costbench: %s: %v\n", f.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println(table.String())
+		fmt.Printf("(%s regenerated in %v)\n\n", f.ID, time.Since(t0).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,144 @@
+// Command loadgen drives an appserver with one of the paper's workloads
+// over real sockets and reports throughput and latency percentiles.
+//
+//	loadgen -target localhost:7001 -workload synthetic -ops 50000 -concurrency 8
+//	loadgen -target localhost:7001 -trace trace.bin -ops 50000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cachecost/internal/core"
+	"cachecost/internal/remotecache"
+	"cachecost/internal/rpc"
+	"cachecost/internal/wire"
+	"cachecost/internal/workload"
+)
+
+func main() {
+	var (
+		target      = flag.String("target", "localhost:7001", "appserver address")
+		wl          = flag.String("workload", "synthetic", "workload: synthetic|meta")
+		keys        = flag.Int("keys", 2000, "key population (must match appserver preload)")
+		readRatio   = flag.Float64("readratio", 0.9, "read fraction (synthetic)")
+		alpha       = flag.Float64("alpha", 1.2, "zipfian skew")
+		valueSize   = flag.Int("valuesize", 1024, "value size (synthetic)")
+		ops         = flag.Int("ops", 20000, "operations to issue")
+		concurrency = flag.Int("concurrency", 8, "concurrent workers")
+		seed        = flag.Int64("seed", 1, "workload seed")
+		traceFile   = flag.String("trace", "", "replay a recorded trace (see cmd/tracegen)")
+	)
+	flag.Parse()
+
+	var gen workload.Generator
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			log.Fatalf("loadgen: %v", err)
+		}
+		rep, err := workload.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("loadgen: %v", err)
+		}
+		gen = rep
+	} else {
+		gen = buildGenerator(*wl, *keys, *alpha, *readRatio, *valueSize, *seed)
+	}
+	runLoad(gen, *target, *ops, *concurrency)
+}
+
+func buildGenerator(wl string, keys int, alpha, readRatio float64, valueSize int, seed int64) workload.Generator {
+	switch wl {
+	case "synthetic":
+		return workload.NewSynthetic(workload.SyntheticConfig{
+			Keys: keys, Alpha: alpha, ReadRatio: readRatio, ValueSize: valueSize, Seed: seed,
+		})
+	case "meta":
+		return workload.NewMetaKV(workload.MetaKVConfig{Keys: keys, Seed: seed})
+	default:
+		log.Fatalf("loadgen: unknown workload %q", wl)
+		return nil
+	}
+}
+
+func runLoad(gen workload.Generator, target string, ops, concurrency int) {
+	// Pre-draw the operation stream (generators are not concurrency-safe
+	// and pre-drawing keeps the hot loop allocation-light).
+	stream := make([]workload.Op, ops)
+	for i := range stream {
+		stream[i] = gen.Next()
+	}
+
+	conns := make([]*rpc.Client, concurrency)
+	for i := range conns {
+		c, err := rpc.Dial(target, nil, nil, rpc.CostModel{})
+		if err != nil {
+			log.Fatalf("loadgen: dial: %v", err)
+		}
+		conns[i] = c
+		defer c.Close()
+	}
+
+	var next atomic.Int64
+	var failures atomic.Int64
+	latencies := make([][]time.Duration, concurrency)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			conn := conns[w]
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(stream) {
+					return
+				}
+				op := stream[i]
+				start := time.Now()
+				var err error
+				if op.Kind == workload.Read {
+					_, err = conn.Call("app.Read", wire.Marshal(&remotecache.GetRequest{Key: op.Key}))
+				} else {
+					_, err = conn.Call("app.Write", wire.Marshal(&remotecache.SetRequest{
+						Key:   op.Key,
+						Value: core.ValueFor(op.Key, op.ValueSize),
+					}))
+				}
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				latencies[w] = append(latencies[w], time.Since(start))
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	var all []time.Duration
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) time.Duration {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(all)-1))
+		return all[i]
+	}
+	fmt.Printf("workload=%s ops=%d failures=%d elapsed=%v\n",
+		gen.Name(), len(all), failures.Load(), elapsed.Round(time.Millisecond))
+	fmt.Printf("throughput: %.0f ops/s\n", float64(len(all))/elapsed.Seconds())
+	fmt.Printf("latency: p50=%v p90=%v p99=%v max=%v\n",
+		pct(0.50), pct(0.90), pct(0.99), pct(1.0))
+}

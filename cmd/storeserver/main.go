@@ -1,0 +1,73 @@
+// Command storeserver runs one mini-TiDB database node group (SQL
+// front-end + replicated paged KV engine with block caches) as a real
+// network service, for driving the caching architectures across actual
+// processes and sockets.
+//
+//	storeserver -addr :7101 -replicas 3 -blockcache 67108864
+//
+// The node serves the RPC methods sql.Query, sql.Exec and sql.Version;
+// cmd/appserver and internal/storage.Client speak its protocol.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cachecost/internal/meter"
+	"cachecost/internal/storage"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":7101", "listen address")
+		replicas   = flag.Int("replicas", 3, "replication factor (raft group size)")
+		blockCache = flag.Int64("blockcache", 64<<20, "block cache bytes per replica (s_D)")
+		pageBytes  = flag.Int("pagebytes", 16<<10, "storage page size")
+		statsEvery = flag.Duration("stats", 30*time.Second, "stats logging interval (0 = off)")
+	)
+	flag.Parse()
+
+	m := meter.NewMeter()
+	node := storage.NewNode(storage.Config{
+		Replicas:        *replicas,
+		BlockCacheBytes: *blockCache,
+		PageBytes:       *pageBytes,
+		Meter:           m,
+	})
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("storeserver: %v", err)
+	}
+	log.Printf("storeserver: %d replicas, %d MiB block cache/replica, listening on %s",
+		*replicas, *blockCache>>20, l.Addr())
+
+	if *statsEvery > 0 {
+		go func() {
+			for range time.Tick(*statsEvery) {
+				rep := meter.BuildReport(m, meter.GCP)
+				log.Printf("storeserver: %d ops, %.3f cores busy, data %d KiB",
+					rep.Requests, rep.ComponentCores(""), node.DataBytes()>>10)
+			}
+		}()
+	}
+
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		fmt.Println(meter.BuildReport(m, meter.GCP))
+		node.Server().Close()
+		os.Exit(0)
+	}()
+
+	if err := node.Server().Serve(l); err != nil {
+		log.Fatalf("storeserver: %v", err)
+	}
+}

@@ -1,0 +1,79 @@
+// Command tracegen records workload traces to files and analyzes them —
+// the Figure 3 style distribution summary for any trace, generated or
+// converted from external captures.
+//
+//	tracegen -out trace.bin -workload unity -ops 100000
+//	tracegen -in trace.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"cachecost/internal/workload"
+)
+
+func main() {
+	var (
+		out       = flag.String("out", "", "record: output trace file")
+		in        = flag.String("in", "", "analyze: input trace file")
+		wl        = flag.String("workload", "synthetic", "workload: synthetic|meta|unity")
+		ops       = flag.Int("ops", 100_000, "operations to record")
+		keys      = flag.Int("keys", 100_000, "key population")
+		alpha     = flag.Float64("alpha", 1.2, "zipfian skew")
+		readRatio = flag.Float64("readratio", 0.9, "read fraction (synthetic)")
+		valueSize = flag.Int("valuesize", 1024, "value size (synthetic)")
+		seed      = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+
+	switch {
+	case *out != "":
+		var gen workload.Generator
+		switch *wl {
+		case "synthetic":
+			gen = workload.NewSynthetic(workload.SyntheticConfig{
+				Keys: *keys, Alpha: *alpha, ReadRatio: *readRatio, ValueSize: *valueSize, Seed: *seed,
+			})
+		case "meta":
+			gen = workload.NewMetaKV(workload.MetaKVConfig{Keys: *keys, Seed: *seed})
+		case "unity":
+			gen = workload.NewUnity(workload.UnityConfig{Tables: *keys, Seed: *seed})
+		default:
+			log.Fatalf("tracegen: unknown workload %q", *wl)
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatalf("tracegen: %v", err)
+		}
+		defer f.Close()
+		if err := workload.WriteTrace(f, gen, *ops); err != nil {
+			log.Fatalf("tracegen: %v", err)
+		}
+		fmt.Printf("recorded %d %s operations to %s\n", *ops, gen.Name(), *out)
+
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatalf("tracegen: %v", err)
+		}
+		defer f.Close()
+		rep, err := workload.ReadTrace(f)
+		if err != nil {
+			log.Fatalf("tracegen: %v", err)
+		}
+		st := workload.Analyze(rep, rep.Len())
+		fmt.Printf("trace %s: %s\n", *in, st)
+		fmt.Printf("value sizes: p50=%dB p90=%dB p99=%dB max=%dB\n",
+			st.SizeP50, st.SizeP90, st.SizeP99, st.SizeMax)
+		for _, k := range []int{1, 10, 100} {
+			fmt.Printf("top-%d key share: %.1f%%\n", k, 100*st.TopKShare(k))
+		}
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,3 @@
+module cachecost
+
+go 1.22

@@ -1,0 +1,250 @@
+// Package cache provides the in-memory caching primitives shared by every
+// caching architecture in the study: a byte-budgeted LRU, a sharded wrapper
+// for concurrency, TTL expiry, and a reuse-distance analyzer that computes
+// miss-ratio curves from traces (used to validate the analytic model in
+// internal/core/model).
+//
+// Values are generic: the remote cache stores []byte, while the linked
+// cache stores live application objects — which is precisely the linked
+// cache's advantage (§2.4): hits return a pointer, with no deserialization.
+package cache
+
+import (
+	"container/list"
+	"sync"
+	"time"
+)
+
+// Stats counts cache events. All counters are cumulative.
+type Stats struct {
+	Hits        int64
+	Misses      int64
+	Puts        int64
+	Deletes     int64
+	Evictions   int64
+	Expirations int64
+}
+
+// HitRatio returns Hits / (Hits + Misses), or 0 when no lookups happened.
+func (s Stats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// MissRatio returns 1 - HitRatio when lookups happened, else 0.
+func (s Stats) MissRatio() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return 1 - s.HitRatio()
+}
+
+func (s *Stats) add(o Stats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Puts += o.Puts
+	s.Deletes += o.Deletes
+	s.Evictions += o.Evictions
+	s.Expirations += o.Expirations
+}
+
+// SizeOf reports the budgeted size of a cached value, in bytes. It should
+// include per-entry overhead if the caller wants conservative budgeting.
+type SizeOf[V any] func(key string, v V) int64
+
+// EvictFunc observes evictions (capacity or expiry), e.g. to release
+// resources or meter memory.
+type EvictFunc[V any] func(key string, v V)
+
+// LRU is a byte-budgeted least-recently-used cache. It is not safe for
+// concurrent use; wrap it in Sharded for that.
+type LRU[V any] struct {
+	capacity int64
+	used     int64
+	ll       *list.List // front = most recent
+	items    map[string]*list.Element
+	sizeOf   SizeOf[V]
+	onEvict  EvictFunc[V]
+	now      func() time.Time
+	stats    Stats
+}
+
+type entry[V any] struct {
+	key    string
+	val    V
+	size   int64
+	expire time.Time // zero = never
+}
+
+// NewLRU returns an LRU with the given byte capacity. sizeOf must be
+// non-nil. A capacity <= 0 caches nothing (every Put is immediately
+// evicted), which usefully models the "no cache" configuration.
+func NewLRU[V any](capacity int64, sizeOf SizeOf[V]) *LRU[V] {
+	if sizeOf == nil {
+		panic("cache: sizeOf must be non-nil")
+	}
+	return &LRU[V]{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+		sizeOf:   sizeOf,
+		now:      time.Now,
+	}
+}
+
+// SetEvictFunc installs an eviction observer.
+func (c *LRU[V]) SetEvictFunc(fn EvictFunc[V]) { c.onEvict = fn }
+
+// SetClock overrides the time source (tests).
+func (c *LRU[V]) SetClock(now func() time.Time) { c.now = now }
+
+// Get returns the value for key, marking it most recently used. Expired
+// entries are removed and reported as misses.
+func (c *LRU[V]) Get(key string) (V, bool) {
+	var zero V
+	el, ok := c.items[key]
+	if !ok {
+		c.stats.Misses++
+		return zero, false
+	}
+	en := el.Value.(*entry[V])
+	if !en.expire.IsZero() && c.now().After(en.expire) {
+		c.removeElement(el, &c.stats.Expirations)
+		c.stats.Misses++
+		return zero, false
+	}
+	c.ll.MoveToFront(el)
+	c.stats.Hits++
+	return en.val, true
+}
+
+// Peek returns the value without updating recency or stats.
+func (c *LRU[V]) Peek(key string) (V, bool) {
+	var zero V
+	el, ok := c.items[key]
+	if !ok {
+		return zero, false
+	}
+	en := el.Value.(*entry[V])
+	if !en.expire.IsZero() && c.now().After(en.expire) {
+		return zero, false
+	}
+	return en.val, true
+}
+
+// Put inserts or replaces key with no expiry.
+func (c *LRU[V]) Put(key string, v V) { c.PutTTL(key, v, 0) }
+
+// PutTTL inserts or replaces key, expiring after ttl (0 = never). Entries
+// larger than the whole capacity are not admitted (they would evict
+// everything for one uncacheable object).
+func (c *LRU[V]) PutTTL(key string, v V, ttl time.Duration) {
+	c.stats.Puts++
+	size := c.sizeOf(key, v)
+	var expire time.Time
+	if ttl > 0 {
+		expire = c.now().Add(ttl)
+	}
+	if el, ok := c.items[key]; ok {
+		en := el.Value.(*entry[V])
+		c.used += size - en.size
+		en.val, en.size, en.expire = v, size, expire
+		c.ll.MoveToFront(el)
+		c.evictToFit()
+		return
+	}
+	if size > c.capacity {
+		// Not admitted; count as an immediate eviction for observability.
+		c.stats.Evictions++
+		if c.onEvict != nil {
+			c.onEvict(key, v)
+		}
+		return
+	}
+	el := c.ll.PushFront(&entry[V]{key: key, val: v, size: size, expire: expire})
+	c.items[key] = el
+	c.used += size
+	c.evictToFit()
+}
+
+// Delete removes key, returning whether it was present.
+func (c *LRU[V]) Delete(key string) bool {
+	el, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	c.stats.Deletes++
+	c.removeElement(el, nil)
+	return true
+}
+
+// Len returns the number of live entries.
+func (c *LRU[V]) Len() int { return c.ll.Len() }
+
+// UsedBytes returns the budgeted bytes of live entries.
+func (c *LRU[V]) UsedBytes() int64 { return c.used }
+
+// Capacity returns the byte capacity.
+func (c *LRU[V]) Capacity() int64 { return c.capacity }
+
+// SetCapacity changes the byte budget, evicting LRU entries as needed.
+func (c *LRU[V]) SetCapacity(capacity int64) {
+	c.capacity = capacity
+	c.evictToFit()
+}
+
+// Stats returns cumulative counters.
+func (c *LRU[V]) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters.
+func (c *LRU[V]) ResetStats() { c.stats = Stats{} }
+
+// Flush removes every entry without invoking the evict callback and resets
+// usage.
+func (c *LRU[V]) Flush() {
+	c.ll.Init()
+	clear(c.items)
+	c.used = 0
+}
+
+func (c *LRU[V]) evictToFit() {
+	for c.used > c.capacity {
+		el := c.ll.Back()
+		if el == nil {
+			return
+		}
+		c.removeElement(el, &c.stats.Evictions)
+	}
+}
+
+func (c *LRU[V]) removeElement(el *list.Element, counter *int64) {
+	en := el.Value.(*entry[V])
+	c.ll.Remove(el)
+	delete(c.items, en.key)
+	c.used -= en.size
+	if counter != nil {
+		*counter++
+	}
+	if c.onEvict != nil {
+		c.onEvict(en.key, en.val)
+	}
+}
+
+// Keys returns the keys from most to least recently used. Intended for
+// tests and diagnostics.
+func (c *LRU[V]) Keys() []string {
+	out := make([]string, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*entry[V]).key)
+	}
+	return out
+}
+
+// locked wraps an LRU in a mutex; it is the shard unit used by Sharded.
+type locked[V any] struct {
+	mu  sync.Mutex
+	lru *LRU[V]
+}

@@ -1,0 +1,226 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func byteSize(_ string, v []byte) int64 { return int64(len(v)) }
+
+func newByteLRU(capacity int64) *LRU[[]byte] {
+	return NewLRU[[]byte](capacity, byteSize)
+}
+
+func TestLRUBasicPutGet(t *testing.T) {
+	c := newByteLRU(100)
+	c.Put("a", []byte("alpha"))
+	v, ok := c.Get("a")
+	if !ok || string(v) != "alpha" {
+		t.Fatalf("Get(a) = %q, %v", v, ok)
+	}
+	if _, ok := c.Get("missing"); ok {
+		t.Fatal("Get(missing) should miss")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLRUEvictsLeastRecent(t *testing.T) {
+	c := newByteLRU(10)
+	c.Put("a", make([]byte, 4))
+	c.Put("b", make([]byte, 4))
+	c.Get("a")                  // a now most recent
+	c.Put("c", make([]byte, 4)) // must evict b
+	if _, ok := c.Peek("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.Peek("a"); !ok {
+		t.Fatal("a should have survived")
+	}
+	if _, ok := c.Peek("c"); !ok {
+		t.Fatal("c should be present")
+	}
+	if c.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", c.Stats().Evictions)
+	}
+}
+
+func TestLRUByteBudget(t *testing.T) {
+	c := newByteLRU(100)
+	for i := 0; i < 50; i++ {
+		c.Put(fmt.Sprintf("k%d", i), make([]byte, 10))
+	}
+	if c.UsedBytes() > 100 {
+		t.Fatalf("used %d bytes exceeds capacity", c.UsedBytes())
+	}
+	if c.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", c.Len())
+	}
+}
+
+func TestLRUReplaceAdjustsUsage(t *testing.T) {
+	c := newByteLRU(100)
+	c.Put("k", make([]byte, 10))
+	c.Put("k", make([]byte, 30))
+	if c.UsedBytes() != 30 {
+		t.Fatalf("used = %d, want 30", c.UsedBytes())
+	}
+	c.Put("k", make([]byte, 5))
+	if c.UsedBytes() != 5 {
+		t.Fatalf("used = %d, want 5", c.UsedBytes())
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestLRUOversizedNotAdmitted(t *testing.T) {
+	c := newByteLRU(10)
+	c.Put("small", make([]byte, 5))
+	c.Put("huge", make([]byte, 100))
+	if _, ok := c.Peek("huge"); ok {
+		t.Fatal("oversized entry should not be admitted")
+	}
+	if _, ok := c.Peek("small"); !ok {
+		t.Fatal("existing entries should survive an oversized Put")
+	}
+}
+
+func TestLRUZeroCapacityCachesNothing(t *testing.T) {
+	c := newByteLRU(0)
+	c.Put("a", []byte("x"))
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("zero-capacity cache should never hit")
+	}
+	if c.Len() != 0 {
+		t.Fatal("zero-capacity cache should hold nothing")
+	}
+}
+
+func TestLRUDelete(t *testing.T) {
+	c := newByteLRU(100)
+	c.Put("a", []byte("x"))
+	if !c.Delete("a") {
+		t.Fatal("Delete should report presence")
+	}
+	if c.Delete("a") {
+		t.Fatal("double Delete should report absence")
+	}
+	if c.UsedBytes() != 0 {
+		t.Fatal("Delete should release bytes")
+	}
+}
+
+func TestLRUTTLExpiry(t *testing.T) {
+	c := newByteLRU(100)
+	now := time.Unix(1000, 0)
+	c.SetClock(func() time.Time { return now })
+	c.PutTTL("a", []byte("x"), time.Minute)
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("entry should be live before expiry")
+	}
+	now = now.Add(2 * time.Minute)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("entry should have expired")
+	}
+	if c.Stats().Expirations != 1 {
+		t.Fatalf("expirations = %d, want 1", c.Stats().Expirations)
+	}
+	if c.UsedBytes() != 0 {
+		t.Fatal("expired entry should release bytes")
+	}
+}
+
+func TestLRUPeekDoesNotTouchRecency(t *testing.T) {
+	c := newByteLRU(8)
+	c.Put("a", make([]byte, 4))
+	c.Put("b", make([]byte, 4))
+	c.Peek("a")                 // must NOT promote a
+	c.Put("c", make([]byte, 4)) // evicts a (still least recent)
+	if _, ok := c.Peek("a"); ok {
+		t.Fatal("Peek should not have promoted a")
+	}
+	hitsBefore := c.Stats().Hits
+	c.Peek("b")
+	if c.Stats().Hits != hitsBefore {
+		t.Fatal("Peek should not count as a hit")
+	}
+}
+
+func TestLRUSetCapacityShrinks(t *testing.T) {
+	c := newByteLRU(100)
+	for i := 0; i < 10; i++ {
+		c.Put(fmt.Sprintf("k%d", i), make([]byte, 10))
+	}
+	c.SetCapacity(30)
+	if c.UsedBytes() > 30 {
+		t.Fatalf("used %d after shrink to 30", c.UsedBytes())
+	}
+	// Survivors must be the most recently used.
+	keys := c.Keys()
+	if len(keys) != 3 || keys[0] != "k9" || keys[2] != "k7" {
+		t.Fatalf("unexpected survivors: %v", keys)
+	}
+}
+
+func TestLRUEvictCallback(t *testing.T) {
+	c := newByteLRU(8)
+	var evicted []string
+	c.SetEvictFunc(func(k string, _ []byte) { evicted = append(evicted, k) })
+	c.Put("a", make([]byte, 4))
+	c.Put("b", make([]byte, 4))
+	c.Put("c", make([]byte, 4))
+	if len(evicted) != 1 || evicted[0] != "a" {
+		t.Fatalf("evicted = %v, want [a]", evicted)
+	}
+	c.Delete("b")
+	if len(evicted) != 2 || evicted[1] != "b" {
+		t.Fatalf("delete should invoke callback: %v", evicted)
+	}
+}
+
+func TestLRUFlush(t *testing.T) {
+	c := newByteLRU(100)
+	c.Put("a", []byte("1"))
+	c.Put("b", []byte("2"))
+	c.Flush()
+	if c.Len() != 0 || c.UsedBytes() != 0 {
+		t.Fatal("Flush should empty the cache")
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("flushed entries must be gone")
+	}
+}
+
+func TestLRUGenericObjectValues(t *testing.T) {
+	type obj struct {
+		name string
+		blob []byte
+	}
+	c := NewLRU[*obj](1000, func(_ string, o *obj) int64 {
+		return int64(len(o.name) + len(o.blob))
+	})
+	in := &obj{name: "t", blob: make([]byte, 100)}
+	c.Put("k", in)
+	out, ok := c.Get("k")
+	if !ok || out != in {
+		t.Fatal("linked-cache semantics: the same pointer must come back")
+	}
+}
+
+func TestStatsRatios(t *testing.T) {
+	s := Stats{Hits: 3, Misses: 1}
+	if s.HitRatio() != 0.75 {
+		t.Fatalf("HitRatio = %v", s.HitRatio())
+	}
+	if s.MissRatio() != 0.25 {
+		t.Fatalf("MissRatio = %v", s.MissRatio())
+	}
+	var empty Stats
+	if empty.HitRatio() != 0 || empty.MissRatio() != 0 {
+		t.Fatal("empty stats should have zero ratios")
+	}
+}

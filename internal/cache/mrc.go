@@ -1,0 +1,118 @@
+package cache
+
+import "sort"
+
+// ReuseAnalyzer computes exact LRU miss-ratio curves from a stream of
+// accesses using byte-weighted reuse distances (Mattson's stack algorithm
+// with a Fenwick tree, O(log n) per access).
+//
+// The reuse distance of an access is the total size of the distinct keys
+// touched since the previous access to the same key — exactly the number
+// of bytes an LRU cache must hold for that access to hit. The resulting
+// curve MR(s) is what the paper's theoretical model (§4) consumes.
+type ReuseAnalyzer struct {
+	bit       []int64          // Fenwick tree over access positions, holding sizes
+	last      map[string]int   // key -> last access position (1-based)
+	lastSize  map[string]int64 // key -> size recorded at that position
+	pos       int              // number of accesses so far
+	distances []int64          // finite reuse distances, bytes
+	cold      int64            // first-touch accesses (infinite distance)
+}
+
+// NewReuseAnalyzer returns an empty analyzer.
+func NewReuseAnalyzer() *ReuseAnalyzer {
+	return &ReuseAnalyzer{
+		bit:      make([]int64, 1),
+		last:     make(map[string]int),
+		lastSize: make(map[string]int64),
+	}
+}
+
+func (a *ReuseAnalyzer) bitAdd(i int, delta int64) {
+	for ; i < len(a.bit); i += i & (-i) {
+		a.bit[i] += delta
+	}
+}
+
+func (a *ReuseAnalyzer) bitSum(i int) int64 {
+	var s int64
+	for ; i > 0; i -= i & (-i) {
+		s += a.bit[i]
+	}
+	return s
+}
+
+// Access records one access to key with the given value size in bytes.
+func (a *ReuseAnalyzer) Access(key string, size int64) {
+	a.pos++
+	// Grow the Fenwick tree to cover the new position ("push back" trick:
+	// a new node starts as the sum of the already-present child ranges it
+	// covers, since the new position itself contributes zero until
+	// bitAdd below).
+	for len(a.bit) <= a.pos {
+		n := len(a.bit)
+		low := n - (n & (-n))
+		var s int64
+		for j := n - 1; j > low; j -= j & (-j) {
+			s += a.bit[j]
+		}
+		a.bit = append(a.bit, s)
+	}
+	if p, seen := a.last[key]; seen {
+		// Bytes of distinct keys accessed strictly after p, plus this key
+		// itself (an LRU must hold the key's own bytes too).
+		dist := a.bitSum(a.pos-1) - a.bitSum(p) + size
+		a.distances = append(a.distances, dist)
+		a.bitAdd(p, -a.lastSize[key])
+	} else {
+		a.cold++
+	}
+	a.bitAdd(a.pos, size)
+	a.last[key] = a.pos
+	a.lastSize[key] = size
+}
+
+// Curve freezes the analyzer into a queryable miss-ratio curve. The
+// analyzer may continue to be used afterwards; Curve can be called again.
+func (a *ReuseAnalyzer) Curve() *MRC {
+	d := make([]int64, len(a.distances))
+	copy(d, a.distances)
+	sort.Slice(d, func(i, j int) bool { return d[i] < d[j] })
+	return &MRC{distances: d, cold: a.cold, total: int64(len(d)) + a.cold}
+}
+
+// MRC is a frozen miss-ratio curve.
+type MRC struct {
+	distances []int64 // sorted finite reuse distances
+	cold      int64
+	total     int64
+}
+
+// MissRatio returns the fraction of accesses that would miss in an LRU of
+// the given byte capacity. Cold (first-touch) accesses always miss.
+func (m *MRC) MissRatio(cacheBytes int64) float64 {
+	if m.total == 0 {
+		return 0
+	}
+	// Hits are accesses with reuse distance <= cacheBytes.
+	hits := sort.Search(len(m.distances), func(i int) bool {
+		return m.distances[i] > cacheBytes
+	})
+	return float64(m.total-int64(hits)) / float64(m.total)
+}
+
+// Total returns the number of accesses the curve covers.
+func (m *MRC) Total() int64 { return m.total }
+
+// ColdMisses returns the number of first-touch accesses.
+func (m *MRC) ColdMisses() int64 { return m.cold }
+
+// WorkingSetBytes returns the byte capacity at which the miss ratio
+// reaches its compulsory floor (cold misses only): the maximum finite
+// reuse distance observed.
+func (m *MRC) WorkingSetBytes() int64 {
+	if len(m.distances) == 0 {
+		return 0
+	}
+	return m.distances[len(m.distances)-1]
+}

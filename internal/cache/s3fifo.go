@@ -1,0 +1,239 @@
+package cache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// S3FIFO is a byte-budgeted S3-FIFO cache (Yang et al., SOSP '23 — cited
+// by the paper as [51], "FIFO queues are all you need for cache
+// eviction"): a small probationary FIFO absorbs one-hit wonders, a main
+// FIFO holds the working set with lazy promotion, and a ghost queue of
+// recently demoted keys routes re-referenced objects straight into the
+// main queue. Compared to the LRU in this package it resists scans and
+// avoids per-hit list surgery.
+//
+// S3FIFO is safe for concurrent use.
+type S3FIFO[V any] struct {
+	mu sync.Mutex
+
+	capacity  int64 // total byte budget
+	smallCap  int64 // probationary queue budget (10%)
+	sizeOf    SizeOf[V]
+	small     *list.List // FIFO of *s3Entry, front = oldest
+	main      *list.List
+	ghost     *list.List // FIFO of keys (strings)
+	ghostCap  int
+	items     map[string]*list.Element // live entries (small or main)
+	ghostKeys map[string]*list.Element
+	usedSmall int64
+	usedMain  int64
+	stats     Stats
+}
+
+type s3Entry[V any] struct {
+	key    string
+	val    V
+	size   int64
+	freq   uint8 // saturating at 3
+	inMain bool
+}
+
+// NewS3FIFO returns an S3-FIFO cache with the given byte capacity.
+func NewS3FIFO[V any](capacity int64, sizeOf SizeOf[V]) *S3FIFO[V] {
+	if sizeOf == nil {
+		panic("cache: sizeOf must be non-nil")
+	}
+	c := &S3FIFO[V]{
+		capacity:  capacity,
+		smallCap:  capacity / 10,
+		sizeOf:    sizeOf,
+		small:     list.New(),
+		main:      list.New(),
+		ghost:     list.New(),
+		items:     make(map[string]*list.Element),
+		ghostKeys: make(map[string]*list.Element),
+	}
+	if c.smallCap < 1 {
+		c.smallCap = 1
+	}
+	return c
+}
+
+// Get returns the value for key, bumping its frequency.
+func (c *S3FIFO[V]) Get(key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var zero V
+	el, ok := c.items[key]
+	if !ok {
+		c.stats.Misses++
+		return zero, false
+	}
+	en := el.Value.(*s3Entry[V])
+	if en.freq < 3 {
+		en.freq++
+	}
+	c.stats.Hits++
+	return en.val, true
+}
+
+// Put inserts or replaces key.
+func (c *S3FIFO[V]) Put(key string, v V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.Puts++
+	size := c.sizeOf(key, v)
+	if size > c.capacity {
+		c.stats.Evictions++ // not admitted
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		en := el.Value.(*s3Entry[V])
+		if en.inMain {
+			c.usedMain += size - en.size
+		} else {
+			c.usedSmall += size - en.size
+		}
+		en.val, en.size = v, size
+		if en.freq < 3 {
+			en.freq++
+		}
+		c.evictToFit()
+		return
+	}
+	en := &s3Entry[V]{key: key, val: v, size: size}
+	if _, wasGhost := c.ghostKeys[key]; wasGhost {
+		c.removeGhost(key)
+		en.inMain = true
+		c.items[key] = c.main.PushBack(en)
+		c.usedMain += size
+	} else {
+		c.items[key] = c.small.PushBack(en)
+		c.usedSmall += size
+	}
+	c.evictToFit()
+}
+
+// Delete removes key, reporting whether it was live.
+func (c *S3FIFO[V]) Delete(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	c.stats.Deletes++
+	en := el.Value.(*s3Entry[V])
+	if en.inMain {
+		c.main.Remove(el)
+		c.usedMain -= en.size
+	} else {
+		c.small.Remove(el)
+		c.usedSmall -= en.size
+	}
+	delete(c.items, key)
+	return true
+}
+
+// evictToFit runs the S3-FIFO eviction loop until the budget holds.
+func (c *S3FIFO[V]) evictToFit() {
+	for c.usedSmall+c.usedMain > c.capacity {
+		if c.usedSmall > c.smallCap || c.main.Len() == 0 {
+			c.evictSmall()
+		} else {
+			c.evictMain()
+		}
+	}
+}
+
+// evictSmall pops the oldest probationary entry: referenced entries are
+// promoted to main; one-hit wonders leave a ghost behind.
+func (c *S3FIFO[V]) evictSmall() {
+	el := c.small.Front()
+	if el == nil {
+		c.evictMain()
+		return
+	}
+	en := el.Value.(*s3Entry[V])
+	c.small.Remove(el)
+	c.usedSmall -= en.size
+	if en.freq > 1 {
+		en.freq = 0
+		en.inMain = true
+		c.items[en.key] = c.main.PushBack(en)
+		c.usedMain += en.size
+		return
+	}
+	delete(c.items, en.key)
+	c.stats.Evictions++
+	c.addGhost(en.key)
+}
+
+// evictMain pops the oldest main entry, giving referenced entries a
+// second lap.
+func (c *S3FIFO[V]) evictMain() {
+	for {
+		el := c.main.Front()
+		if el == nil {
+			return
+		}
+		en := el.Value.(*s3Entry[V])
+		c.main.Remove(el)
+		if en.freq > 0 {
+			en.freq--
+			c.items[en.key] = c.main.PushBack(en)
+			continue
+		}
+		c.usedMain -= en.size
+		delete(c.items, en.key)
+		c.stats.Evictions++
+		return
+	}
+}
+
+func (c *S3FIFO[V]) addGhost(key string) {
+	// Ghost capacity tracks the number of live objects the main queue
+	// holds (the standard sizing), floored to keep small caches useful.
+	c.ghostCap = c.main.Len() + c.small.Len()
+	if c.ghostCap < 16 {
+		c.ghostCap = 16
+	}
+	c.ghostKeys[key] = c.ghost.PushBack(key)
+	for c.ghost.Len() > c.ghostCap {
+		old := c.ghost.Front()
+		c.ghost.Remove(old)
+		delete(c.ghostKeys, old.Value.(string))
+	}
+}
+
+func (c *S3FIFO[V]) removeGhost(key string) {
+	if el, ok := c.ghostKeys[key]; ok {
+		c.ghost.Remove(el)
+		delete(c.ghostKeys, key)
+	}
+}
+
+// Len returns the number of live entries.
+func (c *S3FIFO[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+// UsedBytes returns the budgeted bytes of live entries.
+func (c *S3FIFO[V]) UsedBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.usedSmall + c.usedMain
+}
+
+// Capacity returns the byte budget.
+func (c *S3FIFO[V]) Capacity() int64 { return c.capacity }
+
+// Stats returns cumulative counters.
+func (c *S3FIFO[V]) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}

@@ -1,0 +1,204 @@
+package cache
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func newS3(capacity int64) *S3FIFO[[]byte] {
+	return NewS3FIFO[[]byte](capacity, byteSize)
+}
+
+func TestS3FIFOBasic(t *testing.T) {
+	c := newS3(1 << 10)
+	c.Put("a", []byte("alpha"))
+	v, ok := c.Get("a")
+	if !ok || string(v) != "alpha" {
+		t.Fatalf("Get = %q %v", v, ok)
+	}
+	if _, ok := c.Get("missing"); ok {
+		t.Fatal("missing key should miss")
+	}
+	if !c.Delete("a") || c.Delete("a") {
+		t.Fatal("delete semantics broken")
+	}
+	if c.Len() != 0 || c.UsedBytes() != 0 {
+		t.Fatal("delete should release the entry")
+	}
+}
+
+func TestS3FIFOByteBudget(t *testing.T) {
+	c := newS3(1000)
+	for i := 0; i < 200; i++ {
+		c.Put(fmt.Sprintf("k%d", i), make([]byte, 50))
+	}
+	if c.UsedBytes() > 1000 {
+		t.Fatalf("used %d over budget", c.UsedBytes())
+	}
+	if c.Stats().Evictions == 0 {
+		t.Fatal("expected evictions")
+	}
+}
+
+func TestS3FIFOOversizedNotAdmitted(t *testing.T) {
+	c := newS3(100)
+	c.Put("small", make([]byte, 10))
+	c.Put("huge", make([]byte, 1000))
+	if _, ok := c.Get("huge"); ok {
+		t.Fatal("oversized object should not be admitted")
+	}
+	if _, ok := c.Get("small"); !ok {
+		t.Fatal("existing entries must survive an oversized Put")
+	}
+}
+
+func TestS3FIFOReplaceAdjustsUsage(t *testing.T) {
+	c := newS3(1000)
+	c.Put("k", make([]byte, 100))
+	c.Put("k", make([]byte, 300))
+	if c.UsedBytes() != 300 || c.Len() != 1 {
+		t.Fatalf("used=%d len=%d", c.UsedBytes(), c.Len())
+	}
+}
+
+func TestS3FIFOGhostPromotion(t *testing.T) {
+	// A key evicted from the probationary queue and re-inserted goes
+	// straight to the main queue.
+	c := newS3(300) // small queue budget = 30 bytes
+	c.Put("victim", make([]byte, 60))
+	// Overflow the cache with one-hit wonders; the probationary queue is
+	// over its budget, so eviction pops victim (freq 0) into the ghost.
+	for i := 0; i < 5; i++ {
+		c.Put(fmt.Sprintf("w%d", i), make([]byte, 60))
+	}
+	if _, ok := c.Get("victim"); ok {
+		t.Fatal("victim should have been demoted to ghost")
+	}
+	c.Put("victim", make([]byte, 60))
+	el, ok := c.items["victim"]
+	if !ok || !el.Value.(*s3Entry[[]byte]).inMain {
+		t.Fatal("ghost re-insertion should land in the main queue")
+	}
+}
+
+func TestS3FIFOScanResistance(t *testing.T) {
+	// A hot working set must survive a one-shot scan of cold keys — the
+	// failure mode that ruins plain LRU.
+	const capacity = 64 * 70
+	hotKeys := 32
+	run := func(get func(string) bool, put func(string, []byte)) float64 {
+		// Warm the hot set with several rounds (freq counters rise).
+		for r := 0; r < 4; r++ {
+			for i := 0; i < hotKeys; i++ {
+				k := fmt.Sprintf("hot%d", i)
+				if !get(k) {
+					put(k, make([]byte, 64))
+				}
+			}
+		}
+		// Scan 500 cold keys once.
+		for i := 0; i < 500; i++ {
+			k := fmt.Sprintf("cold%d", i)
+			if !get(k) {
+				put(k, make([]byte, 64))
+			}
+		}
+		// Measure hot-set hits.
+		hits := 0
+		for i := 0; i < hotKeys; i++ {
+			if get(fmt.Sprintf("hot%d", i)) {
+				hits++
+			}
+		}
+		return float64(hits) / float64(hotKeys)
+	}
+
+	s3 := newS3(capacity)
+	s3Hot := run(
+		func(k string) bool { _, ok := s3.Get(k); return ok },
+		func(k string, v []byte) { s3.Put(k, v) },
+	)
+	lru := newByteLRU(capacity)
+	lruHot := run(
+		func(k string) bool { _, ok := lru.Get(k); return ok },
+		func(k string, v []byte) { lru.Put(k, v) },
+	)
+	if s3Hot < 0.8 {
+		t.Fatalf("S3-FIFO should retain the hot set through a scan, kept %.0f%%", 100*s3Hot)
+	}
+	if s3Hot < lruHot {
+		t.Fatalf("S3-FIFO (%.2f) should be at least as scan-resistant as LRU (%.2f)", s3Hot, lruHot)
+	}
+}
+
+func TestS3FIFOZipfHitRatioComparable(t *testing.T) {
+	// On a plain Zipfian workload S3-FIFO should be in LRU's
+	// neighbourhood (the policies differ by single-digit points).
+	rng := rand.New(rand.NewSource(42))
+	trace := make([]string, 30000)
+	for i := range trace {
+		r := rng.Float64()
+		trace[i] = fmt.Sprintf("k%d", int(r*r*r*500)) // skewed over 500 keys
+	}
+	const capacity = 64 * 100
+
+	s3 := newS3(capacity)
+	for _, k := range trace {
+		if _, ok := s3.Get(k); !ok {
+			s3.Put(k, make([]byte, 64))
+		}
+	}
+	lru := newByteLRU(capacity)
+	for _, k := range trace {
+		if _, ok := lru.Get(k); !ok {
+			lru.Put(k, make([]byte, 64))
+		}
+	}
+	s3HR, lruHR := s3.Stats().HitRatio(), lru.Stats().HitRatio()
+	if s3HR < lruHR-0.05 {
+		t.Fatalf("S3-FIFO hit ratio %v too far below LRU %v", s3HR, lruHR)
+	}
+}
+
+func TestS3FIFOConcurrent(t *testing.T) {
+	c := newS3(1 << 16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", (w*31+i)%200)
+				switch i % 3 {
+				case 0:
+					c.Put(k, make([]byte, 32))
+				case 1:
+					c.Get(k)
+				case 2:
+					c.Delete(k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait() // run with -race
+	if c.UsedBytes() < 0 || c.UsedBytes() > c.Capacity() {
+		t.Fatalf("usage out of range: %d", c.UsedBytes())
+	}
+}
+
+func BenchmarkS3FIFOGet(b *testing.B) {
+	c := newS3(1 << 20)
+	for i := 0; i < 1000; i++ {
+		c.Put(fmt.Sprintf("k%d", i), make([]byte, 64))
+	}
+	keys := make([]string, 1000)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k%d", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Get(keys[i%1000])
+	}
+}

@@ -1,0 +1,136 @@
+package cache
+
+import (
+	"hash/maphash"
+	"time"
+)
+
+// Sharded is a concurrency-safe cache built from N independently locked
+// LRU shards. The byte capacity is divided evenly among shards, mirroring
+// how production caches (memcached, CacheLib) partition memory.
+type Sharded[V any] struct {
+	shards []locked[V]
+	seed   maphash.Seed
+}
+
+// NewSharded returns a sharded cache with the given total byte capacity
+// split across nShards shards. nShards < 1 is treated as 1.
+func NewSharded[V any](capacity int64, nShards int, sizeOf SizeOf[V]) *Sharded[V] {
+	if nShards < 1 {
+		nShards = 1
+	}
+	s := &Sharded[V]{
+		shards: make([]locked[V], nShards),
+		seed:   maphash.MakeSeed(),
+	}
+	per := capacity / int64(nShards)
+	for i := range s.shards {
+		s.shards[i].lru = NewLRU[V](per, sizeOf)
+	}
+	return s
+}
+
+// SetEvictFunc installs fn on every shard. fn may be called concurrently
+// from different shards.
+func (s *Sharded[V]) SetEvictFunc(fn EvictFunc[V]) {
+	for i := range s.shards {
+		s.shards[i].lru.SetEvictFunc(fn)
+	}
+}
+
+func (s *Sharded[V]) shard(key string) *locked[V] {
+	h := maphash.String(s.seed, key)
+	return &s.shards[h%uint64(len(s.shards))]
+}
+
+// Get returns the value for key.
+func (s *Sharded[V]) Get(key string) (V, bool) {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.lru.Get(key)
+}
+
+// Put inserts or replaces key with no expiry.
+func (s *Sharded[V]) Put(key string, v V) {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.lru.Put(key, v)
+}
+
+// PutTTL inserts or replaces key with an expiry.
+func (s *Sharded[V]) PutTTL(key string, v V, ttl time.Duration) {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.lru.PutTTL(key, v, ttl)
+}
+
+// Delete removes key, reporting whether it was present.
+func (s *Sharded[V]) Delete(key string) bool {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.lru.Delete(key)
+}
+
+// Len returns the total number of live entries.
+func (s *Sharded[V]) Len() int {
+	n := 0
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+		n += s.shards[i].lru.Len()
+		s.shards[i].mu.Unlock()
+	}
+	return n
+}
+
+// UsedBytes returns the total budgeted bytes across shards.
+func (s *Sharded[V]) UsedBytes() int64 {
+	var n int64
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+		n += s.shards[i].lru.UsedBytes()
+		s.shards[i].mu.Unlock()
+	}
+	return n
+}
+
+// Capacity returns the total byte capacity across shards.
+func (s *Sharded[V]) Capacity() int64 {
+	var n int64
+	for i := range s.shards {
+		n += s.shards[i].lru.Capacity()
+	}
+	return n
+}
+
+// Stats returns counters summed across shards.
+func (s *Sharded[V]) Stats() Stats {
+	var out Stats
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+		out.add(s.shards[i].lru.Stats())
+		s.shards[i].mu.Unlock()
+	}
+	return out
+}
+
+// ResetStats zeroes counters on every shard.
+func (s *Sharded[V]) ResetStats() {
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+		s.shards[i].lru.ResetStats()
+		s.shards[i].mu.Unlock()
+	}
+}
+
+// Flush empties every shard.
+func (s *Sharded[V]) Flush() {
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+		s.shards[i].lru.Flush()
+		s.shards[i].mu.Unlock()
+	}
+}

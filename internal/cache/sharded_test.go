@@ -1,0 +1,138 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestShardedBasic(t *testing.T) {
+	s := NewSharded[[]byte](1<<20, 8, byteSize)
+	s.Put("a", []byte("1"))
+	v, ok := s.Get("a")
+	if !ok || string(v) != "1" {
+		t.Fatalf("Get = %q %v", v, ok)
+	}
+	if !s.Delete("a") {
+		t.Fatal("Delete should find the key")
+	}
+	if _, ok := s.Get("a"); ok {
+		t.Fatal("deleted key should miss")
+	}
+}
+
+func TestShardedCapacitySplit(t *testing.T) {
+	s := NewSharded[[]byte](800, 8, byteSize)
+	if s.Capacity() != 800 {
+		t.Fatalf("Capacity = %d", s.Capacity())
+	}
+	for i := 0; i < 1000; i++ {
+		s.Put(fmt.Sprintf("k%d", i), make([]byte, 10))
+	}
+	if s.UsedBytes() > 800 {
+		t.Fatalf("used %d > capacity", s.UsedBytes())
+	}
+}
+
+func TestShardedMinimumOneShard(t *testing.T) {
+	s := NewSharded[[]byte](100, 0, byteSize)
+	s.Put("a", []byte("x"))
+	if _, ok := s.Get("a"); !ok {
+		t.Fatal("single-shard fallback should work")
+	}
+}
+
+func TestShardedTTL(t *testing.T) {
+	s := NewSharded[[]byte](1<<20, 4, byteSize)
+	s.PutTTL("a", []byte("x"), time.Nanosecond)
+	time.Sleep(time.Millisecond)
+	if _, ok := s.Get("a"); ok {
+		t.Fatal("TTL entry should expire")
+	}
+}
+
+func TestShardedStatsAggregation(t *testing.T) {
+	s := NewSharded[[]byte](1<<20, 4, byteSize)
+	for i := 0; i < 100; i++ {
+		s.Put(fmt.Sprintf("k%d", i), []byte("v"))
+	}
+	for i := 0; i < 100; i++ {
+		s.Get(fmt.Sprintf("k%d", i))
+	}
+	s.Get("missing")
+	st := s.Stats()
+	if st.Puts != 100 || st.Hits != 100 || st.Misses != 1 {
+		t.Fatalf("aggregated stats = %+v", st)
+	}
+	s.ResetStats()
+	if st := s.Stats(); st.Puts != 0 || st.Hits != 0 {
+		t.Fatalf("ResetStats left %+v", st)
+	}
+}
+
+func TestShardedLenAndFlush(t *testing.T) {
+	s := NewSharded[[]byte](1<<20, 4, byteSize)
+	for i := 0; i < 37; i++ {
+		s.Put(fmt.Sprintf("k%d", i), []byte("v"))
+	}
+	if s.Len() != 37 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	s.Flush()
+	if s.Len() != 0 || s.UsedBytes() != 0 {
+		t.Fatal("Flush should empty all shards")
+	}
+}
+
+func TestShardedConcurrent(t *testing.T) {
+	s := NewSharded[[]byte](1<<20, 16, byteSize)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", i%100)
+				if i%3 == 0 {
+					s.Put(key, make([]byte, 32))
+				} else if i%7 == 0 {
+					s.Delete(key)
+				} else {
+					s.Get(key)
+				}
+			}
+		}(w)
+	}
+	wg.Wait() // run with -race
+	if s.UsedBytes() < 0 {
+		t.Fatal("usage accounting went negative")
+	}
+}
+
+func TestShardedEvictCallbackConcurrentSafe(t *testing.T) {
+	s := NewSharded[[]byte](1024, 4, byteSize)
+	var mu sync.Mutex
+	count := 0
+	s.SetEvictFunc(func(string, []byte) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+	})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s.Put(fmt.Sprintf("w%d-k%d", w, i), make([]byte, 64))
+			}
+		}(w)
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if count == 0 {
+		t.Fatal("expected evictions under byte pressure")
+	}
+}

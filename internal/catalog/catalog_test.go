@@ -1,0 +1,321 @@
+package catalog
+
+import (
+	"bytes"
+	"testing"
+
+	"cachecost/internal/meter"
+	"cachecost/internal/rpc"
+	"cachecost/internal/storage"
+	"cachecost/internal/wire"
+)
+
+func seededApp(t *testing.T, m *meter.Meter, tables int) (*App, *storage.Node) {
+	t.Helper()
+	node := storage.NewNode(storage.Config{
+		Replicas:        3,
+		BlockCacheBytes: 32 << 20,
+		Meter:           m,
+	})
+	if err := Seed(node, SeedConfig{Tables: tables, StatsBytesOverride: 2048}); err != nil {
+		t.Fatal(err)
+	}
+	app := NewApp(storage.NewClient(rpc.NewDirect(node.Server())))
+	return app, node
+}
+
+func TestGetTableObject(t *testing.T) {
+	app, _ := seededApp(t, nil, 50)
+	info, err := app.GetTableObject(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ID != 7 || info.Name != "table_000007" {
+		t.Fatalf("info = %+v", info)
+	}
+	if info.SchemaName == "" || info.CatalogName == "" {
+		t.Fatal("hierarchy names missing")
+	}
+	if info.FullName != info.CatalogName+"."+info.SchemaName+"."+info.Name {
+		t.Fatalf("FullName = %q", info.FullName)
+	}
+	if len(info.Grants) < 2 {
+		t.Fatalf("grants = %v", info.Grants)
+	}
+	if len(info.Properties) != 3 {
+		t.Fatalf("properties = %v", info.Properties)
+	}
+	if len(info.Stats) != 2048 {
+		t.Fatalf("stats len = %d", len(info.Stats))
+	}
+}
+
+func TestInheritedGrantsPresent(t *testing.T) {
+	app, _ := seededApp(t, nil, 50)
+	sawInherited := false
+	for id := int64(0); id < 20 && !sawInherited; id++ {
+		info, err := app.GetTableObject(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, g := range info.Grants {
+			if g.Source == "schema" || g.Source == "catalog" {
+				sawInherited = true
+			}
+		}
+	}
+	if !sawInherited {
+		t.Fatal("inheritance resolution found no schema/catalog grants")
+	}
+}
+
+func TestObjectAndKVViewsAgree(t *testing.T) {
+	app, _ := seededApp(t, nil, 50)
+	for _, id := range []int64{0, 3, 17, 49} {
+		obj, err := app.GetTableObject(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kv, err := app.GetTableKV(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if obj.FullName != kv.FullName || obj.Owner != kv.Owner {
+			t.Fatalf("id %d: identity mismatch %q/%q vs %q/%q",
+				id, obj.FullName, obj.Owner, kv.FullName, kv.Owner)
+		}
+		if len(obj.Grants) != len(kv.Grants) {
+			t.Fatalf("id %d: grants %d vs %d", id, len(obj.Grants), len(kv.Grants))
+		}
+		for i := range obj.Grants {
+			if obj.Grants[i] != kv.Grants[i] {
+				t.Fatalf("id %d grant %d: %+v vs %+v", id, i, obj.Grants[i], kv.Grants[i])
+			}
+		}
+		if len(obj.Constraints) != len(kv.Constraints) || len(obj.Lineage) != len(kv.Lineage) {
+			t.Fatalf("id %d: constraints/lineage mismatch", id)
+		}
+		if !bytes.Equal(obj.Stats, kv.Stats) {
+			t.Fatalf("id %d: stats payload mismatch", id)
+		}
+	}
+}
+
+func TestObjectReadCostsMoreStorageCPUThanKV(t *testing.T) {
+	// §5.4's mechanism: query amplification makes rich-object reads far
+	// more expensive at the storage layer than denormalized lookups.
+	m := meter.NewMeter()
+	app, _ := seededApp(t, m, 50)
+	m.Reset()
+	for i := 0; i < 20; i++ {
+		if _, err := app.GetTableObject(int64(i % 50)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	objBusy := m.Component("storage.sql").Busy() + m.Component("storage.exec").Busy()
+
+	m.Reset()
+	for i := 0; i < 20; i++ {
+		if _, err := app.GetTableKV(int64(i % 50)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	kvBusy := m.Component("storage.sql").Busy() + m.Component("storage.exec").Busy()
+
+	if objBusy < kvBusy*2 {
+		t.Fatalf("object reads should amplify storage CPU: obj=%v kv=%v", objBusy, kvBusy)
+	}
+}
+
+func TestTableInfoWireRoundtrip(t *testing.T) {
+	in := &TableInfo{
+		ID: 42, Name: "t", FullName: "c.s.t", Owner: "o",
+		SchemaName: "s", CatalogName: "c",
+		Grants:      []Grant{{Principal: "p1", Privilege: "SELECT", Source: "table"}},
+		Constraints: []Constraint{{Name: "c1", Kind: "check", Expr: "x > 0"}},
+		Lineage:     []LineageEdge{{UpstreamID: 7, Kind: "job"}},
+		Properties:  map[string]string{"k1": "v1", "k2": "v2"},
+		Stats:       []byte{1, 2, 3},
+	}
+	var out TableInfo
+	if err := wire.Unmarshal(wire.Marshal(in), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.ID != in.ID || out.FullName != in.FullName || out.Owner != in.Owner {
+		t.Fatalf("identity mismatch: %+v", out)
+	}
+	if len(out.Grants) != 1 || out.Grants[0] != in.Grants[0] {
+		t.Fatalf("grants = %+v", out.Grants)
+	}
+	if len(out.Constraints) != 1 || out.Constraints[0] != in.Constraints[0] {
+		t.Fatalf("constraints = %+v", out.Constraints)
+	}
+	if len(out.Lineage) != 1 || out.Lineage[0] != in.Lineage[0] {
+		t.Fatalf("lineage = %+v", out.Lineage)
+	}
+	if out.Properties["k1"] != "v1" || out.Properties["k2"] != "v2" {
+		t.Fatalf("properties = %v", out.Properties)
+	}
+	if !bytes.Equal(out.Stats, in.Stats) {
+		t.Fatal("stats mismatch")
+	}
+}
+
+func TestAllowedFor(t *testing.T) {
+	info := &TableInfo{Grants: []Grant{
+		{Principal: "alice", Privilege: "SELECT", Source: "table"},
+		{Principal: "alice", Privilege: "MODIFY", Source: "schema"},
+		{Principal: "alice", Privilege: "SELECT", Source: "catalog"}, // dup priv
+		{Principal: "bob", Privilege: "OWN", Source: "table"},
+	}}
+	got := info.AllowedFor("alice")
+	if len(got) != 2 || got[0] != "MODIFY" || got[1] != "SELECT" {
+		t.Fatalf("AllowedFor = %v", got)
+	}
+	if len(info.AllowedFor("carol")) != 0 {
+		t.Fatal("unknown principal should have no privileges")
+	}
+}
+
+func TestMemSizeTracksPayload(t *testing.T) {
+	small := &TableInfo{Stats: make([]byte, 10)}
+	big := &TableInfo{Stats: make([]byte, 100000)}
+	if big.MemSize() <= small.MemSize() {
+		t.Fatal("MemSize should track stats payload")
+	}
+}
+
+func TestUpdateTableStats(t *testing.T) {
+	app, _ := seededApp(t, nil, 20)
+	newStats := bytes.Repeat([]byte{9}, 512)
+	if err := app.UpdateTableStats(3, newStats); err != nil {
+		t.Fatal(err)
+	}
+	info, err := app.GetTableObject(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(info.Stats, newStats) {
+		t.Fatal("stats update not visible")
+	}
+	if err := app.UpdateTableStats(9999, newStats); err == nil {
+		t.Fatal("updating a missing table should fail")
+	}
+}
+
+func TestUpdateTableKV(t *testing.T) {
+	app, _ := seededApp(t, nil, 20)
+	info, err := app.GetTableKV(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info.Owner = "principal_override"
+	if err := app.UpdateTableKV(info); err != nil {
+		t.Fatal(err)
+	}
+	got, err := app.GetTableKV(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Owner != "principal_override" {
+		t.Fatalf("owner = %q", got.Owner)
+	}
+}
+
+func TestVersionsAdvanceOnWrite(t *testing.T) {
+	app, _ := seededApp(t, nil, 20)
+	v1, found, err := app.VersionOfObject(2)
+	if err != nil || !found {
+		t.Fatalf("v1 = %v %v %v", v1, found, err)
+	}
+	if err := app.UpdateTableStats(2, []byte("xx")); err != nil {
+		t.Fatal(err)
+	}
+	v2, _, err := app.VersionOfObject(2)
+	if err != nil || v2 <= v1 {
+		t.Fatalf("version should advance: %d -> %d (%v)", v1, v2, err)
+	}
+	if _, found, _ := app.VersionOfKV(2); !found {
+		t.Fatal("denorm row should have a version")
+	}
+}
+
+func TestMissingTableErrors(t *testing.T) {
+	app, _ := seededApp(t, nil, 10)
+	if _, err := app.GetTableObject(9999); err == nil {
+		t.Fatal("missing table should error")
+	}
+	if _, err := app.GetTableKV(9999); err == nil {
+		t.Fatal("missing denorm table should error")
+	}
+}
+
+func TestSeedNormalizedOnly(t *testing.T) {
+	node := storage.NewNode(storage.Config{Replicas: 1, BlockCacheBytes: 16 << 20})
+	if err := Seed(node, SeedConfig{Tables: 10, Normalized: true, StatsBytesOverride: 128}); err != nil {
+		t.Fatal(err)
+	}
+	app := NewApp(storage.NewClient(rpc.NewDirect(node.Server())))
+	if _, err := app.GetTableObject(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app.GetTableKV(1); err == nil {
+		t.Fatal("denorm variant should be empty when not seeded")
+	}
+}
+
+func TestStatsPayloadDeterministic(t *testing.T) {
+	a := statsPayload(42, 100)
+	b := statsPayload(42, 100)
+	if !bytes.Equal(a, b) {
+		t.Fatal("payload must be deterministic")
+	}
+	c := statsPayload(43, 100)
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestPropsRoundtrip(t *testing.T) {
+	in := map[string]string{"a": "1", "b": "2", "z": "26"}
+	out, err := decodeProps(encodeProps(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("out = %v", out)
+	}
+	for k, v := range in {
+		if out[k] != v {
+			t.Fatalf("key %q: %q vs %q", k, out[k], v)
+		}
+	}
+}
+
+func BenchmarkGetTableObject(b *testing.B) {
+	node := storage.NewNode(storage.Config{Replicas: 3, BlockCacheBytes: 64 << 20})
+	if err := Seed(node, SeedConfig{Tables: 100, StatsBytesOverride: 23 << 10}); err != nil {
+		b.Fatal(err)
+	}
+	app := NewApp(storage.NewClient(rpc.NewDirect(node.Server())))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := app.GetTableObject(int64(i % 100)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGetTableKV(b *testing.B) {
+	node := storage.NewNode(storage.Config{Replicas: 3, BlockCacheBytes: 64 << 20})
+	if err := Seed(node, SeedConfig{Tables: 100, StatsBytesOverride: 23 << 10}); err != nil {
+		b.Fatal(err)
+	}
+	app := NewApp(storage.NewClient(rpc.NewDirect(node.Server())))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := app.GetTableKV(int64(i % 100)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,311 @@
+// Package catalog implements the rich-object application of the study: a
+// Unity-Catalog-like data governance service [13]. It models the paper's
+// hierarchical namespace — metastore, catalogs, schemas, tables — with
+// permissions granted to principals at any level and inherited downward,
+// plus per-table constraints, lineage and properties.
+//
+// The package provides the two read paths compared in §5.4:
+//
+//   - GetTableObject (Unity Catalog-Object): the production shape, where
+//     one logical read issues up to 8 SQL queries against the storage
+//     layer and the application composes the rich object — resolving
+//     inherited grants, merging constraints, assembling lineage.
+//   - GetTableKV (Unity Catalog-KV): a heavily denormalized variant where
+//     the fully materialized object lives in a single row and a read is
+//     one key-value-style lookup plus deserialization.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+
+	"cachecost/internal/wire"
+)
+
+// Grant is one effective permission on a table.
+type Grant struct {
+	Principal string
+	Privilege string
+	// Source records where the grant was inherited from: "table",
+	// "schema" or "catalog".
+	Source string
+}
+
+// Constraint is one table constraint.
+type Constraint struct {
+	Name string
+	Kind string // "primary_key", "foreign_key", "check"
+	Expr string
+}
+
+// LineageEdge records that the table is derived from an upstream asset.
+type LineageEdge struct {
+	UpstreamID int64
+	Kind       string // "table", "job", "notebook"
+}
+
+// TableInfo is the rich application object a getTable call returns: the
+// composed governance view of one table. Reconstructing it from storage
+// is expensive (many queries + application logic); caching it is the
+// §5.4 opportunity.
+type TableInfo struct {
+	ID          int64
+	Name        string
+	FullName    string // catalog.schema.table
+	Owner       string
+	SchemaName  string
+	CatalogName string
+	Grants      []Grant
+	Constraints []Constraint
+	Lineage     []LineageEdge
+	Properties  map[string]string
+	// Stats is the bulky column-statistics payload that gives the
+	// materialized object its Figure 3a size distribution.
+	Stats []byte
+}
+
+// MemSize approximates the live object's footprint for cache budgeting.
+func (t *TableInfo) MemSize() int64 {
+	n := int64(len(t.Name)+len(t.FullName)+len(t.Owner)+len(t.SchemaName)+len(t.CatalogName)) + 96
+	for _, g := range t.Grants {
+		n += int64(len(g.Principal)+len(g.Privilege)+len(g.Source)) + 48
+	}
+	for _, c := range t.Constraints {
+		n += int64(len(c.Name)+len(c.Kind)+len(c.Expr)) + 48
+	}
+	n += int64(len(t.Lineage)) * 24
+	for k, v := range t.Properties {
+		n += int64(len(k)+len(v)) + 32
+	}
+	return n + int64(len(t.Stats))
+}
+
+// AllowedFor returns the privileges principal holds on the table, sorted.
+// This is the kind of application logic (§2.2) that does not fit a plain
+// key-value cache: it consults the composed, inheritance-resolved view.
+func (t *TableInfo) AllowedFor(principal string) []string {
+	seen := make(map[string]bool)
+	for _, g := range t.Grants {
+		if g.Principal == principal {
+			seen[g.Privilege] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Wire field numbers for TableInfo.
+const (
+	fID = iota + 1
+	fName
+	fFullName
+	fOwner
+	fSchemaName
+	fCatalogName
+	fGrant
+	fConstraint
+	fLineage
+	fPropKey
+	fPropVal
+	fStats
+)
+
+// MarshalWire implements wire.Marshaler. This is the serialization a
+// remote cache or denormalized row pays and a linked cache avoids.
+func (t *TableInfo) MarshalWire(e *wire.Encoder) {
+	e.Int64(fID, t.ID)
+	e.String(fName, t.Name)
+	e.String(fFullName, t.FullName)
+	e.String(fOwner, t.Owner)
+	e.String(fSchemaName, t.SchemaName)
+	e.String(fCatalogName, t.CatalogName)
+	for _, g := range t.Grants {
+		e.Message(fGrant, func(sub *wire.Encoder) {
+			sub.String(1, g.Principal)
+			sub.String(2, g.Privilege)
+			sub.String(3, g.Source)
+		})
+	}
+	for _, c := range t.Constraints {
+		e.Message(fConstraint, func(sub *wire.Encoder) {
+			sub.String(1, c.Name)
+			sub.String(2, c.Kind)
+			sub.String(3, c.Expr)
+		})
+	}
+	for _, l := range t.Lineage {
+		e.Message(fLineage, func(sub *wire.Encoder) {
+			sub.Int64(1, l.UpstreamID)
+			sub.String(2, l.Kind)
+		})
+	}
+	// Properties as parallel key/value fields, sorted for determinism.
+	keys := make([]string, 0, len(t.Properties))
+	for k := range t.Properties {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		e.String(fPropKey, k)
+		e.String(fPropVal, t.Properties[k])
+	}
+	e.BytesField(fStats, t.Stats)
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (t *TableInfo) UnmarshalWire(d *wire.Decoder) error {
+	var propKeys, propVals []string
+	for !d.Done() {
+		f, typ, err := d.Next()
+		if err != nil {
+			return err
+		}
+		switch f {
+		case fID:
+			if t.ID, err = d.Int64(); err != nil {
+				return err
+			}
+		case fName:
+			if t.Name, err = d.String(); err != nil {
+				return err
+			}
+		case fFullName:
+			if t.FullName, err = d.String(); err != nil {
+				return err
+			}
+		case fOwner:
+			if t.Owner, err = d.String(); err != nil {
+				return err
+			}
+		case fSchemaName:
+			if t.SchemaName, err = d.String(); err != nil {
+				return err
+			}
+		case fCatalogName:
+			if t.CatalogName, err = d.String(); err != nil {
+				return err
+			}
+		case fGrant:
+			body, err := d.Bytes()
+			if err != nil {
+				return err
+			}
+			var g Grant
+			if err := decodeTriple(body, &g.Principal, &g.Privilege, &g.Source); err != nil {
+				return err
+			}
+			t.Grants = append(t.Grants, g)
+		case fConstraint:
+			body, err := d.Bytes()
+			if err != nil {
+				return err
+			}
+			var c Constraint
+			if err := decodeTriple(body, &c.Name, &c.Kind, &c.Expr); err != nil {
+				return err
+			}
+			t.Constraints = append(t.Constraints, c)
+		case fLineage:
+			body, err := d.Bytes()
+			if err != nil {
+				return err
+			}
+			l, err := decodeLineage(body)
+			if err != nil {
+				return err
+			}
+			t.Lineage = append(t.Lineage, l)
+		case fPropKey:
+			s, err := d.String()
+			if err != nil {
+				return err
+			}
+			propKeys = append(propKeys, s)
+		case fPropVal:
+			s, err := d.String()
+			if err != nil {
+				return err
+			}
+			propVals = append(propVals, s)
+		case fStats:
+			b, err := d.Bytes()
+			if err != nil {
+				return err
+			}
+			t.Stats = append([]byte(nil), b...)
+		default:
+			if err := d.Skip(typ); err != nil {
+				return err
+			}
+		}
+	}
+	if len(propKeys) != len(propVals) {
+		return fmt.Errorf("catalog: mismatched property keys/values")
+	}
+	if len(propKeys) > 0 {
+		t.Properties = make(map[string]string, len(propKeys))
+		for i, k := range propKeys {
+			t.Properties[k] = propVals[i]
+		}
+	}
+	return nil
+}
+
+func decodeTriple(buf []byte, a, b, c *string) error {
+	d := wire.NewDecoder(buf)
+	for !d.Done() {
+		f, typ, err := d.Next()
+		if err != nil {
+			return err
+		}
+		switch f {
+		case 1:
+			if *a, err = d.String(); err != nil {
+				return err
+			}
+		case 2:
+			if *b, err = d.String(); err != nil {
+				return err
+			}
+		case 3:
+			if *c, err = d.String(); err != nil {
+				return err
+			}
+		default:
+			if err := d.Skip(typ); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func decodeLineage(buf []byte) (LineageEdge, error) {
+	var l LineageEdge
+	d := wire.NewDecoder(buf)
+	for !d.Done() {
+		f, typ, err := d.Next()
+		if err != nil {
+			return l, err
+		}
+		switch f {
+		case 1:
+			if l.UpstreamID, err = d.Int64(); err != nil {
+				return l, err
+			}
+		case 2:
+			if l.Kind, err = d.String(); err != nil {
+				return l, err
+			}
+		default:
+			if err := d.Skip(typ); err != nil {
+				return l, err
+			}
+		}
+	}
+	return l, nil
+}

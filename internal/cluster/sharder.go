@@ -1,0 +1,143 @@
+package cluster
+
+import (
+	"sync"
+)
+
+// Assignment is one ownership grant: node owns key (via its hash slice)
+// under the given generation. A consumer holding an Assignment may act as
+// the exclusive owner only while the generation matches the sharder's
+// current generation for that key — the strong-ownership primitive the
+// paper's §6 suggests building consistent caches on.
+type Assignment struct {
+	Node       string
+	Generation uint64
+}
+
+// WatchFunc observes resharding events: key ranges moving from one node
+// to another. old may be empty when a node first takes ownership.
+type WatchFunc func(moved []string, from, to string)
+
+// Sharder is a Slicer-like auto-sharder: it maps keys to nodes through a
+// consistent-hash ring and stamps every assignment with a generation that
+// invalidates outstanding ownership when the mapping changes.
+type Sharder struct {
+	mu       sync.RWMutex
+	ring     *Ring
+	gen      uint64
+	watchers []WatchFunc
+	// tracked keys let the sharder report which keys moved on membership
+	// changes; production Slicer reasons in ranges, we reason in the keys
+	// the caches have touched.
+	tracked map[string]string // key -> current owner
+}
+
+// NewSharder returns a sharder over a fresh ring with the given virtual
+// node count.
+func NewSharder(virtualNodes int) *Sharder {
+	return &Sharder{
+		ring:    NewRing(virtualNodes),
+		gen:     1,
+		tracked: make(map[string]string),
+	}
+}
+
+// Watch registers fn to observe resharding events.
+func (s *Sharder) Watch(fn WatchFunc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.watchers = append(s.watchers, fn)
+}
+
+// Join adds a node and bumps the generation; keys that move to the new
+// node are reported to watchers.
+func (s *Sharder) Join(node string) {
+	s.mu.Lock()
+	s.ring.Add(node)
+	s.gen++
+	moved := s.remapLocked()
+	watchers := append([]WatchFunc(nil), s.watchers...)
+	s.mu.Unlock()
+	for to, keys := range moved {
+		for _, fn := range watchers {
+			fn(keys.keys, keys.from, to)
+		}
+	}
+}
+
+// Leave removes a node and bumps the generation; its keys are remapped
+// and reported.
+func (s *Sharder) Leave(node string) {
+	s.mu.Lock()
+	s.ring.Remove(node)
+	s.gen++
+	moved := s.remapLocked()
+	watchers := append([]WatchFunc(nil), s.watchers...)
+	s.mu.Unlock()
+	for to, keys := range moved {
+		for _, fn := range watchers {
+			fn(keys.keys, keys.from, to)
+		}
+	}
+}
+
+type movedKeys struct {
+	from string
+	keys []string
+}
+
+// remapLocked recomputes tracked-key ownership, returning keys grouped by
+// their new owner. Callers hold s.mu.
+func (s *Sharder) remapLocked() map[string]*movedKeys {
+	moved := make(map[string]*movedKeys)
+	for key, owner := range s.tracked {
+		now := s.ring.Owner(key)
+		if now == owner {
+			continue
+		}
+		mk, ok := moved[now]
+		if !ok {
+			mk = &movedKeys{from: owner}
+			moved[now] = mk
+		}
+		mk.keys = append(mk.keys, key)
+		s.tracked[key] = now
+	}
+	return moved
+}
+
+// Assign returns the current assignment for key and records the key for
+// future resharding notifications.
+func (s *Sharder) Assign(key string) Assignment {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	owner := s.ring.Owner(key)
+	s.tracked[key] = owner
+	return Assignment{Node: owner, Generation: s.gen}
+}
+
+// Owner returns the current owner of key without tracking it.
+func (s *Sharder) Owner(key string) string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ring.Owner(key)
+}
+
+// Generation returns the current assignment generation.
+func (s *Sharder) Generation() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.gen
+}
+
+// Valid reports whether an assignment still confers ownership. The
+// generation bumps on every membership change, so any reshard since the
+// assignment was granted invalidates it.
+func (s *Sharder) Valid(a Assignment) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return a.Generation == s.gen
+}
+
+// Nodes returns the current members.
+func (s *Sharder) Nodes() []string { return s.ring.Members() }

@@ -1,0 +1,142 @@
+package consistency
+
+import (
+	"errors"
+	"sync"
+
+	"cachecost/internal/cluster"
+	"cachecost/internal/linkedcache"
+)
+
+// ErrNotOwner is returned when a node operates on a key it does not own.
+// The serving tier should route the request to the current owner.
+var ErrNotOwner = errors.New("consistency: not the owner of this key")
+
+// OwnedStats counts ownership-cache events.
+type OwnedStats struct {
+	Reads          int64
+	AuthorityHits  int64 // served from cache with no storage contact
+	ValidatedReads int64 // had to (re)validate against storage
+	Loads          int64
+	Writes         int64
+	Revoked        int64 // entries dropped by resharding
+}
+
+// ownedEntry is a cached value with the ownership assignment under which
+// it became authoritative.
+type ownedEntry[V any] struct {
+	value      V
+	version    uint64
+	assignment cluster.Assignment
+}
+
+// OwnedCache is the §6 design: a linked cache that, holding a valid
+// ownership assignment from the auto-sharder and receiving all writes for
+// its keys, serves linearizable reads without any per-read storage
+// round trip.
+//
+// Correctness argument: while the assignment generation is current, every
+// write to an owned key goes through this instance (Write), which updates
+// storage and cache atomically under the per-key owner serialization; a
+// resharding bumps the generation, which both invalidates outstanding
+// assignments (checked on every read) and drops moved entries. The
+// remaining hazard — a write delayed from before the reshard — is closed
+// by write fencing (FencedStore).
+type OwnedCache[V any] struct {
+	self    string
+	sharder *cluster.Sharder
+	cache   *linkedcache.Cache[ownedEntry[V]]
+
+	mu    sync.Mutex
+	stats OwnedStats
+}
+
+// NewOwnedCache registers self with the sharder and wires reshard
+// eviction.
+func NewOwnedCache[V any](self string, sharder *cluster.Sharder, cfg linkedcache.Config, sizeOf func(key string, v V) int64) *OwnedCache[V] {
+	c := &OwnedCache[V]{
+		self:    self,
+		sharder: sharder,
+		cache: linkedcache.New(cfg, func(k string, e ownedEntry[V]) int64 {
+			return sizeOf(k, e.value) + 32
+		}),
+	}
+	sharder.Watch(func(moved []string, from, to string) {
+		if from != self {
+			return
+		}
+		for _, k := range moved {
+			if c.cache.Delete(k) {
+				c.count(func(s *OwnedStats) { s.Revoked++ })
+			}
+		}
+	})
+	sharder.Join(self)
+	return c
+}
+
+// Owns reports whether this instance currently owns key.
+func (c *OwnedCache[V]) Owns(key string) bool { return c.sharder.Owner(key) == c.self }
+
+// Read serves key linearizably. If the cached entry is authoritative
+// under a still-valid assignment, it is returned with no storage contact;
+// otherwise the value is loaded and becomes authoritative under a fresh
+// assignment.
+func (c *OwnedCache[V]) Read(key string, load LoadFunc[V]) (V, bool, error) {
+	var zero V
+	if !c.Owns(key) {
+		return zero, false, ErrNotOwner
+	}
+	c.count(func(s *OwnedStats) { s.Reads++ })
+	if e, ok := c.cache.Get(key); ok && c.sharder.Valid(e.assignment) {
+		c.count(func(s *OwnedStats) { s.AuthorityHits++ })
+		return e.value, true, nil
+	}
+	// (Re)establish authority: take a fresh assignment, then load. Order
+	// matters — if a reshard lands between the load and the insert, the
+	// stale assignment makes the entry non-authoritative and the next
+	// read revalidates.
+	assignment := c.sharder.Assign(key)
+	c.count(func(s *OwnedStats) { s.ValidatedReads++ })
+	v, ver, err := load(key)
+	if err != nil {
+		return zero, false, err
+	}
+	c.count(func(s *OwnedStats) { s.Loads++ })
+	c.cache.Put(key, ownedEntry[V]{value: v, version: ver, assignment: assignment})
+	return v, false, nil
+}
+
+// Write performs an owner-routed write: store persists the value (and
+// returns its new version); the cache entry is refreshed under the
+// current assignment. All writes for owned keys MUST come through here —
+// that is what lets reads skip validation.
+func (c *OwnedCache[V]) Write(key string, v V, store func() (uint64, error)) error {
+	if !c.Owns(key) {
+		return ErrNotOwner
+	}
+	assignment := c.sharder.Assign(key)
+	ver, err := store()
+	if err != nil {
+		return err
+	}
+	c.count(func(s *OwnedStats) { s.Writes++ })
+	c.cache.Put(key, ownedEntry[V]{value: v, version: ver, assignment: assignment})
+	return nil
+}
+
+// Invalidate drops key locally.
+func (c *OwnedCache[V]) Invalidate(key string) { c.cache.Delete(key) }
+
+// Stats returns a snapshot of counters.
+func (c *OwnedCache[V]) Stats() OwnedStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+func (c *OwnedCache[V]) count(fn func(*OwnedStats)) {
+	c.mu.Lock()
+	fn(&c.stats)
+	c.mu.Unlock()
+}

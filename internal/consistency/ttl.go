@@ -1,0 +1,101 @@
+package consistency
+
+import (
+	"sync"
+	"time"
+
+	"cachecost/internal/linkedcache"
+)
+
+// TTLCache is the industry-standard freshness compromise the paper's
+// related work surveys (§7): entries are served without any storage
+// contact until they age out. Reads are as cheap as an eventually
+// consistent cache's — but unlike VersionedCache and OwnedCache, a read
+// may return data up to TTL old. It completes the strategy spectrum the
+// repository lets you price:
+//
+//	Linked            eventual consistency   cheapest
+//	TTLCache          bounded staleness      cheap, staleness ≤ TTL
+//	OwnedCache        linearizable           cheap while ownership holds
+//	VersionedCache    linearizable           storage round trip per read
+type TTLCache[V any] struct {
+	cache *linkedcache.Cache[ttlEntry[V]]
+	ttl   time.Duration
+	now   func() time.Time
+
+	mu    sync.Mutex
+	stats TTLStats
+}
+
+type ttlEntry[V any] struct {
+	value   V
+	fetched time.Time
+}
+
+// TTLStats counts TTL-cache events.
+type TTLStats struct {
+	Reads   int64
+	Hits    int64 // served within TTL, no storage contact
+	Expired int64 // entry present but aged out
+	Misses  int64
+	Loads   int64
+}
+
+// NewTTLCache builds a TTL cache with the given freshness bound.
+func NewTTLCache[V any](cfg linkedcache.Config, ttl time.Duration, sizeOf func(key string, v V) int64) *TTLCache[V] {
+	return &TTLCache[V]{
+		cache: linkedcache.New(cfg, func(k string, e ttlEntry[V]) int64 {
+			return sizeOf(k, e.value) + 24
+		}),
+		ttl: ttl,
+		now: time.Now,
+	}
+}
+
+// SetClock overrides the time source (tests).
+func (c *TTLCache[V]) SetClock(now func() time.Time) { c.now = now }
+
+// Read serves key with staleness bounded by the TTL: a fresh-enough
+// entry returns immediately; otherwise the value is reloaded.
+func (c *TTLCache[V]) Read(key string, load LoadFunc[V]) (V, bool, error) {
+	var zero V
+	c.count(func(s *TTLStats) { s.Reads++ })
+	if e, ok := c.cache.Get(key); ok {
+		if c.now().Sub(e.fetched) < c.ttl {
+			c.count(func(s *TTLStats) { s.Hits++ })
+			return e.value, true, nil
+		}
+		c.count(func(s *TTLStats) { s.Expired++ })
+		c.cache.Delete(key)
+	} else {
+		c.count(func(s *TTLStats) { s.Misses++ })
+	}
+	v, _, err := load(key)
+	if err != nil {
+		return zero, false, err
+	}
+	c.count(func(s *TTLStats) { s.Loads++ })
+	c.cache.Put(key, ttlEntry[V]{value: v, fetched: c.now()})
+	return v, false, nil
+}
+
+// Write records a locally performed write, resetting the entry's age.
+func (c *TTLCache[V]) Write(key string, v V) {
+	c.cache.Put(key, ttlEntry[V]{value: v, fetched: c.now()})
+}
+
+// Invalidate drops key.
+func (c *TTLCache[V]) Invalidate(key string) { c.cache.Delete(key) }
+
+// Stats returns a snapshot of counters.
+func (c *TTLCache[V]) Stats() TTLStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+func (c *TTLCache[V]) count(fn func(*TTLStats)) {
+	c.mu.Lock()
+	fn(&c.stats)
+	c.mu.Unlock()
+}

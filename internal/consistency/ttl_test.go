@@ -1,0 +1,135 @@
+package consistency
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"cachecost/internal/linkedcache"
+)
+
+func newTTL(ttl time.Duration) (*TTLCache[string], *time.Time) {
+	c := NewTTLCache[string](linkedcache.Config{CapacityBytes: 1 << 20}, ttl, strSize)
+	now := time.Unix(1000, 0)
+	c.SetClock(func() time.Time { return now })
+	return c, &now
+}
+
+func TestTTLServesWithinBound(t *testing.T) {
+	st := newFakeStore()
+	st.put("k", "v1")
+	c, now := newTTL(time.Minute)
+
+	if _, hit, err := c.Read("k", st.load); err != nil || hit {
+		t.Fatalf("first read: hit=%v err=%v", hit, err)
+	}
+	loads := st.loads
+
+	// Within the TTL: served from cache even though storage moved on.
+	st.put("k", "v2")
+	*now = now.Add(30 * time.Second)
+	v, hit, err := c.Read("k", st.load)
+	if err != nil || !hit || v != "v1" {
+		t.Fatalf("bounded-stale read = %q hit=%v err=%v", v, hit, err)
+	}
+	if st.loads != loads {
+		t.Fatal("within-TTL read must not contact storage")
+	}
+
+	// Past the TTL: refreshed.
+	*now = now.Add(time.Minute)
+	v, hit, err = c.Read("k", st.load)
+	if err != nil || hit || v != "v2" {
+		t.Fatalf("post-TTL read = %q hit=%v err=%v", v, hit, err)
+	}
+	stats := c.Stats()
+	if stats.Hits != 1 || stats.Expired != 1 || stats.Misses != 1 || stats.Loads != 2 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestTTLStalenessNeverExceedsBound(t *testing.T) {
+	// Property: for any interleaving of writes and clock advances, a TTL
+	// read returns a value that was still current at some instant within
+	// the last TTL — i.e. a served value may be stale, but only if it was
+	// superseded less than TTL ago.
+	const ttl = 10 * time.Second
+	st := newFakeStore()
+	c, now := newTTL(ttl)
+	supersededAt := map[string]time.Time{}
+	lastWritten := map[string]string{}
+
+	write := func(k, v string) {
+		if prev, ok := lastWritten[k]; ok {
+			supersededAt[prev] = *now
+		}
+		st.put(k, v)
+		lastWritten[k] = v
+	}
+	write("k", "v0")
+	for i := 0; i < 200; i++ {
+		if i%3 == 0 {
+			write("k", fmt.Sprintf("v%d", i))
+		}
+		*now = now.Add(time.Duration(1+i%5) * time.Second)
+		got, _, err := c.Read("k", st.load)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != lastWritten["k"] {
+			staleFor := now.Sub(supersededAt[got])
+			if staleFor > ttl {
+				t.Fatalf("iteration %d: served %q superseded %v ago (TTL %v)", i, got, staleFor, ttl)
+			}
+		}
+	}
+}
+
+func TestTTLWriteResetsAge(t *testing.T) {
+	st := newFakeStore()
+	st.put("k", "v1")
+	c, now := newTTL(time.Minute)
+	c.Read("k", st.load)
+	*now = now.Add(50 * time.Second)
+	c.Write("k", "local")
+	*now = now.Add(30 * time.Second) // 80s after load, 30s after write
+	v, hit, err := c.Read("k", st.load)
+	if err != nil || !hit || v != "local" {
+		t.Fatalf("read after local write = %q hit=%v err=%v", v, hit, err)
+	}
+}
+
+func TestTTLInvalidate(t *testing.T) {
+	st := newFakeStore()
+	st.put("k", "v1")
+	c, _ := newTTL(time.Minute)
+	c.Read("k", st.load)
+	c.Invalidate("k")
+	if _, hit, _ := c.Read("k", st.load); hit {
+		t.Fatal("invalidated entry should reload")
+	}
+}
+
+func TestTTLCheaperThanVersioned(t *testing.T) {
+	// The trade the strategy spectrum prices: TTL reads skip the per-read
+	// storage contact that VersionedCache pays.
+	st := newFakeStore()
+	st.put("k", "v")
+	ttl, _ := newTTL(time.Hour)
+	vc := newVC()
+	for i := 0; i < 100; i++ {
+		ttl.Read("k", st.load)
+	}
+	ttlContacts := st.loads + st.checks
+	st.loads, st.checks = 0, 0
+	for i := 0; i < 100; i++ {
+		vc.Read("k", st.check, st.load)
+	}
+	vcContacts := st.loads + st.checks
+	if ttlContacts != 1 {
+		t.Fatalf("TTL contacts = %d, want 1", ttlContacts)
+	}
+	if vcContacts < 100 {
+		t.Fatalf("versioned contacts = %d, want >= 100", vcContacts)
+	}
+}

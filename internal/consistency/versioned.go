@@ -1,0 +1,119 @@
+// Package consistency implements the consistent-caching strategies the
+// paper studies and proposes:
+//
+//   - VersionedCache: the Linked+Version baseline (§2.4, Figure 1d). Every
+//     read revalidates the cached entry against the storage version before
+//     returning it — linearizable, but each read still pays a storage
+//     round trip, which §5.5 shows erases most of the cache's cost
+//     savings.
+//   - OwnedCache: the §6 future-work design. An auto-sharder grants the
+//     cache strong ownership over key ranges; while ownership is valid
+//     and all writes route through the owner, reads skip the per-read
+//     version check entirely and remain linearizable.
+//   - The delayed-writes problem (Figure 8): a scripted anomaly showing
+//     how a write delayed across a resharding leaves an ownership-based
+//     cache stale, and a write-fencing mechanism that prevents it.
+package consistency
+
+import (
+	"sync"
+
+	"cachecost/internal/linkedcache"
+)
+
+// LoadFunc fetches the current value and its storage version for key.
+type LoadFunc[V any] func(key string) (V, uint64, error)
+
+// CheckFunc fetches only the storage version for key (the §5.5 version
+// check). found=false means the key does not exist in storage.
+type CheckFunc func(key string) (version uint64, found bool, err error)
+
+// versioned pairs a cached value with the storage version it reflects.
+type versioned[V any] struct {
+	value   V
+	version uint64
+}
+
+// VersionedStats counts consistency events.
+type VersionedStats struct {
+	Reads  int64
+	Hits   int64 // cache had the entry and the version matched
+	Stale  int64 // cache had the entry but the version moved on
+	Misses int64 // cache had no entry
+	Checks int64 // version checks issued
+	Loads  int64 // full loads from storage
+}
+
+// VersionedCache is a linked cache with per-read version validation.
+// It is safe for concurrent use.
+type VersionedCache[V any] struct {
+	cache *linkedcache.Cache[versioned[V]]
+
+	mu    sync.Mutex
+	stats VersionedStats
+}
+
+// NewVersionedCache builds the cache; sizeOf budgets the live value.
+func NewVersionedCache[V any](cfg linkedcache.Config, sizeOf func(key string, v V) int64) *VersionedCache[V] {
+	return &VersionedCache[V]{
+		cache: linkedcache.New(cfg, func(k string, e versioned[V]) int64 {
+			return sizeOf(k, e.value) + 16
+		}),
+	}
+}
+
+// Read returns a linearizable view of key: the cached value revalidated
+// by a version check, or a fresh load. hit reports whether the cached
+// entry was served (after validation).
+func (c *VersionedCache[V]) Read(key string, check CheckFunc, load LoadFunc[V]) (V, bool, error) {
+	var zero V
+	c.count(func(s *VersionedStats) { s.Reads++ })
+
+	entry, cached := c.cache.Get(key)
+	// The version check goes to storage on every read — this is the
+	// baseline's defining cost.
+	c.count(func(s *VersionedStats) { s.Checks++ })
+	ver, found, err := check(key)
+	if err != nil {
+		return zero, false, err
+	}
+	if cached && found && entry.version == ver {
+		c.count(func(s *VersionedStats) { s.Hits++ })
+		return entry.value, true, nil
+	}
+	if cached {
+		c.count(func(s *VersionedStats) { s.Stale++ })
+		c.cache.Delete(key)
+	} else {
+		c.count(func(s *VersionedStats) { s.Misses++ })
+	}
+	v, loadedVer, err := load(key)
+	if err != nil {
+		return zero, false, err
+	}
+	c.count(func(s *VersionedStats) { s.Loads++ })
+	c.cache.Put(key, versioned[V]{value: v, version: loadedVer})
+	return v, false, nil
+}
+
+// Write records a locally performed write: the caller has written storage
+// (obtaining version) and hands the new value to keep the cache warm.
+func (c *VersionedCache[V]) Write(key string, v V, version uint64) {
+	c.cache.Put(key, versioned[V]{value: v, version: version})
+}
+
+// Invalidate drops key.
+func (c *VersionedCache[V]) Invalidate(key string) { c.cache.Delete(key) }
+
+// Stats returns a snapshot of counters.
+func (c *VersionedCache[V]) Stats() VersionedStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+func (c *VersionedCache[V]) count(fn func(*VersionedStats)) {
+	c.mu.Lock()
+	fn(&c.stats)
+	c.mu.Unlock()
+}

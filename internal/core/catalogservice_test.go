@@ -1,0 +1,113 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"cachecost/internal/meter"
+	"cachecost/internal/workload"
+)
+
+func newCatalogSvc(t *testing.T, arch Arch, mode CatalogMode) *CatalogService {
+	t.Helper()
+	m := meter.NewMeter()
+	svc, err := NewCatalogService(CatalogServiceConfig{
+		ServiceConfig: ServiceConfig{
+			Arch:              arch,
+			Meter:             m,
+			StorageCacheBytes: 1 << 20,
+			AppCacheBytes:     4 << 20,
+			RemoteCacheBytes:  4 << 20,
+		},
+		Mode:       mode,
+		Tables:     40,
+		StatsBytes: 4 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
+func TestCatalogServiceAllArchsAgree(t *testing.T) {
+	// Every architecture must produce the identical governance summary
+	// for the same table — caching must never change answers.
+	for _, mode := range []CatalogMode{ModeObject, ModeKV} {
+		var want []byte
+		for _, arch := range []Arch{Base, Remote, Linked, LinkedVersion, LinkedOwned} {
+			svc := newCatalogSvc(t, arch, mode)
+			key := workload.KeyName(7)
+			got, err := svc.Read(key)
+			if err != nil {
+				t.Fatalf("%v/%v: %v", mode, arch, err)
+			}
+			// Second read exercises the hit path; must not change the
+			// answer.
+			got2, err := svc.Read(key)
+			if err != nil || !bytes.Equal(got, got2) {
+				t.Fatalf("%v/%v: hit path diverged (%v)", mode, arch, err)
+			}
+			if arch == Base {
+				want = got
+			} else if !bytes.Equal(got, want) {
+				t.Fatalf("%v/%v: summary differs from Base", mode, arch)
+			}
+		}
+	}
+}
+
+func TestCatalogServiceWriteInvalidates(t *testing.T) {
+	for _, arch := range []Arch{Base, Remote, Linked, LinkedVersion, LinkedOwned} {
+		t.Run(arch.String(), func(t *testing.T) {
+			svc := newCatalogSvc(t, arch, ModeObject)
+			key := workload.KeyName(3)
+			before, err := svc.Read(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Refresh the stats payload; the digest in the summary must
+			// change on the next read (no stale cached object served).
+			if err := svc.Write(key, ValueFor("new-stats", 2048)); err != nil {
+				t.Fatal(err)
+			}
+			after, err := svc.Read(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bytes.Equal(before, after) {
+				t.Fatalf("%v: summary unchanged after stats write", arch)
+			}
+			// And stays stable once re-cached.
+			again, err := svc.Read(key)
+			if err != nil || !bytes.Equal(after, again) {
+				t.Fatalf("%v: unstable after re-cache (%v)", arch, err)
+			}
+		})
+	}
+}
+
+func TestCatalogServiceModeString(t *testing.T) {
+	if ModeObject.String() != "object" || ModeKV.String() != "kv" {
+		t.Fatal("CatalogMode.String broken")
+	}
+}
+
+func TestCatalogServiceBadKey(t *testing.T) {
+	svc := newCatalogSvc(t, Base, ModeObject)
+	if _, err := svc.Read("nodigits"); err == nil {
+		t.Fatal("malformed key should error")
+	}
+	if _, err := svc.Read(workload.KeyName(99999)); err == nil {
+		t.Fatal("out-of-range table should error")
+	}
+}
+
+func TestCatalogServiceKVModeNotSeededForObject(t *testing.T) {
+	// A KV-mode deployment seeds only tables_denorm; the normalized
+	// schema is absent, so Object-path internals would fail. The service
+	// must stay on its own mode's path.
+	svc := newCatalogSvc(t, Base, ModeKV)
+	if _, err := svc.Read(workload.KeyName(1)); err != nil {
+		t.Fatalf("KV-mode read should work: %v", err)
+	}
+}

@@ -1,0 +1,670 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"cachecost/internal/consistency"
+	"cachecost/internal/meter"
+	"cachecost/internal/workload"
+)
+
+// FigOptions scales the figure reproductions. The defaults run every
+// figure in seconds on a laptop; raise Ops/Keys/Tables (cmd/costbench
+// flags) for tighter estimates at the paper's population sizes.
+type FigOptions struct {
+	// Ops and Warmup are the metered and unmetered operation counts per
+	// experiment cell. Defaults 3000 / 1000.
+	Ops, Warmup int
+	// Keys is the synthetic key population (paper: 100K). Default 2000.
+	Keys int
+	// Tables is the catalog population (paper trace: tens of thousands).
+	// Default 300.
+	Tables int
+	// Seed drives workload determinism. Default 1.
+	Seed int64
+	// Prices is the cost book. Default GCP.
+	Prices meter.PriceBook
+	// AppReplicas is the number of application servers carrying the
+	// linked cache (memory billed per server). Default 3.
+	AppReplicas int
+}
+
+func (o *FigOptions) applyDefaults() {
+	if o.Ops <= 0 {
+		o.Ops = 3000
+	}
+	if o.Warmup <= 0 {
+		o.Warmup = 1000
+	}
+	if o.Keys <= 0 {
+		o.Keys = 2000
+	}
+	if o.Tables <= 0 {
+		o.Tables = 300
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Prices == (meter.PriceBook{}) {
+		o.Prices = meter.GCP
+	}
+	if o.AppReplicas <= 0 {
+		o.AppReplicas = 3
+	}
+}
+
+// kvCell runs one (arch, workload) cell on a fresh deployment. Caches are
+// sized to 60% of the working set: with experiment-scale key populations
+// (hundreds to thousands of keys) this reproduces the cache hit ratios
+// (~0.9) that the paper's configuration — GBs of cache over 100K Zipfian
+// keys — reaches, because Zipfian mass concentrates more as the
+// population grows.
+func (o FigOptions) kvCell(arch Arch, cfg workload.SyntheticConfig) (*RunResult, error) {
+	m := meter.NewMeter()
+	gen := workload.NewSynthetic(cfg)
+	ws := int64(cfg.Keys) * int64(cfg.ValueSize)
+	svcCfg := ServiceConfig{
+		Arch:              arch,
+		Meter:             m,
+		StorageCacheBytes: ws * 15 / 100,
+		AppCacheBytes:     ws * 60 / 100,
+		RemoteCacheBytes:  ws * 60 / 100,
+		AppReplicas:       o.AppReplicas,
+	}
+	svc, err := BuildKVService(svcCfg, gen)
+	if err != nil {
+		return nil, err
+	}
+	return RunExperiment(svc, m, gen, o.Warmup, o.Ops, o.Prices)
+}
+
+// Fig2a reproduces Figure 2a: the analytic model's cost saving of Linked
+// (s_A = 8 GB, s_D = 1 GB) over Base (1 GB in-storage cache) as the
+// Zipfian skew α varies.
+func Fig2a(o FigOptions) (*Table, error) {
+	o.applyDefaults()
+	t := &Table{
+		ID:     "fig2a",
+		Title:  "Model: cost saving vs Zipfian alpha (Linked 8GB+1GB vs Base 1GB)",
+		Header: []string{"alpha", "saving_Nr1", "saving_Nr3", "MR(sA)", "T_base_$", "T_linked_$"},
+	}
+	const sA, sD = 8 << 30, 1 << 30
+	for _, alpha := range []float64{0.6, 0.7, 0.8, 0.9, 1.0, 1.1, 1.2, 1.3, 1.4} {
+		m := DefaultModel(alpha)
+		s1 := m.CostSaving(sA, sD, sD)
+		m3 := m
+		m3.Replicas = 3
+		s3 := m3.CostSaving(sA, sD, sD)
+		t.AddRow(alpha, s1, s3, m.MR(sA), m.TotalCost(0, sD), m.TotalCost(sA, sD))
+	}
+	t.Notes = append(t.Notes, "adding linked cache saves cost at every skew; replication (N_r) taxes but does not erase the saving")
+	return t, nil
+}
+
+// Fig2b reproduces Figure 2b: saving as the replica count N_r grows,
+// at list memory price and at 40x memory price (with the allocation
+// re-optimized, per the §4 takeaway).
+func Fig2b(o FigOptions) (*Table, error) {
+	o.applyDefaults()
+	t := &Table{
+		ID:     "fig2b",
+		Title:  "Model: cost saving vs replicas N_r (alpha=1.2)",
+		Header: []string{"N_r", "saving_8GB", "saving_40x_optimal_sA", "optimal_sA_GB_40x"},
+	}
+	const sD = 1 << 30
+	for nr := 1; nr <= 10; nr++ {
+		m := DefaultModel(1.2)
+		m.Replicas = float64(nr)
+		s := m.CostSaving(8<<30, sD, sD)
+
+		mx := DefaultModel(1.2)
+		mx.Replicas = float64(nr)
+		mx.Prices = o.Prices.WithMemoryMultiplier(40)
+		opt := mx.OptimalSA(sD, 16<<30)
+		sx := mx.CostSaving(opt, sD, sD)
+		t.AddRow(nr, s, sx, opt/(1<<30))
+	}
+	t.Notes = append(t.Notes, "even at 40x memory prices the optimally sized linked cache still saves cost")
+	return t, nil
+}
+
+// Fig3 reproduces Figure 3: the Unity-Catalog trace distributions —
+// value sizes (3a) and access frequencies (3b).
+func Fig3(o FigOptions) (*Table, error) {
+	o.applyDefaults()
+	gen := workload.NewUnity(workload.UnityConfig{Tables: o.Tables * 10, Seed: o.Seed})
+	n := o.Ops * 10
+	st := workload.Analyze(gen, n)
+
+	t := &Table{
+		ID:     "fig3",
+		Title:  "Unity Catalog trace distributions",
+		Header: []string{"metric", "value"},
+	}
+	t.AddRow("operations", st.Ops)
+	t.AddRow("read ratio", st.ReadRatio())
+	t.AddRow("unique keys", st.UniqueKeys)
+	t.AddRow("value size p50 (KB)", float64(st.SizeP50)/1024)
+	t.AddRow("value size p90 (KB)", float64(st.SizeP90)/1024)
+	t.AddRow("value size p99 (KB)", float64(st.SizeP99)/1024)
+	t.AddRow("value size max (KB)", float64(st.SizeMax)/1024)
+	for _, k := range []int{1, 10, 100, 1000} {
+		t.AddRow(fmt.Sprintf("access share of top %d keys", k), st.TopKShare(k))
+	}
+	t.Notes = append(t.Notes, "paper reports ~23KB median with large tail values and strong access skew (~93% reads)")
+	return t, nil
+}
+
+// Fig4a reproduces Figure 4a: total cost per million requests across
+// architectures as the read ratio varies (1 KB values).
+func Fig4a(o FigOptions) (*Table, error) {
+	o.applyDefaults()
+	t := &Table{
+		ID:     "fig4a",
+		Title:  "Total cost vs read ratio (synthetic, 1KB values)",
+		Header: []string{"read_ratio", "Base_$/Mreq", "Remote_$/Mreq", "Linked_$/Mreq", "saving_Linked"},
+	}
+	for _, r := range []float64{0.50, 0.70, 0.90, 0.95, 0.99} {
+		cfg := workload.SyntheticConfig{Keys: o.Keys, Alpha: 1.2, ReadRatio: r, ValueSize: 1 << 10, Seed: o.Seed}
+		var cost [3]float64
+		for i, arch := range Archs {
+			res, err := o.kvCell(arch, cfg)
+			if err != nil {
+				return nil, err
+			}
+			cost[i] = res.CostPerMReq
+		}
+		t.AddRow(r, cost[0], cost[1], cost[2], cost[0]/cost[2])
+	}
+	t.Notes = append(t.Notes, "caches save more as the workload gets more read-heavy")
+	return t, nil
+}
+
+// fig4bKeysFor bounds the preloaded population so the biggest value sizes
+// stay in memory at experiment scale, while keeping enough keys for a
+// meaningful hit-ratio curve.
+func fig4bKeysFor(valueSize, baseKeys int) int {
+	const budget = 96 << 20 // bytes of preloaded values per deployment
+	k := budget / valueSize
+	if k > baseKeys {
+		k = baseKeys
+	}
+	if k < 48 {
+		k = 48
+	}
+	return k
+}
+
+// Fig4b reproduces Figure 4b: total cost across architectures as the
+// value size grows from 1KB to 1MB (r = 90%). The paper reports Linked
+// saving 3.9x at 1KB rising to 7.3x at 1MB.
+func Fig4b(o FigOptions) (*Table, error) {
+	o.applyDefaults()
+	t := &Table{
+		ID:     "fig4b",
+		Title:  "Total cost vs value size (synthetic, r=90%)",
+		Header: []string{"value_size", "keys", "Base_$/Mreq", "Remote_$/Mreq", "Linked_$/Mreq", "saving_Linked"},
+	}
+	for _, vs := range []int{1 << 10, 10 << 10, 100 << 10, 1 << 20} {
+		keys := fig4bKeysFor(vs, o.Keys)
+		cfg := workload.SyntheticConfig{Keys: keys, Alpha: 1.2, ReadRatio: 0.9, ValueSize: vs, Seed: o.Seed}
+		ops := o.Ops
+		if vs >= 100<<10 {
+			ops = o.Ops / 5 // large-value cells move far more bytes per op
+		}
+		oo := o
+		oo.Ops = ops
+		oo.Warmup = ops / 3
+		var cost [3]float64
+		for i, arch := range Archs {
+			res, err := oo.kvCell(arch, cfg)
+			if err != nil {
+				return nil, err
+			}
+			cost[i] = res.CostPerMReq
+		}
+		t.AddRow(sizeLabel(vs), keys, cost[0], cost[1], cost[2], cost[0]/cost[2])
+	}
+	t.Notes = append(t.Notes, "larger values mean more (de)serialization and disk bytes, widening Linked's advantage")
+	return t, nil
+}
+
+func sizeLabel(n int) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%dMB", n>>20)
+	case n >= 1<<10:
+		return fmt.Sprintf("%dKB", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// Fig5a reproduces Figure 5a: cost across architectures on the Unity
+// Catalog-KV workload (denormalized single-row reads).
+func Fig5a(o FigOptions) (*Table, error) {
+	o.applyDefaults()
+	t := &Table{
+		ID:     "fig5a",
+		Title:  "Cost on Unity Catalog-KV (denormalized)",
+		Header: []string{"arch", "$/Mreq", "hit_ratio", "storage_share", "saving_vs_Base"},
+	}
+	var baseCost float64
+	for _, arch := range Archs {
+		res, err := o.catalogCell(arch, ModeKV)
+		if err != nil {
+			return nil, err
+		}
+		if arch == Base {
+			baseCost = res.CostPerMReq
+		}
+		t.AddRow(arch.String(), res.CostPerMReq, res.HitRatio,
+			res.StorageCost/res.Report.TotalCost, baseCost/res.CostPerMReq)
+	}
+	return t, nil
+}
+
+// catalogCell runs one catalog-service cell.
+func (o FigOptions) catalogCell(arch Arch, mode CatalogMode) (*RunResult, error) {
+	m := meter.NewMeter()
+	gen := workload.NewUnity(workload.UnityConfig{Tables: o.Tables, Seed: o.Seed})
+	// Size caches to 60% of the materialized working set (median 23KB
+	// objects, Figure 3a distribution) — see kvCell for the hit-ratio
+	// rationale.
+	var ws int64
+	for i := 0; i < o.Tables; i++ {
+		ws += int64(workload.UnityValueSize(i))
+	}
+	svc, err := NewCatalogService(CatalogServiceConfig{
+		ServiceConfig: ServiceConfig{
+			Arch:              arch,
+			Meter:             m,
+			StorageCacheBytes: ws * 15 / 100,
+			AppCacheBytes:     ws * 60 / 100,
+			RemoteCacheBytes:  ws * 60 / 100,
+			AppReplicas:       o.AppReplicas,
+		},
+		Mode:   mode,
+		Tables: o.Tables,
+		Seed:   o.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ops := o.Ops / 3 // rich objects move far more bytes per op
+	if ops < 200 {
+		ops = 200
+	}
+	return RunExperiment(svc, m, gen, ops/3, ops, o.Prices)
+}
+
+// Fig5b reproduces Figure 5b: cost across architectures on the Meta-like
+// key-value trace (30% writes, ~10B values).
+func Fig5b(o FigOptions) (*Table, error) {
+	o.applyDefaults()
+	t := &Table{
+		ID:     "fig5b",
+		Title:  "Cost on Meta-like trace",
+		Header: []string{"arch", "$/Mreq", "hit_ratio", "storage_share", "saving_vs_Base"},
+	}
+	var baseCost float64
+	for _, arch := range Archs {
+		m := meter.NewMeter()
+		gen := workload.NewMetaKV(workload.MetaKVConfig{Keys: o.Keys, Seed: o.Seed})
+		var ws int64
+		for i := 0; i < o.Keys; i++ {
+			ws += int64(workload.MetaValueSize(i)) + 64
+		}
+		svcCfg := ServiceConfig{
+			Arch:              arch,
+			Meter:             m,
+			StorageCacheBytes: ws * 15 / 100,
+			AppCacheBytes:     ws * 60 / 100,
+			RemoteCacheBytes:  ws * 60 / 100,
+			AppReplicas:       o.AppReplicas,
+		}
+		svc, err := BuildKVService(svcCfg, gen)
+		if err != nil {
+			return nil, err
+		}
+		res, err := RunExperiment(svc, m, gen, o.Warmup, o.Ops, o.Prices)
+		if err != nil {
+			return nil, err
+		}
+		if arch == Base {
+			baseCost = res.CostPerMReq
+		}
+		t.AddRow(arch.String(), res.CostPerMReq, res.HitRatio,
+			res.StorageCost/res.Report.TotalCost, baseCost/res.CostPerMReq)
+	}
+	t.Notes = append(t.Notes, "30% writes cap the saving: every write still pays storage and replication")
+	return t, nil
+}
+
+// Fig6 reproduces Figure 6: the relative CPU breakdown across app server,
+// remote cache and storage as value size varies, for each architecture —
+// including Linked+Version, whose checks restore storage load (§5.5).
+func Fig6(o FigOptions) (*Table, error) {
+	o.applyDefaults()
+	t := &Table{
+		ID:    "fig6",
+		Title: "CPU breakdown (fraction of busy CPU) by architecture and value size",
+		Header: []string{"arch", "value_size", "app", "cache", "storage",
+			"storage.sql", "storage.exec", "storage.kv", "storage.raft", "mem_frac"},
+	}
+	for _, arch := range []Arch{Base, Remote, Linked, LinkedVersion} {
+		for _, vs := range []int{1 << 10, 32 << 10, 256 << 10} {
+			keys := fig4bKeysFor(vs, o.Keys)
+			cfg := workload.SyntheticConfig{Keys: keys, Alpha: 1.2, ReadRatio: 0.9, ValueSize: vs, Seed: o.Seed}
+			oo := o
+			if vs >= 100<<10 {
+				oo.Ops = o.Ops / 4
+				oo.Warmup = oo.Ops / 3
+			}
+			res, err := oo.kvCell(arch, cfg)
+			if err != nil {
+				return nil, err
+			}
+			rep := res.Report
+			totalCores := rep.ComponentCores("")
+			frac := func(prefix string) float64 {
+				if totalCores == 0 {
+					return 0
+				}
+				return rep.ComponentCores(prefix) / totalCores
+			}
+			storCores := rep.ComponentCores("storage")
+			storFrac := func(sub string) float64 {
+				if storCores == 0 {
+					return 0
+				}
+				return rep.ComponentCores(sub) / storCores
+			}
+			t.AddRow(arch.String(), sizeLabel(vs),
+				frac("app"), frac("remotecache"), frac("storage"),
+				storFrac("storage.sql"), storFrac("storage.exec"),
+				storFrac("storage.kv"), storFrac("storage.raft"),
+				rep.MemFraction())
+		}
+	}
+	t.Notes = append(t.Notes,
+		"as values grow, write service cost concentrates in storage",
+		"storage.sql+exec is the paper's 'query processing' share (40-65% of database CPU)")
+	return t, nil
+}
+
+// Fig7 reproduces Figure 7: Unity Catalog-Object (rich objects composed
+// from 8 SQL queries) across architectures, and the §5.4 comparison of
+// Object-mode vs KV-mode savings.
+func Fig7(o FigOptions) (*Table, error) {
+	o.applyDefaults()
+	t := &Table{
+		ID:     "fig7",
+		Title:  "Cost on Unity Catalog-Object (rich objects, 8 SQL queries per read)",
+		Header: []string{"arch", "$/Mreq", "hit_ratio", "saving_vs_Base"},
+	}
+	costs := make(map[Arch]float64)
+	var baseCost float64
+	for _, arch := range Archs {
+		res, err := o.catalogCell(arch, ModeObject)
+		if err != nil {
+			return nil, err
+		}
+		costs[arch] = res.CostPerMReq
+		if arch == Base {
+			baseCost = res.CostPerMReq
+		}
+		t.AddRow(arch.String(), res.CostPerMReq, res.HitRatio, baseCost/res.CostPerMReq)
+	}
+	// The §5.4 punchline: compare Object-mode saving with KV-mode saving.
+	kvBase, err := o.catalogCell(Base, ModeKV)
+	if err != nil {
+		return nil, err
+	}
+	kvLinked, err := o.catalogCell(Linked, ModeKV)
+	if err != nil {
+		return nil, err
+	}
+	objSaving := baseCost / costs[Linked]
+	kvSaving := kvBase.CostPerMReq / kvLinked.CostPerMReq
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("Linked saving: Object %.2fx vs KV %.2fx (ratio %.2fx; paper reports up to 2x wider, up to 8x vs storage)",
+			objSaving, kvSaving, objSaving/kvSaving))
+	return t, nil
+}
+
+// Fig8 reproduces Figure 8: the delayed-writes anomaly, with and without
+// write fencing.
+func Fig8(o FigOptions) (*Table, error) {
+	t := &Table{
+		ID:     "fig8",
+		Title:  "Delayed writes across a reshard",
+		Header: []string{"fencing", "delayed_write_applied", "cache", "storage", "stale"},
+	}
+	for _, fenced := range []bool{false, true} {
+		r := consistency.RunDelayedWriteScenario(fenced)
+		t.AddRow(fmt.Sprintf("%v", r.Fenced), fmt.Sprintf("%v", r.DelayedWriteApplied),
+			r.CacheValue, r.StorageValue, fmt.Sprintf("%v", r.Stale))
+	}
+	t.Notes = append(t.Notes, "without fencing the new owner's cache diverges from storage permanently")
+	return t, nil
+}
+
+// FigConsistency reproduces the §5.5/§6 comparison: the cost of
+// consistency across Linked, Linked+Version and the ownership design.
+func FigConsistency(o FigOptions) (*Table, error) {
+	o.applyDefaults()
+	t := &Table{
+		ID:     "consistency",
+		Title:  "The cost of consistent caching (synthetic, 4KB values, r=90%)",
+		Header: []string{"arch", "$/Mreq", "hit_ratio", "storage_$/Mreq", "overhead_vs_Linked"},
+	}
+	cfg := workload.SyntheticConfig{Keys: o.Keys, Alpha: 1.2, ReadRatio: 0.9, ValueSize: 4 << 10, Seed: o.Seed}
+	var linkedCost float64
+	for _, arch := range []Arch{Base, Linked, LinkedTTL, LinkedVersion, LinkedOwned} {
+		res, err := o.kvCell(arch, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if arch == Linked {
+			linkedCost = res.CostPerMReq
+		}
+		storagePerM := res.CostPerMReq * (res.StorageCost / res.Report.TotalCost)
+		overhead := 0.0
+		if linkedCost > 0 {
+			overhead = res.CostPerMReq / linkedCost
+		}
+		t.AddRow(arch.String(), res.CostPerMReq, res.HitRatio, storagePerM, overhead)
+	}
+	t.Notes = append(t.Notes,
+		"Linked+Version pays a storage round trip per read: most of the saving is gone (§5.5)",
+		"Linked+TTL keeps Linked's economics but bounds staleness instead of eliminating it",
+		"ownership leases (§6) recover the saving while preserving linearizable reads")
+	return t, nil
+}
+
+// FigAblation probes the sensitivity of the headline conclusion (caches
+// save money; Linked wins) to the simulator's calibration constants: the
+// storage SQL front-end charge and the disk penalty. The conclusion
+// should hold across a wide band, not just at the defaults.
+func FigAblation(o FigOptions) (*Table, error) {
+	o.applyDefaults()
+	t := &Table{
+		ID:     "ablation",
+		Title:  "Calibration ablation: Linked's saving across simulator constants",
+		Header: []string{"frontend_work", "disk_per_byte", "Base_$/Mreq", "Linked_$/Mreq", "saving"},
+	}
+	cfg := workload.SyntheticConfig{Keys: o.Keys, Alpha: 1.2, ReadRatio: 0.9, ValueSize: 2 << 10, Seed: o.Seed}
+	run := func(arch Arch, frontend int, diskPerByte float64) (*RunResult, error) {
+		m := meter.NewMeter()
+		gen := workload.NewSynthetic(cfg)
+		ws := int64(cfg.Keys) * int64(cfg.ValueSize)
+		svc, err := BuildKVService(ServiceConfig{
+			Arch:                arch,
+			Meter:               m,
+			StorageCacheBytes:   ws * 15 / 100,
+			AppCacheBytes:       ws * 60 / 100,
+			RemoteCacheBytes:    ws * 60 / 100,
+			AppReplicas:         o.AppReplicas,
+			StorageFrontendWork: frontend,
+			DiskPenaltyPerByte:  diskPerByte,
+		}, gen)
+		if err != nil {
+			return nil, err
+		}
+		return RunExperiment(svc, m, gen, o.Warmup/2, o.Ops/2, o.Prices)
+	}
+	for _, fe := range []int{-1, 16384, 49152, 131072} {
+		for _, disk := range []float64{0.25, 1, 4} {
+			base, err := run(Base, fe, disk)
+			if err != nil {
+				return nil, err
+			}
+			linked, err := run(Linked, fe, disk)
+			if err != nil {
+				return nil, err
+			}
+			label := fmt.Sprintf("%d", fe)
+			if fe < 0 {
+				label = "0 (off)"
+			}
+			t.AddRow(label, disk, base.CostPerMReq, linked.CostPerMReq,
+				base.CostPerMReq/linked.CostPerMReq)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"the ordering Base > Linked must survive every constant choice; the magnitude moves with them",
+		"frontend_work 49152 and disk 1.0 are the defaults used throughout EXPERIMENTS.md")
+	return t, nil
+}
+
+// FigAllocation tests the paper's second hypothesis (§3): for a fixed
+// total memory budget, shifting bytes from the storage-layer block cache
+// (s_D) to the application-linked cache (s_A) lowers total cost — "more
+// distributed in-memory caches, less storage layer caches".
+func FigAllocation(o FigOptions) (*Table, error) {
+	o.applyDefaults()
+	t := &Table{
+		ID:     "allocation",
+		Title:  "Fixed memory budget split between linked cache (s_A) and storage cache (s_D)",
+		Header: []string{"sA_share", "sA_bytes", "sD_bytes", "$/Mreq", "hit_ratio", "vs_all_storage"},
+	}
+	cfg := workload.SyntheticConfig{Keys: o.Keys, Alpha: 1.2, ReadRatio: 0.9, ValueSize: 2 << 10, Seed: o.Seed}
+	budget := int64(cfg.Keys) * int64(cfg.ValueSize) * 75 / 100 // 75% of working set, total
+	var allStorage float64
+	for _, share := range []int{0, 25, 50, 75, 100} {
+		sA := budget * int64(share) / 100
+		sD := budget - sA
+		m := meter.NewMeter()
+		gen := workload.NewSynthetic(cfg)
+		arch := Linked
+		if share == 0 {
+			arch = Base // no app cache at all
+		}
+		svc, err := BuildKVService(ServiceConfig{
+			Arch:              arch,
+			Meter:             m,
+			StorageCacheBytes: maxInt64(sD, 1),
+			AppCacheBytes:     maxInt64(sA, 1),
+			AppReplicas:       o.AppReplicas,
+		}, gen)
+		if err != nil {
+			return nil, err
+		}
+		res, err := RunExperiment(svc, m, gen, o.Warmup, o.Ops, o.Prices)
+		if err != nil {
+			return nil, err
+		}
+		if share == 0 {
+			allStorage = res.CostPerMReq
+		}
+		t.AddRow(fmt.Sprintf("%d%%", share), sA, sD, res.CostPerMReq, res.HitRatio,
+			allStorage/res.CostPerMReq)
+	}
+	t.Notes = append(t.Notes,
+		"same total DRAM; moving it next to the application buys more hit ratio per dollar and removes per-query storage CPU",
+		"the paper's hypothesis: provision more distributed cache, less storage-layer cache")
+	return t, nil
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// FigMarginal reproduces the §4 takeaway table: marginal value of app
+// cache vs storage cache and the optimal allocation.
+func FigMarginal(o FigOptions) (*Table, error) {
+	o.applyDefaults()
+	t := &Table{
+		ID:     "marginal",
+		Title:  "Model: where to spend the next byte of memory (alpha=1.2)",
+		Header: []string{"s_A_GB", "s_D_GB", "|dT/dsA|_$/GB", "|dT/dsD|_$/GB", "favors"},
+	}
+	m := DefaultModel(1.2)
+	for _, sA := range []float64{0, 1 << 30, 4 << 30, 8 << 30} {
+		for _, sD := range []float64{1 << 30, 4 << 30} {
+			dA, dD := m.MarginalA(sA, sD), m.MarginalD(sA, sD)
+			favors := "app cache"
+			if abs(dD) > abs(dA) {
+				favors = "storage cache"
+			}
+			const gb = 1 << 30
+			t.AddRow(sA/(1<<30), sD/(1<<30), abs(dA)*gb, abs(dD)*gb, favors)
+		}
+	}
+	opt := m.OptimalSA(1<<30, 16<<30)
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("optimal s_A with s_D=1GB: %.1f GB — provision linked cache until its marginal benefit hits the memory price", opt/(1<<30)))
+	return t, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Figure is a registered reproduction.
+type Figure struct {
+	ID    string
+	Title string
+	Run   func(FigOptions) (*Table, error)
+}
+
+// Figures lists every reproduction in presentation order.
+var Figures = []Figure{
+	{"fig2a", "model: saving vs alpha", Fig2a},
+	{"fig2b", "model: saving vs replicas", Fig2b},
+	{"fig3", "Unity Catalog trace distributions", Fig3},
+	{"fig4a", "cost vs read ratio", Fig4a},
+	{"fig4b", "cost vs value size", Fig4b},
+	{"fig5a", "Unity Catalog-KV costs", Fig5a},
+	{"fig5b", "Meta trace costs", Fig5b},
+	{"fig6", "CPU breakdowns", Fig6},
+	{"fig7", "Unity Catalog-Object costs", Fig7},
+	{"fig8", "delayed writes", Fig8},
+	{"consistency", "cost of consistency", FigConsistency},
+	{"marginal", "model marginals", FigMarginal},
+	{"allocation", "memory split: linked vs storage cache", FigAllocation},
+	{"ablation", "calibration sensitivity", FigAblation},
+}
+
+// FigureByID returns the registered figure or an error listing options.
+func FigureByID(id string) (Figure, error) {
+	for _, f := range Figures {
+		if f.ID == id {
+			return f, nil
+		}
+	}
+	ids := make([]string, 0, len(Figures))
+	for _, f := range Figures {
+		ids = append(ids, f.ID)
+	}
+	sort.Strings(ids)
+	return Figure{}, fmt.Errorf("core: unknown figure %q (have %v)", id, ids)
+}

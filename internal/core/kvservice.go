@@ -1,0 +1,522 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"cachecost/internal/cluster"
+	"cachecost/internal/consistency"
+	"cachecost/internal/linkedcache"
+	"cachecost/internal/meter"
+	"cachecost/internal/remotecache"
+	"cachecost/internal/rpc"
+	"cachecost/internal/storage"
+	"cachecost/internal/storage/sql"
+	"cachecost/internal/wire"
+)
+
+// ServiceConfig assembles one architecture deployment for an experiment.
+type ServiceConfig struct {
+	// Arch selects the assembly.
+	Arch Arch
+	// Meter receives all component attributions. Required.
+	Meter *meter.Meter
+
+	// StorageReplicas is the database replication factor. Default 3.
+	StorageReplicas int
+	// StorageCacheBytes is the block cache per storage replica (s_D).
+	// Default 8 MiB at experiment scale.
+	StorageCacheBytes int64
+	// AppCacheBytes is the linked cache budget (s_A). Used by Linked*
+	// architectures. Default 8 MiB at experiment scale.
+	AppCacheBytes int64
+	// AppReplicas is the number of application servers the linked cache
+	// is replicated/sharded over — it multiplies linked-cache memory in
+	// the bill (the model's N_r). Default 1.
+	AppReplicas int
+	// RemoteCacheBytes is the remote cache budget, used by Remote.
+	// Default 8 MiB at experiment scale.
+	RemoteCacheBytes int64
+	// RPCCost models transport overhead on every hop.
+	RPCCost rpc.CostModel
+	// DiskPenaltyPerByte tunes the storage disk model (0 = default).
+	DiskPenaltyPerByte float64
+	// StorageFrontendWork tunes the storage node's per-statement SQL
+	// front-end charge (0 = default; used by the calibration ablation).
+	StorageFrontendWork int
+	// TTL is the freshness bound for the LinkedTTL architecture.
+	// Default 500ms.
+	TTL time.Duration
+}
+
+func (c *ServiceConfig) applyDefaults() {
+	if c.StorageReplicas <= 0 {
+		c.StorageReplicas = 3
+	}
+	if c.StorageCacheBytes == 0 {
+		c.StorageCacheBytes = 8 << 20
+	}
+	if c.AppCacheBytes == 0 {
+		c.AppCacheBytes = 8 << 20
+	}
+	if c.AppReplicas <= 0 {
+		c.AppReplicas = 1
+	}
+	if c.RemoteCacheBytes == 0 {
+		c.RemoteCacheBytes = 8 << 20
+	}
+	if c.RPCCost == (rpc.CostModel{}) {
+		c.RPCCost = rpc.DefaultCost
+	}
+	if c.TTL <= 0 {
+		c.TTL = 500 * time.Millisecond
+	}
+}
+
+// KVService is the synthetic/Meta-trace service: a key-value style
+// application (one row per key in the kvdata table) deployed under one of
+// the §2.4 architectures. The client-facing surface is itself an RPC
+// server, so client↔app communication is paid like every other hop.
+type KVService struct {
+	cfg     ServiceConfig
+	m       *meter.Meter
+	appComp *meter.Component
+
+	node *storage.Node
+	db   *storage.Client
+
+	rcServer *remotecache.Server
+	rc       *remotecache.Client
+
+	lc      *linkedcache.Cache[[]byte]
+	vc      *consistency.VersionedCache[[]byte]
+	oc      *consistency.OwnedCache[[]byte]
+	tc      *consistency.TTLCache[[]byte]
+	sharder *cluster.Sharder
+
+	front *rpc.Server // client-facing
+}
+
+// NewKVService builds a single-process deployment: the storage node and
+// (for Remote) the cache node are constructed in-process and wired over
+// loopback transports. See NewKVServiceRemote for distributed wiring.
+func NewKVService(cfg ServiceConfig) (*KVService, error) {
+	cfg.applyDefaults()
+	if cfg.Meter == nil {
+		return nil, fmt.Errorf("core: ServiceConfig.Meter is required")
+	}
+	s := &KVService{cfg: cfg, m: cfg.Meter}
+	s.appComp = cfg.Meter.Component("app")
+
+	s.node = storage.NewNode(storage.Config{
+		Replicas:           cfg.StorageReplicas,
+		BlockCacheBytes:    cfg.StorageCacheBytes,
+		Meter:              cfg.Meter,
+		DiskPenaltyPerByte: cfg.DiskPenaltyPerByte,
+		FrontendWork:       cfg.StorageFrontendWork,
+	})
+	// The app talks to storage over a loopback hop; the app pays its
+	// client-side transport overhead.
+	s.db = storage.NewClient(rpc.NewLoopback(s.node.Server(), s.appComp, meter.NewBurner(), cfg.RPCCost))
+
+	var cacheConn rpc.Conn
+	if cfg.Arch == Remote {
+		s.rcServer = remotecache.NewServer(remotecache.ServerConfig{
+			CapacityBytes: cfg.RemoteCacheBytes,
+			Meter:         cfg.Meter,
+			Name:          "remotecache",
+			RPCCost:       cfg.RPCCost,
+		})
+		cacheConn = rpc.NewLoopback(s.rcServer.RPCServer(), s.appComp, meter.NewBurner(), cfg.RPCCost)
+	}
+	if err := s.finish(cacheConn); err != nil {
+		return nil, err
+	}
+	if err := s.node.Bootstrap([]string{
+		"CREATE TABLE kvdata (k TEXT PRIMARY KEY, v BLOB)",
+	}); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// RemoteEndpoints carries pre-established connections to already-running
+// cluster components, for distributed deployments (cmd/appserver).
+type RemoteEndpoints struct {
+	// DB connects to a storage node (cmd/storeserver).
+	DB rpc.Conn
+	// Cache connects to a remote cache node (cmd/cacheserver); required
+	// only for the Remote architecture.
+	Cache rpc.Conn
+}
+
+// NewKVServiceRemote builds an application server against remote storage
+// and cache nodes. The schema is created if missing; preloading goes
+// through SQL (the remote node's metering is its own concern).
+func NewKVServiceRemote(cfg ServiceConfig, eps RemoteEndpoints) (*KVService, error) {
+	cfg.applyDefaults()
+	if cfg.Meter == nil {
+		return nil, fmt.Errorf("core: ServiceConfig.Meter is required")
+	}
+	if eps.DB == nil {
+		return nil, fmt.Errorf("core: RemoteEndpoints.DB is required")
+	}
+	if cfg.Arch == Remote && eps.Cache == nil {
+		return nil, fmt.Errorf("core: the Remote architecture needs RemoteEndpoints.Cache")
+	}
+	s := &KVService{cfg: cfg, m: cfg.Meter}
+	s.appComp = cfg.Meter.Component("app")
+	s.db = storage.NewClient(eps.DB)
+	if err := s.finish(eps.Cache); err != nil {
+		return nil, err
+	}
+	if _, err := s.db.Exec("CREATE TABLE IF NOT EXISTS kvdata (k TEXT PRIMARY KEY, v BLOB)"); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// finish wires the architecture's cache layer and the client-facing front
+// door. cacheConn is non-nil only for the Remote architecture.
+func (s *KVService) finish(cacheConn rpc.Conn) error {
+	cfg := s.cfg
+	switch cfg.Arch {
+	case Remote:
+		s.rc = remotecache.NewSingleClient(cacheConn)
+	case Linked:
+		s.lc = linkedcache.New(linkedcache.Config{
+			CapacityBytes: cfg.AppCacheBytes,
+			Meter:         cfg.Meter,
+			Name:          "app.cache",
+		}, func(k string, v []byte) int64 { return int64(len(k) + len(v) + 64) })
+		s.scaleLinkedMemory()
+	case LinkedVersion:
+		s.vc = consistency.NewVersionedCache[[]byte](linkedcache.Config{
+			CapacityBytes: cfg.AppCacheBytes,
+			Meter:         cfg.Meter,
+			Name:          "app.cache",
+		}, func(k string, v []byte) int64 { return int64(len(k) + len(v) + 64) })
+		s.scaleLinkedMemory()
+	case LinkedOwned:
+		s.sharder = cluster.NewSharder(64)
+		s.oc = consistency.NewOwnedCache[[]byte]("app0", s.sharder, linkedcache.Config{
+			CapacityBytes: cfg.AppCacheBytes,
+			Meter:         cfg.Meter,
+			Name:          "app.cache",
+		}, func(k string, v []byte) int64 { return int64(len(k) + len(v) + 64) })
+		s.scaleLinkedMemory()
+	case LinkedTTL:
+		s.tc = consistency.NewTTLCache[[]byte](linkedcache.Config{
+			CapacityBytes: cfg.AppCacheBytes,
+			Meter:         cfg.Meter,
+			Name:          "app.cache",
+		}, cfg.TTL, func(k string, v []byte) int64 { return int64(len(k) + len(v) + 64) })
+		s.scaleLinkedMemory()
+	}
+
+	// Client-facing front door.
+	s.front = rpc.NewServer(s.appComp, meter.NewBurner(), cfg.RPCCost)
+	s.front.SetMeterHandlerBody(false)
+	s.front.Handle("app.Read", s.handleRead)
+	s.front.Handle("app.Write", s.handleWrite)
+	return nil
+}
+
+// scaleLinkedMemory bills the linked cache once per application server.
+func (s *KVService) scaleLinkedMemory() {
+	s.m.Component("app.cache").SetMemBytes(s.cfg.AppCacheBytes * int64(s.cfg.AppReplicas))
+}
+
+// Front returns the client-facing RPC server.
+func (s *KVService) Front() *rpc.Server { return s.front }
+
+// Node exposes the storage node (experiments tune s_D, inject faults).
+func (s *KVService) Node() *storage.Node { return s.node }
+
+// Arch implements Service.
+func (s *KVService) Arch() Arch { return s.cfg.Arch }
+
+// PreloadItem is one key to bulk-load before a run.
+type PreloadItem struct {
+	Key  string
+	Size int
+}
+
+// Preload bulk-loads rows. In-process deployments load through the
+// unmetered bootstrap path; remote deployments load through SQL.
+func (s *KVService) Preload(items []PreloadItem) error {
+	const chunk = 50
+	for start := 0; start < len(items); start += chunk {
+		end := start + chunk
+		if end > len(items) {
+			end = len(items)
+		}
+		stmt := "INSERT INTO kvdata (k, v) VALUES "
+		params := make([]sql.Value, 0, 2*(end-start))
+		for i := start; i < end; i++ {
+			if i > start {
+				stmt += ", "
+			}
+			stmt += "(?, ?)"
+			params = append(params, sql.Text(items[i].Key), sql.Blob(ValueFor(items[i].Key, items[i].Size)))
+		}
+		if s.node != nil {
+			if err := s.node.BootstrapExec(stmt, params...); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := s.db.Exec(stmt, params...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ValueFor builds the deterministic payload for a key at a given size, so
+// reads can be validated end-to-end.
+func ValueFor(key string, size int) []byte {
+	out := make([]byte, size)
+	seed := byte(len(key))
+	for _, c := range []byte(key) {
+		seed ^= c
+	}
+	for i := range out {
+		out[i] = seed + byte(i)
+	}
+	return out
+}
+
+// loadFromDB is the storage read path shared by all architectures.
+func (s *KVService) loadFromDB(key string) ([]byte, error) {
+	rs, err := s.db.Query("SELECT v FROM kvdata WHERE k = ?", sql.Text(key))
+	if err != nil {
+		return nil, err
+	}
+	if len(rs.Rows) == 0 {
+		return nil, fmt.Errorf("core: no row for key %q", key)
+	}
+	return rs.Rows[0][0].Blob, nil
+}
+
+func (s *KVService) loadVersioned(key string) ([]byte, uint64, error) {
+	v, err := s.loadFromDB(key)
+	if err != nil {
+		return nil, 0, err
+	}
+	ver, _, err := s.db.Version("kvdata", sql.Text(key))
+	if err != nil {
+		return nil, 0, err
+	}
+	return v, ver, nil
+}
+
+func (s *KVService) checkVersion(key string) (uint64, bool, error) {
+	return s.db.Version("kvdata", sql.Text(key))
+}
+
+// read dispatches a read through the architecture's cache hierarchy.
+func (s *KVService) read(key string) ([]byte, error) {
+	switch s.cfg.Arch {
+	case Base:
+		return s.loadFromDB(key)
+	case Remote:
+		if v, found, err := s.rc.Get(key); err != nil {
+			return nil, err
+		} else if found {
+			return v, nil
+		}
+		v, err := s.loadFromDB(key)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.rc.Set(key, v); err != nil {
+			return nil, err
+		}
+		return v, nil
+	case Linked:
+		v, _, err := s.lc.GetOrLoad(key, func() ([]byte, error) { return s.loadFromDB(key) })
+		return v, err
+	case LinkedVersion:
+		v, _, err := s.vc.Read(key, s.checkVersion, s.loadVersioned)
+		return v, err
+	case LinkedOwned:
+		v, _, err := s.oc.Read(key, s.loadVersioned)
+		return v, err
+	case LinkedTTL:
+		v, _, err := s.tc.Read(key, s.loadVersioned)
+		return v, err
+	default:
+		return nil, fmt.Errorf("core: unknown arch %v", s.cfg.Arch)
+	}
+}
+
+// write dispatches a write: storage first, then cache maintenance.
+func (s *KVService) write(key string, value []byte) error {
+	storeWrite := func() error {
+		_, err := s.db.Exec("UPDATE kvdata SET v = ? WHERE k = ?", sql.Blob(value), sql.Text(key))
+		return err
+	}
+	switch s.cfg.Arch {
+	case Base:
+		return storeWrite()
+	case Remote:
+		if err := storeWrite(); err != nil {
+			return err
+		}
+		// Lookaside invalidation: delete, let the next read repopulate.
+		_, err := s.rc.Delete(key)
+		return err
+	case Linked:
+		if err := storeWrite(); err != nil {
+			return err
+		}
+		s.lc.Put(key, value)
+		return nil
+	case LinkedVersion:
+		if err := storeWrite(); err != nil {
+			return err
+		}
+		s.vc.Invalidate(key)
+		return nil
+	case LinkedOwned:
+		return s.oc.Write(key, value, func() (uint64, error) {
+			if err := storeWrite(); err != nil {
+				return 0, err
+			}
+			ver, _, err := s.db.Version("kvdata", sql.Text(key))
+			return ver, err
+		})
+	case LinkedTTL:
+		if err := storeWrite(); err != nil {
+			return err
+		}
+		s.tc.Write(key, value)
+		return nil
+	default:
+		return fmt.Errorf("core: unknown arch %v", s.cfg.Arch)
+	}
+}
+
+// Digest is the application logic applied to a value: a real computation
+// over the object's header (its first few KB) plus its length, producing
+// a small derived result. Requests return the digest, not the raw value —
+// as in the paper's services, the client asks the application to *use*
+// the object (check a permission, render a view), so the response is
+// small and the app touches fields, not every byte. This is also what
+// makes remote caches over-read (§2.4): they must ship the WHOLE object
+// to the app for it to use a small part.
+func Digest(value []byte) []byte {
+	head := value
+	if len(head) > 4<<10 {
+		head = head[:4<<10]
+	}
+	var h uint64 = 1469598103934665603
+	for _, c := range head {
+		h = (h ^ uint64(c)) * 1099511628211
+	}
+	out := make([]byte, 16)
+	for i := 0; i < 8; i++ {
+		out[i] = byte(h >> (8 * i))
+	}
+	n := uint64(len(value))
+	for i := 0; i < 8; i++ {
+		out[8+i] = byte(n >> (8 * i))
+	}
+	return out
+}
+
+// handleRead is the client-facing read: decode, serve through the cache
+// hierarchy, apply the application logic, reply with the small derived
+// result. Application CPU not attributed to a downstream component lands
+// on "app".
+func (s *KVService) handleRead(req []byte) ([]byte, error) {
+	var out []byte
+	var err error
+	meter.Attribute(s.m, s.appComp, func() {
+		var r remotecache.GetRequest // shape {1: key} — reuse the message
+		if err = wire.Unmarshal(req, &r); err != nil {
+			return
+		}
+		var v []byte
+		v, err = s.read(r.Key)
+		if err != nil {
+			return
+		}
+		out = wire.Marshal(&remotecache.GetResponse{Found: true, Value: Digest(v)})
+	})
+	return out, err
+}
+
+// handleWrite is the client-facing write.
+func (s *KVService) handleWrite(req []byte) ([]byte, error) {
+	var out []byte
+	var err error
+	meter.Attribute(s.m, s.appComp, func() {
+		var r remotecache.SetRequest // shape {key, value}
+		if err = wire.Unmarshal(req, &r); err != nil {
+			return
+		}
+		if err = s.write(r.Key, r.Value); err != nil {
+			return
+		}
+		out = wire.Marshal(&remotecache.Ack{OK: true})
+	})
+	return out, err
+}
+
+// Read implements Service from the client's side of the front door.
+func (s *KVService) Read(key string) ([]byte, error) {
+	// The experiment driver plays the client; its own CPU is outside the
+	// bill (the paper prices the service, not its callers).
+	respBody, err := s.front.Dispatch("app.Read", wire.Marshal(&remotecache.GetRequest{Key: key}))
+	if err != nil {
+		return nil, err
+	}
+	var resp remotecache.GetResponse
+	if err := wire.Unmarshal(respBody, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Value, nil
+}
+
+// Write implements Service.
+func (s *KVService) Write(key string, value []byte) error {
+	req := wire.Marshal(&remotecache.SetRequest{Key: key, Value: value})
+	_, err := s.front.Dispatch("app.Write", req)
+	return err
+}
+
+// CacheHitRatio reports the architecture's application-level cache hit
+// ratio (0 for Base).
+func (s *KVService) CacheHitRatio() float64 {
+	switch s.cfg.Arch {
+	case Remote:
+		return s.rcServer.Stats().HitRatio()
+	case Linked:
+		return s.lc.Stats().HitRatio()
+	case LinkedVersion:
+		st := s.vc.Stats()
+		if st.Reads == 0 {
+			return 0
+		}
+		return float64(st.Hits) / float64(st.Reads)
+	case LinkedOwned:
+		st := s.oc.Stats()
+		if st.Reads == 0 {
+			return 0
+		}
+		return float64(st.AuthorityHits) / float64(st.Reads)
+	case LinkedTTL:
+		st := s.tc.Stats()
+		if st.Reads == 0 {
+			return 0
+		}
+		return float64(st.Hits) / float64(st.Reads)
+	default:
+		return 0
+	}
+}
+
+// Close implements Service.
+func (s *KVService) Close() error { return nil }

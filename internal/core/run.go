@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+
+	"cachecost/internal/meter"
+	"cachecost/internal/workload"
+)
+
+// RunResult is the priced outcome of driving one service with one
+// workload.
+type RunResult struct {
+	Arch     Arch
+	Workload string
+	Ops      int
+	Report   meter.Report
+	// CostPerMReq is the total monthly cost normalized to one million
+	// requests of monthly volume — the scale-free comparison unit.
+	CostPerMReq float64
+	// HitRatio is the application-level cache hit ratio (0 for Base).
+	HitRatio float64
+	// Component cost rollups ($/month at observed load).
+	AppCost, CacheCost, StorageCost float64
+	// Cores rollups.
+	AppCores, CacheCores, StorageCores float64
+}
+
+// String renders a one-line summary.
+func (r *RunResult) String() string {
+	return fmt.Sprintf("%-14s %-13s cost/Mreq=$%.4f hit=%.2f app=%.3f cores cache=%.3f cores storage=%.3f cores mem%%=%.1f",
+		r.Arch, r.Workload, r.CostPerMReq, r.HitRatio,
+		r.AppCores, r.CacheCores, r.StorageCores, 100*r.Report.MemFraction())
+}
+
+// hitRatioReporter is implemented by services that track cache hits.
+type hitRatioReporter interface {
+	CacheHitRatio() float64
+}
+
+// RunExperiment drives svc with ops operations from gen (after warmup
+// unmetered operations), then prices the metered window. The meter must
+// be the one the service was assembled with.
+func RunExperiment(svc Service, m *meter.Meter, gen workload.Generator, warmup, ops int, prices meter.PriceBook) (*RunResult, error) {
+	apply := func(n int) error {
+		for i := 0; i < n; i++ {
+			op := gen.Next()
+			switch op.Kind {
+			case workload.Read:
+				if _, err := svc.Read(op.Key); err != nil {
+					return fmt.Errorf("core: read %q: %w", op.Key, err)
+				}
+			case workload.Write:
+				if err := svc.Write(op.Key, ValueFor(op.Key, op.ValueSize)); err != nil {
+					return fmt.Errorf("core: write %q: %w", op.Key, err)
+				}
+			}
+		}
+		return nil
+	}
+	if err := apply(warmup); err != nil {
+		return nil, err
+	}
+	// Collect garbage from setup and warmup (and from earlier experiment
+	// cells in the same process) so the metered window does not absorb
+	// another deployment's GC debt.
+	runtime.GC()
+	m.Reset()
+	if err := apply(ops); err != nil {
+		return nil, err
+	}
+	m.AddRequests(int64(ops))
+	report := meter.BuildReport(m, prices)
+
+	res := &RunResult{
+		Arch:         svc.Arch(),
+		Workload:     gen.Name(),
+		Ops:          ops,
+		Report:       report,
+		CostPerMReq:  report.CostPerMillionRequests(),
+		AppCost:      report.ComponentCost("app"),
+		CacheCost:    report.ComponentCost("remotecache"),
+		StorageCost:  report.ComponentCost("storage"),
+		AppCores:     report.ComponentCores("app"),
+		CacheCores:   report.ComponentCores("remotecache"),
+		StorageCores: report.ComponentCores("storage"),
+	}
+	if hr, ok := svc.(hitRatioReporter); ok {
+		res.HitRatio = hr.CacheHitRatio()
+	}
+	return res, nil
+}
+
+// PreloadItems materializes the key population of a KV-style generator
+// (Synthetic or MetaKV) for KVService.Preload.
+func PreloadItems(gen workload.Generator) ([]PreloadItem, error) {
+	switch g := gen.(type) {
+	case *workload.Synthetic:
+		items := make([]PreloadItem, g.Keys())
+		for i := range items {
+			items[i] = PreloadItem{Key: workload.KeyName(i), Size: g.ValueSize()}
+		}
+		return items, nil
+	case *workload.MetaKV:
+		items := make([]PreloadItem, g.Keys())
+		for i := range items {
+			items[i] = PreloadItem{Key: workload.KeyName(i), Size: workload.MetaValueSize(i)}
+		}
+		return items, nil
+	default:
+		return nil, fmt.Errorf("core: no preloader for workload %q", gen.Name())
+	}
+}
+
+// BuildKVService assembles and preloads a KVService for gen.
+func BuildKVService(cfg ServiceConfig, gen workload.Generator) (*KVService, error) {
+	svc, err := NewKVService(cfg)
+	if err != nil {
+		return nil, err
+	}
+	items, err := PreloadItems(gen)
+	if err != nil {
+		return nil, err
+	}
+	if err := svc.Preload(items); err != nil {
+		return nil, err
+	}
+	return svc, nil
+}

@@ -1,0 +1,150 @@
+// Package linkedcache implements the linked in-memory cache of the study
+// (§2.4, Figure 1c): a cache library embedded directly in the application
+// process. Hits return live Go values — no network hop, no
+// (de)serialization, no over-read — which is precisely where the paper
+// finds the architecture's 2× cost advantage over remote caches.
+//
+// To avoid replicating the cache in every application server, linked
+// caches are sharded: each server owns a partition of the key space
+// (Partitioned, backed by the cluster package's consistent-hash ring),
+// and the serving tier routes requests to owners.
+package linkedcache
+
+import (
+	"time"
+
+	"cachecost/internal/cache"
+	"cachecost/internal/cluster"
+	"cachecost/internal/meter"
+)
+
+// Cache is a byte-budgeted in-process cache holding live values of type V.
+// It is safe for concurrent use.
+type Cache[V any] struct {
+	store *cache.Sharded[V]
+	comp  *meter.Component
+}
+
+// Config parameterizes a linked cache.
+type Config struct {
+	// CapacityBytes is the memory budget (the paper's s_A). Required.
+	CapacityBytes int64
+	// Shards is the lock-shard count. Default 16.
+	Shards int
+	// Meter and Name attribute the cache's provisioned memory to a
+	// component (busy time is the application's own and is metered by the
+	// app server, not here). Nil Meter disables attribution.
+	Meter *meter.Meter
+	// Name defaults to "app.cache".
+	Name string
+}
+
+// New builds a linked cache. sizeOf reports the budgeted bytes of a value;
+// it must account for the live object footprint, not a serialized form.
+func New[V any](cfg Config, sizeOf cache.SizeOf[V]) *Cache[V] {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 16
+	}
+	c := &Cache[V]{store: cache.NewSharded[V](cfg.CapacityBytes, cfg.Shards, sizeOf)}
+	if cfg.Meter != nil {
+		name := cfg.Name
+		if name == "" {
+			name = "app.cache"
+		}
+		c.comp = cfg.Meter.Component(name)
+		c.comp.SetMemBytes(cfg.CapacityBytes)
+	}
+	return c
+}
+
+// Get returns the live value for key.
+func (c *Cache[V]) Get(key string) (V, bool) { return c.store.Get(key) }
+
+// Put stores a live value with no TTL.
+func (c *Cache[V]) Put(key string, v V) { c.store.Put(key, v) }
+
+// PutTTL stores a live value that expires after ttl.
+func (c *Cache[V]) PutTTL(key string, v V, ttl time.Duration) { c.store.PutTTL(key, v, ttl) }
+
+// Delete removes key.
+func (c *Cache[V]) Delete(key string) bool { return c.store.Delete(key) }
+
+// GetOrLoad returns the cached value or loads, caches and returns it.
+// Concurrent loads of the same key may race and both load; the last Put
+// wins — the standard lookaside trade-off.
+func (c *Cache[V]) GetOrLoad(key string, load func() (V, error)) (V, bool, error) {
+	if v, ok := c.store.Get(key); ok {
+		return v, true, nil
+	}
+	v, err := load()
+	if err != nil {
+		var zero V
+		return zero, false, err
+	}
+	c.store.Put(key, v)
+	return v, false, nil
+}
+
+// Stats returns cache counters.
+func (c *Cache[V]) Stats() cache.Stats { return c.store.Stats() }
+
+// UsedBytes returns the budgeted bytes of live entries.
+func (c *Cache[V]) UsedBytes() int64 { return c.store.UsedBytes() }
+
+// Capacity returns the byte budget.
+func (c *Cache[V]) Capacity() int64 { return c.store.Capacity() }
+
+// Flush drops every entry.
+func (c *Cache[V]) Flush() { c.store.Flush() }
+
+// Partitioned is a linked cache owned by one application server in a
+// sharded serving tier: the server caches only the keys it owns and drops
+// entries that reshard away.
+type Partitioned[V any] struct {
+	Self  string
+	cache *Cache[V]
+	shard *cluster.Sharder
+}
+
+// NewPartitioned registers self with the sharder and wires resharding
+// eviction: keys that move to another owner are dropped locally.
+func NewPartitioned[V any](self string, shard *cluster.Sharder, cfg Config, sizeOf cache.SizeOf[V]) *Partitioned[V] {
+	p := &Partitioned[V]{Self: self, cache: New(cfg, sizeOf), shard: shard}
+	shard.Watch(func(moved []string, from, to string) {
+		if from == self {
+			for _, k := range moved {
+				p.cache.Delete(k)
+			}
+		}
+	})
+	shard.Join(self)
+	return p
+}
+
+// Owns reports whether this server currently owns key.
+func (p *Partitioned[V]) Owns(key string) bool { return p.shard.Owner(key) == p.Self }
+
+// Get returns the cached value if this server owns the key and has it.
+func (p *Partitioned[V]) Get(key string) (V, bool) {
+	var zero V
+	if !p.Owns(key) {
+		return zero, false
+	}
+	return p.cache.Get(key)
+}
+
+// Put caches a value if this server owns the key; foreign keys are
+// ignored (the router should not have sent them here).
+func (p *Partitioned[V]) Put(key string, v V) bool {
+	if !p.Owns(key) {
+		return false
+	}
+	p.cache.Put(key, v)
+	return true
+}
+
+// Delete removes key from the local partition.
+func (p *Partitioned[V]) Delete(key string) bool { return p.cache.Delete(key) }
+
+// Cache exposes the underlying linked cache (stats, capacity).
+func (p *Partitioned[V]) Cache() *Cache[V] { return p.cache }

@@ -1,0 +1,169 @@
+package linkedcache
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"cachecost/internal/cluster"
+	"cachecost/internal/meter"
+)
+
+type richObj struct {
+	Name string
+	Blob []byte
+}
+
+func objSize(_ string, o *richObj) int64 { return int64(len(o.Name) + len(o.Blob) + 48) }
+
+func newObjCache(capacity int64, m *meter.Meter) *Cache[*richObj] {
+	return New(Config{CapacityBytes: capacity, Meter: m}, objSize)
+}
+
+func TestHitReturnsSamePointer(t *testing.T) {
+	c := newObjCache(1<<20, nil)
+	in := &richObj{Name: "t", Blob: make([]byte, 100)}
+	c.Put("k", in)
+	out, ok := c.Get("k")
+	if !ok || out != in {
+		t.Fatal("linked cache must return the live object, not a copy")
+	}
+}
+
+func TestGetOrLoad(t *testing.T) {
+	c := newObjCache(1<<20, nil)
+	loads := 0
+	load := func() (*richObj, error) {
+		loads++
+		return &richObj{Name: "loaded"}, nil
+	}
+	v, hit, err := c.GetOrLoad("k", load)
+	if err != nil || hit || v.Name != "loaded" {
+		t.Fatalf("first = %v %v %v", v, hit, err)
+	}
+	v2, hit, err := c.GetOrLoad("k", load)
+	if err != nil || !hit || v2 != v {
+		t.Fatalf("second = %v %v %v", v2, hit, err)
+	}
+	if loads != 1 {
+		t.Fatalf("loads = %d", loads)
+	}
+}
+
+func TestGetOrLoadErrorNotCached(t *testing.T) {
+	c := newObjCache(1<<20, nil)
+	boom := errors.New("boom")
+	_, _, err := c.GetOrLoad("k", func() (*richObj, error) { return nil, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("failed load must not cache")
+	}
+}
+
+func TestTTL(t *testing.T) {
+	c := newObjCache(1<<20, nil)
+	c.PutTTL("k", &richObj{}, time.Millisecond)
+	time.Sleep(5 * time.Millisecond)
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("TTL should expire")
+	}
+}
+
+func TestMemoryBudgetAndMetering(t *testing.T) {
+	m := meter.NewMeter()
+	c := New(Config{CapacityBytes: 8 << 10, Meter: m, Name: "app.cache"}, objSize)
+	for i := 0; i < 200; i++ {
+		c.Put(fmt.Sprintf("k%d", i), &richObj{Blob: make([]byte, 256)})
+	}
+	if c.UsedBytes() > 8<<10 {
+		t.Fatalf("used %d over budget", c.UsedBytes())
+	}
+	if got := m.Component("app.cache").MemBytes(); got != 8<<10 {
+		t.Fatalf("metered mem = %d", got)
+	}
+	if c.Stats().Evictions == 0 {
+		t.Fatal("expected evictions under pressure")
+	}
+}
+
+func TestFlushAndDelete(t *testing.T) {
+	c := newObjCache(1<<20, nil)
+	c.Put("a", &richObj{})
+	c.Put("b", &richObj{})
+	if !c.Delete("a") {
+		t.Fatal("delete existing")
+	}
+	c.Flush()
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("flush should drop everything")
+	}
+	if c.Capacity() != 1<<20 {
+		t.Fatal("capacity should survive flush")
+	}
+}
+
+func TestPartitionedOwnership(t *testing.T) {
+	shard := cluster.NewSharder(64)
+	p1 := NewPartitioned[*richObj]("app1", shard, Config{CapacityBytes: 1 << 20}, objSize)
+	p2 := NewPartitioned[*richObj]("app2", shard, Config{CapacityBytes: 1 << 20}, objSize)
+
+	owned1, owned2 := 0, 0
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("k%d", i)
+		switch {
+		case p1.Owns(key):
+			owned1++
+			if !p1.Put(key, &richObj{Name: key}) {
+				t.Fatalf("owner put rejected for %s", key)
+			}
+			if p2.Put(key, &richObj{}) {
+				t.Fatalf("non-owner put accepted for %s", key)
+			}
+		case p2.Owns(key):
+			owned2++
+		default:
+			t.Fatalf("key %s unowned", key)
+		}
+	}
+	if owned1 == 0 || owned2 == 0 {
+		t.Fatalf("partitioning degenerate: %d/%d", owned1, owned2)
+	}
+}
+
+func TestPartitionedReshardEvicts(t *testing.T) {
+	shard := cluster.NewSharder(64)
+	p1 := NewPartitioned[*richObj]("app1", shard, Config{CapacityBytes: 1 << 20}, objSize)
+
+	keys := make([]string, 300)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k%d", i)
+		shard.Assign(keys[i]) // track for reshard reporting
+		p1.Put(keys[i], &richObj{Name: keys[i]})
+	}
+	before := 0
+	for _, k := range keys {
+		if _, ok := p1.Get(k); ok {
+			before++
+		}
+	}
+	if before != len(keys) {
+		t.Fatalf("pre-reshard hits = %d", before)
+	}
+
+	// A second server joins: some keys move away and must be dropped
+	// from p1 (stale ownership would risk serving stale data).
+	p2 := NewPartitioned[*richObj]("app2", shard, Config{CapacityBytes: 1 << 20}, objSize)
+	for _, k := range keys {
+		if !p1.Owns(k) {
+			if _, ok := p1.Cache().Get(k); ok {
+				t.Fatalf("key %q still cached on old owner after reshard", k)
+			}
+			if !p2.Owns(k) {
+				t.Fatalf("key %q unowned after join", k)
+			}
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package meter
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTotalBusySums(t *testing.T) {
+	m := NewMeter()
+	m.Component("a").AddBusy(time.Second)
+	m.Component("b").AddBusy(2 * time.Second)
+	if got := m.TotalBusy(); got != 3*time.Second {
+		t.Fatalf("TotalBusy = %v", got)
+	}
+}
+
+func TestAttributeSubtractsCalleeTime(t *testing.T) {
+	m := NewMeter()
+	app := m.Component("app")
+	db := m.Component("db")
+
+	Attribute(m, app, func() {
+		time.Sleep(10 * time.Millisecond) // app's own work
+		sw := db.Start()                  // downstream, self-metering
+		time.Sleep(30 * time.Millisecond)
+		sw.Stop()
+	})
+	if got := db.Busy(); got < 25*time.Millisecond {
+		t.Fatalf("db busy = %v", got)
+	}
+	appBusy := app.Busy()
+	if appBusy < 5*time.Millisecond || appBusy > 25*time.Millisecond {
+		t.Fatalf("app busy = %v, want ~10ms (callee time excluded)", appBusy)
+	}
+	// Totals conserve: app + db ≈ wall time of fn.
+	total := m.TotalBusy()
+	if total < 35*time.Millisecond || total > 55*time.Millisecond {
+		t.Fatalf("total busy = %v, want ~40ms", total)
+	}
+	if app.Ops() != 1 {
+		t.Fatalf("Attribute should count one op, got %d", app.Ops())
+	}
+}
+
+func TestAttributeCountsSelfChargesOnce(t *testing.T) {
+	// A callee may charge the attributed component itself (e.g. the
+	// loopback transport charging the caller); Attribute must not double
+	// count that time.
+	m := NewMeter()
+	app := m.Component("app")
+	Attribute(m, app, func() {
+		sw := app.Start() // transport charge against app itself
+		time.Sleep(20 * time.Millisecond)
+		sw.Stop()
+	})
+	// app total should be ~20ms (the charge) + ~0 own, not ~40ms.
+	if got := app.Busy(); got > 35*time.Millisecond {
+		t.Fatalf("app busy = %v; self-charge double counted", got)
+	}
+}
+
+func TestAttributeNilComponent(t *testing.T) {
+	m := NewMeter()
+	ran := false
+	Attribute(m, nil, func() { ran = true })
+	if !ran {
+		t.Fatal("fn must run with nil component")
+	}
+	if m.TotalBusy() != 0 {
+		t.Fatal("nil component should attribute nothing")
+	}
+}

@@ -1,0 +1,252 @@
+// Package meter provides the cost-accounting substrate for the cachecost
+// laboratory.
+//
+// The paper's methodology ("Rethinking the Cost of Distributed Caches for
+// Datacenter Services", HotNets '25, §5.1) estimates the per-request CPU
+// cost of a component by measuring the CPU cores it keeps busy and dividing
+// by the request rate, then prices cores and memory at cloud list prices.
+// This package implements exactly that: components register with a Meter,
+// attribute busy time and provisioned memory to themselves, and the Meter
+// turns the measurements into monthly dollar costs.
+//
+// Attribution is cooperative: a component wraps each unit of work in
+// Component.Track (or uses a Stopwatch for finer splits). Because every
+// component in this repository does real CPU work (parsing, planning,
+// encoding, copying), busy wall-time of a non-blocking handler is a faithful
+// proxy for CPU time, which is what the paper measures.
+package meter
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Meter aggregates busy time and provisioned memory per component.
+// The zero value is not usable; call NewMeter.
+type Meter struct {
+	mu         sync.Mutex
+	components map[string]*Component
+	start      time.Time
+	requests   atomic.Int64
+}
+
+// NewMeter returns an empty Meter whose elapsed-time clock starts now.
+func NewMeter() *Meter {
+	return &Meter{
+		components: make(map[string]*Component),
+		start:      time.Now(),
+	}
+}
+
+// Component returns the named component, creating it on first use.
+// Components are identified by stable names such as "app", "remotecache",
+// "storage.sql", "storage.kv". Dots form a hierarchy: Report can roll
+// sub-components up into their parent.
+func (m *Meter) Component(name string) *Component {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.components[name]
+	if !ok {
+		c = &Component{name: name}
+		m.components[name] = c
+	}
+	return c
+}
+
+// AddRequests records n completed client-visible requests. The per-request
+// cost figures in a Report divide by this count.
+func (m *Meter) AddRequests(n int64) { m.requests.Add(n) }
+
+// Requests returns the number of client-visible requests recorded so far.
+func (m *Meter) Requests() int64 { return m.requests.Load() }
+
+// Reset zeroes the flow counters (busy time, ops, requests) and restarts
+// the elapsed clock. Provisioned memory is a level, not a flow — it
+// survives Reset, so warmup can be discarded without re-registering
+// every cache's footprint.
+func (m *Meter) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, c := range m.components {
+		c.busyNanos.Store(0)
+		c.ops.Store(0)
+	}
+	m.requests.Store(0)
+	m.start = time.Now()
+}
+
+// Elapsed returns the wall time since the meter was created or last Reset.
+func (m *Meter) Elapsed() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return time.Since(m.start)
+}
+
+// Snapshot returns a point-in-time copy of every component's counters,
+// sorted by component name.
+func (m *Meter) Snapshot() []ComponentSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]ComponentSnapshot, 0, len(m.components))
+	for _, c := range m.components {
+		out = append(out, ComponentSnapshot{
+			Name:     c.name,
+			Busy:     time.Duration(c.busyNanos.Load()),
+			MemBytes: c.memBytes.Load(),
+			Ops:      c.ops.Load(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// TotalBusy returns the sum of busy time across every component.
+func (m *Meter) TotalBusy() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var total time.Duration
+	for _, c := range m.components {
+		total += time.Duration(c.busyNanos.Load())
+	}
+	return total
+}
+
+// Attribute runs fn and credits c with the wall time fn consumed MINUS
+// whatever busy time fn's callees attributed to other components of the
+// same meter in the meantime. With a single-threaded caller this yields
+// exact, double-counting-free attribution for a handler that invokes
+// self-metering downstream services. Under concurrency the split between
+// components becomes approximate but the total stays correct.
+func Attribute(m *Meter, c *Component, fn func()) {
+	if c == nil {
+		fn()
+		return
+	}
+	before := m.TotalBusy()
+	t0 := time.Now()
+	fn()
+	total := time.Since(t0)
+	inner := m.TotalBusy() - before
+	if own := total - inner; own > 0 {
+		c.AddBusy(own)
+	}
+	c.AddOps(1)
+}
+
+// Component accumulates busy time, operation counts and provisioned memory
+// for one logical service (application server, cache tier, storage node...).
+// All methods are safe for concurrent use.
+type Component struct {
+	name      string
+	busyNanos atomic.Int64
+	memBytes  atomic.Int64
+	ops       atomic.Int64
+}
+
+// Name returns the component's registered name.
+func (c *Component) Name() string { return c.name }
+
+// AddBusy attributes d of busy CPU time to the component.
+func (c *Component) AddBusy(d time.Duration) {
+	if d > 0 {
+		c.busyNanos.Add(int64(d))
+	}
+}
+
+// AddOps adds n to the component's operation counter.
+func (c *Component) AddOps(n int64) { c.ops.Add(n) }
+
+// SetMemBytes records the memory provisioned for the component, in bytes.
+// Provisioned memory is a level, not a rate, so Set replaces rather than
+// accumulates.
+func (c *Component) SetMemBytes(n int64) { c.memBytes.Store(n) }
+
+// AddMemBytes adjusts provisioned memory by delta bytes (may be negative).
+func (c *Component) AddMemBytes(delta int64) { c.memBytes.Add(delta) }
+
+// Busy returns the total busy time attributed so far.
+func (c *Component) Busy() time.Duration { return time.Duration(c.busyNanos.Load()) }
+
+// MemBytes returns the currently provisioned memory in bytes.
+func (c *Component) MemBytes() int64 { return c.memBytes.Load() }
+
+// Ops returns the operation count.
+func (c *Component) Ops() int64 { return c.ops.Load() }
+
+// Track runs fn and attributes its wall time to the component. It is the
+// standard way to meter a CPU-bound handler body.
+func (c *Component) Track(fn func()) {
+	t0 := time.Now()
+	fn()
+	c.busyNanos.Add(int64(time.Since(t0)))
+	c.ops.Add(1)
+}
+
+// Start returns a running Stopwatch bound to this component. Use it when a
+// handler needs to exclude a blocking section (e.g. waiting on a downstream
+// RPC) from its own busy time.
+func (c *Component) Start() *Stopwatch {
+	return &Stopwatch{c: c, t0: time.Now(), running: true}
+}
+
+// Stopwatch meters a single component across pause/resume boundaries.
+// It is not safe for concurrent use; each in-flight request should own one.
+type Stopwatch struct {
+	c       *Component
+	t0      time.Time
+	acc     time.Duration
+	running bool
+}
+
+// Pause suspends accumulation (e.g. before issuing a blocking downstream
+// call). Pausing an already-paused stopwatch is a no-op.
+func (s *Stopwatch) Pause() {
+	if s.running {
+		s.acc += time.Since(s.t0)
+		s.running = false
+	}
+}
+
+// Resume restarts accumulation after a Pause. Resuming a running stopwatch
+// is a no-op.
+func (s *Stopwatch) Resume() {
+	if !s.running {
+		s.t0 = time.Now()
+		s.running = true
+	}
+}
+
+// Stop ends the measurement, attributes the accumulated busy time to the
+// component, counts one operation, and returns the busy time. The stopwatch
+// must not be reused after Stop.
+func (s *Stopwatch) Stop() time.Duration {
+	s.Pause()
+	s.c.AddBusy(s.acc)
+	s.c.AddOps(1)
+	return s.acc
+}
+
+// ComponentSnapshot is a frozen view of one component's counters.
+type ComponentSnapshot struct {
+	Name     string
+	Busy     time.Duration
+	MemBytes int64
+	Ops      int64
+}
+
+// Cores converts busy time over an elapsed window into equivalent fully-busy
+// CPU cores, the quantity the paper prices.
+func (s ComponentSnapshot) Cores(elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Busy) / float64(elapsed)
+}
+
+// String implements fmt.Stringer for debugging output.
+func (s ComponentSnapshot) String() string {
+	return fmt.Sprintf("%s busy=%v mem=%dB ops=%d", s.Name, s.Busy, s.MemBytes, s.Ops)
+}

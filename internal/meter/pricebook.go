@@ -1,0 +1,50 @@
+package meter
+
+import "fmt"
+
+// PriceBook holds the unit prices used to convert resource usage into
+// monthly dollars. The defaults follow the paper's §3 GCP numbers:
+// one vCPU core ≈ $17/month, one GB of memory ≈ $2/month, and storage
+// ≈ $2 per 100 GB per month.
+type PriceBook struct {
+	// CPUCoreMonth is the monthly price of one fully-utilized vCPU core.
+	CPUCoreMonth float64
+	// MemGBMonth is the monthly price of one GB of provisioned DRAM.
+	MemGBMonth float64
+	// StorageGBMonth is the monthly price of one GB of persistent storage.
+	StorageGBMonth float64
+}
+
+// GCP is the default price book from the paper (§3).
+var GCP = PriceBook{
+	CPUCoreMonth:   17.0,
+	MemGBMonth:     2.0,
+	StorageGBMonth: 0.02, // $2 per 100 GB
+}
+
+// WithMemoryMultiplier returns a copy of the price book with the memory
+// price scaled by k. The paper's §4 sensitivity analysis raises memory
+// prices up to 40× to test whether caches still save money.
+func (p PriceBook) WithMemoryMultiplier(k float64) PriceBook {
+	p.MemGBMonth *= k
+	return p
+}
+
+// CPUCost prices a number of fully-busy cores per month.
+func (p PriceBook) CPUCost(cores float64) float64 { return cores * p.CPUCoreMonth }
+
+// MemCost prices bytes of provisioned DRAM per month.
+func (p PriceBook) MemCost(bytes int64) float64 {
+	return float64(bytes) / float64(1<<30) * p.MemGBMonth
+}
+
+// StorageCost prices bytes of persistent storage per month.
+func (p PriceBook) StorageCost(bytes int64) float64 {
+	return float64(bytes) / float64(1<<30) * p.StorageGBMonth
+}
+
+// String implements fmt.Stringer.
+func (p PriceBook) String() string {
+	return fmt.Sprintf("cpu=$%.2f/core-mo mem=$%.2f/GB-mo storage=$%.4f/GB-mo",
+		p.CPUCoreMonth, p.MemGBMonth, p.StorageGBMonth)
+}

@@ -1,0 +1,166 @@
+package meter
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Line is one component's priced usage in a Report.
+type Line struct {
+	Component string
+	Cores     float64 // equivalent fully-busy cores over the window
+	MemGB     float64 // provisioned DRAM
+	CPUCost   float64 // $/month
+	MemCost   float64 // $/month
+	Ops       int64
+}
+
+// Total returns the line's combined monthly cost.
+func (l Line) Total() float64 { return l.CPUCost + l.MemCost }
+
+// Report is a priced summary of a Meter over its elapsed window.
+type Report struct {
+	Prices    PriceBook
+	Elapsed   time.Duration
+	Requests  int64
+	Lines     []Line
+	CPUCost   float64 // $/month, all components
+	MemCost   float64 // $/month, all components
+	TotalCost float64 // CPUCost + MemCost
+}
+
+// BuildReport prices a meter's current snapshot.
+func BuildReport(m *Meter, prices PriceBook) Report {
+	elapsed := m.Elapsed()
+	snaps := m.Snapshot()
+	r := Report{
+		Prices:   prices,
+		Elapsed:  elapsed,
+		Requests: m.Requests(),
+	}
+	for _, s := range snaps {
+		cores := s.Cores(elapsed)
+		line := Line{
+			Component: s.Name,
+			Cores:     cores,
+			MemGB:     float64(s.MemBytes) / float64(1<<30),
+			CPUCost:   prices.CPUCost(cores),
+			MemCost:   prices.MemCost(s.MemBytes),
+			Ops:       s.Ops,
+		}
+		r.Lines = append(r.Lines, line)
+		r.CPUCost += line.CPUCost
+		r.MemCost += line.MemCost
+	}
+	r.TotalCost = r.CPUCost + r.MemCost
+	return r
+}
+
+// QPS returns the observed request throughput.
+func (r Report) QPS() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Requests) / r.Elapsed.Seconds()
+}
+
+// CostPerMillionRequests normalizes total cost by observed throughput:
+// the monthly cost divided by the monthly request volume, times 1e6.
+// It is the scale-free unit used to compare architectures, because a
+// deployment is sized to its offered load.
+func (r Report) CostPerMillionRequests() float64 {
+	qps := r.QPS()
+	if qps == 0 {
+		return 0
+	}
+	const secondsPerMonth = 30 * 24 * 3600
+	requestsPerMonth := qps * secondsPerMonth
+	return r.TotalCost / requestsPerMonth * 1e6
+}
+
+// MemFraction returns provisioned-memory cost as a fraction of total cost.
+// The paper reports 6–22% for Linked and 1–5% for Base (§5.3).
+func (r Report) MemFraction() float64 {
+	if r.TotalCost == 0 {
+		return 0
+	}
+	return r.MemCost / r.TotalCost
+}
+
+// ComponentCost returns the summed monthly cost of every line whose
+// component name equals prefix or starts with prefix+".". The empty
+// prefix matches every line.
+func (r Report) ComponentCost(prefix string) float64 {
+	var sum float64
+	for _, l := range r.Lines {
+		if prefix == "" || l.Component == prefix || strings.HasPrefix(l.Component, prefix+".") {
+			sum += l.Total()
+		}
+	}
+	return sum
+}
+
+// ComponentCores returns the summed cores of every line under prefix,
+// following the same hierarchy rule as ComponentCost.
+func (r Report) ComponentCores(prefix string) float64 {
+	var sum float64
+	for _, l := range r.Lines {
+		if prefix == "" || l.Component == prefix || strings.HasPrefix(l.Component, prefix+".") {
+			sum += l.Cores
+		}
+	}
+	return sum
+}
+
+// Rollup aggregates lines into top-level components (the name up to the
+// first dot) and returns them sorted by descending total cost.
+func (r Report) Rollup() []Line {
+	agg := make(map[string]*Line)
+	for _, l := range r.Lines {
+		top := l.Component
+		if i := strings.IndexByte(top, '.'); i >= 0 {
+			top = top[:i]
+		}
+		a, ok := agg[top]
+		if !ok {
+			a = &Line{Component: top}
+			agg[top] = a
+		}
+		a.Cores += l.Cores
+		a.MemGB += l.MemGB
+		a.CPUCost += l.CPUCost
+		a.MemCost += l.MemCost
+		a.Ops += l.Ops
+	}
+	out := make([]Line, 0, len(agg))
+	for _, a := range agg {
+		out = append(out, *a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total() != out[j].Total() {
+			return out[i].Total() > out[j].Total()
+		}
+		return out[i].Component < out[j].Component
+	})
+	return out
+}
+
+// String renders the report as an aligned text table.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "elapsed=%v requests=%d qps=%.0f prices[%s]\n",
+		r.Elapsed.Round(time.Millisecond), r.Requests, r.QPS(), r.Prices)
+	fmt.Fprintf(&b, "%-24s %10s %10s %12s %12s %12s\n",
+		"component", "cores", "memGB", "cpu$/mo", "mem$/mo", "total$/mo")
+	for _, l := range r.Lines {
+		fmt.Fprintf(&b, "%-24s %10.4f %10.4f %12.4f %12.4f %12.4f\n",
+			l.Component, l.Cores, l.MemGB, l.CPUCost, l.MemCost, l.Total())
+	}
+	fmt.Fprintf(&b, "%-24s %10.4f %10s %12.4f %12.4f %12.4f\n",
+		"TOTAL", r.ComponentCores(""), "", r.CPUCost, r.MemCost, r.TotalCost)
+	fmt.Fprintf(&b, "cost per 1M requests: $%.6f  (memory fraction %.1f%%)\n",
+		r.CostPerMillionRequests(), 100*r.MemFraction())
+	return b.String()
+}

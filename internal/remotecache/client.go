@@ -1,0 +1,117 @@
+package remotecache
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"cachecost/internal/cluster"
+	"cachecost/internal/rpc"
+	"cachecost/internal/wire"
+)
+
+// ErrNoNodes is returned by a client with no cache nodes.
+var ErrNoNodes = errors.New("remotecache: no cache nodes")
+
+// Client shards keys across one or more cache nodes with consistent
+// hashing, the standard memcached client topology. It is safe for
+// concurrent use once constructed.
+type Client struct {
+	ring  *cluster.Ring
+	conns map[string]rpc.Conn
+}
+
+// NewClient builds a client over named connections (node name -> conn).
+func NewClient(conns map[string]rpc.Conn) *Client {
+	c := &Client{ring: cluster.NewRing(64), conns: make(map[string]rpc.Conn, len(conns))}
+	for name, conn := range conns {
+		c.ring.Add(name)
+		c.conns[name] = conn
+	}
+	return c
+}
+
+// NewSingleClient is the common one-node case.
+func NewSingleClient(conn rpc.Conn) *Client {
+	return NewClient(map[string]rpc.Conn{"cache0": conn})
+}
+
+func (c *Client) conn(key string) (rpc.Conn, error) {
+	node := c.ring.Owner(key)
+	if node == "" {
+		return nil, ErrNoNodes
+	}
+	conn, ok := c.conns[node]
+	if !ok {
+		return nil, fmt.Errorf("remotecache: no connection for node %q", node)
+	}
+	return conn, nil
+}
+
+// Get fetches key, reporting presence.
+func (c *Client) Get(key string) ([]byte, bool, error) {
+	conn, err := c.conn(key)
+	if err != nil {
+		return nil, false, err
+	}
+	respBody, err := conn.Call("cache.Get", wire.Marshal(&GetRequest{Key: key}))
+	if err != nil {
+		return nil, false, err
+	}
+	var resp GetResponse
+	if err := wire.Unmarshal(respBody, &resp); err != nil {
+		return nil, false, err
+	}
+	if !resp.Found {
+		return nil, false, nil
+	}
+	return resp.Value, true, nil
+}
+
+// Set stores key with no TTL.
+func (c *Client) Set(key string, value []byte) error {
+	return c.SetTTL(key, value, 0)
+}
+
+// SetTTL stores key, expiring after ttl (0 = never).
+func (c *Client) SetTTL(key string, value []byte, ttl time.Duration) error {
+	conn, err := c.conn(key)
+	if err != nil {
+		return err
+	}
+	req := &SetRequest{Key: key, Value: value, TTLms: int64(ttl / time.Millisecond)}
+	respBody, err := conn.Call("cache.Set", wire.Marshal(req))
+	if err != nil {
+		return err
+	}
+	var ack Ack
+	return wire.Unmarshal(respBody, &ack)
+}
+
+// Delete removes key, reporting whether it existed.
+func (c *Client) Delete(key string) (bool, error) {
+	conn, err := c.conn(key)
+	if err != nil {
+		return false, err
+	}
+	respBody, err := conn.Call("cache.Delete", wire.Marshal(&DeleteRequest{Key: key}))
+	if err != nil {
+		return false, err
+	}
+	var ack Ack
+	if err := wire.Unmarshal(respBody, &ack); err != nil {
+		return false, err
+	}
+	return ack.OK, nil
+}
+
+// Close closes every connection, returning the first error.
+func (c *Client) Close() error {
+	var first error
+	for _, conn := range c.conns {
+		if err := conn.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

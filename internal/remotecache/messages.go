@@ -1,0 +1,141 @@
+// Package remotecache implements the remote lookaside cache tier of the
+// study (§2.4, Figure 1b): a memcached/Redis-style server fronted by the
+// RPC layer, plus a client that shards keys across cache nodes with
+// consistent hashing. Every hit pays an RPC round trip and value
+// (de)serialization — the CPU the linked cache architecture eliminates.
+package remotecache
+
+import "cachecost/internal/wire"
+
+// GetRequest asks for one key.
+type GetRequest struct {
+	Key string
+}
+
+// MarshalWire implements wire.Marshaler.
+func (r *GetRequest) MarshalWire(e *wire.Encoder) { e.String(1, r.Key) }
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (r *GetRequest) UnmarshalWire(d *wire.Decoder) error {
+	return decodeFields(d, func(f uint32, t wire.Type) (err error) {
+		if f == 1 {
+			r.Key, err = d.String()
+			return err
+		}
+		return d.Skip(t)
+	})
+}
+
+// GetResponse returns the value, if present.
+type GetResponse struct {
+	Found bool
+	Value []byte
+}
+
+// MarshalWire implements wire.Marshaler.
+func (r *GetResponse) MarshalWire(e *wire.Encoder) {
+	e.Bool(1, r.Found)
+	e.BytesField(2, r.Value)
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (r *GetResponse) UnmarshalWire(d *wire.Decoder) error {
+	return decodeFields(d, func(f uint32, t wire.Type) (err error) {
+		switch f {
+		case 1:
+			r.Found, err = d.Bool()
+		case 2:
+			var b []byte
+			b, err = d.Bytes()
+			r.Value = append([]byte(nil), b...)
+		default:
+			err = d.Skip(t)
+		}
+		return err
+	})
+}
+
+// SetRequest stores a value with an optional TTL in milliseconds.
+type SetRequest struct {
+	Key   string
+	Value []byte
+	TTLms int64
+}
+
+// MarshalWire implements wire.Marshaler.
+func (r *SetRequest) MarshalWire(e *wire.Encoder) {
+	e.String(1, r.Key)
+	e.BytesField(2, r.Value)
+	e.Int64(3, r.TTLms)
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (r *SetRequest) UnmarshalWire(d *wire.Decoder) error {
+	return decodeFields(d, func(f uint32, t wire.Type) (err error) {
+		switch f {
+		case 1:
+			r.Key, err = d.String()
+		case 2:
+			var b []byte
+			b, err = d.Bytes()
+			r.Value = append([]byte(nil), b...)
+		case 3:
+			r.TTLms, err = d.Int64()
+		default:
+			err = d.Skip(t)
+		}
+		return err
+	})
+}
+
+// DeleteRequest removes a key.
+type DeleteRequest struct {
+	Key string
+}
+
+// MarshalWire implements wire.Marshaler.
+func (r *DeleteRequest) MarshalWire(e *wire.Encoder) { e.String(1, r.Key) }
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (r *DeleteRequest) UnmarshalWire(d *wire.Decoder) error {
+	return decodeFields(d, func(f uint32, t wire.Type) (err error) {
+		if f == 1 {
+			r.Key, err = d.String()
+			return err
+		}
+		return d.Skip(t)
+	})
+}
+
+// Ack is the generic success reply for writes.
+type Ack struct {
+	OK bool
+}
+
+// MarshalWire implements wire.Marshaler.
+func (r *Ack) MarshalWire(e *wire.Encoder) { e.Bool(1, r.OK) }
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (r *Ack) UnmarshalWire(d *wire.Decoder) error {
+	return decodeFields(d, func(f uint32, t wire.Type) (err error) {
+		if f == 1 {
+			r.OK, err = d.Bool()
+			return err
+		}
+		return d.Skip(t)
+	})
+}
+
+// decodeFields drives a field-by-field decode loop.
+func decodeFields(d *wire.Decoder, fn func(f uint32, t wire.Type) error) error {
+	for !d.Done() {
+		f, t, err := d.Next()
+		if err != nil {
+			return err
+		}
+		if err := fn(f, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}

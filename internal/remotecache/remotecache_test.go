@@ -1,0 +1,190 @@
+package remotecache
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"cachecost/internal/meter"
+	"cachecost/internal/rpc"
+)
+
+func newNode(t *testing.T, m *meter.Meter, capacity int64) *Server {
+	t.Helper()
+	return NewServer(ServerConfig{CapacityBytes: capacity, Meter: m, RPCCost: rpc.DefaultCost})
+}
+
+func TestGetSetDeleteLoopback(t *testing.T) {
+	srv := newNode(t, nil, 1<<20)
+	c := NewSingleClient(rpc.NewLoopback(srv.RPCServer(), nil, nil, rpc.CostModel{}))
+
+	if _, found, err := c.Get("k"); err != nil || found {
+		t.Fatalf("empty get = %v %v", found, err)
+	}
+	if err := c.Set("k", []byte("value")); err != nil {
+		t.Fatal(err)
+	}
+	v, found, err := c.Get("k")
+	if err != nil || !found || string(v) != "value" {
+		t.Fatalf("get = %q %v %v", v, found, err)
+	}
+	existed, err := c.Delete("k")
+	if err != nil || !existed {
+		t.Fatalf("delete = %v %v", existed, err)
+	}
+	if existed, _ := c.Delete("k"); existed {
+		t.Fatal("double delete should report absence")
+	}
+}
+
+func TestTTLExpires(t *testing.T) {
+	srv := newNode(t, nil, 1<<20)
+	c := NewSingleClient(rpc.NewDirect(srv.RPCServer()))
+	if err := c.SetTTL("k", []byte("v"), time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond)
+	if _, found, _ := c.Get("k"); found {
+		t.Fatal("TTL entry should expire")
+	}
+}
+
+func TestEvictionUnderPressure(t *testing.T) {
+	srv := newNode(t, nil, 4<<10)
+	c := NewSingleClient(rpc.NewDirect(srv.RPCServer()))
+	for i := 0; i < 100; i++ {
+		if err := c.Set(fmt.Sprintf("k%d", i), make([]byte, 256)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if srv.UsedBytes() > 4<<10 {
+		t.Fatalf("used %d exceeds capacity", srv.UsedBytes())
+	}
+	if srv.Stats().Evictions == 0 {
+		t.Fatal("expected evictions")
+	}
+}
+
+func TestShardingAcrossNodes(t *testing.T) {
+	nodes := map[string]*Server{}
+	conns := map[string]rpc.Conn{}
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("cache%d", i)
+		nodes[name] = newNode(t, nil, 1<<20)
+		conns[name] = rpc.NewDirect(nodes[name].RPCServer())
+	}
+	c := NewClient(conns)
+	const n = 300
+	for i := 0; i < n; i++ {
+		if err := c.Set(fmt.Sprintf("key-%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Every key must be readable back.
+	for i := 0; i < n; i++ {
+		if _, found, err := c.Get(fmt.Sprintf("key-%d", i)); err != nil || !found {
+			t.Fatalf("key-%d: found=%v err=%v", i, found, err)
+		}
+	}
+	// And the population must be spread across nodes.
+	for name, node := range nodes {
+		if node.Stats().Puts == 0 {
+			t.Fatalf("node %s received no keys; sharding broken", name)
+		}
+	}
+}
+
+func TestMeteringAndMemoryProvision(t *testing.T) {
+	m := meter.NewMeter()
+	srv := NewServer(ServerConfig{CapacityBytes: 6 << 30, Meter: m, Name: "remotecache", RPCCost: rpc.DefaultCost})
+	c := NewSingleClient(rpc.NewLoopback(srv.RPCServer(), m.Component("app"), meter.NewBurner(), rpc.DefaultCost))
+	payload := make([]byte, 8<<10)
+	for i := 0; i < 50; i++ {
+		c.Set(fmt.Sprintf("k%d", i), payload)
+		c.Get(fmt.Sprintf("k%d", i))
+	}
+	if m.Component("remotecache").Busy() <= 0 {
+		t.Fatal("cache node CPU should be metered")
+	}
+	if m.Component("app").Busy() <= 0 {
+		t.Fatal("client-side RPC overhead should be metered")
+	}
+	if got := m.Component("remotecache").MemBytes(); got != 6<<30 {
+		t.Fatalf("provisioned mem = %d", got)
+	}
+}
+
+func TestOverTCP(t *testing.T) {
+	srv := newNode(t, nil, 1<<20)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.RPCServer().Serve(l)
+	defer srv.RPCServer().Close()
+
+	conn, err := rpc.Dial(l.Addr().String(), nil, nil, rpc.CostModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewSingleClient(conn)
+	defer c.Close()
+
+	if err := c.Set("tcp-key", bytes.Repeat([]byte("x"), 10000)); err != nil {
+		t.Fatal(err)
+	}
+	v, found, err := c.Get("tcp-key")
+	if err != nil || !found || len(v) != 10000 {
+		t.Fatalf("tcp get = %d bytes, %v, %v", len(v), found, err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	srv := newNode(t, nil, 8<<20)
+	c := NewSingleClient(rpc.NewDirect(srv.RPCServer()))
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("w%d-k%d", w, i%20)
+				switch i % 3 {
+				case 0:
+					c.Set(key, []byte("v"))
+				case 1:
+					c.Get(key)
+				case 2:
+					c.Delete(key)
+				}
+			}
+		}(w)
+	}
+	wg.Wait() // run with -race
+}
+
+func TestEmptyClientErrors(t *testing.T) {
+	c := NewClient(nil)
+	if _, _, err := c.Get("k"); err == nil {
+		t.Fatal("client with no nodes should error")
+	}
+	if err := c.Set("k", nil); err == nil {
+		t.Fatal("set with no nodes should error")
+	}
+}
+
+func BenchmarkRemoteGet1KB(b *testing.B) {
+	srv := NewServer(ServerConfig{CapacityBytes: 64 << 20})
+	c := NewSingleClient(rpc.NewLoopback(srv.RPCServer(), nil, nil, rpc.DefaultCost))
+	c.Set("k", make([]byte, 1024))
+	b.SetBytes(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, found, err := c.Get("k"); err != nil || !found {
+			b.Fatal(err)
+		}
+	}
+}

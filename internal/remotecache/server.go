@@ -1,0 +1,99 @@
+package remotecache
+
+import (
+	"time"
+
+	"cachecost/internal/cache"
+	"cachecost/internal/meter"
+	"cachecost/internal/rpc"
+	"cachecost/internal/wire"
+)
+
+// Server is one remote cache node: a byte-budgeted sharded LRU behind RPC
+// methods cache.Get / cache.Set / cache.Delete.
+type Server struct {
+	store  *cache.Sharded[[]byte]
+	rpcsrv *rpc.Server
+	comp   *meter.Component
+}
+
+// ServerConfig parameterizes a cache node.
+type ServerConfig struct {
+	// CapacityBytes is the memory budget. Required.
+	CapacityBytes int64
+	// Shards is the lock-shard count. Default 16.
+	Shards int
+	// Meter receives the node's busy time and memory provision under the
+	// component name Name. Nil disables metering.
+	Meter *meter.Meter
+	// Name is the meter component. Default "remotecache".
+	Name string
+	// RPCCost is the transport overhead model.
+	RPCCost rpc.CostModel
+}
+
+// NewServer builds a cache node.
+func NewServer(cfg ServerConfig) *Server {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 16
+	}
+	if cfg.Name == "" {
+		cfg.Name = "remotecache"
+	}
+	s := &Server{
+		store: cache.NewSharded[[]byte](cfg.CapacityBytes, cfg.Shards, func(k string, v []byte) int64 {
+			return int64(len(k) + len(v) + 64) // include per-entry overhead
+		}),
+	}
+	var burner *meter.Burner
+	if cfg.Meter != nil {
+		s.comp = cfg.Meter.Component(cfg.Name)
+		s.comp.SetMemBytes(cfg.CapacityBytes)
+		burner = meter.NewBurner()
+	}
+	s.rpcsrv = rpc.NewServer(s.comp, burner, cfg.RPCCost)
+	s.rpcsrv.Handle("cache.Get", s.handleGet)
+	s.rpcsrv.Handle("cache.Set", s.handleSet)
+	s.rpcsrv.Handle("cache.Delete", s.handleDelete)
+	return s
+}
+
+// RPCServer exposes the node for rpc.Serve / loopback connections.
+func (s *Server) RPCServer() *rpc.Server { return s.rpcsrv }
+
+// Stats returns the cache counters.
+func (s *Server) Stats() cache.Stats { return s.store.Stats() }
+
+// UsedBytes returns the budgeted bytes currently cached.
+func (s *Server) UsedBytes() int64 { return s.store.UsedBytes() }
+
+func (s *Server) handleGet(req []byte) ([]byte, error) {
+	var r GetRequest
+	if err := wire.Unmarshal(req, &r); err != nil {
+		return nil, err
+	}
+	v, ok := s.store.Get(r.Key)
+	return wire.Marshal(&GetResponse{Found: ok, Value: v}), nil
+}
+
+func (s *Server) handleSet(req []byte) ([]byte, error) {
+	var r SetRequest
+	if err := wire.Unmarshal(req, &r); err != nil {
+		return nil, err
+	}
+	if r.TTLms > 0 {
+		s.store.PutTTL(r.Key, r.Value, time.Duration(r.TTLms)*time.Millisecond)
+	} else {
+		s.store.Put(r.Key, r.Value)
+	}
+	return wire.Marshal(&Ack{OK: true}), nil
+}
+
+func (s *Server) handleDelete(req []byte) ([]byte, error) {
+	var r DeleteRequest
+	if err := wire.Unmarshal(req, &r); err != nil {
+		return nil, err
+	}
+	existed := s.store.Delete(r.Key)
+	return wire.Marshal(&Ack{OK: existed}), nil
+}

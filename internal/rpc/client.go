@@ -1,0 +1,144 @@
+package rpc
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"cachecost/internal/meter"
+)
+
+// Client is a multiplexing TCP connection to a Server. Many goroutines may
+// Call concurrently over one Client; responses are matched to callers by
+// frame ID.
+type Client struct {
+	conn net.Conn
+
+	wmu sync.Mutex // serializes writes
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan callResult
+	err     error // sticky transport error
+
+	comp   *meter.Component // caller-side overhead attribution; may be nil
+	burner *meter.Burner
+	cost   CostModel
+}
+
+type callResult struct {
+	body []byte
+	err  error
+}
+
+// Dial connects to a Server at addr. comp (optional) receives the caller's
+// transport overhead charges under the given cost model.
+func Dial(addr string, comp *meter.Component, burner *meter.Burner, cost CostModel) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn:    conn,
+		pending: make(map[uint64]chan callResult),
+		comp:    comp,
+		burner:  burner,
+		cost:    cost,
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Call implements Conn.
+func (c *Client) Call(method string, req []byte) ([]byte, error) {
+	if c.comp != nil && c.burner != nil {
+		c.cost.Charge(c.comp, c.burner, len(req))
+	}
+
+	ch := make(chan callResult, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.nextID++
+	id := c.nextID
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	buf, err := appendFrame(nil, &frame{kind: frameRequest, id: id, method: method, body: req})
+	if err != nil {
+		c.forget(id)
+		return nil, err
+	}
+	c.wmu.Lock()
+	_, err = c.conn.Write(buf)
+	c.wmu.Unlock()
+	if err != nil {
+		c.forget(id)
+		return nil, err
+	}
+
+	res := <-ch
+	if res.err != nil {
+		return nil, res.err
+	}
+	if c.comp != nil && c.burner != nil {
+		c.cost.Charge(c.comp, c.burner, len(res.body))
+	}
+	return res.body, nil
+}
+
+func (c *Client) forget(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// readLoop delivers responses to waiting callers until the connection
+// fails, at which point every pending and future call fails with the
+// transport error.
+func (c *Client) readLoop() {
+	var rd frame
+	for {
+		if err := readFrame(c.conn, &rd); err != nil {
+			c.fail(fmt.Errorf("rpc: connection lost: %w", err))
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[rd.id]
+		delete(c.pending, rd.id)
+		c.mu.Unlock()
+		if !ok {
+			continue // cancelled or duplicate; drop
+		}
+		switch rd.kind {
+		case frameResponse:
+			ch <- callResult{body: append([]byte(nil), rd.body...)}
+		case frameError:
+			ch <- callResult{err: &RemoteError{Method: rd.method, Msg: string(rd.body)}}
+		default:
+			ch <- callResult{err: fmt.Errorf("rpc: bad frame kind %d", rd.kind)}
+		}
+	}
+}
+
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	for id, ch := range c.pending {
+		ch <- callResult{err: err}
+		delete(c.pending, id)
+	}
+	c.mu.Unlock()
+}
+
+// Close implements Conn.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	c.fail(net.ErrClosed)
+	return err
+}

@@ -1,0 +1,92 @@
+package rpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Frame kinds.
+const (
+	frameRequest  = 0
+	frameResponse = 1
+	frameError    = 2
+)
+
+// MaxFrameSize bounds a single frame to keep a malformed or hostile peer
+// from ballooning memory. 64 MiB comfortably fits the 1 MB values plus
+// batching used by the experiments.
+const MaxFrameSize = 64 << 20
+
+var errFrameTooLarge = errors.New("rpc: frame exceeds maximum size")
+
+// frame is the unit of transport: a request or response with an ID that
+// lets one connection multiplex many in-flight calls.
+type frame struct {
+	kind   uint8
+	id     uint64
+	method string // requests and errors carry the method for diagnostics
+	body   []byte
+}
+
+// appendFrame serializes f to b:
+//
+//	u32   payload length (big endian)
+//	u8    kind
+//	uvar  id
+//	uvar  len(method) | method bytes
+//	rest  body
+func appendFrame(b []byte, f *frame) ([]byte, error) {
+	start := len(b)
+	b = append(b, 0, 0, 0, 0) // length placeholder
+	b = append(b, f.kind)
+	b = binary.AppendUvarint(b, f.id)
+	b = binary.AppendUvarint(b, uint64(len(f.method)))
+	b = append(b, f.method...)
+	b = append(b, f.body...)
+	n := len(b) - start - 4
+	if n > MaxFrameSize {
+		return nil, errFrameTooLarge
+	}
+	binary.BigEndian.PutUint32(b[start:], uint32(n))
+	return b, nil
+}
+
+// readFrame reads one frame from r into f, reusing f.body's capacity.
+func readFrame(r io.Reader, f *frame) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return errFrameTooLarge
+	}
+	if cap(f.body) < int(n) {
+		f.body = make([]byte, n)
+	}
+	buf := f.body[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return err
+	}
+	if len(buf) < 1 {
+		return fmt.Errorf("rpc: empty frame")
+	}
+	f.kind = buf[0]
+	buf = buf[1:]
+	id, k := binary.Uvarint(buf)
+	if k <= 0 {
+		return fmt.Errorf("rpc: bad frame id")
+	}
+	buf = buf[k:]
+	f.id = id
+	mlen, k := binary.Uvarint(buf)
+	if k <= 0 || mlen > uint64(len(buf)-k) {
+		return fmt.Errorf("rpc: bad method length")
+	}
+	buf = buf[k:]
+	f.method = string(buf[:mlen])
+	f.body = buf[mlen:]
+	return nil
+}

@@ -1,0 +1,73 @@
+package rpc
+
+import (
+	"net"
+
+	"cachecost/internal/meter"
+)
+
+// Loopback is an in-process Conn bound directly to a Server. It preserves
+// the cost semantics of a real network hop — the request and response are
+// copied (no sharing of buffers across the "wire"), both endpoints are
+// charged per-message and per-byte transport overhead — while keeping
+// experiment runs deterministic and single-process.
+type Loopback struct {
+	server *Server
+	comp   *meter.Component // caller-side attribution; may be nil
+	burner *meter.Burner
+	cost   CostModel
+	closed bool
+}
+
+// NewLoopback returns a Conn that dispatches directly into server,
+// charging the caller's overhead to comp.
+func NewLoopback(server *Server, comp *meter.Component, burner *meter.Burner, cost CostModel) *Loopback {
+	return &Loopback{server: server, comp: comp, burner: burner, cost: cost}
+}
+
+// Call implements Conn.
+func (l *Loopback) Call(method string, req []byte) ([]byte, error) {
+	if l.closed {
+		return nil, net.ErrClosed
+	}
+	if l.comp != nil && l.burner != nil {
+		l.cost.Charge(l.comp, l.burner, len(req))
+	}
+	// Copy across the "wire": the server must not alias caller memory,
+	// exactly as with a socket.
+	wireReq := append([]byte(nil), req...)
+	resp, err := l.server.Dispatch(method, wireReq)
+	if err != nil {
+		return nil, err
+	}
+	wireResp := append([]byte(nil), resp...)
+	if l.comp != nil && l.burner != nil {
+		l.cost.Charge(l.comp, l.burner, len(wireResp))
+	}
+	return wireResp, nil
+}
+
+// Close implements Conn.
+func (l *Loopback) Close() error {
+	l.closed = true
+	return nil
+}
+
+// Direct is a Conn that invokes a server with no transport cost and no
+// copying. It models a linked (in-process) component: the callee's handler
+// CPU is still metered, but there is no hop to pay for. Used where an
+// architecture links a cache or library into the application process.
+type Direct struct {
+	server *Server
+}
+
+// NewDirect returns a zero-overhead in-process Conn.
+func NewDirect(server *Server) *Direct { return &Direct{server: server} }
+
+// Call implements Conn.
+func (d *Direct) Call(method string, req []byte) ([]byte, error) {
+	return d.server.Dispatch(method, req)
+}
+
+// Close implements Conn.
+func (d *Direct) Close() error { return nil }

@@ -1,0 +1,87 @@
+package rpc
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"cachecost/internal/meter"
+)
+
+// Pool is a Conn backed by several TCP connections to the same server,
+// with calls spread round-robin. One multiplexed connection serializes
+// frame writes through a single socket; an application server pushing
+// tens of thousands of requests per second uses a small pool, exactly as
+// production gRPC channels and database drivers do.
+type Pool struct {
+	conns []Conn
+	next  atomic.Uint64
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// DialPool opens n connections to addr. Overhead attribution follows the
+// same rules as Dial. n < 1 is treated as 1. On error, any connections
+// already opened are closed.
+func DialPool(addr string, n int, comp *meter.Component, burner *meter.Burner, cost CostModel) (*Pool, error) {
+	if n < 1 {
+		n = 1
+	}
+	p := &Pool{conns: make([]Conn, 0, n)}
+	for i := 0; i < n; i++ {
+		c, err := Dial(addr, comp, burner, cost)
+		if err != nil {
+			p.Close()
+			return nil, err
+		}
+		p.conns = append(p.conns, c)
+	}
+	return p, nil
+}
+
+// NewPool wraps pre-established connections (tests, mixed transports).
+func NewPool(conns ...Conn) *Pool {
+	return &Pool{conns: conns}
+}
+
+// Call implements Conn, picking the next connection round-robin.
+func (p *Pool) Call(method string, req []byte) ([]byte, error) {
+	p.mu.Lock()
+	if p.closed || len(p.conns) == 0 {
+		p.mu.Unlock()
+		return nil, ErrPoolClosed
+	}
+	conn := p.conns[p.next.Add(1)%uint64(len(p.conns))]
+	p.mu.Unlock()
+	return conn.Call(method, req)
+}
+
+// Size returns the number of pooled connections.
+func (p *Pool) Size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.conns)
+}
+
+// Close implements Conn, closing every pooled connection and returning
+// the first error.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closed = true
+	var first error
+	for _, c := range p.conns {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	p.conns = nil
+	return first
+}
+
+// ErrPoolClosed is returned by calls on a closed or empty pool.
+var ErrPoolClosed = poolClosedError{}
+
+type poolClosedError struct{}
+
+func (poolClosedError) Error() string { return "rpc: connection pool is closed" }

@@ -1,0 +1,138 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+)
+
+func TestPoolRoundRobinOverTCP(t *testing.T) {
+	s, _ := newTestServer(t)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(l)
+	defer s.Close()
+
+	p, err := DialPool(l.Addr().String(), 4, nil, nil, CostModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if p.Size() != 4 {
+		t.Fatalf("Size = %d", p.Size())
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				want := fmt.Sprintf("w%d-%d", w, i)
+				resp, err := p.Call("echo", []byte(want))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if string(resp) != "echo:"+want {
+					errs <- fmt.Errorf("cross-talk: %q", resp)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolSpreadsAcrossConnections(t *testing.T) {
+	// Wrap counting conns to observe the round-robin.
+	counts := make([]int, 3)
+	conns := make([]Conn, 3)
+	for i := range conns {
+		i := i
+		conns[i] = connFunc(func(method string, req []byte) ([]byte, error) {
+			counts[i]++
+			return req, nil
+		})
+	}
+	p := NewPool(conns...)
+	for i := 0; i < 9; i++ {
+		if _, err := p.Call("m", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, c := range counts {
+		if c != 3 {
+			t.Fatalf("conn %d served %d calls, want 3 (%v)", i, c, counts)
+		}
+	}
+}
+
+func TestPoolClose(t *testing.T) {
+	closed := 0
+	p := NewPool(connFunc(nil).withClose(&closed), connFunc(nil).withClose(&closed))
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if closed != 2 {
+		t.Fatalf("closed %d conns, want 2", closed)
+	}
+	if _, err := p.Call("m", nil); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("call after close: %v", err)
+	}
+	// Empty pool behaves as closed.
+	if _, err := NewPool().Call("m", nil); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("empty pool call: %v", err)
+	}
+}
+
+func TestDialPoolMinimumOne(t *testing.T) {
+	s, _ := newTestServer(t)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(l)
+	defer s.Close()
+	p, err := DialPool(l.Addr().String(), 0, nil, nil, CostModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if p.Size() != 1 {
+		t.Fatalf("Size = %d, want 1", p.Size())
+	}
+}
+
+func TestDialPoolFailureClosesPartial(t *testing.T) {
+	if _, err := DialPool("127.0.0.1:1", 3, nil, nil, CostModel{}); err == nil {
+		t.Fatal("dialing a dead port should fail")
+	}
+}
+
+// connFunc adapts a function to Conn for pool tests.
+type connFunc func(method string, req []byte) ([]byte, error)
+
+func (f connFunc) Call(method string, req []byte) ([]byte, error) { return f(method, req) }
+func (f connFunc) Close() error                                   { return nil }
+
+type closeCountingConn struct {
+	connFunc
+	n *int
+}
+
+func (c closeCountingConn) Close() error {
+	*c.n++
+	return nil
+}
+
+func (f connFunc) withClose(n *int) Conn { return closeCountingConn{connFunc: f, n: n} }

@@ -1,0 +1,79 @@
+// Package rpc is the remote-procedure-call substrate for the cachecost
+// laboratory. It plays the role gRPC plays in the paper's testbed (§5.1):
+// every hop between application servers, remote caches and storage nodes
+// pays framing, copying and dispatch CPU here.
+//
+// Two transports are provided. The TCP transport runs components as real
+// networked processes (see cmd/). The loopback transport runs them in one
+// process with identical framing and copying semantics, plus a calibrated
+// CPU burn standing in for the kernel network stack — giving deterministic,
+// fast experiment runs with the same relative cost shape.
+package rpc
+
+import (
+	"errors"
+	"fmt"
+
+	"cachecost/internal/meter"
+)
+
+// Conn issues calls against a remote server. Implementations must be safe
+// for concurrent use.
+type Conn interface {
+	// Call sends req to the named method and returns the response body.
+	// The returned slice is owned by the caller.
+	Call(method string, req []byte) ([]byte, error)
+	// Close releases the connection's resources.
+	Close() error
+}
+
+// HandlerFunc processes one request body and returns a response body.
+// The request slice is only valid for the duration of the call.
+type HandlerFunc func(req []byte) ([]byte, error)
+
+// ErrNoSuchMethod is returned to callers of unregistered methods.
+var ErrNoSuchMethod = errors.New("rpc: no such method")
+
+// RemoteError wraps an error string returned by a server so callers can
+// distinguish transport failures from application failures.
+type RemoteError struct {
+	Method string
+	Msg    string
+}
+
+// Error implements the error interface.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("rpc: remote error from %s: %s", e.Method, e.Msg)
+}
+
+// CostModel charges the CPU overhead of moving one message through a
+// transport endpoint: a fixed per-message cost (syscalls, interrupt and
+// dispatch work) plus a per-byte cost (copies through the kernel and NIC
+// ring). Units are Burner work units (≈ one unit per byte processed).
+//
+// The defaults are calibrated so that, as in the paper's profile of
+// production clusters, RPC communication is a visible but not dominant
+// fraction of request cost at small values and the per-byte term dominates
+// at large values.
+type CostModel struct {
+	PerMessage int
+	PerByte    float64
+}
+
+// DefaultCost is the calibration used by all experiments.
+var DefaultCost = CostModel{PerMessage: 4096, PerByte: 0.5}
+
+// Charge burns CPU for one message of n payload bytes and attributes the
+// time to component c. A nil receiver-like zero model charges nothing.
+func (m CostModel) Charge(c *meter.Component, b *meter.Burner, n int) {
+	if m.PerMessage == 0 && m.PerByte == 0 {
+		return
+	}
+	work := m.PerMessage + int(m.PerByte*float64(n))
+	if work <= 0 {
+		return
+	}
+	sw := c.Start()
+	b.Burn(work)
+	sw.Stop()
+}

@@ -1,0 +1,171 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"cachecost/internal/meter"
+)
+
+// Server dispatches incoming calls to registered handlers and attributes
+// the CPU they consume — handler body plus transport overhead — to a meter
+// component.
+type Server struct {
+	mu       sync.RWMutex
+	handlers map[string]HandlerFunc
+
+	comp   *meter.Component // may be nil: unmetered
+	burner *meter.Burner
+	cost   CostModel
+	// meterBody controls whether Dispatch wraps the handler body in the
+	// component's stopwatch. Servers whose handlers meter their own
+	// internals (the storage node) disable it to avoid double counting;
+	// transport overhead is charged to comp either way.
+	meterBody bool
+
+	lnMu      sync.Mutex
+	listeners map[net.Listener]struct{}
+	closed    bool
+}
+
+// NewServer returns a server that attributes work to comp using the given
+// transport cost model. comp may be nil to disable metering; burner may be
+// nil when the cost model is zero.
+func NewServer(comp *meter.Component, burner *meter.Burner, cost CostModel) *Server {
+	return &Server{
+		handlers:  make(map[string]HandlerFunc),
+		comp:      comp,
+		burner:    burner,
+		cost:      cost,
+		meterBody: true,
+		listeners: make(map[net.Listener]struct{}),
+	}
+}
+
+// SetMeterHandlerBody controls whether Dispatch attributes handler wall
+// time to the server's component (default true). Disable it when the
+// handlers meter their own work against finer-grained components.
+func (s *Server) SetMeterHandlerBody(on bool) { s.meterBody = on }
+
+// Handle registers fn for method. Registering the same method twice
+// replaces the earlier handler.
+func (s *Server) Handle(method string, fn HandlerFunc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[method] = fn
+}
+
+// Dispatch runs the handler for method on req, metering handler time and
+// charging transport overhead for the inbound and outbound message. It is
+// exported so the loopback transport and tests can drive a server without
+// a socket.
+func (s *Server) Dispatch(method string, req []byte) ([]byte, error) {
+	s.mu.RLock()
+	fn, ok := s.handlers[method]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchMethod, method)
+	}
+	if s.comp != nil && s.burner != nil {
+		s.cost.Charge(s.comp, s.burner, len(req))
+	}
+	var resp []byte
+	var err error
+	if s.comp != nil && s.meterBody {
+		sw := s.comp.Start()
+		resp, err = fn(req)
+		sw.Stop()
+	} else {
+		resp, err = fn(req)
+	}
+	if s.comp != nil && s.burner != nil {
+		s.cost.Charge(s.comp, s.burner, len(resp))
+	}
+	return resp, err
+}
+
+// Serve accepts connections on l until l is closed or the server is
+// closed. It always returns a non-nil error; after Close the error is
+// net.ErrClosed.
+func (s *Server) Serve(l net.Listener) error {
+	s.lnMu.Lock()
+	if s.closed {
+		s.lnMu.Unlock()
+		l.Close()
+		return net.ErrClosed
+	}
+	s.listeners[l] = struct{}{}
+	s.lnMu.Unlock()
+	defer func() {
+		s.lnMu.Lock()
+		delete(s.listeners, l)
+		s.lnMu.Unlock()
+	}()
+
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go s.serveConn(conn)
+	}
+}
+
+// Close stops all listeners. In-flight calls complete.
+func (s *Server) Close() error {
+	s.lnMu.Lock()
+	defer s.lnMu.Unlock()
+	s.closed = true
+	var first error
+	for l := range s.listeners {
+		if err := l.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// serveConn demultiplexes frames from one connection. Each request runs in
+// its own goroutine so a slow handler does not head-of-line block the
+// connection; writes are serialized by a per-connection mutex.
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	var wmu sync.Mutex
+	var rd frame
+	for {
+		if err := readFrame(conn, &rd); err != nil {
+			return // connection closed or corrupt; drop it
+		}
+		if rd.kind != frameRequest {
+			return // protocol violation
+		}
+		id := rd.id
+		method := rd.method
+		body := append([]byte(nil), rd.body...)
+		go func() {
+			resp, err := s.Dispatch(method, body)
+			out := frame{id: id}
+			if err != nil {
+				out.kind = frameError
+				out.method = method
+				out.body = []byte(err.Error())
+			} else {
+				out.kind = frameResponse
+				out.body = resp
+			}
+			buf, ferr := appendFrame(nil, &out)
+			if ferr != nil {
+				out = frame{id: id, kind: frameError, method: method, body: []byte(ferr.Error())}
+				buf, _ = appendFrame(nil, &out)
+			}
+			wmu.Lock()
+			_, werr := conn.Write(buf)
+			wmu.Unlock()
+			if werr != nil && !errors.Is(werr, net.ErrClosed) {
+				conn.Close()
+			}
+		}()
+	}
+}

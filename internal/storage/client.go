@@ -1,0 +1,65 @@
+package storage
+
+import (
+	"cachecost/internal/rpc"
+	"cachecost/internal/storage/plan"
+	"cachecost/internal/storage/sql"
+	"cachecost/internal/wire"
+)
+
+// Client is a typed wrapper over an rpc.Conn to a database Node. It is the
+// database driver the application servers use; the request/response
+// (de)serialization it performs is application-side CPU, attributed to
+// whatever component owns the Conn.
+type Client struct {
+	conn rpc.Conn
+}
+
+// NewClient wraps conn (TCP, loopback or direct) as a database client.
+func NewClient(conn rpc.Conn) *Client { return &Client{conn: conn} }
+
+// Query runs a SELECT with bound parameters.
+func (c *Client) Query(src string, params ...sql.Value) (*plan.ResultSet, error) {
+	req := wire.Marshal(&QueryRequest{SQL: src, Params: params})
+	respBody, err := c.conn.Call("sql.Query", req)
+	if err != nil {
+		return nil, err
+	}
+	rs := &plan.ResultSet{}
+	if err := wire.Unmarshal(respBody, rs); err != nil {
+		return nil, err
+	}
+	return rs, nil
+}
+
+// Exec runs a write statement (INSERT/UPDATE/DELETE/DDL) with bound
+// parameters, replicated through the storage node's raft group.
+func (c *Client) Exec(src string, params ...sql.Value) (*plan.ResultSet, error) {
+	req := wire.Marshal(&QueryRequest{SQL: src, Params: params})
+	respBody, err := c.conn.Call("sql.Exec", req)
+	if err != nil {
+		return nil, err
+	}
+	rs := &plan.ResultSet{}
+	if err := wire.Unmarshal(respBody, rs); err != nil {
+		return nil, err
+	}
+	return rs, nil
+}
+
+// Version performs the §5.5 consistency version check for one row.
+func (c *Client) Version(table string, pk sql.Value) (uint64, bool, error) {
+	req := wire.Marshal(&VersionRequest{Table: table, PK: pk})
+	respBody, err := c.conn.Call("sql.Version", req)
+	if err != nil {
+		return 0, false, err
+	}
+	var vr VersionResponse
+	if err := wire.Unmarshal(respBody, &vr); err != nil {
+		return 0, false, err
+	}
+	return vr.Version, vr.Found, nil
+}
+
+// Close releases the underlying connection.
+func (c *Client) Close() error { return c.conn.Close() }

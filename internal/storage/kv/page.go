@@ -1,0 +1,90 @@
+package kv
+
+import (
+	"bytes"
+	"sort"
+
+	"cachecost/internal/wire"
+)
+
+// Page wire format: repeated groups of field 1 (key), field 2 (value),
+// field 3 (version). The encode/decode here is the real CPU a storage node
+// pays to move a page across the disk boundary.
+
+func encodePage(dp *decodedPage) []byte {
+	size := 16
+	for i := range dp.keys {
+		size += len(dp.keys[i]) + len(dp.vals[i]) + 16
+	}
+	e := wire.NewEncoder(size)
+	for i := range dp.keys {
+		e.BytesField(1, dp.keys[i])
+		e.BytesField(2, dp.vals[i])
+		e.Uint64(3, dp.vers[i])
+	}
+	out := make([]byte, e.Len())
+	copy(out, e.Bytes())
+	return out
+}
+
+func decodePage(buf []byte) *decodedPage {
+	dp := &decodedPage{}
+	d := wire.NewDecoder(buf)
+	for !d.Done() {
+		f, t, err := d.Next()
+		if err != nil {
+			panic("kv: corrupt page: " + err.Error())
+		}
+		switch f {
+		case 1:
+			b, err := d.Bytes()
+			if err != nil {
+				panic("kv: corrupt page key")
+			}
+			dp.keys = append(dp.keys, append([]byte(nil), b...))
+		case 2:
+			b, err := d.Bytes()
+			if err != nil {
+				panic("kv: corrupt page value")
+			}
+			dp.vals = append(dp.vals, append([]byte(nil), b...))
+		case 3:
+			v, err := d.Uint64()
+			if err != nil {
+				panic("kv: corrupt page version")
+			}
+			dp.vers = append(dp.vers, v)
+		default:
+			if err := d.Skip(t); err != nil {
+				panic("kv: corrupt page field")
+			}
+		}
+	}
+	return dp
+}
+
+// find returns the index of key in the page, or the insertion point and
+// false if absent.
+func (dp *decodedPage) find(key []byte) (int, bool) {
+	i := sort.Search(len(dp.keys), func(i int) bool {
+		return bytes.Compare(dp.keys[i], key) >= 0
+	})
+	if i < len(dp.keys) && bytes.Equal(dp.keys[i], key) {
+		return i, true
+	}
+	return i, false
+}
+
+// clone copies the slice headers (not the byte contents) so the copy can
+// be mutated structurally without disturbing the original.
+func (dp *decodedPage) clone() *decodedPage {
+	n := &decodedPage{
+		keys: make([][]byte, len(dp.keys)),
+		vals: make([][]byte, len(dp.vals)),
+		vers: make([]Version, len(dp.vers)),
+	}
+	copy(n.keys, dp.keys)
+	copy(n.vals, dp.vals)
+	copy(n.vers, dp.vers)
+	return n
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package kv
+
+// raceEnabled reports that the race detector is active. Its instrumentation
+// slows real CPU work by a large, non-uniform factor, so tests that assert
+// measured cost *ratios* (not correctness) skip themselves under -race.
+const raceEnabled = true

@@ -1,0 +1,623 @@
+// Package kv implements the storage engine underneath the mini distributed
+// database: an LSM-flavored ordered key-value store — writes land in a
+// memtable backed by a WAL charge and are flushed to encoded pages in
+// batches; reads go through a byte-budgeted block cache over those pages.
+// It plays the role TiKV (RocksDB) and its block cache play in the paper's
+// testbed (§5.1).
+//
+// The cost model is honest rather than synthetic: authoritative data lives
+// in encoded (serialized) pages; a read that misses both the memtable and
+// the block cache pays a calibrated disk-penalty CPU burn plus the real
+// CPU of decoding the page, while hits touch only in-memory forms. Writes
+// pay an append-style WAL charge immediately and the page re-encode cost
+// only at flush time, amortized across the batch — so storage CPU scales
+// with value size on both paths exactly as the paper observes (§5.3,
+// Figure 6), without overcharging writes with read-modify-write page churn
+// a real LSM does not do.
+package kv
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+
+	"cachecost/internal/cache"
+	"cachecost/internal/meter"
+)
+
+// Version is a monotonically increasing per-store write sequence number.
+// The row version consulted by consistent reads (§5.5) is the Version of
+// the last Put to that key.
+type Version = uint64
+
+// Item is one key-value record with its write version.
+type Item struct {
+	Key     []byte
+	Value   []byte
+	Version Version
+}
+
+// Config parameterizes a Store.
+type Config struct {
+	// PageBytes is the target encoded size of one page. Pages split when
+	// they exceed it. Default 16 KiB.
+	PageBytes int
+	// CacheBytes is the block-cache budget (the paper's s_D). Zero means
+	// no block cache: every page access goes to "disk".
+	CacheBytes int64
+	// MemtableBytes is the write-buffer budget; when pending writes
+	// exceed it they are flushed to pages. Default 4 MiB.
+	MemtableBytes int64
+	// DiskPenaltyPerByte is the CPU work (Burner units) charged per
+	// encoded byte read from "disk", modeling the I/O stack on a
+	// block-cache miss. Default 1.
+	DiskPenaltyPerByte float64
+	// DiskWritePenaltyPerByte is the per-byte work on the write path.
+	// Writes append to a WAL and pages are flushed asynchronously, so
+	// the synchronous per-byte cost is lower than a read's. Default 0.25.
+	DiskWritePenaltyPerByte float64
+	// DiskPenaltyPerOp is the fixed CPU work charged per disk access,
+	// modeling the per-I/O overhead of the storage stack. Default 8192.
+	DiskPenaltyPerOp int
+	// Comp receives the store's busy time and provisioned cache memory.
+	// Nil disables metering.
+	Comp *meter.Component
+	// Burner performs the disk-penalty work. Required if Comp is set.
+	Burner *meter.Burner
+}
+
+func (c *Config) applyDefaults() {
+	if c.PageBytes <= 0 {
+		c.PageBytes = 16 << 10
+	}
+	if c.MemtableBytes <= 0 {
+		c.MemtableBytes = 4 << 20
+	}
+	if c.DiskPenaltyPerByte == 0 {
+		c.DiskPenaltyPerByte = 1
+	}
+	if c.DiskWritePenaltyPerByte == 0 {
+		c.DiskWritePenaltyPerByte = 0.25
+	}
+	if c.DiskPenaltyPerOp == 0 {
+		c.DiskPenaltyPerOp = 8192
+	}
+	if c.Comp != nil && c.Burner == nil {
+		c.Burner = meter.NewBurner()
+	}
+}
+
+// Stats counts store-level events.
+type Stats struct {
+	Gets           int64
+	Puts           int64
+	Deletes        int64
+	Scans          int64
+	MemtableHits   int64
+	Flushes        int64
+	DiskReads      int64
+	DiskReadBytes  int64
+	DiskWrites     int64
+	DiskWriteBytes int64
+}
+
+// Store is an ordered KV store with a memtable and block cache. All
+// methods are safe for concurrent use.
+type Store struct {
+	cfg Config
+
+	mu       sync.Mutex
+	pages    []*page // sorted by firstKey; always at least one page
+	nextID   uint64
+	version  Version
+	stats    Stats
+	bcache   *cache.LRU[*decodedPage] // block cache, guarded by mu
+	mem      map[string]*memEntry     // pending writes
+	memBytes int64
+}
+
+// memEntry is one pending write (or tombstone) in the memtable.
+type memEntry struct {
+	val  []byte
+	ver  Version
+	tomb bool
+}
+
+// page is the authoritative, "on disk" form of a key range.
+type page struct {
+	id       uint64
+	firstKey []byte // lower bound of the page's range; nil for the first page
+	encoded  []byte
+	n        int // entry count, tracked to avoid decoding for sizing
+}
+
+// decodedPage is the in-memory form held by the block cache.
+type decodedPage struct {
+	keys [][]byte
+	vals [][]byte
+	vers []Version
+}
+
+// NewStore returns an empty store.
+func NewStore(cfg Config) *Store {
+	cfg.applyDefaults()
+	s := &Store{cfg: cfg, nextID: 1, mem: make(map[string]*memEntry)}
+	s.pages = []*page{{id: 0, encoded: encodePage(&decodedPage{})}}
+	s.bcache = cache.NewLRU[*decodedPage](cfg.CacheBytes, func(_ string, p *decodedPage) int64 {
+		var n int64
+		for i := range p.keys {
+			n += int64(len(p.keys[i]) + len(p.vals[i]) + 16)
+		}
+		return n
+	})
+	if cfg.Comp != nil {
+		cfg.Comp.SetMemBytes(cfg.CacheBytes)
+	}
+	return s
+}
+
+// track wraps a critical section with meter attribution.
+func (s *Store) track(fn func()) {
+	if s.cfg.Comp == nil {
+		fn()
+		return
+	}
+	sw := s.cfg.Comp.Start()
+	fn()
+	sw.Stop()
+}
+
+func (s *Store) burnDisk(n int, perByte float64) {
+	work := s.cfg.DiskPenaltyPerOp + int(perByte*float64(n))
+	if s.cfg.Burner != nil {
+		s.cfg.Burner.Burn(work)
+	} else {
+		// Unmetered stores still pay the work so behaviour does not
+		// depend on metering; use a shared static burner.
+		staticBurner.Burn(work)
+	}
+}
+
+var staticBurner = meter.NewBurner()
+
+// pageIdx returns the index of the page whose range contains key.
+func (s *Store) pageIdx(key []byte) int {
+	// First page whose firstKey > key, minus one.
+	i := sort.Search(len(s.pages), func(i int) bool {
+		return bytes.Compare(s.pages[i].firstKey, key) > 0
+	})
+	if i == 0 {
+		return 0
+	}
+	return i - 1
+}
+
+func cacheKey(id uint64) string {
+	return fmt.Sprintf("p%d", id)
+}
+
+// loadPage returns the decoded form of page p, via the block cache.
+func (s *Store) loadPage(p *page) *decodedPage {
+	if dp, ok := s.bcache.Get(cacheKey(p.id)); ok {
+		return dp
+	}
+	// Block-cache miss: pay the disk read and decode.
+	s.stats.DiskReads++
+	s.stats.DiskReadBytes += int64(len(p.encoded))
+	s.burnDisk(len(p.encoded), s.cfg.DiskPenaltyPerByte)
+	dp := decodePage(p.encoded)
+	s.bcache.Put(cacheKey(p.id), dp)
+	return dp
+}
+
+// storePage re-encodes dp as the authoritative form of p and writes it
+// "to disk", updating the block cache write-through.
+func (s *Store) storePage(p *page, dp *decodedPage) {
+	p.encoded = encodePage(dp)
+	p.n = len(dp.keys)
+	s.stats.DiskWrites++
+	s.stats.DiskWriteBytes += int64(len(p.encoded))
+	s.burnDisk(len(p.encoded), s.cfg.DiskWritePenaltyPerByte)
+	s.bcache.Put(cacheKey(p.id), dp)
+}
+
+// Get returns a copy of the value and its version.
+func (s *Store) Get(key []byte) (val []byte, ver Version, ok bool) {
+	s.track(func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.stats.Gets++
+		if e, hit := s.mem[string(key)]; hit {
+			s.stats.MemtableHits++
+			if e.tomb {
+				return
+			}
+			val = append([]byte(nil), e.val...)
+			ver = e.ver
+			ok = true
+			return
+		}
+		p := s.pages[s.pageIdx(key)]
+		dp := s.loadPage(p)
+		i, found := dp.find(key)
+		if !found {
+			return
+		}
+		val = append([]byte(nil), dp.vals[i]...)
+		ver = dp.vers[i]
+		ok = true
+	})
+	return val, ver, ok
+}
+
+// VersionOf returns the version of key without copying the value. It
+// still traverses the full page-load path on a memtable miss: as the
+// paper notes (§5.5), "even a seemingly trivial version check ...
+// fetches the full row".
+func (s *Store) VersionOf(key []byte) (ver Version, ok bool) {
+	s.track(func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.stats.Gets++
+		if e, hit := s.mem[string(key)]; hit {
+			s.stats.MemtableHits++
+			if e.tomb {
+				return
+			}
+			ver = e.ver
+			ok = true
+			return
+		}
+		p := s.pages[s.pageIdx(key)]
+		dp := s.loadPage(p)
+		i, found := dp.find(key)
+		if !found {
+			return
+		}
+		ver = dp.vers[i]
+		ok = true
+	})
+	return ver, ok
+}
+
+// Put inserts or replaces key, returning the new version. The write
+// lands in the memtable after a WAL append charge; pages absorb it at
+// the next flush.
+func (s *Store) Put(key, value []byte) (ver Version) {
+	s.track(func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.stats.Puts++
+		s.version++
+		ver = s.version
+		// WAL append: sequential write of the record.
+		s.burnDisk(len(key)+len(value), s.cfg.DiskWritePenaltyPerByte)
+		k := string(key)
+		if old, ok := s.mem[k]; ok {
+			s.memBytes -= int64(len(old.val))
+		} else {
+			s.memBytes += int64(len(k)) + 48
+		}
+		s.mem[k] = &memEntry{val: append([]byte(nil), value...), ver: ver}
+		s.memBytes += int64(len(value))
+		if s.memBytes > s.cfg.MemtableBytes {
+			s.flushLocked()
+		}
+	})
+	return ver
+}
+
+// Delete removes key, reporting whether it existed. Like a real LSM the
+// delete itself is a cheap tombstone append, but reporting existence
+// requires a read.
+func (s *Store) Delete(key []byte) (existed bool) {
+	s.track(func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.stats.Deletes++
+		k := string(key)
+		if e, ok := s.mem[k]; ok {
+			existed = !e.tomb
+		} else {
+			p := s.pages[s.pageIdx(key)]
+			dp := s.loadPage(p)
+			_, existed = dp.find(key)
+		}
+		if !existed {
+			return
+		}
+		s.version++
+		s.burnDisk(len(key), s.cfg.DiskWritePenaltyPerByte) // tombstone WAL append
+		if old, ok := s.mem[k]; ok {
+			s.memBytes -= int64(len(old.val))
+		} else {
+			s.memBytes += int64(len(k)) + 48
+		}
+		s.mem[k] = &memEntry{ver: s.version, tomb: true}
+	})
+	return existed
+}
+
+// flushLocked applies every memtable entry to the page store and clears
+// the memtable. Callers hold s.mu.
+func (s *Store) flushLocked() {
+	if len(s.mem) == 0 {
+		return
+	}
+	s.stats.Flushes++
+	keys := make([]string, 0, len(s.mem))
+	for k := range s.mem {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // page-order locality, as a real flush has
+	for _, k := range keys {
+		e := s.mem[k]
+		if e.tomb {
+			s.deleteFromPages([]byte(k))
+		} else {
+			s.applyToPages([]byte(k), e.val, e.ver)
+		}
+	}
+	s.mem = make(map[string]*memEntry)
+	s.memBytes = 0
+}
+
+// Flush forces the memtable into the page store.
+func (s *Store) Flush() {
+	s.track(func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.flushLocked()
+	})
+}
+
+// applyToPages inserts or replaces key in the page store. Callers hold
+// s.mu.
+func (s *Store) applyToPages(key, value []byte, ver Version) {
+	idx := s.pageIdx(key)
+	p := s.pages[idx]
+	dp := s.loadPage(p)
+	i, found := dp.find(key)
+	// The decoded page in the cache is about to be mutated; work on a
+	// shallow copy of the slices so other references stay coherent.
+	ndp := dp.clone()
+	k := append([]byte(nil), key...)
+	if found {
+		ndp.vals[i] = value
+		ndp.vers[i] = ver
+	} else {
+		ndp.keys = insertAt(ndp.keys, i, k)
+		ndp.vals = insertAt(ndp.vals, i, value)
+		ndp.vers = insertVerAt(ndp.vers, i, ver)
+	}
+	s.storePage(p, ndp)
+	s.maybeSplit(idx)
+}
+
+// deleteFromPages removes key from the page store. Callers hold s.mu.
+func (s *Store) deleteFromPages(key []byte) {
+	idx := s.pageIdx(key)
+	p := s.pages[idx]
+	dp := s.loadPage(p)
+	i, found := dp.find(key)
+	if !found {
+		return
+	}
+	ndp := dp.clone()
+	ndp.keys = removeAt(ndp.keys, i)
+	ndp.vals = removeAt(ndp.vals, i)
+	ndp.vers = removeVerAt(ndp.vers, i)
+	s.storePage(p, ndp)
+	if len(ndp.keys) == 0 && len(s.pages) > 1 {
+		s.bcache.Delete(cacheKey(p.id))
+		s.pages = append(s.pages[:idx], s.pages[idx+1:]...)
+		if idx == 0 {
+			s.pages[0].firstKey = nil
+		}
+	}
+}
+
+// Scan returns up to limit items with start <= key < end (end nil = no
+// upper bound), in key order, merging the memtable over the page store.
+// limit <= 0 means no limit.
+func (s *Store) Scan(start, end []byte, limit int) (items []Item) {
+	s.track(func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.stats.Scans++
+
+		// Pending writes in range, sorted.
+		var memKeys []string
+		for k := range s.mem {
+			kb := []byte(k)
+			if bytes.Compare(kb, start) >= 0 && (end == nil || bytes.Compare(kb, end) < 0) {
+				memKeys = append(memKeys, k)
+			}
+		}
+		sort.Strings(memKeys)
+
+		// Page items; over-fetch to cover entries the memtable shadows.
+		pageLimit := 0
+		if limit > 0 {
+			pageLimit = limit + len(memKeys)
+		}
+		pageItems := s.scanPagesLocked(start, end, pageLimit)
+
+		// Merge, memtable winning on equal keys.
+		mi, pi := 0, 0
+		for mi < len(memKeys) || pi < len(pageItems) {
+			if limit > 0 && len(items) >= limit {
+				return
+			}
+			var takeMem bool
+			switch {
+			case mi >= len(memKeys):
+				takeMem = false
+			case pi >= len(pageItems):
+				takeMem = true
+			default:
+				c := bytes.Compare([]byte(memKeys[mi]), pageItems[pi].Key)
+				if c == 0 {
+					pi++ // shadowed by the memtable entry
+				}
+				takeMem = c <= 0
+			}
+			if takeMem {
+				e := s.mem[memKeys[mi]]
+				if !e.tomb {
+					items = append(items, Item{
+						Key:     []byte(memKeys[mi]),
+						Value:   append([]byte(nil), e.val...),
+						Version: e.ver,
+					})
+				}
+				mi++
+			} else {
+				items = append(items, pageItems[pi])
+				pi++
+			}
+		}
+	})
+	return items
+}
+
+// scanPagesLocked collects page items in range. Callers hold s.mu.
+func (s *Store) scanPagesLocked(start, end []byte, limit int) (items []Item) {
+	idx := s.pageIdx(start)
+	for ; idx < len(s.pages); idx++ {
+		p := s.pages[idx]
+		if end != nil && bytes.Compare(p.firstKey, end) >= 0 && idx > 0 {
+			break
+		}
+		dp := s.loadPage(p)
+		i, _ := dp.find(start)
+		for ; i < len(dp.keys); i++ {
+			k := dp.keys[i]
+			if end != nil && bytes.Compare(k, end) >= 0 {
+				return items
+			}
+			items = append(items, Item{
+				Key:     append([]byte(nil), k...),
+				Value:   append([]byte(nil), dp.vals[i]...),
+				Version: dp.vers[i],
+			})
+			if limit > 0 && len(items) >= limit {
+				return items
+			}
+		}
+	}
+	return items
+}
+
+// Len returns the number of live keys. It forces a memtable flush to
+// keep the count exact.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flushLocked()
+	n := 0
+	for _, p := range s.pages {
+		n += p.n
+	}
+	return n
+}
+
+// DataBytes returns the total encoded bytes "on disk" — the quantity the
+// storage line item of the cost model prices. It forces a memtable flush
+// so pending writes are included.
+func (s *Store) DataBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flushLocked()
+	var n int64
+	for _, p := range s.pages {
+		n += int64(len(p.encoded))
+	}
+	return n
+}
+
+// CurrentVersion returns the latest assigned write version.
+func (s *Store) CurrentVersion() Version {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.version
+}
+
+// Stats returns store counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// CacheStats returns the block cache's counters.
+func (s *Store) CacheStats() cache.Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bcache.Stats()
+}
+
+// SetCacheBytes resizes the block cache (evicting as needed) and updates
+// the metered memory provision. Used by experiments that sweep s_D.
+func (s *Store) SetCacheBytes(n int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cfg.CacheBytes = n
+	s.bcache.SetCapacity(n)
+	if s.cfg.Comp != nil {
+		s.cfg.Comp.SetMemBytes(n)
+	}
+}
+
+// maybeSplit splits pages[idx] if it exceeds the page size target.
+// Callers hold s.mu. A page with a single oversized entry is left alone.
+func (s *Store) maybeSplit(idx int) {
+	p := s.pages[idx]
+	if len(p.encoded) <= s.cfg.PageBytes || p.n < 2 {
+		return
+	}
+	dp := s.loadPage(p)
+	mid := len(dp.keys) / 2
+	left := &decodedPage{keys: dp.keys[:mid:mid], vals: dp.vals[:mid:mid], vers: dp.vers[:mid:mid]}
+	right := &decodedPage{keys: dp.keys[mid:], vals: dp.vals[mid:], vers: dp.vers[mid:]}
+
+	np := &page{id: s.nextID, firstKey: append([]byte(nil), right.keys[0]...)}
+	s.nextID++
+	s.storePage(p, left)
+	s.storePage(np, right)
+	s.pages = append(s.pages, nil)
+	copy(s.pages[idx+2:], s.pages[idx+1:])
+	s.pages[idx+1] = np
+	// Recurse in case one half is still oversized (giant values).
+	s.maybeSplit(idx)
+	// Right half index may have shifted if the left split again; find it.
+	for i := idx + 1; i < len(s.pages); i++ {
+		if s.pages[i] == np {
+			s.maybeSplit(i)
+			break
+		}
+	}
+}
+
+func insertAt(s [][]byte, i int, v []byte) [][]byte {
+	s = append(s, nil)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func removeAt(s [][]byte, i int) [][]byte {
+	return append(s[:i:i], s[i+1:]...)
+}
+
+func insertVerAt(s []Version, i int, v Version) []Version {
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func removeVerAt(s []Version, i int) []Version {
+	return append(s[:i:i], s[i+1:]...)
+}

@@ -1,0 +1,292 @@
+package storage
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"cachecost/internal/meter"
+	"cachecost/internal/rpc"
+	"cachecost/internal/storage/sql"
+)
+
+func newTestNode(t *testing.T, m *meter.Meter) (*Node, *Client) {
+	t.Helper()
+	n := NewNode(Config{
+		Replicas:        3,
+		BlockCacheBytes: 8 << 20,
+		Meter:           m,
+	})
+	c := NewClient(rpc.NewDirect(n.Server()))
+	return n, c
+}
+
+func TestExecAndQueryThroughRPC(t *testing.T) {
+	_, c := newTestNode(t, nil)
+	if _, err := c.Exec("CREATE TABLE t (id INT PRIMARY KEY, name TEXT)"); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := c.Exec("INSERT INTO t (id, name) VALUES (1, 'a'), (2, 'b')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.RowsAffected != 2 {
+		t.Fatalf("RowsAffected = %d, want 2", rs.RowsAffected)
+	}
+	got, err := c.Query("SELECT name FROM t WHERE id = ?", sql.Int64(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rows) != 1 || got.Rows[0][0].Str != "b" {
+		t.Fatalf("rows = %v", got.Rows)
+	}
+}
+
+func TestQueryRejectsWritesAndViceVersa(t *testing.T) {
+	_, c := newTestNode(t, nil)
+	c.Exec("CREATE TABLE t (id INT PRIMARY KEY)")
+	if _, err := c.Query("INSERT INTO t (id) VALUES (1)"); err == nil {
+		t.Fatal("Query should reject INSERT")
+	}
+	if _, err := c.Exec("SELECT * FROM t"); err == nil {
+		t.Fatal("Exec should reject SELECT")
+	}
+}
+
+func TestWritesReplicateToAllReplicas(t *testing.T) {
+	n, c := newTestNode(t, nil)
+	c.Exec("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)")
+	c.Exec("INSERT INTO t (id, v) VALUES (7, 'replicated')")
+	for i := 0; i < 3; i++ {
+		rs, err := n.dbs[i].ExecSQL("SELECT v FROM t WHERE id = 7")
+		if err != nil {
+			t.Fatalf("replica %d: %v", i, err)
+		}
+		if len(rs.Rows) != 1 || rs.Rows[0][0].Str != "replicated" {
+			t.Fatalf("replica %d missing write: %v", i, rs.Rows)
+		}
+	}
+}
+
+func TestFailoverServesCommittedData(t *testing.T) {
+	n, c := newTestNode(t, nil)
+	c.Exec("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)")
+	c.Exec("INSERT INTO t (id, v) VALUES (1, 'before')")
+
+	n.Group().FailNode(0)
+	if _, err := c.Query("SELECT * FROM t WHERE id = 1"); err == nil {
+		t.Fatal("leaderless reads should fail")
+	}
+	if err := n.Group().ElectLeader(1); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := c.Query("SELECT v FROM t WHERE id = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 1 || rs.Rows[0][0].Str != "before" {
+		t.Fatalf("post-failover read = %v", rs.Rows)
+	}
+	// Writes continue through the new leader.
+	if _, err := c.Exec("INSERT INTO t (id, v) VALUES (2, 'after')"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVersionCheck(t *testing.T) {
+	_, c := newTestNode(t, nil)
+	c.Exec("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)")
+	c.Exec("INSERT INTO t (id, v) VALUES (1, 'a')")
+	v1, found, err := c.Version("t", sql.Int64(1))
+	if err != nil || !found {
+		t.Fatalf("Version = %v %v %v", v1, found, err)
+	}
+	c.Exec("UPDATE t SET v = 'b' WHERE id = 1")
+	v2, found, err := c.Version("t", sql.Int64(1))
+	if err != nil || !found {
+		t.Fatal(err)
+	}
+	if v2 <= v1 {
+		t.Fatalf("version should advance on write: %d -> %d", v1, v2)
+	}
+	_, found, err = c.Version("t", sql.Int64(99))
+	if err != nil || found {
+		t.Fatalf("missing row: found=%v err=%v", found, err)
+	}
+}
+
+func TestBootstrapBypassesMetering(t *testing.T) {
+	m := meter.NewMeter()
+	n, c := newTestNode(t, m)
+	err := n.Bootstrap([]string{
+		"CREATE TABLE t (id INT PRIMARY KEY, v TEXT)",
+		"INSERT INTO t (id, v) VALUES (1, 'x')",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Component("storage.sql").Busy(); got != 0 {
+		t.Fatalf("bootstrap should not meter, got %v", got)
+	}
+	// Data visible on every replica and through RPC.
+	rs, err := c.Query("SELECT v FROM t WHERE id = 1")
+	if err != nil || len(rs.Rows) != 1 {
+		t.Fatalf("rows=%v err=%v", rs, err)
+	}
+	for i := 0; i < 3; i++ {
+		if got, _ := n.dbs[i].ExecSQL("SELECT * FROM t"); len(got.Rows) != 1 {
+			t.Fatalf("replica %d missing bootstrap data", i)
+		}
+	}
+}
+
+func TestMeterBreakdownComponents(t *testing.T) {
+	m := meter.NewMeter()
+	_, c := newTestNode(t, m)
+	c.Exec("CREATE TABLE t (id INT PRIMARY KEY, v BLOB)")
+	payload := sql.Blob(make([]byte, 32<<10))
+	for i := 0; i < 20; i++ {
+		if _, err := c.Exec("INSERT INTO t (id, v) VALUES (?, ?)", sql.Int64(int64(i)), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := c.Query("SELECT v FROM t WHERE id = ?", sql.Int64(int64(i%20))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, comp := range []string{"storage.sql", "storage.exec", "storage.kv", "storage.raft", "storage.rpc"} {
+		if m.Component(comp).Busy() <= 0 {
+			t.Errorf("component %s should have busy time", comp)
+		}
+	}
+	// Block cache provisioning is metered: 3 replicas x 8MB.
+	if got := m.Component("storage.kv").MemBytes(); got != 3*(8<<20) {
+		t.Fatalf("kv mem = %d", got)
+	}
+}
+
+func TestBlockCacheResize(t *testing.T) {
+	m := meter.NewMeter()
+	n, c := newTestNode(t, m)
+	c.Exec("CREATE TABLE t (id INT PRIMARY KEY)")
+	n.SetBlockCacheBytes(1 << 20)
+	if got := m.Component("storage.kv").MemBytes(); got != 3<<20 {
+		t.Fatalf("resized kv mem = %d", got)
+	}
+}
+
+func TestVersionCheckCostsStorageCPU(t *testing.T) {
+	// The crux of §5.5: a version check is NOT cheap for the storage
+	// node; it pays front-end, lease, and full-row-fetch CPU.
+	m := meter.NewMeter()
+	n, c := newTestNode(t, m)
+	n.Bootstrap([]string{"CREATE TABLE t (id INT PRIMARY KEY, v BLOB)"})
+	if err := n.BootstrapExec("INSERT INTO t (id, v) VALUES (?, ?)",
+		sql.Int64(1), sql.Blob(make([]byte, 64<<10))); err != nil {
+		t.Fatal(err)
+	}
+	m.Reset()
+	for i := 0; i < 50; i++ {
+		if _, _, err := c.Version("t", sql.Int64(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sqlBusy := m.Component("storage.sql").Busy()
+	execBusy := m.Component("storage.exec").Busy()
+	raftBusy := m.Component("storage.raft").Busy()
+	if sqlBusy <= 0 || execBusy <= 0 || raftBusy <= 0 {
+		t.Fatalf("version checks should cost sql=%v exec=%v raft=%v", sqlBusy, execBusy, raftBusy)
+	}
+}
+
+func TestErrorsPropagateThroughRPC(t *testing.T) {
+	_, c := newTestNode(t, nil)
+	if _, err := c.Query("SELECT * FROM missing"); err == nil {
+		t.Fatal("unknown table should error")
+	}
+	if _, err := c.Exec("INSERT INTO missing (id) VALUES (1)"); err == nil {
+		t.Fatal("write to unknown table should error")
+	}
+	if _, err := c.Query("SELEC broken"); err == nil {
+		t.Fatal("syntax error should propagate")
+	}
+	if _, _, err := c.Version("missing", sql.Int64(1)); err == nil {
+		t.Fatal("version check on unknown table should error")
+	}
+}
+
+func TestExecErrorDoesNotPoisonLaterWrites(t *testing.T) {
+	_, c := newTestNode(t, nil)
+	c.Exec("CREATE TABLE t (id INT PRIMARY KEY)")
+	c.Exec("INSERT INTO t (id) VALUES (1)")
+	if _, err := c.Exec("INSERT INTO t (id) VALUES (1)"); err == nil {
+		t.Fatal("duplicate pk should error")
+	}
+	if _, err := c.Exec("INSERT INTO t (id) VALUES (2)"); err != nil {
+		t.Fatalf("later write should succeed: %v", err)
+	}
+}
+
+func TestRichObjectMultiQueryPattern(t *testing.T) {
+	// Smoke-test the Unity-Catalog-style access pattern: one logical read
+	// touching many tables with joins.
+	_, c := newTestNode(t, nil)
+	stmts := []string{
+		"CREATE TABLE tables (id INT PRIMARY KEY, name TEXT, owner INT)",
+		"CREATE TABLE perms (pid INT PRIMARY KEY, table_id INT, principal TEXT, level INT)",
+		"CREATE INDEX idx_perms ON perms (table_id)",
+	}
+	for _, s := range stmts {
+		if _, err := c.Exec(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Exec("INSERT INTO tables (id, name, owner) VALUES (1, 'events', 42)")
+	for i := 0; i < 5; i++ {
+		c.Exec(fmt.Sprintf("INSERT INTO perms (pid, table_id, principal, level) VALUES (%d, 1, 'user%d', %d)", i, i, i%3))
+	}
+	rs, err := c.Query(
+		"SELECT tables.name, perms.principal FROM tables JOIN perms ON tables.id = perms.table_id WHERE tables.id = ? ORDER BY perms.principal",
+		sql.Int64(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 5 {
+		t.Fatalf("join rows = %d", len(rs.Rows))
+	}
+	if !strings.HasPrefix(rs.Rows[0][1].Str, "user") {
+		t.Fatalf("row = %v", rs.Rows[0])
+	}
+}
+
+func BenchmarkStoragePointRead1KB(b *testing.B) {
+	n := NewNode(Config{Replicas: 3, BlockCacheBytes: 64 << 20})
+	c := NewClient(rpc.NewDirect(n.Server()))
+	n.Bootstrap([]string{"CREATE TABLE t (id INT PRIMARY KEY, v BLOB)"})
+	for i := 0; i < 100; i++ {
+		n.BootstrapExec("INSERT INTO t (id, v) VALUES (?, ?)", sql.Int64(int64(i)), sql.Blob(make([]byte, 1024)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Query("SELECT v FROM t WHERE id = ?", sql.Int64(int64(i%100))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStorageReplicatedWrite1KB(b *testing.B) {
+	n := NewNode(Config{Replicas: 3, BlockCacheBytes: 64 << 20})
+	c := NewClient(rpc.NewDirect(n.Server()))
+	n.Bootstrap([]string{"CREATE TABLE t (id INT PRIMARY KEY, v BLOB)"})
+	payload := sql.Blob(make([]byte, 1024))
+	for i := 0; i < 100; i++ {
+		n.BootstrapExec("INSERT INTO t (id, v) VALUES (?, ?)", sql.Int64(int64(i)), payload)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Exec("UPDATE t SET v = ? WHERE id = ?", payload, sql.Int64(int64(i%100))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

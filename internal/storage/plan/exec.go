@@ -1,0 +1,429 @@
+package plan
+
+import (
+	"errors"
+	"fmt"
+
+	"cachecost/internal/storage/kv"
+	"cachecost/internal/storage/sql"
+)
+
+// AccessPath is the access method the planner chose for a table.
+type AccessPath int
+
+// Access paths, cheapest first.
+const (
+	PathPoint AccessPath = iota // primary-key point lookup
+	PathIndex                   // secondary-index equality scan
+	PathScan                    // full table scan
+)
+
+// String implements fmt.Stringer.
+func (p AccessPath) String() string {
+	switch p {
+	case PathPoint:
+		return "point"
+	case PathIndex:
+		return "index"
+	case PathScan:
+		return "scan"
+	default:
+		return "unknown"
+	}
+}
+
+// Common execution errors.
+var (
+	ErrDuplicateKey = errors.New("plan: duplicate primary key")
+	ErrNullKey      = errors.New("plan: primary key must not be NULL")
+)
+
+// DB binds a catalog to a kv store and executes statements.
+type DB struct {
+	cat   *Catalog
+	store *kv.Store
+
+	// lastPath records the access path of the most recent base-table
+	// scan, for tests and EXPLAIN-style diagnostics.
+	lastPath AccessPath
+}
+
+// NewDB returns a DB over store with an empty catalog.
+func NewDB(store *kv.Store) *DB {
+	return &DB{cat: NewCatalog(), store: store}
+}
+
+// Catalog returns the schema catalog.
+func (db *DB) Catalog() *Catalog { return db.cat }
+
+// Store returns the underlying kv store.
+func (db *DB) Store() *kv.Store { return db.store }
+
+// LastPath returns the access path chosen by the most recent scan.
+func (db *DB) LastPath() AccessPath { return db.lastPath }
+
+// ExecSQL parses and executes src with the given parameters.
+func (db *DB) ExecSQL(src string, params ...sql.Value) (*ResultSet, error) {
+	stmt, err := sql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return db.Exec(stmt, params)
+}
+
+// Exec executes a parsed statement with bound parameters.
+func (db *DB) Exec(stmt sql.Stmt, params []sql.Value) (*ResultSet, error) {
+	switch st := stmt.(type) {
+	case *sql.CreateTableStmt:
+		_, err := db.cat.Define(st)
+		return &ResultSet{}, err
+	case *sql.CreateIndexStmt:
+		return db.execCreateIndex(st)
+	case *sql.InsertStmt:
+		return db.execInsert(st, params)
+	case *sql.UpdateStmt:
+		return db.execUpdate(st, params)
+	case *sql.DeleteStmt:
+		return db.execDelete(st, params)
+	case *sql.SelectStmt:
+		return db.execSelect(st, params)
+	default:
+		return nil, fmt.Errorf("plan: unsupported statement %T", stmt)
+	}
+}
+
+func (db *DB) execCreateIndex(st *sql.CreateIndexStmt) (*ResultSet, error) {
+	t, created, err := db.cat.AddIndex(st)
+	if err != nil {
+		return nil, err
+	}
+	if !created {
+		return &ResultSet{}, nil
+	}
+	// Backfill the index from existing rows.
+	col := t.ColIndex(st.Column)
+	prefix := tablePrefix(t.Name)
+	items := db.store.Scan(prefix, prefixEnd(prefix), 0)
+	var n int64
+	for _, it := range items {
+		vals, err := decodeRow(it.Value, len(t.Cols))
+		if err != nil {
+			return nil, err
+		}
+		if vals[col].IsNull() {
+			continue
+		}
+		db.store.Put(indexKey(t.Name, st.Name, vals[col], vals[t.PKIndex]), nil)
+		n++
+	}
+	return &ResultSet{RowsAffected: n}, nil
+}
+
+// evalExpr resolves a literal or parameter.
+func evalExpr(x sql.Expr, params []sql.Value) (sql.Value, error) {
+	if !x.IsParam {
+		return x.Value, nil
+	}
+	if x.Param < 1 || x.Param > len(params) {
+		return sql.Value{}, fmt.Errorf("plan: statement has parameter $%d but %d values were bound", x.Param, len(params))
+	}
+	return params[x.Param-1], nil
+}
+
+func (db *DB) execInsert(st *sql.InsertStmt, params []sql.Value) (*ResultSet, error) {
+	t, err := db.cat.Lookup(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	colPos := make([]int, len(st.Cols))
+	for i, c := range st.Cols {
+		p := t.ColIndex(c)
+		if p < 0 {
+			return nil, fmt.Errorf("plan: no column %q in table %q", c, st.Table)
+		}
+		colPos[i] = p
+	}
+	var n int64
+	for _, row := range st.Rows {
+		vals := make([]sql.Value, len(t.Cols))
+		for i, x := range row {
+			v, err := evalExpr(x, params)
+			if err != nil {
+				return nil, err
+			}
+			vals[colPos[i]] = v
+		}
+		pk := vals[t.PKIndex]
+		if pk.IsNull() {
+			return nil, ErrNullKey
+		}
+		key := rowKey(t.Name, pk)
+		if _, _, exists := db.store.Get(key); exists {
+			return nil, fmt.Errorf("%w: %s in %q", ErrDuplicateKey, pk, t.Name)
+		}
+		db.store.Put(key, encodeRow(vals))
+		for idxName, idxCol := range t.Indexes {
+			cv := vals[t.ColIndex(idxCol)]
+			if !cv.IsNull() {
+				db.store.Put(indexKey(t.Name, idxName, cv, pk), nil)
+			}
+		}
+		n++
+	}
+	return &ResultSet{RowsAffected: n}, nil
+}
+
+func (db *DB) execUpdate(st *sql.UpdateStmt, params []sql.Value) (*ResultSet, error) {
+	t, err := db.cat.Lookup(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := db.scanTable(t, st.Where, params, 0)
+	if err != nil {
+		return nil, err
+	}
+	setPos := make([]int, len(st.Set))
+	for i, a := range st.Set {
+		p := t.ColIndex(a.Column)
+		if p < 0 {
+			return nil, fmt.Errorf("plan: no column %q in table %q", a.Column, st.Table)
+		}
+		if p == t.PKIndex {
+			return nil, fmt.Errorf("plan: updating the primary key of %q is not supported", st.Table)
+		}
+		setPos[i] = p
+	}
+	var n int64
+	for _, vals := range rows {
+		pk := vals[t.PKIndex]
+		newVals := make([]sql.Value, len(vals))
+		copy(newVals, vals)
+		for i, a := range st.Set {
+			v, err := evalExpr(a.X, params)
+			if err != nil {
+				return nil, err
+			}
+			newVals[setPos[i]] = v
+		}
+		// Maintain indexes whose column changed.
+		for idxName, idxCol := range t.Indexes {
+			ci := t.ColIndex(idxCol)
+			oldV, newV := vals[ci], newVals[ci]
+			if oldV.Compare(newV) == 0 && oldV.IsNull() == newV.IsNull() {
+				continue
+			}
+			if !oldV.IsNull() {
+				db.store.Delete(indexKey(t.Name, idxName, oldV, pk))
+			}
+			if !newV.IsNull() {
+				db.store.Put(indexKey(t.Name, idxName, newV, pk), nil)
+			}
+		}
+		db.store.Put(rowKey(t.Name, pk), encodeRow(newVals))
+		n++
+	}
+	return &ResultSet{RowsAffected: n}, nil
+}
+
+func (db *DB) execDelete(st *sql.DeleteStmt, params []sql.Value) (*ResultSet, error) {
+	t, err := db.cat.Lookup(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := db.scanTable(t, st.Where, params, 0)
+	if err != nil {
+		return nil, err
+	}
+	var n int64
+	for _, vals := range rows {
+		pk := vals[t.PKIndex]
+		for idxName, idxCol := range t.Indexes {
+			cv := vals[t.ColIndex(idxCol)]
+			if !cv.IsNull() {
+				db.store.Delete(indexKey(t.Name, idxName, cv, pk))
+			}
+		}
+		db.store.Delete(rowKey(t.Name, pk))
+		n++
+	}
+	return &ResultSet{RowsAffected: n}, nil
+}
+
+// predFor reports whether pred applies to table t (unqualified or
+// qualified with t's name) and resolves its column position.
+func predFor(t *Table, pred sql.Pred) (int, bool, error) {
+	if pred.Col.Table != "" && pred.Col.Table != t.Name {
+		return 0, false, nil
+	}
+	ci := t.ColIndex(pred.Col.Column)
+	if ci < 0 {
+		if pred.Col.Table == t.Name {
+			return 0, false, fmt.Errorf("plan: no column %q in table %q", pred.Col.Column, t.Name)
+		}
+		return 0, false, nil // unqualified name may belong to another table
+	}
+	return ci, true, nil
+}
+
+// matchPred evaluates one predicate against a value, with SQL NULL
+// semantics (any comparison involving NULL is false).
+func matchPred(v sql.Value, pred sql.Pred, params []sql.Value) (bool, error) {
+	if pred.Op == sql.OpIn {
+		for _, x := range pred.List {
+			rv, err := evalExpr(x, params)
+			if err != nil {
+				return false, err
+			}
+			if v.Equal(rv) {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+	rv, err := evalExpr(pred.X, params)
+	if err != nil {
+		return false, err
+	}
+	if v.IsNull() || rv.IsNull() {
+		return false, nil
+	}
+	c := v.Compare(rv)
+	switch pred.Op {
+	case sql.OpEq:
+		return c == 0, nil
+	case sql.OpNe:
+		return c != 0, nil
+	case sql.OpLt:
+		return c < 0, nil
+	case sql.OpLe:
+		return c <= 0, nil
+	case sql.OpGt:
+		return c > 0, nil
+	case sql.OpGe:
+		return c >= 0, nil
+	default:
+		return false, fmt.Errorf("plan: unsupported operator %v", pred.Op)
+	}
+}
+
+// scanTable returns the rows of t matching the applicable predicates,
+// choosing the cheapest access path. limitHint > 0 allows early exit when
+// no ordering is required.
+func (db *DB) scanTable(t *Table, preds []sql.Pred, params []sql.Value, limitHint int) ([][]sql.Value, error) {
+	// Resolve applicable predicates.
+	type boundPred struct {
+		pred sql.Pred
+		col  int
+	}
+	var bound []boundPred
+	for _, p := range preds {
+		ci, ok, err := predFor(t, p)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			bound = append(bound, boundPred{pred: p, col: ci})
+		}
+	}
+
+	filter := func(vals []sql.Value) (bool, error) {
+		for _, bp := range bound {
+			ok, err := matchPred(vals[bp.col], bp.pred, params)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+
+	// Path 1: primary-key equality -> point lookup.
+	for _, bp := range bound {
+		if bp.col == t.PKIndex && bp.pred.Op == sql.OpEq {
+			db.lastPath = PathPoint
+			pk, err := evalExpr(bp.pred.X, params)
+			if err != nil {
+				return nil, err
+			}
+			buf, _, ok := db.store.Get(rowKey(t.Name, pk))
+			if !ok {
+				return nil, nil
+			}
+			vals, err := decodeRow(buf, len(t.Cols))
+			if err != nil {
+				return nil, err
+			}
+			match, err := filter(vals)
+			if err != nil {
+				return nil, err
+			}
+			if !match {
+				return nil, nil
+			}
+			return [][]sql.Value{vals}, nil
+		}
+	}
+
+	// Path 2: indexed-column equality -> index scan + point lookups.
+	for _, bp := range bound {
+		idxName, ok := t.IndexOn(t.Cols[bp.col].Name)
+		if !ok || bp.pred.Op != sql.OpEq {
+			continue
+		}
+		db.lastPath = PathIndex
+		v, err := evalExpr(bp.pred.X, params)
+		if err != nil {
+			return nil, err
+		}
+		prefix := indexValPrefix(t.Name, idxName, v)
+		entries := db.store.Scan(prefix, prefixEnd(prefix), 0)
+		var out [][]sql.Value
+		for _, en := range entries {
+			rk := append(tablePrefix(t.Name), en.Key[len(prefix):]...)
+			buf, _, ok := db.store.Get(rk)
+			if !ok {
+				continue // index entry racing a delete
+			}
+			vals, err := decodeRow(buf, len(t.Cols))
+			if err != nil {
+				return nil, err
+			}
+			match, err := filter(vals)
+			if err != nil {
+				return nil, err
+			}
+			if match {
+				out = append(out, vals)
+				if limitHint > 0 && len(out) >= limitHint {
+					break
+				}
+			}
+		}
+		return out, nil
+	}
+
+	// Path 3: full scan.
+	db.lastPath = PathScan
+	prefix := tablePrefix(t.Name)
+	items := db.store.Scan(prefix, prefixEnd(prefix), 0)
+	var out [][]sql.Value
+	for _, it := range items {
+		vals, err := decodeRow(it.Value, len(t.Cols))
+		if err != nil {
+			return nil, err
+		}
+		match, err := filter(vals)
+		if err != nil {
+			return nil, err
+		}
+		if match {
+			out = append(out, vals)
+			if limitHint > 0 && len(out) >= limitHint {
+				break
+			}
+		}
+	}
+	return out, nil
+}

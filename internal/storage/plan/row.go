@@ -1,0 +1,222 @@
+package plan
+
+import (
+	"fmt"
+
+	"cachecost/internal/storage/sql"
+	"cachecost/internal/wire"
+)
+
+// Key layout in the underlying kv store:
+//
+//	t/<table>/<pk-bytes>                     -> encoded row
+//	x/<table>/<index>/<val-bytes>/<pk-bytes> -> empty
+//
+// Length-prefixing of the variable segments keeps ranges unambiguous.
+
+func rowKey(table string, pk sql.Value) []byte {
+	k := make([]byte, 0, len(table)+16)
+	k = append(k, 't', '/')
+	k = append(k, table...)
+	k = append(k, '/')
+	k = append(k, pk.KeyBytes()...)
+	return k
+}
+
+func tablePrefix(table string) []byte {
+	return []byte("t/" + table + "/")
+}
+
+func indexKey(table, index string, val, pk sql.Value) []byte {
+	vb := val.KeyBytes()
+	k := make([]byte, 0, len(table)+len(index)+len(vb)+24)
+	k = append(k, 'x', '/')
+	k = append(k, table...)
+	k = append(k, '/')
+	k = append(k, index...)
+	k = append(k, '/')
+	k = wire.AppendUvarint(k, uint64(len(vb)))
+	k = append(k, vb...)
+	k = append(k, '/')
+	k = append(k, pk.KeyBytes()...)
+	return k
+}
+
+// indexValPrefix covers every index entry for one (table,index,value).
+func indexValPrefix(table, index string, val sql.Value) []byte {
+	vb := val.KeyBytes()
+	k := make([]byte, 0, len(table)+len(index)+len(vb)+24)
+	k = append(k, 'x', '/')
+	k = append(k, table...)
+	k = append(k, '/')
+	k = append(k, index...)
+	k = append(k, '/')
+	k = wire.AppendUvarint(k, uint64(len(vb)))
+	k = append(k, vb...)
+	k = append(k, '/')
+	return k
+}
+
+// prefixEnd returns the smallest key greater than every key starting with
+// prefix, for use as a Scan upper bound.
+func prefixEnd(prefix []byte) []byte {
+	end := append([]byte(nil), prefix...)
+	for i := len(end) - 1; i >= 0; i-- {
+		if end[i] < 0xff {
+			end[i]++
+			return end[:i+1]
+		}
+	}
+	return nil // prefix is all 0xff: no upper bound
+}
+
+// encodeRow serializes vals (one per table column, in schema order).
+func encodeRow(vals []sql.Value) []byte {
+	size := 16
+	for _, v := range vals {
+		size += int(v.Size())
+	}
+	e := wire.NewEncoder(size)
+	for i, v := range vals {
+		sql.EncodeValue(e, uint32(i+1), v)
+	}
+	out := make([]byte, e.Len())
+	copy(out, e.Bytes())
+	return out
+}
+
+// decodeRow parses an encoded row into nCols values (missing columns
+// decode as NULL).
+func decodeRow(buf []byte, nCols int) ([]sql.Value, error) {
+	vals := make([]sql.Value, nCols)
+	d := wire.NewDecoder(buf)
+	for !d.Done() {
+		f, t, err := d.Next()
+		if err != nil {
+			return nil, err
+		}
+		if t != wire.TBytes || int(f) < 1 || int(f) > nCols {
+			if err := d.Skip(t); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		body, err := d.Bytes()
+		if err != nil {
+			return nil, err
+		}
+		v, err := sql.DecodeValue(body)
+		if err != nil {
+			return nil, err
+		}
+		vals[f-1] = v
+	}
+	return vals, nil
+}
+
+// ResultSet is the output of a statement: column names (qualified as
+// "table.col" for joins) and rows of values. Writes report RowsAffected
+// with no columns.
+type ResultSet struct {
+	Cols         []string
+	Rows         [][]sql.Value
+	RowsAffected int64
+}
+
+// DataSize returns the approximate byte size of all values in the result.
+func (r *ResultSet) DataSize() int64 {
+	var n int64
+	for _, row := range r.Rows {
+		for _, v := range row {
+			n += v.Size()
+		}
+	}
+	return n
+}
+
+// MarshalWire implements wire.Marshaler.
+func (r *ResultSet) MarshalWire(e *wire.Encoder) {
+	for _, c := range r.Cols {
+		e.String(1, c)
+	}
+	for _, row := range r.Rows {
+		e.Message(2, func(sub *wire.Encoder) {
+			for i, v := range row {
+				sql.EncodeValue(sub, uint32(i+1), v)
+			}
+		})
+	}
+	e.Int64(3, r.RowsAffected)
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (r *ResultSet) UnmarshalWire(d *wire.Decoder) error {
+	for !d.Done() {
+		f, t, err := d.Next()
+		if err != nil {
+			return err
+		}
+		switch f {
+		case 1:
+			c, err := d.String()
+			if err != nil {
+				return err
+			}
+			r.Cols = append(r.Cols, c)
+		case 2:
+			body, err := d.Bytes()
+			if err != nil {
+				return err
+			}
+			row, err := decodeResultRow(body)
+			if err != nil {
+				return err
+			}
+			r.Rows = append(r.Rows, row)
+		case 3:
+			if r.RowsAffected, err = d.Int64(); err != nil {
+				return err
+			}
+		default:
+			if err := d.Skip(t); err != nil {
+				return err
+			}
+		}
+	}
+	for _, row := range r.Rows {
+		if len(row) != len(r.Cols) && len(r.Cols) > 0 {
+			return fmt.Errorf("plan: result row has %d values for %d columns", len(row), len(r.Cols))
+		}
+	}
+	return nil
+}
+
+func decodeResultRow(buf []byte) ([]sql.Value, error) {
+	var row []sql.Value
+	d := wire.NewDecoder(buf)
+	for !d.Done() {
+		f, t, err := d.Next()
+		if err != nil {
+			return nil, err
+		}
+		if t != wire.TBytes {
+			if err := d.Skip(t); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		body, err := d.Bytes()
+		if err != nil {
+			return nil, err
+		}
+		v, err := sql.DecodeValue(body)
+		if err != nil {
+			return nil, err
+		}
+		for int(f)-1 > len(row) {
+			row = append(row, sql.Null())
+		}
+		row = append(row, v)
+	}
+	return row, nil
+}

@@ -1,0 +1,281 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"cachecost/internal/storage/sql"
+)
+
+// joinedRow is an intermediate row during join execution: one value slice
+// per bound table, keyed by table name.
+type joinedRow map[string][]sql.Value
+
+func (db *DB) execSelect(st *sql.SelectStmt, params []sql.Value) (*ResultSet, error) {
+	base, err := db.cat.Lookup(st.Table)
+	if err != nil {
+		return nil, err
+	}
+
+	// Tables bound so far, in FROM/JOIN order.
+	order := []*Table{base}
+	byName := map[string]*Table{base.Name: base}
+	for _, j := range st.Joins {
+		jt, err := db.cat.Lookup(j.Table)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := byName[jt.Name]; dup {
+			return nil, fmt.Errorf("plan: table %q joined twice", jt.Name)
+		}
+		order = append(order, jt)
+		byName[jt.Name] = jt
+	}
+
+	// Scan the base table. When the query has no joins, no ORDER BY and a
+	// LIMIT, push the limit into the scan.
+	limitHint := 0
+	if len(st.Joins) == 0 && st.OrderBy == nil && st.Limit >= 0 {
+		limitHint = st.Limit
+	}
+	baseRows, err := db.scanTable(base, st.Where, params, limitHint)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]joinedRow, 0, len(baseRows))
+	for _, r := range baseRows {
+		rows = append(rows, joinedRow{base.Name: r})
+	}
+
+	// Left-deep nested-loop joins, probing the join table through its
+	// cheapest access path with the bound side of the ON condition.
+	for ji, j := range st.Joins {
+		jt := byName[j.Table]
+		boundRef, probeRef, err := orientJoin(j, jt, byName, order[:ji+1])
+		if err != nil {
+			return nil, err
+		}
+		probeCol := jt.ColIndex(probeRef.Column)
+		if probeCol < 0 {
+			return nil, fmt.Errorf("plan: no column %q in table %q", probeRef.Column, jt.Name)
+		}
+		boundTable := byName[boundRef.Table]
+		boundCol := boundTable.ColIndex(boundRef.Column)
+		if boundCol < 0 {
+			return nil, fmt.Errorf("plan: no column %q in table %q", boundRef.Column, boundTable.Name)
+		}
+
+		var next []joinedRow
+		for _, row := range rows {
+			bv := row[boundTable.Name][boundCol]
+			if bv.IsNull() {
+				continue // NULL never joins
+			}
+			// Probe with the join equality plus the user's predicates on
+			// the join table.
+			probePreds := append([]sql.Pred{{
+				Col: sql.ColRef{Table: jt.Name, Column: probeRef.Column},
+				Op:  sql.OpEq,
+				X:   sql.Expr{Value: bv},
+			}}, predsForTable(st.Where, jt)...)
+			matches, err := db.scanTable(jt, probePreds, params, 0)
+			if err != nil {
+				return nil, err
+			}
+			for _, m := range matches {
+				nr := make(joinedRow, len(row)+1)
+				for k, v := range row {
+					nr[k] = v
+				}
+				nr[jt.Name] = m
+				next = append(next, nr)
+			}
+		}
+		rows = next
+	}
+
+	// Projection schema.
+	proj, cols, err := projection(st, order, byName)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &ResultSet{Cols: cols}
+	for _, row := range rows {
+		vals := make([]sql.Value, len(proj))
+		for i, p := range proj {
+			vals[i] = row[p.table][p.col]
+		}
+		out.Rows = append(out.Rows, vals)
+	}
+
+	if st.OrderBy != nil {
+		oTable, oCol, err := resolveRef(st.OrderBy.Col, order, byName)
+		if err != nil {
+			return nil, err
+		}
+		// Sort the joined rows by the order column (which need not be
+		// projected), tracking the original rows alongside.
+		type keyed struct {
+			key sql.Value
+			i   int
+		}
+		keys := make([]keyed, len(rows))
+		for i, row := range rows {
+			keys[i] = keyed{key: row[oTable][oCol], i: i}
+		}
+		desc := st.OrderBy.Desc
+		sort.SliceStable(keys, func(a, b int) bool {
+			c := keys[a].key.Compare(keys[b].key)
+			if desc {
+				return c > 0
+			}
+			return c < 0
+		})
+		sorted := make([][]sql.Value, len(out.Rows))
+		for i, k := range keys {
+			sorted[i] = out.Rows[k.i]
+		}
+		out.Rows = sorted
+	}
+
+	if st.Limit >= 0 && len(out.Rows) > st.Limit {
+		out.Rows = out.Rows[:st.Limit]
+	}
+	return out, nil
+}
+
+// orientJoin determines which side of "ON a = b" refers to an
+// already-bound table (the bound side) and which to the table being
+// joined (the probe side).
+func orientJoin(j sql.Join, jt *Table, byName map[string]*Table, boundTables []*Table) (bound, probe sql.ColRef, err error) {
+	isBound := func(ref sql.ColRef) bool {
+		if ref.Table == jt.Name {
+			return false
+		}
+		if ref.Table != "" {
+			for _, t := range boundTables {
+				if t.Name == ref.Table {
+					return true
+				}
+			}
+			return false
+		}
+		// Unqualified: bound if exactly resolvable in a bound table.
+		for _, t := range boundTables {
+			if t.ColIndex(ref.Column) >= 0 {
+				return true
+			}
+		}
+		return false
+	}
+	qualify := func(ref sql.ColRef, preferJoin bool) (sql.ColRef, error) {
+		if ref.Table != "" {
+			return ref, nil
+		}
+		if preferJoin {
+			if jt.ColIndex(ref.Column) >= 0 {
+				return sql.ColRef{Table: jt.Name, Column: ref.Column}, nil
+			}
+		}
+		for _, t := range boundTables {
+			if t.ColIndex(ref.Column) >= 0 {
+				return sql.ColRef{Table: t.Name, Column: ref.Column}, nil
+			}
+		}
+		return ref, fmt.Errorf("plan: cannot resolve column %q in join", ref.Column)
+	}
+
+	lb, rb := isBound(j.Left), isBound(j.Right)
+	switch {
+	case lb && !rb:
+		bound, err = qualify(j.Left, false)
+		if err != nil {
+			return
+		}
+		probe, err = qualify(j.Right, true)
+		return
+	case rb && !lb:
+		bound, err = qualify(j.Right, false)
+		if err != nil {
+			return
+		}
+		probe, err = qualify(j.Left, true)
+		return
+	default:
+		err = fmt.Errorf("plan: join ON %s = %s must relate a bound table to %q",
+			j.Left, j.Right, jt.Name)
+		return
+	}
+}
+
+// predsForTable returns the WHERE conjuncts that name table t explicitly.
+// (Unqualified predicates are bound to the base table by scanTable.)
+func predsForTable(preds []sql.Pred, t *Table) []sql.Pred {
+	var out []sql.Pred
+	for _, p := range preds {
+		if p.Col.Table == t.Name {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+type projEntry struct {
+	table string
+	col   int
+}
+
+// projection resolves the SELECT list into (table, column) pairs and
+// output column names. Star expands to every column of every table in
+// order; names are qualified when more than one table is involved.
+func projection(st *sql.SelectStmt, order []*Table, byName map[string]*Table) ([]projEntry, []string, error) {
+	multi := len(order) > 1
+	name := func(t *Table, col string) string {
+		if multi {
+			return t.Name + "." + col
+		}
+		return col
+	}
+	var proj []projEntry
+	var cols []string
+	if st.Star {
+		for _, t := range order {
+			for i, c := range t.Cols {
+				proj = append(proj, projEntry{table: t.Name, col: i})
+				cols = append(cols, name(t, c.Name))
+			}
+		}
+		return proj, cols, nil
+	}
+	for _, ref := range st.Cols {
+		tbl, ci, err := resolveRef(ref, order, byName)
+		if err != nil {
+			return nil, nil, err
+		}
+		proj = append(proj, projEntry{table: tbl, col: ci})
+		cols = append(cols, name(byName[tbl], byName[tbl].Cols[ci].Name))
+	}
+	return proj, cols, nil
+}
+
+// resolveRef finds the table and column position for a column reference.
+func resolveRef(ref sql.ColRef, order []*Table, byName map[string]*Table) (string, int, error) {
+	if ref.Table != "" {
+		t, ok := byName[ref.Table]
+		if !ok {
+			return "", 0, fmt.Errorf("plan: table %q is not in the FROM clause", ref.Table)
+		}
+		ci := t.ColIndex(ref.Column)
+		if ci < 0 {
+			return "", 0, fmt.Errorf("plan: no column %q in table %q", ref.Column, ref.Table)
+		}
+		return t.Name, ci, nil
+	}
+	for _, t := range order {
+		if ci := t.ColIndex(ref.Column); ci >= 0 {
+			return t.Name, ci, nil
+		}
+	}
+	return "", 0, fmt.Errorf("plan: unknown column %q", ref.Column)
+}

@@ -1,0 +1,6 @@
+package plan
+
+import "cachecost/internal/wire"
+
+func wireMarshal(rs *ResultSet) []byte            { return wire.Marshal(rs) }
+func wireUnmarshal(b []byte, rs *ResultSet) error { return wire.Unmarshal(b, rs) }

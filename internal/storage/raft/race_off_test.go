@@ -1,0 +1,5 @@
+//go:build !race
+
+package raft
+
+const raceEnabled = false

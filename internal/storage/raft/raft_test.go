@@ -1,0 +1,295 @@
+package raft
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"cachecost/internal/meter"
+)
+
+// mapSM is a trivial state machine recording applied commands.
+type mapSM struct {
+	mu   sync.Mutex
+	data map[string]string
+	n    int
+}
+
+func newMapSM() *mapSM { return &mapSM{data: make(map[string]string)} }
+
+func (m *mapSM) Apply(cmd Command) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.n++
+	switch cmd.Op {
+	case OpPut:
+		m.data[string(cmd.Key)] = string(cmd.Value)
+	case OpDelete:
+		delete(m.data, string(cmd.Key))
+	}
+}
+
+func (m *mapSM) get(k string) (string, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v, ok := m.data[k]
+	return v, ok
+}
+
+func newTestGroup(n int) (*Group, []*mapSM) {
+	sms := make([]*mapSM, n)
+	g := NewGroup(Config{Replicas: n}, func(id int) StateMachine {
+		sms[id] = newMapSM()
+		return sms[id]
+	})
+	return g, sms
+}
+
+func TestProposeReplicatesToAll(t *testing.T) {
+	g, sms := newTestGroup(3)
+	idx, err := g.Propose(Command{Op: OpPut, Key: []byte("k"), Value: []byte("v")})
+	if err != nil || idx != 1 {
+		t.Fatalf("Propose = %d, %v", idx, err)
+	}
+	for i, sm := range sms {
+		if v, ok := sm.get("k"); !ok || v != "v" {
+			t.Fatalf("replica %d missing the committed write", i)
+		}
+	}
+}
+
+func TestProposeSequence(t *testing.T) {
+	g, sms := newTestGroup(3)
+	for i := 0; i < 50; i++ {
+		if _, err := g.Propose(Command{Op: OpPut, Key: []byte(fmt.Sprintf("k%d", i)), Value: []byte("v")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.Propose(Command{Op: OpDelete, Key: []byte("k0")})
+	for i, sm := range sms {
+		if _, ok := sm.get("k0"); ok {
+			t.Fatalf("replica %d still has deleted key", i)
+		}
+		if sm.n != 51 {
+			t.Fatalf("replica %d applied %d commands, want 51", i, sm.n)
+		}
+	}
+	if g.CommitIndex(0) != 51 {
+		t.Fatalf("leader commit index = %d", g.CommitIndex(0))
+	}
+}
+
+func TestProposeSurvivesMinorityFailure(t *testing.T) {
+	g, sms := newTestGroup(3)
+	g.FailNode(2)
+	if _, err := g.Propose(Command{Op: OpPut, Key: []byte("k"), Value: []byte("v")}); err != nil {
+		t.Fatalf("minority failure should not block commits: %v", err)
+	}
+	if _, ok := sms[2].get("k"); ok {
+		t.Fatal("down node must not have applied")
+	}
+	if v, ok := sms[1].get("k"); !ok || v != "v" {
+		t.Fatal("live follower should have applied")
+	}
+}
+
+func TestProposeFailsWithoutQuorum(t *testing.T) {
+	g, _ := newTestGroup(3)
+	g.FailNode(1)
+	g.FailNode(2)
+	if _, err := g.Propose(Command{Op: OpPut, Key: []byte("k")}); !errors.Is(err, ErrNoQuorum) {
+		t.Fatalf("want ErrNoQuorum, got %v", err)
+	}
+}
+
+func TestLeaderFailureAndElection(t *testing.T) {
+	g, sms := newTestGroup(3)
+	g.Propose(Command{Op: OpPut, Key: []byte("k1"), Value: []byte("v1")})
+	oldTerm := g.Term()
+	g.FailNode(0)
+	if g.Leader() != -1 {
+		t.Fatal("failed leader should leave group leaderless")
+	}
+	if _, err := g.Propose(Command{Op: OpPut, Key: []byte("k2")}); !errors.Is(err, ErrNotLeader) {
+		t.Fatalf("leaderless propose: %v", err)
+	}
+	if err := g.ElectLeader(1); err != nil {
+		t.Fatal(err)
+	}
+	if g.Leader() != 1 || g.NodeState(1) != Leader {
+		t.Fatal("node 1 should be leader")
+	}
+	if g.Term() <= oldTerm {
+		t.Fatal("election must advance the term")
+	}
+	// Committed data must survive leadership change.
+	if _, err := g.Propose(Command{Op: OpPut, Key: []byte("k2"), Value: []byte("v2")}); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := sms[1].get("k1"); !ok || v != "v1" {
+		t.Fatal("pre-failover commit lost")
+	}
+}
+
+func TestElectionRequiresQuorum(t *testing.T) {
+	g, _ := newTestGroup(3)
+	g.FailNode(0)
+	g.FailNode(2)
+	if err := g.ElectLeader(1); !errors.Is(err, ErrNoQuorum) {
+		t.Fatalf("election without quorum should fail, got %v", err)
+	}
+	if g.Leader() != -1 {
+		t.Fatal("failed election should not install a leader")
+	}
+}
+
+func TestDownCandidateCannotRun(t *testing.T) {
+	g, _ := newTestGroup(3)
+	g.FailNode(1)
+	if err := g.ElectLeader(1); err == nil {
+		t.Fatal("down candidate should not be electable")
+	}
+}
+
+func TestRecoveredNodeCatchesUp(t *testing.T) {
+	g, sms := newTestGroup(3)
+	g.FailNode(2)
+	for i := 0; i < 10; i++ {
+		g.Propose(Command{Op: OpPut, Key: []byte(fmt.Sprintf("k%d", i)), Value: []byte("v")})
+	}
+	g.RecoverNode(2)
+	// Next committed propose repairs the follower's log.
+	g.Propose(Command{Op: OpPut, Key: []byte("final"), Value: []byte("v")})
+	if g.LogLen(2) != 11 {
+		t.Fatalf("recovered node log length = %d, want 11", g.LogLen(2))
+	}
+	if v, ok := sms[2].get("final"); !ok || v != "v" {
+		t.Fatal("recovered node should apply new commits")
+	}
+}
+
+func TestStaleLogCandidateRejected(t *testing.T) {
+	g, _ := newTestGroup(3)
+	g.FailNode(2) // node 2 misses writes
+	for i := 0; i < 5; i++ {
+		g.Propose(Command{Op: OpPut, Key: []byte(fmt.Sprintf("k%d", i)), Value: []byte("v")})
+	}
+	g.FailNode(0) // leader gone
+	g.RecoverNode(2)
+	// Node 2 has an empty log; nodes 1 has 5 entries. Node 2 must lose.
+	if err := g.ElectLeader(2); err == nil {
+		t.Fatal("stale candidate must not win election")
+	}
+	if err := g.ElectLeader(1); err != nil {
+		t.Fatalf("up-to-date candidate should win: %v", err)
+	}
+}
+
+func TestLeaseValidation(t *testing.T) {
+	g, _ := newTestGroup(3)
+	if err := g.ValidateLease(); err != nil {
+		t.Fatalf("fresh lease should validate: %v", err)
+	}
+	// Expire the lease.
+	for i := 0; i < 20; i++ {
+		g.Tick()
+	}
+	// Quorum fallback renews it.
+	if err := g.ValidateLease(); err != nil {
+		t.Fatalf("quorum fallback should succeed: %v", err)
+	}
+	st := g.Stats()
+	if st.QuorumReads != 1 {
+		t.Fatalf("quorum reads = %d, want 1", st.QuorumReads)
+	}
+	// And the renewed lease validates cheaply again.
+	if err := g.ValidateLease(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Stats().QuorumReads != 1 {
+		t.Fatal("renewed lease should not need another quorum round")
+	}
+}
+
+func TestLeaseQuorumFallbackFailsWithoutQuorum(t *testing.T) {
+	g, _ := newTestGroup(3)
+	for i := 0; i < 20; i++ {
+		g.Tick()
+	}
+	g.FailNode(1)
+	g.FailNode(2)
+	if err := g.ValidateLease(); !errors.Is(err, ErrNoQuorum) {
+		t.Fatalf("want ErrNoQuorum, got %v", err)
+	}
+}
+
+func TestHeartbeatRenewsLease(t *testing.T) {
+	g, _ := newTestGroup(3)
+	for i := 0; i < 9; i++ {
+		g.Tick()
+	}
+	if err := g.Heartbeat(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 9; i++ {
+		g.Tick()
+	}
+	if err := g.ValidateLease(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Stats().QuorumReads != 0 {
+		t.Fatal("heartbeat-renewed lease should validate without quorum round")
+	}
+}
+
+func TestReplicationCostScalesWithReplicas(t *testing.T) {
+	if raceEnabled {
+		t.Skip("measured cost ratios are distorted by race-detector instrumentation")
+	}
+	busyFor := func(replicas int) int64 {
+		m := meter.NewMeter()
+		g := NewGroup(Config{
+			Replicas: replicas,
+			Comp:     m.Component("raft"),
+			Burner:   meter.NewBurner(),
+		}, func(int) StateMachine { return newMapSM() })
+		val := make([]byte, 4096)
+		for i := 0; i < 50; i++ {
+			g.Propose(Command{Op: OpPut, Key: []byte("k"), Value: val})
+		}
+		return int64(m.Component("raft").Busy())
+	}
+	three := busyFor(3)
+	seven := busyFor(7)
+	if seven < three*2 {
+		t.Fatalf("replication cost should grow with N_r: 3=%d 7=%d", three, seven)
+	}
+}
+
+func TestConcurrentProposals(t *testing.T) {
+	g, sms := newTestGroup(3)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				g.Propose(Command{Op: OpPut, Key: []byte(fmt.Sprintf("w%d-k%d", w, i)), Value: []byte("v")})
+			}
+		}(w)
+	}
+	wg.Wait() // run with -race
+	if sms[0].n != 400 || sms[1].n != 400 || sms[2].n != 400 {
+		t.Fatalf("applied counts = %d/%d/%d, want 400 each", sms[0].n, sms[1].n, sms[2].n)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if Follower.String() != "follower" || Candidate.String() != "candidate" || Leader.String() != "leader" {
+		t.Fatal("State.String broken")
+	}
+	if State(42).String() != "unknown" {
+		t.Fatal("unknown state should stringify as unknown")
+	}
+}

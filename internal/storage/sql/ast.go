@@ -1,0 +1,163 @@
+package sql
+
+import "strings"
+
+// Stmt is any parsed statement.
+type Stmt interface {
+	stmt()
+}
+
+// ColRef names a column, optionally qualified by table.
+type ColRef struct {
+	Table  string // optional
+	Column string
+}
+
+// String renders the reference as written.
+func (c ColRef) String() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Column
+	}
+	return c.Column
+}
+
+// CmpOp is a comparison operator in a predicate.
+type CmpOp int
+
+// Comparison operators.
+const (
+	OpEq CmpOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpIn
+)
+
+// String renders the operator in SQL syntax.
+func (o CmpOp) String() string {
+	switch o {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpIn:
+		return "IN"
+	default:
+		return "?"
+	}
+}
+
+// Expr is a literal value or a parameter placeholder.
+type Expr struct {
+	Param   int   // 1-based parameter ordinal when IsParam
+	Value   Value // literal when !IsParam
+	IsParam bool
+}
+
+// Pred is one conjunct of a WHERE clause: col op expr, or col IN (exprs).
+type Pred struct {
+	Col ColRef
+	Op  CmpOp
+	// X is the right-hand side for binary operators.
+	X Expr
+	// List is the IN list when Op == OpIn.
+	List []Expr
+}
+
+// Join is one INNER JOIN clause: JOIN Table ON Left = Right.
+type Join struct {
+	Table string
+	Left  ColRef
+	Right ColRef
+}
+
+// Order is an ORDER BY clause.
+type Order struct {
+	Col  ColRef
+	Desc bool
+}
+
+// SelectStmt is a SELECT.
+type SelectStmt struct {
+	Star    bool
+	Cols    []ColRef
+	Table   string
+	Joins   []Join
+	Where   []Pred // conjunction
+	OrderBy *Order
+	Limit   int // -1 = none
+}
+
+func (*SelectStmt) stmt() {}
+
+// InsertStmt is an INSERT of one or more rows.
+type InsertStmt struct {
+	Table string
+	Cols  []string
+	Rows  [][]Expr
+}
+
+func (*InsertStmt) stmt() {}
+
+// UpdateStmt is an UPDATE.
+type UpdateStmt struct {
+	Table string
+	Set   []Assign
+	Where []Pred
+}
+
+func (*UpdateStmt) stmt() {}
+
+// Assign is one SET column = expr.
+type Assign struct {
+	Column string
+	X      Expr
+}
+
+// DeleteStmt is a DELETE.
+type DeleteStmt struct {
+	Table string
+	Where []Pred
+}
+
+func (*DeleteStmt) stmt() {}
+
+// ColDef defines one column of a CREATE TABLE.
+type ColDef struct {
+	Name       string
+	Kind       Kind
+	PrimaryKey bool
+}
+
+// CreateTableStmt is a CREATE TABLE.
+type CreateTableStmt struct {
+	Table       string
+	Cols        []ColDef
+	IfNotExists bool
+}
+
+func (*CreateTableStmt) stmt() {}
+
+// CreateIndexStmt is a CREATE INDEX on a single column.
+type CreateIndexStmt struct {
+	Name        string
+	Table       string
+	Column      string
+	IfNotExists bool
+}
+
+func (*CreateIndexStmt) stmt() {}
+
+// normalizeIdent lowercases identifiers: the engine is case-insensitive
+// for table and column names, like most SQL engines.
+func normalizeIdent(s string) string { return strings.ToLower(s) }

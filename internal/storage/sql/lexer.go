@@ -1,0 +1,136 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokKind enumerates lexical token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString // 'quoted'
+	tokPunct  // ( ) , . = != < <= > >= * ?
+)
+
+type token struct {
+	kind tokKind
+	text string // keywords are uppercased; idents keep original case
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// keywords recognized by the parser (uppercase).
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true, "OR": true,
+	"JOIN": true, "ON": true, "ORDER": true, "BY": true, "ASC": true,
+	"DESC": true, "LIMIT": true, "INSERT": true, "INTO": true,
+	"VALUES": true, "UPDATE": true, "SET": true, "DELETE": true,
+	"CREATE": true, "TABLE": true, "INDEX": true, "PRIMARY": true,
+	"KEY": true, "NULL": true, "TRUE": true, "FALSE": true, "IN": true,
+	"INT": true, "FLOAT": true, "TEXT": true, "BLOB": true, "BOOL": true,
+	"NOT": true, "IF": true, "EXISTS": true,
+}
+
+// lexError reports a lexical error with byte position.
+type lexError struct {
+	pos int
+	msg string
+}
+
+func (e *lexError) Error() string {
+	return fmt.Sprintf("sql: lex error at byte %d: %s", e.pos, e.msg)
+}
+
+// lex tokenizes src. It is written as a single pass with no regexps: the
+// lexer runs on every query a storage node receives, so it is part of the
+// "query processing" CPU the experiments measure.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case isIdentStart(c):
+			start := i
+			for i < n && isIdentPart(src[i]) {
+				i++
+			}
+			word := src[start:i]
+			upper := strings.ToUpper(word)
+			if keywords[upper] {
+				toks = append(toks, token{kind: tokKeyword, text: upper, pos: start})
+			} else {
+				toks = append(toks, token{kind: tokIdent, text: word, pos: start})
+			}
+		case c >= '0' && c <= '9' || (c == '-' && i+1 < n && src[i+1] >= '0' && src[i+1] <= '9'):
+			start := i
+			i++
+			for i < n && (src[i] >= '0' && src[i] <= '9' || src[i] == '.' || src[i] == 'e' || src[i] == 'E' ||
+				((src[i] == '+' || src[i] == '-') && (src[i-1] == 'e' || src[i-1] == 'E'))) {
+				i++
+			}
+			toks = append(toks, token{kind: tokNumber, text: src[start:i], pos: start})
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if src[i] == '\'' {
+					if i+1 < n && src[i+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				sb.WriteByte(src[i])
+				i++
+			}
+			if !closed {
+				return nil, &lexError{pos: start, msg: "unterminated string"}
+			}
+			toks = append(toks, token{kind: tokString, text: sb.String(), pos: start})
+		case c == '!' || c == '<' || c == '>':
+			start := i
+			i++
+			if i < n && src[i] == '=' {
+				i++
+			} else if c == '!' {
+				return nil, &lexError{pos: start, msg: "expected != "}
+			}
+			toks = append(toks, token{kind: tokPunct, text: src[start:i], pos: start})
+		case c == '(' || c == ')' || c == ',' || c == '.' || c == '=' || c == '*' || c == '?' || c == ';':
+			toks = append(toks, token{kind: tokPunct, text: string(c), pos: i})
+			i++
+		default:
+			return nil, &lexError{pos: i, msg: fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: n})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}

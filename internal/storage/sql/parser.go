@@ -1,0 +1,564 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseError reports a syntax error with position context.
+type ParseError struct {
+	Pos int
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("sql: parse error at byte %d: %s", e.Pos, e.Msg)
+}
+
+// Parse parses one SQL statement. A trailing semicolon is allowed.
+func Parse(src string) (Stmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	// Optional trailing semicolon, then EOF.
+	if p.peek().kind == tokPunct && p.peek().text == ";" {
+		p.next()
+	}
+	if p.peek().kind != tokEOF {
+		return nil, p.errf("unexpected %s after statement", p.peek())
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &ParseError{Pos: p.peek().pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.next()
+	if t.kind != tokKeyword || t.text != kw {
+		return &ParseError{Pos: t.pos, Msg: fmt.Sprintf("expected %s, got %s", kw, t)}
+	}
+	return nil
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.peek().kind == tokKeyword && p.peek().text == kw {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(s string) error {
+	t := p.next()
+	if t.kind != tokPunct || t.text != s {
+		return &ParseError{Pos: t.pos, Msg: fmt.Sprintf("expected %q, got %s", s, t)}
+	}
+	return nil
+}
+
+func (p *parser) acceptPunct(s string) bool {
+	if p.peek().kind == tokPunct && p.peek().text == s {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return "", &ParseError{Pos: t.pos, Msg: fmt.Sprintf("expected identifier, got %s", t)}
+	}
+	return normalizeIdent(t.text), nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.peek()
+	if t.kind != tokKeyword {
+		return nil, p.errf("expected statement keyword, got %s", t)
+	}
+	switch t.text {
+	case "SELECT":
+		return p.parseSelect()
+	case "INSERT":
+		return p.parseInsert()
+	case "UPDATE":
+		return p.parseUpdate()
+	case "DELETE":
+		return p.parseDelete()
+	case "CREATE":
+		return p.parseCreate()
+	default:
+		return nil, p.errf("unsupported statement %s", t)
+	}
+}
+
+func (p *parser) parseColRef() (ColRef, error) {
+	first, err := p.ident()
+	if err != nil {
+		return ColRef{}, err
+	}
+	if p.acceptPunct(".") {
+		col, err := p.ident()
+		if err != nil {
+			return ColRef{}, err
+		}
+		return ColRef{Table: first, Column: col}, nil
+	}
+	return ColRef{Column: first}, nil
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	p.next() // SELECT
+	s := &SelectStmt{Limit: -1}
+	if p.acceptPunct("*") {
+		s.Star = true
+	} else {
+		for {
+			c, err := p.parseColRef()
+			if err != nil {
+				return nil, err
+			}
+			s.Cols = append(s.Cols, c)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	s.Table = table
+
+	for p.acceptKeyword("JOIN") {
+		jt, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("ON"); err != nil {
+			return nil, err
+		}
+		left, err := p.parseColRef()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("="); err != nil {
+			return nil, err
+		}
+		right, err := p.parseColRef()
+		if err != nil {
+			return nil, err
+		}
+		s.Joins = append(s.Joins, Join{Table: jt, Left: left, Right: right})
+	}
+
+	if p.acceptKeyword("WHERE") {
+		preds, err := p.parseWhere()
+		if err != nil {
+			return nil, err
+		}
+		s.Where = preds
+	}
+
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		col, err := p.parseColRef()
+		if err != nil {
+			return nil, err
+		}
+		o := &Order{Col: col}
+		if p.acceptKeyword("DESC") {
+			o.Desc = true
+		} else {
+			p.acceptKeyword("ASC")
+		}
+		s.OrderBy = o
+	}
+
+	if p.acceptKeyword("LIMIT") {
+		t := p.next()
+		if t.kind != tokNumber {
+			return nil, &ParseError{Pos: t.pos, Msg: "expected LIMIT count"}
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, &ParseError{Pos: t.pos, Msg: "invalid LIMIT count"}
+		}
+		s.Limit = n
+	}
+	return s, nil
+}
+
+func (p *parser) parseWhere() ([]Pred, error) {
+	var preds []Pred
+	for {
+		pred, err := p.parsePred()
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, pred)
+		if p.peek().kind == tokKeyword && p.peek().text == "OR" {
+			return nil, p.errf("OR is not supported; only conjunctive WHERE clauses")
+		}
+		if !p.acceptKeyword("AND") {
+			break
+		}
+	}
+	return preds, nil
+}
+
+func (p *parser) parsePred() (Pred, error) {
+	col, err := p.parseColRef()
+	if err != nil {
+		return Pred{}, err
+	}
+	if p.acceptKeyword("IN") {
+		if err := p.expectPunct("("); err != nil {
+			return Pred{}, err
+		}
+		var list []Expr
+		for {
+			x, err := p.parseExpr()
+			if err != nil {
+				return Pred{}, err
+			}
+			list = append(list, x)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return Pred{}, err
+		}
+		return Pred{Col: col, Op: OpIn, List: list}, nil
+	}
+	t := p.next()
+	if t.kind != tokPunct {
+		return Pred{}, &ParseError{Pos: t.pos, Msg: fmt.Sprintf("expected comparison operator, got %s", t)}
+	}
+	var op CmpOp
+	switch t.text {
+	case "=":
+		op = OpEq
+	case "!=":
+		op = OpNe
+	case "<":
+		op = OpLt
+	case "<=":
+		op = OpLe
+	case ">":
+		op = OpGt
+	case ">=":
+		op = OpGe
+	default:
+		return Pred{}, &ParseError{Pos: t.pos, Msg: fmt.Sprintf("unknown operator %q", t.text)}
+	}
+	x, err := p.parseExpr()
+	if err != nil {
+		return Pred{}, err
+	}
+	return Pred{Col: col, Op: op, X: x}, nil
+}
+
+// paramCounter numbers ? placeholders left to right across the statement.
+func (p *parser) countParams() int {
+	n := 0
+	for _, t := range p.toks[:p.i] {
+		if t.kind == tokPunct && t.text == "?" {
+			n++
+		}
+	}
+	return n
+}
+
+func (p *parser) parseExpr() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokPunct && t.text == "?":
+		p.next()
+		return Expr{IsParam: true, Param: p.countParams()}, nil
+	case t.kind == tokNumber:
+		p.next()
+		if strings.ContainsAny(t.text, ".eE") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return Expr{}, &ParseError{Pos: t.pos, Msg: "invalid number"}
+			}
+			return Expr{Value: Float64(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return Expr{}, &ParseError{Pos: t.pos, Msg: "invalid integer"}
+		}
+		return Expr{Value: Int64(n)}, nil
+	case t.kind == tokString:
+		p.next()
+		return Expr{Value: Text(t.text)}, nil
+	case t.kind == tokKeyword && t.text == "NULL":
+		p.next()
+		return Expr{Value: Null()}, nil
+	case t.kind == tokKeyword && t.text == "TRUE":
+		p.next()
+		return Expr{Value: Bool(true)}, nil
+	case t.kind == tokKeyword && t.text == "FALSE":
+		p.next()
+		return Expr{Value: Bool(false)}, nil
+	default:
+		return Expr{}, &ParseError{Pos: t.pos, Msg: fmt.Sprintf("expected literal or parameter, got %s", t)}
+	}
+}
+
+func (p *parser) parseInsert() (*InsertStmt, error) {
+	p.next() // INSERT
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st := &InsertStmt{Table: table}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		st.Cols = append(st.Cols, col)
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, x)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		if len(row) != len(st.Cols) {
+			return nil, p.errf("row has %d values for %d columns", len(row), len(st.Cols))
+		}
+		st.Rows = append(st.Rows, row)
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) parseUpdate() (*UpdateStmt, error) {
+	p.next() // UPDATE
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st := &UpdateStmt{Table: table}
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("="); err != nil {
+			return nil, err
+		}
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Set = append(st.Set, Assign{Column: col, X: x})
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("WHERE") {
+		preds, err := p.parseWhere()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = preds
+	}
+	return st, nil
+}
+
+func (p *parser) parseDelete() (*DeleteStmt, error) {
+	p.next() // DELETE
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st := &DeleteStmt{Table: table}
+	if p.acceptKeyword("WHERE") {
+		preds, err := p.parseWhere()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = preds
+	}
+	return st, nil
+}
+
+func (p *parser) parseCreate() (Stmt, error) {
+	p.next() // CREATE
+	switch {
+	case p.acceptKeyword("TABLE"):
+		return p.parseCreateTable()
+	case p.acceptKeyword("INDEX"):
+		return p.parseCreateIndex()
+	default:
+		return nil, p.errf("expected TABLE or INDEX after CREATE")
+	}
+}
+
+func (p *parser) parseIfNotExists() (bool, error) {
+	if !p.acceptKeyword("IF") {
+		return false, nil
+	}
+	if !p.acceptKeyword("NOT") {
+		return false, p.errf("expected NOT after IF")
+	}
+	if !p.acceptKeyword("EXISTS") {
+		return false, p.errf("expected EXISTS after IF NOT")
+	}
+	return true, nil
+}
+
+func (p *parser) parseCreateTable() (*CreateTableStmt, error) {
+	ifNotExists, err := p.parseIfNotExists()
+	if err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st := &CreateTableStmt{Table: table, IfNotExists: ifNotExists}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	for {
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		kt := p.next()
+		if kt.kind != tokKeyword {
+			return nil, &ParseError{Pos: kt.pos, Msg: fmt.Sprintf("expected column type, got %s", kt)}
+		}
+		var kind Kind
+		switch kt.text {
+		case "INT":
+			kind = KindInt
+		case "FLOAT":
+			kind = KindFloat
+		case "TEXT":
+			kind = KindText
+		case "BLOB":
+			kind = KindBlob
+		case "BOOL":
+			kind = KindBool
+		default:
+			return nil, &ParseError{Pos: kt.pos, Msg: fmt.Sprintf("unknown column type %s", kt)}
+		}
+		def := ColDef{Name: name, Kind: kind}
+		if p.acceptKeyword("PRIMARY") {
+			if err := p.expectKeyword("KEY"); err != nil {
+				return nil, err
+			}
+			def.PrimaryKey = true
+		}
+		st.Cols = append(st.Cols, def)
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (p *parser) parseCreateIndex() (*CreateIndexStmt, error) {
+	ifNotExists, err := p.parseIfNotExists()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("ON"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	col, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return &CreateIndexStmt{Name: name, Table: table, Column: col, IfNotExists: ifNotExists}, nil
+}

@@ -1,0 +1,401 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"cachecost/internal/wire"
+)
+
+func mustParse(t *testing.T, src string) Stmt {
+	t.Helper()
+	st, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return st
+}
+
+func TestParseSelectStar(t *testing.T) {
+	st := mustParse(t, "SELECT * FROM users").(*SelectStmt)
+	if !st.Star || st.Table != "users" || len(st.Where) != 0 || st.Limit != -1 {
+		t.Fatalf("parsed %+v", st)
+	}
+}
+
+func TestParseSelectColumns(t *testing.T) {
+	st := mustParse(t, "SELECT id, name, email FROM users").(*SelectStmt)
+	if st.Star || len(st.Cols) != 3 {
+		t.Fatalf("parsed %+v", st)
+	}
+}
+
+func TestParseSelectQualifiedCols(t *testing.T) {
+	st := mustParse(t, "SELECT users.id, name FROM users").(*SelectStmt)
+	if len(st.Cols) != 2 {
+		t.Fatalf("cols = %v", st.Cols)
+	}
+	if st.Cols[0].Table != "users" || st.Cols[0].Column != "id" {
+		t.Fatalf("qualified col = %+v", st.Cols[0])
+	}
+	if st.Cols[1].Table != "" || st.Cols[1].Column != "name" {
+		t.Fatalf("bare col = %+v", st.Cols[1])
+	}
+}
+
+func TestParseSelectWhere(t *testing.T) {
+	st := mustParse(t, "SELECT * FROM t WHERE a = 5 AND b != 'x' AND c <= 2.5 AND d IN (1, 2, 3)").(*SelectStmt)
+	if len(st.Where) != 4 {
+		t.Fatalf("preds = %d", len(st.Where))
+	}
+	if st.Where[0].Op != OpEq || st.Where[0].X.Value.Int != 5 {
+		t.Fatalf("pred0 = %+v", st.Where[0])
+	}
+	if st.Where[1].Op != OpNe || st.Where[1].X.Value.Str != "x" {
+		t.Fatalf("pred1 = %+v", st.Where[1])
+	}
+	if st.Where[2].Op != OpLe || st.Where[2].X.Value.Float != 2.5 {
+		t.Fatalf("pred2 = %+v", st.Where[2])
+	}
+	if st.Where[3].Op != OpIn || len(st.Where[3].List) != 3 {
+		t.Fatalf("pred3 = %+v", st.Where[3])
+	}
+}
+
+func TestParseSelectJoin(t *testing.T) {
+	st := mustParse(t,
+		"SELECT tables.name, perms.level FROM tables JOIN perms ON tables.id = perms.table_id WHERE tables.id = ?",
+	)
+	sel := st.(*SelectStmt)
+	if len(sel.Joins) != 1 {
+		t.Fatalf("joins = %+v", sel.Joins)
+	}
+	j := sel.Joins[0]
+	if j.Table != "perms" || j.Left.String() != "tables.id" || j.Right.String() != "perms.table_id" {
+		t.Fatalf("join = %+v", j)
+	}
+	if !sel.Where[0].X.IsParam || sel.Where[0].X.Param != 1 {
+		t.Fatalf("param = %+v", sel.Where[0].X)
+	}
+}
+
+func TestParseSelectOrderLimit(t *testing.T) {
+	st := mustParse(t, "SELECT * FROM logs WHERE sev >= 3 ORDER BY ts DESC LIMIT 10").(*SelectStmt)
+	if st.OrderBy == nil || !st.OrderBy.Desc || st.OrderBy.Col.Column != "ts" {
+		t.Fatalf("order = %+v", st.OrderBy)
+	}
+	if st.Limit != 10 {
+		t.Fatalf("limit = %d", st.Limit)
+	}
+	st2 := mustParse(t, "SELECT * FROM logs ORDER BY ts ASC").(*SelectStmt)
+	if st2.OrderBy.Desc {
+		t.Fatal("ASC parsed as DESC")
+	}
+}
+
+func TestParseParamsNumberedLeftToRight(t *testing.T) {
+	st := mustParse(t, "SELECT * FROM t WHERE a = ? AND b = ? AND c IN (?, ?)").(*SelectStmt)
+	if st.Where[0].X.Param != 1 || st.Where[1].X.Param != 2 {
+		t.Fatalf("params = %+v %+v", st.Where[0].X, st.Where[1].X)
+	}
+	if st.Where[2].List[0].Param != 3 || st.Where[2].List[1].Param != 4 {
+		t.Fatalf("IN params = %+v", st.Where[2].List)
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	st := mustParse(t, "INSERT INTO t (a, b) VALUES (1, 'x'), (2, ?)").(*InsertStmt)
+	if st.Table != "t" || len(st.Cols) != 2 || len(st.Rows) != 2 {
+		t.Fatalf("insert = %+v", st)
+	}
+	if st.Rows[0][1].Value.Str != "x" {
+		t.Fatalf("row0 = %+v", st.Rows[0])
+	}
+	if !st.Rows[1][1].IsParam || st.Rows[1][1].Param != 1 {
+		t.Fatalf("row1 param = %+v", st.Rows[1][1])
+	}
+}
+
+func TestParseInsertArityMismatch(t *testing.T) {
+	if _, err := Parse("INSERT INTO t (a, b) VALUES (1)"); err == nil {
+		t.Fatal("arity mismatch should fail")
+	}
+}
+
+func TestParseUpdate(t *testing.T) {
+	st := mustParse(t, "UPDATE t SET a = 1, b = ? WHERE id = 7").(*UpdateStmt)
+	if len(st.Set) != 2 || st.Set[0].Column != "a" || !st.Set[1].X.IsParam {
+		t.Fatalf("update = %+v", st)
+	}
+	if len(st.Where) != 1 || st.Where[0].X.Value.Int != 7 {
+		t.Fatalf("where = %+v", st.Where)
+	}
+}
+
+func TestParseDelete(t *testing.T) {
+	st := mustParse(t, "DELETE FROM t WHERE id = 1").(*DeleteStmt)
+	if st.Table != "t" || len(st.Where) != 1 {
+		t.Fatalf("delete = %+v", st)
+	}
+	st2 := mustParse(t, "DELETE FROM t").(*DeleteStmt)
+	if len(st2.Where) != 0 {
+		t.Fatal("unconditional delete should have no predicates")
+	}
+}
+
+func TestParseCreateTable(t *testing.T) {
+	st := mustParse(t, "CREATE TABLE users (id INT PRIMARY KEY, name TEXT, score FLOAT, data BLOB, ok BOOL)").(*CreateTableStmt)
+	if st.Table != "users" || len(st.Cols) != 5 {
+		t.Fatalf("create = %+v", st)
+	}
+	if !st.Cols[0].PrimaryKey || st.Cols[0].Kind != KindInt {
+		t.Fatalf("pk col = %+v", st.Cols[0])
+	}
+	if st.Cols[3].Kind != KindBlob || st.Cols[4].Kind != KindBool {
+		t.Fatalf("cols = %+v", st.Cols)
+	}
+}
+
+func TestParseCreateTableIfNotExists(t *testing.T) {
+	st := mustParse(t, "CREATE TABLE IF NOT EXISTS t (id INT PRIMARY KEY)").(*CreateTableStmt)
+	if !st.IfNotExists {
+		t.Fatal("IF NOT EXISTS not recognized")
+	}
+}
+
+func TestParseCreateIndex(t *testing.T) {
+	st := mustParse(t, "CREATE INDEX idx_owner ON tables (owner_id)").(*CreateIndexStmt)
+	if st.Name != "idx_owner" || st.Table != "tables" || st.Column != "owner_id" {
+		t.Fatalf("index = %+v", st)
+	}
+}
+
+func TestParseCaseInsensitivity(t *testing.T) {
+	st := mustParse(t, "select ID from USERS where NAME = 'Bob'").(*SelectStmt)
+	if st.Table != "users" || st.Cols[0].Column != "id" || st.Where[0].Col.Column != "name" {
+		t.Fatalf("identifiers should normalize: %+v", st)
+	}
+	if st.Where[0].X.Value.Str != "Bob" {
+		t.Fatal("string literal case must be preserved")
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	st := mustParse(t, "SELECT * FROM t WHERE a = 'it''s'").(*SelectStmt)
+	if st.Where[0].X.Value.Str != "it's" {
+		t.Fatalf("escape parsing: %q", st.Where[0].X.Value.Str)
+	}
+}
+
+func TestParseNegativeNumbers(t *testing.T) {
+	st := mustParse(t, "SELECT * FROM t WHERE a = -5 AND b = -2.5").(*SelectStmt)
+	if st.Where[0].X.Value.Int != -5 {
+		t.Fatalf("negative int: %+v", st.Where[0].X.Value)
+	}
+	if st.Where[1].X.Value.Float != -2.5 {
+		t.Fatalf("negative float: %+v", st.Where[1].X.Value)
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	st := mustParse(t, "SELECT * FROM t WHERE a = NULL AND b = TRUE AND c = FALSE").(*SelectStmt)
+	if !st.Where[0].X.Value.IsNull() {
+		t.Fatal("NULL literal")
+	}
+	if st.Where[1].X.Value.Kind != KindBool || !st.Where[1].X.Value.Bool {
+		t.Fatal("TRUE literal")
+	}
+	if st.Where[2].X.Value.Bool {
+		t.Fatal("FALSE literal")
+	}
+}
+
+func TestParseTrailingSemicolon(t *testing.T) {
+	mustParse(t, "SELECT * FROM t;")
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"FOO BAR",
+		"SELECT FROM t",
+		"SELECT * FROM",
+		"SELECT * FROM t WHERE",
+		"SELECT * FROM t WHERE a",
+		"SELECT * FROM t WHERE a = ",
+		"SELECT * FROM t WHERE a = 1 OR b = 2",
+		"SELECT * FROM t LIMIT x",
+		"SELECT * FROM t LIMIT -1",
+		"INSERT INTO t VALUES (1)",
+		"INSERT INTO t (a) VALUE (1)",
+		"UPDATE t a = 1",
+		"DELETE t",
+		"CREATE t",
+		"CREATE TABLE t (id INTEGER)",
+		"CREATE TABLE t (id INT PRIMARY)",
+		"CREATE INDEX i ON t",
+		"SELECT * FROM t WHERE a = 'unterminated",
+		"SELECT * FROM t extra garbage",
+		"SELECT * FROM t WHERE a ! 1",
+		"SELECT * FROM t WHERE a IN ()",
+		"CREATE TABLE IF t (id INT)",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseErrorHasPosition(t *testing.T) {
+	_, err := Parse("SELECT * FROM t WHERE a = 1 OR b = 2")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	var pe *ParseError
+	if !asParseError(err, &pe) {
+		t.Fatalf("want ParseError, got %T: %v", err, err)
+	}
+	if pe.Pos <= 0 || !strings.Contains(pe.Msg, "OR") {
+		t.Fatalf("unhelpful error: %+v", pe)
+	}
+}
+
+func asParseError(err error, out **ParseError) bool {
+	pe, ok := err.(*ParseError)
+	if ok {
+		*out = pe
+	}
+	return ok
+}
+
+func TestValueCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int64(1), Int64(2), -1},
+		{Int64(2), Int64(2), 0},
+		{Int64(3), Int64(2), 1},
+		{Int64(2), Float64(2.5), -1},
+		{Float64(2.5), Int64(2), 1},
+		{Text("a"), Text("b"), -1},
+		{Text("b"), Text("b"), 0},
+		{Blob([]byte{1}), Blob([]byte{1, 0}), -1},
+		{Bool(false), Bool(true), -1},
+		{Null(), Int64(0), -1},
+		{Int64(0), Null(), 1},
+		{Null(), Null(), 0},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestValueEqualNullSemantics(t *testing.T) {
+	if Null().Equal(Null()) {
+		t.Fatal("NULL = NULL must be false in SQL")
+	}
+	if !Int64(5).Equal(Int64(5)) {
+		t.Fatal("5 = 5")
+	}
+	if !Int64(5).Equal(Float64(5)) {
+		t.Fatal("5 = 5.0 numerically")
+	}
+}
+
+func TestValueEncodeDecodeRoundtrip(t *testing.T) {
+	vals := []Value{
+		Null(), Int64(-42), Float64(3.14), Text("hello"),
+		Blob([]byte{1, 2, 3}), Bool(true), Bool(false),
+		Text(strings.Repeat("x", 10000)),
+	}
+	for _, v := range vals {
+		e := wire.NewEncoder(64)
+		EncodeValue(e, 1, v)
+		d := wire.NewDecoder(e.Bytes())
+		if _, _, err := d.Next(); err != nil {
+			t.Fatalf("decode tag for %v: %v", v, err)
+		}
+		body, err := d.Bytes()
+		if err != nil {
+			t.Fatalf("decode body for %v: %v", v, err)
+		}
+		got, err := DecodeValue(body)
+		if err != nil {
+			t.Fatalf("decode %v: %v", v, err)
+		}
+		if got.Kind != v.Kind {
+			t.Fatalf("roundtrip kind %v -> %v", v.Kind, got.Kind)
+		}
+		if !v.IsNull() && got.Compare(v) != 0 {
+			t.Fatalf("roundtrip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestValueKeyBytesOrderPreserving(t *testing.T) {
+	ints := []int64{-1000, -1, 0, 1, 5, 1000000}
+	for i := 1; i < len(ints); i++ {
+		a := Int64(ints[i-1]).KeyBytes()
+		b := Int64(ints[i]).KeyBytes()
+		if string(a) >= string(b) {
+			t.Fatalf("KeyBytes(%d) >= KeyBytes(%d)", ints[i-1], ints[i])
+		}
+	}
+	strs := []string{"", "a", "ab", "b"}
+	for i := 1; i < len(strs); i++ {
+		if string(Text(strs[i-1]).KeyBytes()) >= string(Text(strs[i]).KeyBytes()) {
+			t.Fatalf("text key order broken at %q", strs[i])
+		}
+	}
+}
+
+func TestValueString(t *testing.T) {
+	if Int64(5).String() != "5" || Text("x").String() != "'x'" || Null().String() != "NULL" {
+		t.Fatal("Value.String formatting broken")
+	}
+	if Bool(true).String() != "TRUE" || Bool(false).String() != "FALSE" {
+		t.Fatal("bool formatting broken")
+	}
+}
+
+func TestValueSize(t *testing.T) {
+	if Text("hello").Size() <= Text("").Size() {
+		t.Fatal("size should grow with content")
+	}
+	if Blob(make([]byte, 100)).Size() < 100 {
+		t.Fatal("blob size undercounts")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindNull: "NULL", KindInt: "INT", KindFloat: "FLOAT",
+		KindText: "TEXT", KindBlob: "BLOB", KindBool: "BOOL",
+	} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q", k, k.String())
+		}
+	}
+}
+
+func BenchmarkParsePointSelect(b *testing.B) {
+	src := "SELECT id, name, owner FROM tables WHERE id = ?"
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseJoin(b *testing.B) {
+	src := "SELECT t.name, p.level FROM tables JOIN perms ON tables.id = perms.table_id WHERE tables.id = ? ORDER BY p.level DESC LIMIT 10"
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package sql
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestRenderRoundtrip: Render(Parse(x)) must reparse to the same AST.
+func TestRenderRoundtrip(t *testing.T) {
+	sources := []string{
+		"SELECT * FROM users",
+		"SELECT id, name FROM users WHERE age >= 21 AND name != 'bob' LIMIT 5",
+		"SELECT users.id FROM users JOIN orders ON users.id = orders.uid WHERE orders.total > 100 ORDER BY users.id DESC",
+		"SELECT * FROM t WHERE a IN (1, 2, 3) AND b = ?",
+		"INSERT INTO t (a, b) VALUES (1, 'x'), (2, ?)",
+		"UPDATE t SET a = 5, b = NULL WHERE id = 9",
+		"DELETE FROM t WHERE active = FALSE",
+		"CREATE TABLE t (id INT PRIMARY KEY, name TEXT, score FLOAT, data BLOB, ok BOOL)",
+		"CREATE TABLE IF NOT EXISTS t (id INT PRIMARY KEY)",
+		"CREATE INDEX idx ON t (name)",
+		"SELECT * FROM logs WHERE sev >= 3 ORDER BY ts",
+	}
+	for _, src := range sources {
+		st1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		rendered := Render(st1)
+		st2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("reparse of %q (rendered from %q): %v", rendered, src, err)
+		}
+		if !reflect.DeepEqual(st1, st2) {
+			t.Fatalf("roundtrip AST mismatch:\n  src:      %s\n  rendered: %s\n  %#v\nvs\n  %#v",
+				src, rendered, st1, st2)
+		}
+	}
+}
+
+func TestRenderStringEscaping(t *testing.T) {
+	st, err := Parse("SELECT * FROM t WHERE a = 'plain'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Render(st); got != "SELECT * FROM t WHERE a = 'plain'" {
+		t.Fatalf("Render = %q", got)
+	}
+}
+
+func TestRenderParamsPreserved(t *testing.T) {
+	st, _ := Parse("SELECT * FROM t WHERE a = ? AND b IN (?, ?)")
+	rendered := Render(st)
+	st2, err := Parse(rendered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := st2.(*SelectStmt)
+	if !sel.Where[0].X.IsParam || sel.Where[0].X.Param != 1 {
+		t.Fatalf("param 1 lost: %+v", sel.Where[0].X)
+	}
+	if sel.Where[1].List[1].Param != 3 {
+		t.Fatalf("param ordinals lost: %+v", sel.Where[1].List)
+	}
+}
