@@ -26,12 +26,13 @@ import (
 
 func main() {
 	var (
-		ops      = flag.Int("ops", 3000, "metered operations per experiment cell")
-		warmup   = flag.Int("warmup", 1000, "unmetered warmup operations per cell")
-		keys     = flag.Int("keys", 2000, "synthetic key population (paper: 100000)")
-		tables   = flag.Int("tables", 300, "catalog table population")
-		seed     = flag.Int64("seed", 1, "workload seed")
-		replicas = flag.Int("appreplicas", 3, "application servers carrying the linked cache")
+		ops       = flag.Int("ops", 3000, "metered operations per experiment cell")
+		warmup    = flag.Int("warmup", 1000, "unmetered warmup operations per cell")
+		keys      = flag.Int("keys", 2000, "synthetic key population (paper: 100000)")
+		tables    = flag.Int("tables", 300, "catalog table population")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		replicas  = flag.Int("appreplicas", 3, "application servers carrying the linked cache")
+		faultRate = flag.Float64("faultrate", -1, "cache fault rate for the chaos figure (-1 = default sweep)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: costbench [flags] <figure>...|all|list\n\nfigures:\n")
@@ -55,6 +56,9 @@ func main() {
 		Tables:      *tables,
 		Seed:        *seed,
 		AppReplicas: *replicas,
+	}
+	if *faultRate >= 0 {
+		opts.FaultRates = []float64{*faultRate}
 	}
 
 	if args[0] == "list" {

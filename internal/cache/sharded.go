@@ -1,7 +1,6 @@
 package cache
 
 import (
-	"hash/maphash"
 	"time"
 )
 
@@ -10,7 +9,6 @@ import (
 // how production caches (memcached, CacheLib) partition memory.
 type Sharded[V any] struct {
 	shards []locked[V]
-	seed   maphash.Seed
 }
 
 // NewSharded returns a sharded cache with the given total byte capacity
@@ -21,7 +19,6 @@ func NewSharded[V any](capacity int64, nShards int, sizeOf SizeOf[V]) *Sharded[V
 	}
 	s := &Sharded[V]{
 		shards: make([]locked[V], nShards),
-		seed:   maphash.MakeSeed(),
 	}
 	per := capacity / int64(nShards)
 	for i := range s.shards {
@@ -38,8 +35,15 @@ func (s *Sharded[V]) SetEvictFunc(fn EvictFunc[V]) {
 	}
 }
 
+// shard routes key with FNV-1a. The hash is intentionally fixed (not a
+// per-instance random seed): shard placement, and therefore per-shard LRU
+// eviction order, must be identical across runs for experiments to be
+// reproducible under a fixed workload seed.
 func (s *Sharded[V]) shard(key string) *locked[V] {
-	h := maphash.String(s.seed, key)
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint64(key[i])) * 1099511628211
+	}
 	return &s.shards[h%uint64(len(s.shards))]
 }
 

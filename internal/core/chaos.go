@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+
+	"cachecost/internal/fault"
+	"cachecost/internal/meter"
+	"cachecost/internal/rpc"
+	"cachecost/internal/workload"
+)
+
+// ChaosConfig parameterizes one chaos cell: an architecture driven
+// through a workload while the fault layer abuses its cache tier.
+type ChaosConfig struct {
+	// Arch selects the assembly (Base runs fault-free as the reference).
+	Arch Arch
+	// ErrorRate is the cache node's injected transient-error rate.
+	ErrorRate float64
+	// StallWork is metered stall CPU injected alongside errors (applied
+	// at ErrorRate). Default 2048.
+	StallWork int
+	// KillWindow, when true, kills the cache node for the middle fifth
+	// of the metered window and revives it (with slow-start) after —
+	// the cache-node-loss episode of the paper's availability argument.
+	KillWindow bool
+	// Retry wraps the Remote cache connection in the default retry
+	// policy.
+	Retry bool
+	// Seed drives both the fault schedule and the retry jitter.
+	Seed int64
+}
+
+// scheduleGen wraps a workload generator so that each generated op first
+// advances a fault schedule — op-indexed, hence exactly reproducible.
+type scheduleGen struct {
+	inner workload.Generator
+	sched *fault.Schedule
+	inj   *fault.Injector
+}
+
+// Next implements workload.Generator.
+func (g *scheduleGen) Next() workload.Op {
+	g.sched.Step(g.inj)
+	return g.inner.Next()
+}
+
+// Name implements workload.Generator.
+func (g *scheduleGen) Name() string { return g.inner.Name() }
+
+// ChaosResult bundles a chaos cell's priced outcome with the live fault
+// and service handles, so tests can assert on schedules and counters.
+type ChaosResult struct {
+	*RunResult
+	Injector *fault.Injector
+	Service  *KVService
+}
+
+// faultNodeFor maps an architecture to its cache-tier fault target.
+func faultNodeFor(arch Arch) string {
+	switch arch {
+	case Remote:
+		return CacheNode
+	case Linked:
+		return LinkedCacheNode
+	default:
+		return ""
+	}
+}
+
+// ChaosCell assembles one architecture with the fault layer on its cache
+// tier and drives it through the synthetic workload. All request failures
+// propagate as errors — the acceptance bar is that with degradation in
+// place there are none.
+func (o FigOptions) ChaosCell(cc ChaosConfig, wcfg workload.SyntheticConfig) (*ChaosResult, error) {
+	o.applyDefaults()
+	if cc.Seed == 0 {
+		cc.Seed = o.Seed
+	}
+	if cc.StallWork == 0 {
+		cc.StallWork = 2048
+	}
+	m := meter.NewMeter()
+	inj := fault.New(cc.Seed, fault.Options{Meter: m})
+	node := faultNodeFor(cc.Arch)
+	if node != "" {
+		inj.SetRule(node, fault.Rule{
+			ErrorRate:      cc.ErrorRate,
+			StallWork:      cc.StallWork,
+			StallRate:      cc.ErrorRate,
+			SlowStartCalls: 50,
+		})
+	}
+
+	gen := workload.NewSynthetic(wcfg)
+	ws := int64(wcfg.Keys) * int64(wcfg.ValueSize)
+	svcCfg := ServiceConfig{
+		Arch:              cc.Arch,
+		Meter:             m,
+		StorageCacheBytes: ws * 15 / 100,
+		AppCacheBytes:     ws * 60 / 100,
+		RemoteCacheBytes:  ws * 60 / 100,
+		AppReplicas:       o.AppReplicas,
+		RetrySeed:         cc.Seed,
+	}
+	if node != "" {
+		svcCfg.Faults = inj
+	}
+	if cc.Retry && cc.Arch == Remote {
+		svcCfg.CacheRetry = &rpc.RetryPolicy{}
+	}
+	svc, err := BuildKVService(svcCfg, gen)
+	if err != nil {
+		return nil, err
+	}
+
+	// The kill window is expressed in total driven ops (warmup included),
+	// placed inside the metered window: down for ops*[2/5, 3/5).
+	var events []fault.Event
+	if cc.KillWindow && node != "" {
+		events = append(events,
+			fault.Event{AtOp: o.Warmup + o.Ops*2/5, Node: node, Action: fault.ActKill},
+			fault.Event{AtOp: o.Warmup + o.Ops*3/5, Node: node, Action: fault.ActRevive},
+		)
+	}
+	driver := &scheduleGen{inner: gen, sched: fault.NewSchedule(events), inj: inj}
+
+	res, err := RunExperiment(svc, m, driver, o.Warmup, o.Ops, o.Prices)
+	if err != nil {
+		return nil, err
+	}
+	return &ChaosResult{RunResult: res, Injector: inj, Service: svc}, nil
+}
+
+// defaultFaultRates is the chaos figure's sweep.
+var defaultFaultRates = []float64{0, 0.01, 0.10, 0.50, 1.0}
+
+// FigChaos is the `costbench chaos` scenario: cost per million requests
+// and hit ratio for the Remote and Linked architectures as the cache
+// tier's fault rate sweeps from zero to total loss, each cell also
+// enduring a kill/revive episode. The expected shape: cost rises from
+// the fault-free value toward Base's as the fault rate approaches 100%,
+// while the service keeps answering every request (degradations, not
+// errors).
+func FigChaos(o FigOptions) (*Table, error) {
+	o.applyDefaults()
+	rates := o.FaultRates
+	if len(rates) == 0 {
+		rates = defaultFaultRates
+	}
+	t := &Table{
+		ID:     "chaos",
+		Title:  "Cost under cache-tier faults (synthetic, 1KB values, r=90%)",
+		Header: []string{"arch", "fault_rate", "$/Mreq", "hit_ratio", "degraded", "retries", "vs_fault_free", "vs_Base"},
+	}
+	wcfg := workload.SyntheticConfig{Keys: o.Keys, Alpha: 1.2, ReadRatio: 0.9, ValueSize: 1 << 10, Seed: o.Seed}
+
+	base, err := o.ChaosCell(ChaosConfig{Arch: Base, Seed: o.Seed}, wcfg)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow(Base.String(), 0.0, base.CostPerMReq, 0.0, 0, 0, 1.0, 1.0)
+
+	for _, arch := range []Arch{Remote, Linked} {
+		var faultFree float64
+		for _, rate := range rates {
+			res, err := o.ChaosCell(ChaosConfig{
+				Arch:       arch,
+				ErrorRate:  rate,
+				KillWindow: rate > 0,
+				Retry:      true,
+				Seed:       o.Seed,
+			}, wcfg)
+			if err != nil {
+				return nil, fmt.Errorf("chaos %s rate=%v: %w", arch, rate, err)
+			}
+			if faultFree == 0 {
+				faultFree = res.CostPerMReq
+			}
+			t.AddRow(arch.String(), rate, res.CostPerMReq, res.HitRatio,
+				res.Degraded, res.Retries,
+				res.CostPerMReq/faultFree, res.CostPerMReq/base.CostPerMReq)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"zero client-visible errors at every fault rate: cache errors degrade to storage loads",
+		"cost/Mreq climbs from the fault-free value toward Base's as the cache fault rate -> 100%",
+		"injected stalls are metered (component 'fault'), so chaos windows show up in the bill")
+	return t, nil
+}

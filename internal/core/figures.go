@@ -28,6 +28,9 @@ type FigOptions struct {
 	// AppReplicas is the number of application servers carrying the
 	// linked cache (memory billed per server). Default 3.
 	AppReplicas int
+	// FaultRates overrides the chaos figure's fault-rate sweep
+	// (cmd/costbench -faultrate). Empty means the default sweep.
+	FaultRates []float64
 }
 
 func (o *FigOptions) applyDefaults() {
@@ -652,6 +655,7 @@ var Figures = []Figure{
 	{"marginal", "model marginals", FigMarginal},
 	{"allocation", "memory split: linked vs storage cache", FigAllocation},
 	{"ablation", "calibration sensitivity", FigAblation},
+	{"chaos", "cost under cache-tier faults", FigChaos},
 }
 
 // FigureByID returns the registered figure or an error listing options.

@@ -2,10 +2,12 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"cachecost/internal/cluster"
 	"cachecost/internal/consistency"
+	"cachecost/internal/fault"
 	"cachecost/internal/linkedcache"
 	"cachecost/internal/meter"
 	"cachecost/internal/remotecache"
@@ -14,6 +16,21 @@ import (
 	"cachecost/internal/storage/sql"
 	"cachecost/internal/wire"
 )
+
+// Fault-target names used when a ServiceConfig carries an Injector: the
+// remote cache node and the in-process linked cache (whose "faults" model
+// shard loss/restart of the cache an app replica carries).
+const (
+	CacheNode       = "cache0"
+	LinkedCacheNode = "app.cache"
+)
+
+// DegradedCounter is the meter counter that counts cache errors demoted
+// to misses so the service keeps serving through cache loss.
+const DegradedCounter = "cache.degraded"
+
+// RetriesCounter is the meter counter bumped per cache-call retry.
+const RetriesCounter = "rpc.retries"
 
 // ServiceConfig assembles one architecture deployment for an experiment.
 type ServiceConfig struct {
@@ -47,6 +64,21 @@ type ServiceConfig struct {
 	// TTL is the freshness bound for the LinkedTTL architecture.
 	// Default 500ms.
 	TTL time.Duration
+
+	// Faults, when non-nil, interposes the fault-injection layer on the
+	// cache tier: the Remote architecture's cache connection is wrapped
+	// under the node name CacheNode, and the Linked architecture's
+	// in-process cache is gated under LinkedCacheNode. Cache errors are
+	// demoted to misses (counted under DegradedCounter), so the service
+	// keeps serving through cache loss as the paper's availability
+	// discussion assumes.
+	Faults *fault.Injector
+	// CacheRetry, when non-nil, wraps the Remote architecture's cache
+	// connection in an rpc.RetryConn with this policy (retries are
+	// counted under RetriesCounter).
+	CacheRetry *rpc.RetryPolicy
+	// RetrySeed drives the retry layer's jitter sequence. Default 1.
+	RetrySeed int64
 }
 
 func (c *ServiceConfig) applyDefaults() {
@@ -71,6 +103,9 @@ func (c *ServiceConfig) applyDefaults() {
 	if c.TTL <= 0 {
 		c.TTL = 500 * time.Millisecond
 	}
+	if c.RetrySeed == 0 {
+		c.RetrySeed = 1
+	}
 }
 
 // KVService is the synthetic/Meta-trace service: a key-value style
@@ -93,6 +128,14 @@ type KVService struct {
 	oc      *consistency.OwnedCache[[]byte]
 	tc      *consistency.TTLCache[[]byte]
 	sharder *cluster.Sharder
+
+	retry    *rpc.RetryConn // cache retry layer, when configured
+	degraded *meter.Counter // cache errors demoted to misses
+	// Service-level cache accounting: reads that consulted the cache
+	// tier and reads it served. Unlike the caches' internal stats these
+	// see degraded (fault-skipped) lookups, so hit ratio falls as the
+	// fault rate rises.
+	cacheReads, cacheHits atomic.Int64
 
 	front *rpc.Server // client-facing
 }
@@ -180,9 +223,26 @@ func NewKVServiceRemote(cfg ServiceConfig, eps RemoteEndpoints) (*KVService, err
 // door. cacheConn is non-nil only for the Remote architecture.
 func (s *KVService) finish(cacheConn rpc.Conn) error {
 	cfg := s.cfg
+	s.degraded = s.m.Counter(DegradedCounter)
 	switch cfg.Arch {
 	case Remote:
+		// Robustness layering, innermost first: fault injection at the
+		// cache node, budgeted retries above it, graceful degradation in
+		// the client above that — the stack a production lookaside
+		// client carries.
+		if cfg.Faults != nil {
+			cacheConn = cfg.Faults.Wrap(CacheNode, cacheConn)
+		}
+		if cfg.CacheRetry != nil {
+			policy := *cfg.CacheRetry
+			if policy.RetryCounter == nil {
+				policy.RetryCounter = s.m.Counter(RetriesCounter)
+			}
+			s.retry = rpc.NewRetryConn(cacheConn, policy, cfg.RetrySeed, s.appComp, meter.NewBurner())
+			cacheConn = s.retry
+		}
 		s.rc = remotecache.NewSingleClient(cacheConn)
+		s.rc.Degrade(s.degraded)
 	case Linked:
 		s.lc = linkedcache.New(linkedcache.Config{
 			CapacityBytes: cfg.AppCacheBytes,
@@ -315,15 +375,31 @@ func (s *KVService) checkVersion(key string) (uint64, bool, error) {
 	return s.db.Version("kvdata", sql.Text(key))
 }
 
+// linkedFault consults the fault layer for the in-process cache: an
+// injected error models the cache shard being lost or restarting, so the
+// read/write skips the cache (a degradation) and goes to storage.
+func (s *KVService) linkedFault() bool {
+	if s.cfg.Faults == nil {
+		return false
+	}
+	if err := s.cfg.Faults.Decide(LinkedCacheNode); err != nil {
+		s.degraded.Inc()
+		return true
+	}
+	return false
+}
+
 // read dispatches a read through the architecture's cache hierarchy.
 func (s *KVService) read(key string) ([]byte, error) {
 	switch s.cfg.Arch {
 	case Base:
 		return s.loadFromDB(key)
 	case Remote:
+		s.cacheReads.Add(1)
 		if v, found, err := s.rc.Get(key); err != nil {
 			return nil, err
 		} else if found {
+			s.cacheHits.Add(1)
 			return v, nil
 		}
 		v, err := s.loadFromDB(key)
@@ -335,7 +411,14 @@ func (s *KVService) read(key string) ([]byte, error) {
 		}
 		return v, nil
 	case Linked:
-		v, _, err := s.lc.GetOrLoad(key, func() ([]byte, error) { return s.loadFromDB(key) })
+		s.cacheReads.Add(1)
+		if s.linkedFault() {
+			return s.loadFromDB(key)
+		}
+		v, hit, err := s.lc.GetOrLoad(key, func() ([]byte, error) { return s.loadFromDB(key) })
+		if err == nil && hit {
+			s.cacheHits.Add(1)
+		}
 		return v, err
 	case LinkedVersion:
 		v, _, err := s.vc.Read(key, s.checkVersion, s.loadVersioned)
@@ -371,7 +454,9 @@ func (s *KVService) write(key string, value []byte) error {
 		if err := storeWrite(); err != nil {
 			return err
 		}
-		s.lc.Put(key, value)
+		if !s.linkedFault() {
+			s.lc.Put(key, value)
+		}
 		return nil
 	case LinkedVersion:
 		if err := storeWrite(); err != nil {
@@ -491,10 +576,15 @@ func (s *KVService) Write(key string, value []byte) error {
 // ratio (0 for Base).
 func (s *KVService) CacheHitRatio() float64 {
 	switch s.cfg.Arch {
-	case Remote:
-		return s.rcServer.Stats().HitRatio()
-	case Linked:
-		return s.lc.Stats().HitRatio()
+	case Remote, Linked:
+		// Service-level ratio: counts every read that consulted the
+		// cache tier, including ones the fault layer degraded to
+		// storage loads (which the caches' internal stats never see).
+		reads := s.cacheReads.Load()
+		if reads == 0 {
+			return 0
+		}
+		return float64(s.cacheHits.Load()) / float64(reads)
 	case LinkedVersion:
 		st := s.vc.Stats()
 		if st.Reads == 0 {
@@ -516,6 +606,19 @@ func (s *KVService) CacheHitRatio() float64 {
 	default:
 		return 0
 	}
+}
+
+// Degraded returns how many cache operations were demoted to misses or
+// no-ops so the service could keep serving through cache faults.
+func (s *KVService) Degraded() int64 { return s.degraded.Value() }
+
+// RetryStats returns the cache retry layer's counters (zero when no
+// CacheRetry policy was configured).
+func (s *KVService) RetryStats() rpc.RetryStats {
+	if s.retry == nil {
+		return rpc.RetryStats{}
+	}
+	return s.retry.Stats()
 }
 
 // Close implements Service.

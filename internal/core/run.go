@@ -24,6 +24,12 @@ type RunResult struct {
 	AppCost, CacheCost, StorageCost float64
 	// Cores rollups.
 	AppCores, CacheCores, StorageCores float64
+	// Degraded counts cache operations demoted to misses during the
+	// metered window (nonzero only under fault injection).
+	Degraded int64
+	// Retries counts cache-call retry attempts during the metered
+	// window (nonzero only with a retry policy and faults).
+	Retries int64
 }
 
 // String renders a one-line summary.
@@ -77,6 +83,8 @@ func RunExperiment(svc Service, m *meter.Meter, gen workload.Generator, warmup, 
 		Workload:     gen.Name(),
 		Ops:          ops,
 		Report:       report,
+		Degraded:     m.CounterValue(DegradedCounter),
+		Retries:      m.CounterValue(RetriesCounter),
 		CostPerMReq:  report.CostPerMillionRequests(),
 		AppCost:      report.ComponentCost("app"),
 		CacheCost:    report.ComponentCost("remotecache"),

@@ -1,0 +1,146 @@
+// Chaos suite: drives the real architectures through the fault layer and
+// asserts the paper's resilience story — the service absorbs cache-tier
+// faults as degradations (never client-visible errors), pays for them in
+// the cost report, and does so identically under a fixed seed.
+package fault_test
+
+import (
+	"math"
+	"testing"
+
+	"cachecost/internal/core"
+	"cachecost/internal/workload"
+)
+
+func chaosOpts() core.FigOptions {
+	return core.FigOptions{Ops: 900, Warmup: 300, Keys: 400, Tables: 50, Seed: 7, AppReplicas: 3}
+}
+
+func chaosWorkload(o core.FigOptions) workload.SyntheticConfig {
+	return workload.SyntheticConfig{Keys: o.Keys, Alpha: 1.2, ReadRatio: 0.9, ValueSize: 256, Seed: o.Seed}
+}
+
+func runCell(t *testing.T, cc core.ChaosConfig) *core.ChaosResult {
+	t.Helper()
+	o := chaosOpts()
+	res, err := o.ChaosCell(cc, chaosWorkload(o))
+	if err != nil {
+		t.Fatalf("chaos cell %+v: client-visible failure: %v", cc, err)
+	}
+	return res
+}
+
+// TestFallThroughAbsorbsFaults is the headline acceptance check: a 10%
+// cache-node error rate plus a kill/revive episode produces zero request
+// failures and a nonzero degradation counter, for both cache architectures.
+func TestFallThroughAbsorbsFaults(t *testing.T) {
+	for _, arch := range []core.Arch{core.Remote, core.Linked} {
+		cc := core.ChaosConfig{Arch: arch, ErrorRate: 0.10, KillWindow: true, Retry: true}
+		res := runCell(t, cc) // runCell fails the test on any request error
+		if res.Degraded == 0 {
+			t.Errorf("%s at 10%% faults: degradation counter stayed zero", arch)
+		}
+		if res.HitRatio <= 0 || res.HitRatio >= 1 {
+			t.Errorf("%s: hit ratio %v outside (0,1)", arch, res.HitRatio)
+		}
+		if arch == core.Remote && res.Retries == 0 {
+			t.Errorf("Remote with retry policy recorded zero retries at 10%% faults")
+		}
+		if st := res.Injector.Stats(); st.DownRejects == 0 {
+			t.Errorf("%s: kill window produced no down rejects (stats %+v)", arch, st)
+		}
+	}
+}
+
+// TestDegradationIsMonotonic sweeps the fault rate and checks the two
+// degradation signals move the right way: hit ratio falls and the
+// degradation count rises as the cache gets less reliable, and the cost
+// at total cache loss exceeds the fault-free cost.
+func TestDegradationIsMonotonic(t *testing.T) {
+	rates := []float64{0, 0.3, 1.0}
+	for _, arch := range []core.Arch{core.Remote, core.Linked} {
+		var hits []float64
+		var degraded []int64
+		var costs []float64
+		for _, rate := range rates {
+			res := runCell(t, core.ChaosConfig{Arch: arch, ErrorRate: rate, Retry: true})
+			hits = append(hits, res.HitRatio)
+			degraded = append(degraded, res.Degraded)
+			costs = append(costs, res.CostPerMReq)
+		}
+		for i := 1; i < len(rates); i++ {
+			if hits[i] >= hits[i-1] {
+				t.Errorf("%s: hit ratio did not fall with fault rate: %v at rates %v", arch, hits, rates)
+			}
+			if degraded[i] <= degraded[i-1] {
+				t.Errorf("%s: degradations did not rise with fault rate: %v at rates %v", arch, degraded, rates)
+			}
+			// Cost is measured from real busy time, so allow timing noise
+			// within the sweep but require a clear overall rise.
+			if costs[i] < costs[i-1]*0.90 {
+				t.Errorf("%s: cost fell with fault rate: %v at rates %v", arch, costs, rates)
+			}
+		}
+		if costs[len(costs)-1] <= costs[0] {
+			t.Errorf("%s: total cache loss not costlier than fault-free: %v", arch, costs)
+		}
+		if hits[len(hits)-1] != 0 {
+			t.Errorf("%s: hit ratio at 100%% faults = %v, want 0", arch, hits[len(hits)-1])
+		}
+	}
+}
+
+// TestChaosCellIsDeterministic re-runs one chaos cell with a fixed seed
+// and requires an identical fault schedule and identical op-level
+// outcomes (degradations, retries, hit ratio — everything except wall
+// time).
+func TestChaosCellIsDeterministic(t *testing.T) {
+	for _, arch := range []core.Arch{core.Remote, core.Linked} {
+		cc := core.ChaosConfig{Arch: arch, ErrorRate: 0.25, KillWindow: true, Retry: true, Seed: 99}
+		a := runCell(t, cc)
+		b := runCell(t, cc)
+		if at, bt := a.Injector.Trace(), b.Injector.Trace(); at != bt {
+			t.Errorf("%s: fault schedules diverged under fixed seed:\n%s\n%s", arch, at, bt)
+		}
+		if a.Degraded != b.Degraded || a.Retries != b.Retries {
+			t.Errorf("%s: outcome counters diverged: degraded %d/%d retries %d/%d",
+				arch, a.Degraded, b.Degraded, a.Retries, b.Retries)
+		}
+		if a.HitRatio != b.HitRatio {
+			t.Errorf("%s: hit ratio diverged: %v vs %v", arch, a.HitRatio, b.HitRatio)
+		}
+	}
+}
+
+// TestMeterTotalsBalance checks the cost report's books under chaos: line
+// items sum to the totals, injected fault work is visible as its own
+// component, and the degradation counters surface in the report.
+func TestMeterTotalsBalance(t *testing.T) {
+	res := runCell(t, core.ChaosConfig{Arch: core.Remote, ErrorRate: 0.5, KillWindow: true, Retry: true})
+	rep := res.Report
+	var cpu, mem float64
+	for _, l := range rep.Lines {
+		cpu += l.CPUCost
+		mem += l.MemCost
+	}
+	if math.Abs(cpu-rep.CPUCost) > 1e-9 || math.Abs(mem-rep.MemCost) > 1e-9 {
+		t.Errorf("line sums (%v, %v) != report totals (%v, %v)", cpu, mem, rep.CPUCost, rep.MemCost)
+	}
+	if math.Abs((rep.CPUCost+rep.MemCost)-rep.TotalCost) > 1e-9 {
+		t.Errorf("CPUCost+MemCost = %v, TotalCost = %v", rep.CPUCost+rep.MemCost, rep.TotalCost)
+	}
+	if got := rep.ComponentCost("fault"); got <= 0 {
+		t.Errorf("injected stalls charged $%v to component 'fault', want > 0", got)
+	}
+	counters := map[string]int64{}
+	for _, c := range rep.Counters {
+		counters[c.Name] = c.Value
+	}
+	if counters[core.DegradedCounter] != res.Degraded || res.Degraded == 0 {
+		t.Errorf("report counter %q = %d, RunResult.Degraded = %d",
+			core.DegradedCounter, counters[core.DegradedCounter], res.Degraded)
+	}
+	if rep.Requests != int64(res.Ops) {
+		t.Errorf("report requests = %d, ops = %d", rep.Requests, res.Ops)
+	}
+}

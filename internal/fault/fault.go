@@ -1,0 +1,368 @@
+// Package fault is the deterministic fault-injection layer of the cost
+// laboratory. The paper's cost argument (§5) treats the cache tier as
+// *optional* on the request path: a service must keep serving through
+// cache-node loss by falling through to storage, and the price of that
+// resilience — retries, timeouts, degraded hit ratios, over-provisioning —
+// is part of the bill. This package makes those faults injectable and
+// *metered*, so the stalls and failures a chaos schedule provokes show up
+// in the cost report like any other CPU.
+//
+// An Injector owns a set of named fault targets ("nodes"). Each node has a
+// composable Rule (error rate, injected stall work, slow-start after
+// recovery) plus two switches: Kill (node refuses every call) and
+// Blackhole (calls disappear and the caller pays a modeled timeout).
+// Conns wrapped with Injector.Wrap consult their node before every call;
+// non-RPC layers (the linked cache, the raft group) consult the same
+// decisions through Decide and Down.
+//
+// Determinism: every decision is a pure function of (seed, node name,
+// per-node call sequence number). Two runs with the same seed and the same
+// call order — which the single-threaded experiment driver guarantees —
+// produce identical fault schedules and identical op-level outcomes.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"cachecost/internal/meter"
+	"cachecost/internal/rpc"
+)
+
+// Injected fault errors. They model transport-level failures, so retry
+// layers treat them as retryable; application-level errors are never
+// injected.
+var (
+	// ErrInjected is a transient per-call failure (connection reset,
+	// overload shed) injected by a node's ErrorRate rule.
+	ErrInjected = errors.New("fault: injected transient error")
+	// ErrNodeDown is returned for every call to a killed node.
+	ErrNodeDown = errors.New("fault: node is down")
+	// ErrBlackhole models a request that vanished into a network
+	// partition: the caller burns a timeout's worth of waiting-side work
+	// and sees this error.
+	ErrBlackhole = errors.New("fault: request blackholed (timeout)")
+)
+
+// Rule is the steady-state fault behaviour of one node. The zero Rule
+// injects nothing.
+type Rule struct {
+	// ErrorRate is the probability in [0,1] that a call fails with
+	// ErrInjected after any stall work has been charged.
+	ErrorRate float64
+	// StallWork is metered CPU work (Burner units) injected per stalled
+	// call — added latency standing in for queueing, GC pauses or a slow
+	// replica. Charged to the injector's component so stalls appear in
+	// the cost report.
+	StallWork int
+	// StallRate is the probability a call pays StallWork. Zero means 1
+	// (every call stalls) when StallWork > 0.
+	StallRate float64
+	// SlowStartCalls is how many calls after Revive pay SlowStartWork
+	// each — a cold cache, connection re-establishment, page-in.
+	SlowStartCalls int
+	// SlowStartWork is the extra work per slow-start call. Zero means
+	// 4*StallWork, or 8192 if StallWork is also zero.
+	SlowStartWork int
+}
+
+func (r Rule) stallRate() float64 {
+	if r.StallWork <= 0 {
+		return 0
+	}
+	if r.StallRate == 0 {
+		return 1
+	}
+	return r.StallRate
+}
+
+func (r Rule) slowStartWork() int {
+	if r.SlowStartWork > 0 {
+		return r.SlowStartWork
+	}
+	if r.StallWork > 0 {
+		return 4 * r.StallWork
+	}
+	return 8192
+}
+
+// NodeStats counts what the injector did to one node.
+type NodeStats struct {
+	Calls          int64 // decisions taken
+	InjectedErrors int64 // ErrInjected returned
+	DownRejects    int64 // ErrNodeDown returned
+	Blackholed     int64 // ErrBlackhole returned
+	Stalls         int64 // calls that paid StallWork
+	SlowStarts     int64 // calls that paid slow-start work
+	WorkInjected   int64 // total Burner units charged
+}
+
+func (s *NodeStats) add(o NodeStats) {
+	s.Calls += o.Calls
+	s.InjectedErrors += o.InjectedErrors
+	s.DownRejects += o.DownRejects
+	s.Blackholed += o.Blackholed
+	s.Stalls += o.Stalls
+	s.SlowStarts += o.SlowStarts
+	s.WorkInjected += o.WorkInjected
+}
+
+type nodeState struct {
+	rule       Rule
+	killed     bool
+	blackholed bool
+	seq        uint64 // per-node decision sequence, drives determinism
+	slowLeft   int
+	stats      NodeStats
+}
+
+// Options configures an Injector.
+type Options struct {
+	// Meter receives the injected stall work under Component. Nil
+	// disables metering (faults still fire, but stalls burn nothing).
+	Meter *meter.Meter
+	// Component is the meter component name. Default "fault".
+	Component string
+	// TimeoutWork is the waiting-side work charged for a blackholed
+	// call (the caller spinning on a timeout). Default 16384.
+	TimeoutWork int
+}
+
+// Injector injects faults into named nodes. All methods are safe for
+// concurrent use; determinism additionally requires a deterministic call
+// order, which single-threaded experiment drivers provide.
+type Injector struct {
+	seed        uint64
+	comp        *meter.Component
+	burner      *meter.Burner
+	timeoutWork int
+
+	mu    sync.Mutex
+	nodes map[string]*nodeState
+}
+
+// New returns an Injector whose decisions derive from seed.
+func New(seed int64, opts Options) *Injector {
+	in := &Injector{
+		seed:        uint64(seed),
+		timeoutWork: opts.TimeoutWork,
+		nodes:       make(map[string]*nodeState),
+	}
+	if in.timeoutWork == 0 {
+		in.timeoutWork = 16384
+	}
+	if opts.Meter != nil {
+		name := opts.Component
+		if name == "" {
+			name = "fault"
+		}
+		in.comp = opts.Meter.Component(name)
+		in.burner = meter.NewBurner()
+	}
+	return in
+}
+
+func (in *Injector) node(name string) *nodeState {
+	n, ok := in.nodes[name]
+	if !ok {
+		n = &nodeState{}
+		in.nodes[name] = n
+	}
+	return n
+}
+
+// SetRule installs the steady-state rule for node, replacing any earlier
+// rule. The node's kill/blackhole switches are unaffected.
+func (in *Injector) SetRule(node string, r Rule) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.node(node).rule = r
+}
+
+// Kill flips the node's kill switch: every call fails with ErrNodeDown
+// until Revive.
+func (in *Injector) Kill(node string) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.node(node).killed = true
+}
+
+// Revive clears the kill switch and arms the node's slow-start window.
+func (in *Injector) Revive(node string) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	n := in.node(node)
+	if n.killed {
+		n.killed = false
+		n.slowLeft = n.rule.SlowStartCalls
+	}
+}
+
+// Blackhole sets or clears the node's partition switch: while set, calls
+// vanish (the caller pays timeout work and sees ErrBlackhole).
+func (in *Injector) Blackhole(node string, on bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.node(node).blackholed = on
+}
+
+// Down reports whether node is currently killed or blackholed. Pools and
+// replication layers use it to route around unreachable nodes.
+func (in *Injector) Down(node string) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	n, ok := in.nodes[node]
+	return ok && (n.killed || n.blackholed)
+}
+
+// splitmix64 is the decision hash: a full-avalanche mix of the seed, the
+// node identity and the call sequence number.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func hashName(s string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211
+	}
+	return h
+}
+
+// unit maps a decision draw to [0,1).
+func unit(x uint64) float64 { return float64(x>>11) / float64(1<<53) }
+
+// Decide takes the next fault decision for node and returns the injected
+// error, or nil to let the call proceed. Stall and slow-start work is
+// burned and metered before the verdict. Wrapped conns call this on every
+// Call; non-RPC layers (linked caches, raft groups) call it directly.
+func (in *Injector) Decide(node string) error {
+	in.mu.Lock()
+	n := in.node(node)
+	n.seq++
+	n.stats.Calls++
+	if n.killed {
+		n.stats.DownRejects++
+		in.mu.Unlock()
+		return ErrNodeDown
+	}
+	if n.blackholed {
+		n.stats.Blackholed++
+		n.stats.WorkInjected += int64(in.timeoutWork)
+		work := in.timeoutWork
+		in.mu.Unlock()
+		in.burn(work)
+		return ErrBlackhole
+	}
+	rule := n.rule
+	draw := splitmix64(in.seed ^ hashName(node) ^ n.seq)
+	var work int
+	if n.slowLeft > 0 {
+		n.slowLeft--
+		work += rule.slowStartWork()
+		n.stats.SlowStarts++
+	}
+	// Independent sub-draws for the stall and error verdicts, both
+	// derived from the one deterministic draw.
+	stallDraw := unit(draw)
+	errDraw := unit(splitmix64(draw))
+	if rule.stallRate() > 0 && stallDraw < rule.stallRate() {
+		work += rule.StallWork
+		n.stats.Stalls++
+	}
+	var err error
+	if rule.ErrorRate > 0 && errDraw < rule.ErrorRate {
+		n.stats.InjectedErrors++
+		err = ErrInjected
+	}
+	n.stats.WorkInjected += int64(work)
+	in.mu.Unlock()
+	in.burn(work)
+	return err
+}
+
+// burn charges injected work to the fault component.
+func (in *Injector) burn(work int) {
+	if work <= 0 || in.comp == nil {
+		return
+	}
+	sw := in.comp.Start()
+	in.burner.Burn(work)
+	sw.Stop()
+}
+
+// NodeStats returns the counters for one node.
+func (in *Injector) NodeStats(node string) NodeStats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if n, ok := in.nodes[node]; ok {
+		return n.stats
+	}
+	return NodeStats{}
+}
+
+// Stats returns counters summed over every node.
+func (in *Injector) Stats() NodeStats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var total NodeStats
+	for _, n := range in.nodes {
+		total.add(n.stats)
+	}
+	return total
+}
+
+// Trace renders the per-node decision counts, sorted by node name — a
+// compact fault-schedule fingerprint for determinism checks.
+func (in *Injector) Trace() string {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	names := make([]string, 0, len(in.nodes))
+	for name := range in.nodes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := ""
+	for _, name := range names {
+		s := in.nodes[name].stats
+		out += fmt.Sprintf("%s{calls=%d errs=%d down=%d bh=%d stalls=%d slow=%d work=%d} ",
+			name, s.Calls, s.InjectedErrors, s.DownRejects, s.Blackholed, s.Stalls, s.SlowStarts, s.WorkInjected)
+	}
+	return out
+}
+
+// Conn is an rpc.Conn filtered through an Injector node.
+type Conn struct {
+	node string
+	in   *Injector
+	next rpc.Conn
+}
+
+// Wrap returns conn filtered through the named node's fault decisions.
+func (in *Injector) Wrap(node string, conn rpc.Conn) *Conn {
+	return &Conn{node: node, in: in, next: conn}
+}
+
+// Call implements rpc.Conn: the node decides first; only clean calls
+// reach the underlying connection.
+func (c *Conn) Call(method string, req []byte) ([]byte, error) {
+	if err := c.in.Decide(c.node); err != nil {
+		return nil, err
+	}
+	return c.next.Call(method, req)
+}
+
+// Close implements rpc.Conn.
+func (c *Conn) Close() error { return c.next.Close() }
+
+// Down implements rpc.Downer: pools skip this connection while its node
+// is killed or blackholed.
+func (c *Conn) Down() bool { return c.in.Down(c.node) }
+
+// Node returns the fault-target name this conn is bound to.
+func (c *Conn) Node() string { return c.node }

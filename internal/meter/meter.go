@@ -29,6 +29,7 @@ import (
 type Meter struct {
 	mu         sync.Mutex
 	components map[string]*Component
+	counters   map[string]*Counter
 	start      time.Time
 	requests   atomic.Int64
 }
@@ -73,6 +74,9 @@ func (m *Meter) Reset() {
 	for _, c := range m.components {
 		c.busyNanos.Store(0)
 		c.ops.Store(0)
+	}
+	for _, c := range m.counters {
+		c.n.Store(0)
 	}
 	m.requests.Store(0)
 	m.start = time.Now()

@@ -26,9 +26,10 @@ type Report struct {
 	Elapsed   time.Duration
 	Requests  int64
 	Lines     []Line
-	CPUCost   float64 // $/month, all components
-	MemCost   float64 // $/month, all components
-	TotalCost float64 // CPUCost + MemCost
+	Counters  []CounterSnapshot // named event counters (degradations, retries, faults)
+	CPUCost   float64           // $/month, all components
+	MemCost   float64           // $/month, all components
+	TotalCost float64           // CPUCost + MemCost
 }
 
 // BuildReport prices a meter's current snapshot.
@@ -39,6 +40,7 @@ func BuildReport(m *Meter, prices PriceBook) Report {
 		Prices:   prices,
 		Elapsed:  elapsed,
 		Requests: m.Requests(),
+		Counters: m.Counters(),
 	}
 	for _, s := range snaps {
 		cores := s.Cores(elapsed)
@@ -162,5 +164,12 @@ func (r Report) String() string {
 		"TOTAL", r.ComponentCores(""), "", r.CPUCost, r.MemCost, r.TotalCost)
 	fmt.Fprintf(&b, "cost per 1M requests: $%.6f  (memory fraction %.1f%%)\n",
 		r.CostPerMillionRequests(), 100*r.MemFraction())
+	if len(r.Counters) > 0 {
+		b.WriteString("counters:")
+		for _, c := range r.Counters {
+			fmt.Fprintf(&b, " %s=%d", c.Name, c.Value)
+		}
+		b.WriteByte('\n')
+	}
 	return b.String()
 }

@@ -3,9 +3,11 @@ package remotecache
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"cachecost/internal/cluster"
+	"cachecost/internal/meter"
 	"cachecost/internal/rpc"
 	"cachecost/internal/wire"
 )
@@ -16,9 +18,21 @@ var ErrNoNodes = errors.New("remotecache: no cache nodes")
 // Client shards keys across one or more cache nodes with consistent
 // hashing, the standard memcached client topology. It is safe for
 // concurrent use once constructed.
+//
+// A client is strict by default: cache errors propagate to the caller.
+// Production lookaside clients instead degrade gracefully — the cache is
+// an optimization, not a dependency — so Degrade switches the client to
+// demote every cache failure to a miss (Get) or a no-op (Set/Delete),
+// counting each demotion. The paper's availability argument (§5) assumes
+// exactly this behaviour: the service must keep serving through cache
+// loss, and the degraded window's cost shows up as extra storage load.
 type Client struct {
 	ring  *cluster.Ring
 	conns map[string]rpc.Conn
+
+	degrade  atomic.Bool
+	degraded atomic.Int64   // cache errors demoted so far
+	counter  *meter.Counter // optional mirror into a meter's counters
 }
 
 // NewClient builds a client over named connections (node name -> conn).
@@ -48,8 +62,37 @@ func (c *Client) conn(key string) (rpc.Conn, error) {
 	return conn, nil
 }
 
-// Get fetches key, reporting presence.
+// Degrade switches the client to graceful degradation: cache errors are
+// demoted to misses/no-ops and counted. counter (optional) additionally
+// receives each demotion, so degradations appear in the meter's report.
+func (c *Client) Degrade(counter *meter.Counter) {
+	c.counter = counter
+	c.degrade.Store(true)
+}
+
+// Degraded returns how many cache errors have been demoted so far.
+func (c *Client) Degraded() int64 { return c.degraded.Load() }
+
+// demote records one degraded cache operation.
+func (c *Client) demote() {
+	c.degraded.Add(1)
+	if c.counter != nil {
+		c.counter.Inc()
+	}
+}
+
+// Get fetches key, reporting presence. In degraded mode a cache failure
+// reads as a miss.
 func (c *Client) Get(key string) ([]byte, bool, error) {
+	v, found, err := c.get(key)
+	if err != nil && c.degrade.Load() {
+		c.demote()
+		return nil, false, nil
+	}
+	return v, found, err
+}
+
+func (c *Client) get(key string) ([]byte, bool, error) {
 	conn, err := c.conn(key)
 	if err != nil {
 		return nil, false, err
@@ -73,8 +116,20 @@ func (c *Client) Set(key string, value []byte) error {
 	return c.SetTTL(key, value, 0)
 }
 
-// SetTTL stores key, expiring after ttl (0 = never).
+// SetTTL stores key, expiring after ttl (0 = never). In degraded mode a
+// cache failure is a silent no-op: the next read re-populates.
 func (c *Client) SetTTL(key string, value []byte, ttl time.Duration) error {
+	if err := c.setTTL(key, value, ttl); err != nil {
+		if c.degrade.Load() {
+			c.demote()
+			return nil
+		}
+		return err
+	}
+	return nil
+}
+
+func (c *Client) setTTL(key string, value []byte, ttl time.Duration) error {
 	conn, err := c.conn(key)
 	if err != nil {
 		return err
@@ -88,8 +143,19 @@ func (c *Client) SetTTL(key string, value []byte, ttl time.Duration) error {
 	return wire.Unmarshal(respBody, &ack)
 }
 
-// Delete removes key, reporting whether it existed.
+// Delete removes key, reporting whether it existed. In degraded mode a
+// cache failure reports "did not exist" — the entry may survive until its
+// node recovers, the bounded-staleness price of lookaside invalidation.
 func (c *Client) Delete(key string) (bool, error) {
+	ok, err := c.delete(key)
+	if err != nil && c.degrade.Load() {
+		c.demote()
+		return false, nil
+	}
+	return ok, err
+}
+
+func (c *Client) delete(key string) (bool, error) {
 	conn, err := c.conn(key)
 	if err != nil {
 		return false, err

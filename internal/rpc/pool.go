@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 
@@ -44,16 +45,53 @@ func NewPool(conns ...Conn) *Pool {
 	return &Pool{conns: conns}
 }
 
-// Call implements Conn, picking the next connection round-robin.
+// Downer is implemented by connections that know whether their backend
+// is currently unreachable (the fault layer's wrapped conns, health-
+// checked clients). Pools skip down connections while healthy ones
+// remain.
+type Downer interface {
+	Down() bool
+}
+
+// Call implements Conn, picking the next connection round-robin. A
+// connection whose node is down — reported via Downer, or discovered by
+// a transport-level failure — is skipped while other healthy connections
+// remain; only application-level errors (*RemoteError) are returned
+// without failover.
 func (p *Pool) Call(method string, req []byte) ([]byte, error) {
 	p.mu.Lock()
 	if p.closed || len(p.conns) == 0 {
 		p.mu.Unlock()
 		return nil, ErrPoolClosed
 	}
-	conn := p.conns[p.next.Add(1)%uint64(len(p.conns))]
+	conns := p.conns
 	p.mu.Unlock()
-	return conn.Call(method, req)
+
+	start := p.next.Add(1)
+	var firstErr error
+	for i := 0; i < len(conns); i++ {
+		conn := conns[(start+uint64(i))%uint64(len(conns))]
+		if d, ok := conn.(Downer); ok && d.Down() {
+			continue
+		}
+		resp, err := conn.Call(method, req)
+		if err == nil {
+			return resp, nil
+		}
+		var re *RemoteError
+		if errors.As(err, &re) {
+			// The server answered: this is the call's outcome, not a
+			// connection-health signal.
+			return nil, err
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr == nil {
+		firstErr = ErrNoHealthyConn
+	}
+	return nil, firstErr
 }
 
 // Size returns the number of pooled connections.
@@ -85,3 +123,7 @@ var ErrPoolClosed = poolClosedError{}
 type poolClosedError struct{}
 
 func (poolClosedError) Error() string { return "rpc: connection pool is closed" }
+
+// ErrNoHealthyConn is returned when every pooled connection reports its
+// node down before a call could even be attempted.
+var ErrNoHealthyConn = errors.New("rpc: no healthy connection in pool")

@@ -1,0 +1,124 @@
+package raft
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"cachecost/internal/fault"
+)
+
+// TestPartitionHealViaFaultLayer drives the availability episode of the
+// paper's argument end to end through the external fault layer: the
+// leader is killed by a fault.Injector gate mid-write-stream, a new
+// leader takes over with a valid lease, writes continue, the old leader
+// heals — and no acknowledged write is lost anywhere.
+func TestPartitionHealViaFaultLayer(t *testing.T) {
+	g, sms := newTestGroup(3)
+	inj := fault.New(1, fault.Options{})
+	raftNode := func(id int) string { return fmt.Sprintf("raft%d", id) }
+	g.SetGate(func(id int) bool { return inj.Down(raftNode(id)) })
+
+	acked := map[string]string{}
+	put := func(i int) error {
+		k, v := fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i)
+		if _, err := g.Propose(Command{Op: OpPut, Key: []byte(k), Value: []byte(v)}); err != nil {
+			return err
+		}
+		acked[k] = v
+		return nil
+	}
+
+	// Phase 1: healthy writes under the initial leader.
+	for i := 0; i < 5; i++ {
+		if err := put(i); err != nil {
+			t.Fatalf("healthy write %d: %v", i, err)
+		}
+	}
+
+	// Phase 2: the fault layer kills the leader mid-stream.
+	if ld := g.Leader(); ld != 0 {
+		t.Fatalf("initial leader = %d", ld)
+	}
+	inj.Kill(raftNode(0))
+	if err := put(5); !errors.Is(err, ErrNotLeader) {
+		t.Fatalf("write through a gated leader: err = %v, want ErrNotLeader", err)
+	}
+	if err := g.ValidateLease(); !errors.Is(err, ErrNotLeader) {
+		t.Fatalf("lease read through a gated leader: err = %v", err)
+	}
+
+	// Phase 3: a surviving replica wins the election and holds a lease.
+	if err := g.ElectLeader(1); err != nil {
+		t.Fatalf("ElectLeader(1): %v", err)
+	}
+	if ld := g.Leader(); ld != 1 {
+		t.Fatalf("leader after election = %d, want 1", ld)
+	}
+	if err := g.ValidateLease(); err != nil {
+		t.Fatalf("new leader's lease invalid: %v", err)
+	}
+
+	// Phase 4: writes continue on the two-node majority.
+	for i := 5; i < 10; i++ {
+		if err := put(i); err != nil {
+			t.Fatalf("write %d under new leader: %v", i, err)
+		}
+	}
+	if got := g.CommitIndex(0); got >= 6 {
+		t.Fatalf("partitioned node advanced its commit index to %d", got)
+	}
+
+	// Phase 5: heal. The old leader rejoins as a follower and is repaired
+	// by the next replicated write.
+	inj.Revive(raftNode(0))
+	if err := put(10); err != nil {
+		t.Fatalf("write after heal: %v", err)
+	}
+	if st := g.NodeState(0); st != Follower {
+		t.Fatalf("healed node state = %v, want follower", st)
+	}
+
+	// No acknowledged write lost: every replica applied every acked key.
+	if len(acked) != 11 {
+		t.Fatalf("acked %d writes, want 11", len(acked))
+	}
+	for id, sm := range sms {
+		for k, v := range acked {
+			if got, ok := sm.get(k); !ok || got != v {
+				t.Fatalf("replica %d lost acknowledged write %s=%s (got %q, %v)", id, k, v, got, ok)
+			}
+		}
+	}
+	for id := 0; id < 3; id++ {
+		if got := g.CommitIndex(id); got != 11 {
+			t.Fatalf("replica %d commit index = %d, want 11", id, got)
+		}
+	}
+}
+
+// TestPartitionLosesQuorum gates two of three nodes: the group must
+// refuse writes and elections rather than acknowledge unreplicable data.
+func TestPartitionLosesQuorum(t *testing.T) {
+	g, _ := newTestGroup(3)
+	inj := fault.New(1, fault.Options{})
+	g.SetGate(func(id int) bool { return inj.Down(fmt.Sprintf("raft%d", id)) })
+
+	inj.Blackhole("raft1", true)
+	inj.Blackhole("raft2", true)
+	if _, err := g.Propose(Command{Op: OpPut, Key: []byte("k"), Value: []byte("v")}); !errors.Is(err, ErrNoQuorum) {
+		t.Fatalf("minority write: err = %v, want ErrNoQuorum", err)
+	}
+	inj.Blackhole("raft0", true)
+	if err := g.ElectLeader(1); err == nil {
+		t.Fatal("gated candidate won an election")
+	}
+
+	// Heal everything; the group recovers fully.
+	for i := 0; i < 3; i++ {
+		inj.Blackhole(fmt.Sprintf("raft%d", i), false)
+	}
+	if _, err := g.Propose(Command{Op: OpPut, Key: []byte("k"), Value: []byte("v")}); err != nil {
+		t.Fatalf("write after heal: %v", err)
+	}
+}

@@ -158,6 +158,7 @@ type Group struct {
 	cfg Config
 
 	mu         sync.Mutex
+	gate       func(id int) bool // external fault layer; true = unreachable
 	nodes      []*node
 	leader     int // -1 = none
 	tick       uint64
@@ -193,6 +194,24 @@ func NewGroup(cfg Config, newSM func(id int) StateMachine) *Group {
 	return g
 }
 
+// SetGate installs an external reachability gate — typically a closure
+// over fault.Injector.Down — consulted alongside the node's own down
+// flag. A gated node is unreachable for replication, elections, quorum
+// counting and (if it is the leader) proposals, exactly like a node
+// killed with FailNode, but the switch lives in the fault layer so chaos
+// schedules can flip it.
+func (g *Group) SetGate(gate func(id int) bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.gate = gate
+}
+
+// nodeDown reports whether n is unreachable (its own flag or the gate).
+// Callers hold g.mu.
+func (g *Group) nodeDown(n *node) bool {
+	return n.down || (g.gate != nil && g.gate(n.id))
+}
+
 func (g *Group) burn(work int) {
 	if work <= 0 {
 		return
@@ -222,7 +241,7 @@ func (g *Group) Heartbeat() error {
 	}
 	up := 0
 	for _, n := range g.nodes {
-		if !n.down {
+		if !g.nodeDown(n) {
 			up++
 		}
 	}
@@ -261,7 +280,7 @@ func (g *Group) Propose(cmd Command) (int, error) {
 		return 0, ErrNotLeader
 	}
 	ld := g.nodes[g.leader]
-	if ld.down {
+	if g.nodeDown(ld) {
 		return 0, ErrNotLeader
 	}
 	g.proposals++
@@ -273,7 +292,7 @@ func (g *Group) Propose(cmd Command) (int, error) {
 	size := len(cmd.Key) + len(cmd.Value) + 16
 	acks := 1 // leader
 	for _, f := range g.nodes {
-		if f.id == ld.id || f.down {
+		if f.id == ld.id || g.nodeDown(f) {
 			continue
 		}
 		g.burn(g.cfg.ReplicationPerMsg + int(g.cfg.ReplicationPerByte*float64(size)))
@@ -293,7 +312,7 @@ func (g *Group) Propose(cmd Command) (int, error) {
 	// common case of piggybacked commit by applying now on the nodes that
 	// acked.
 	for _, f := range g.nodes {
-		if f.id == ld.id || f.down {
+		if f.id == ld.id || g.nodeDown(f) {
 			continue
 		}
 		if f.lastLogIndex() >= newIndex && f.log[newIndex-1].Term == entry.Term {
@@ -347,7 +366,7 @@ func (g *Group) applyCommitted(n *node) {
 func (g *Group) ValidateLease() error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	if g.leader < 0 || g.nodes[g.leader].down {
+	if g.leader < 0 || g.nodeDown(g.nodes[g.leader]) {
 		return ErrNotLeader
 	}
 	g.leaseChecks++
@@ -360,7 +379,7 @@ func (g *Group) ValidateLease() error {
 	g.burn(g.cfg.QuorumCheckWork)
 	up := 0
 	for _, n := range g.nodes {
-		if !n.down {
+		if !g.nodeDown(n) {
 			up++
 		}
 	}
@@ -399,7 +418,7 @@ func (g *Group) ElectLeader(candidateID int) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	cand := g.nodes[candidateID]
-	if cand.down {
+	if g.nodeDown(cand) {
 		return fmt.Errorf("raft: candidate %d is down", candidateID)
 	}
 	g.elections++
@@ -408,7 +427,7 @@ func (g *Group) ElectLeader(candidateID int) error {
 	// every term it can observe.
 	maxTerm := cand.term
 	for _, v := range g.nodes {
-		if !v.down && v.term > maxTerm {
+		if !g.nodeDown(v) && v.term > maxTerm {
 			maxTerm = v.term
 		}
 	}
@@ -417,7 +436,7 @@ func (g *Group) ElectLeader(candidateID int) error {
 	cand.votedFor = candidateID
 	votes := 1
 	for _, v := range g.nodes {
-		if v.id == candidateID || v.down {
+		if v.id == candidateID || g.nodeDown(v) {
 			continue
 		}
 		g.burn(g.cfg.ReplicationPerMsg) // RequestVote RPC
@@ -443,7 +462,7 @@ func (g *Group) ElectLeader(candidateID int) error {
 	g.leaseUntil = g.tick + uint64(g.cfg.LeaseTicks)
 	// Repair follower logs immediately (a real leader does this lazily).
 	for _, f := range g.nodes {
-		if f.id == candidateID || f.down {
+		if f.id == candidateID || g.nodeDown(f) {
 			continue
 		}
 		g.appendEntries(cand, f)
