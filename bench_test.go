@@ -48,6 +48,24 @@ func BenchmarkFig8(b *testing.B)        { benchFigure(b, core.Fig8) }
 func BenchmarkConsistency(b *testing.B) { benchFigure(b, core.FigConsistency) }
 func BenchmarkMarginal(b *testing.B)    { benchFigure(b, core.FigMarginal) }
 
+// benchFig4aAt regenerates fig4a with the concurrent driver at the given
+// parallelism; wall-clock per regeneration is the ns/op, so comparing
+// Fig4aP1 with Fig4aP4 measures the driver's parallel speedup on this
+// machine (bounded by its core count).
+func benchFig4aAt(b *testing.B, par int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		o := benchOpts()
+		o.Parallelism = par
+		if _, err := core.Fig4a(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4aP1(b *testing.B) { benchFig4aAt(b, 1) }
+func BenchmarkFig4aP4(b *testing.B) { benchFig4aAt(b, 4) }
+
 // benchArch measures per-request latency and cost of one architecture
 // under the standard synthetic workload, reporting $/Mreq alongside
 // ns/op.

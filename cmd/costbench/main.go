@@ -16,6 +16,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,13 +27,15 @@ import (
 
 func main() {
 	var (
-		ops       = flag.Int("ops", 3000, "metered operations per experiment cell")
-		warmup    = flag.Int("warmup", 1000, "unmetered warmup operations per cell")
-		keys      = flag.Int("keys", 2000, "synthetic key population (paper: 100000)")
-		tables    = flag.Int("tables", 300, "catalog table population")
-		seed      = flag.Int64("seed", 1, "workload seed")
-		replicas  = flag.Int("appreplicas", 3, "application servers carrying the linked cache")
-		faultRate = flag.Float64("faultrate", -1, "cache fault rate for the chaos figure (-1 = default sweep)")
+		ops         = flag.Int("ops", 3000, "metered operations per experiment cell")
+		warmup      = flag.Int("warmup", 1000, "unmetered warmup operations per cell")
+		keys        = flag.Int("keys", 2000, "synthetic key population (paper: 100000)")
+		tables      = flag.Int("tables", 300, "catalog table population")
+		seed        = flag.Int64("seed", 1, "workload seed")
+		replicas    = flag.Int("appreplicas", 3, "application servers carrying the linked cache")
+		faultRate   = flag.Float64("faultrate", -1, "cache fault rate for the chaos figure (-1 = default sweep)")
+		parallelism = flag.Int("parallelism", 1, "concurrent driver workers per experiment cell")
+		jsonOut     = flag.Bool("json", false, "emit tables as a JSON array on stdout")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: costbench [flags] <figure>...|all|list\n\nfigures:\n")
@@ -56,6 +59,7 @@ func main() {
 		Tables:      *tables,
 		Seed:        *seed,
 		AppReplicas: *replicas,
+		Parallelism: *parallelism,
 	}
 	if *faultRate >= 0 {
 		opts.FaultRates = []float64{*faultRate}
@@ -82,6 +86,18 @@ func main() {
 		}
 	}
 
+	// jsonTable is the machine-readable form of one regenerated table.
+	type jsonTable struct {
+		ID          string     `json:"id"`
+		Title       string     `json:"title"`
+		Header      []string   `json:"header"`
+		Rows        [][]string `json:"rows"`
+		Notes       []string   `json:"notes,omitempty"`
+		Parallelism int        `json:"parallelism"`
+		ElapsedMS   int64      `json:"elapsed_ms"`
+	}
+	var out []jsonTable
+
 	for _, f := range figs {
 		t0 := time.Now()
 		table, err := f.Run(opts)
@@ -89,7 +105,28 @@ func main() {
 			fmt.Fprintf(os.Stderr, "costbench: %s: %v\n", f.ID, err)
 			os.Exit(1)
 		}
+		elapsed := time.Since(t0)
+		if *jsonOut {
+			out = append(out, jsonTable{
+				ID:          table.ID,
+				Title:       table.Title,
+				Header:      table.Header,
+				Rows:        table.Rows,
+				Notes:       table.Notes,
+				Parallelism: *parallelism,
+				ElapsedMS:   elapsed.Milliseconds(),
+			})
+			continue
+		}
 		fmt.Println(table.String())
-		fmt.Printf("(%s regenerated in %v)\n\n", f.ID, time.Since(t0).Round(time.Millisecond))
+		fmt.Printf("(%s regenerated in %v)\n\n", f.ID, elapsed.Round(time.Millisecond))
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "costbench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

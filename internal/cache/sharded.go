@@ -47,7 +47,14 @@ func (s *Sharded[V]) shard(key string) *locked[V] {
 	return &s.shards[h%uint64(len(s.shards))]
 }
 
-// Get returns the value for key.
+// Get returns the value for key. The value is returned as stored — for
+// reference types (slices, pointers) it is shared, not copied. That is
+// safe under concurrent readers as long as writers follow the
+// replace-don't-mutate discipline: Put a new value rather than mutating
+// one a previous Get may still be holding. Every store in this repo
+// obeys it (remotecache copies the transport buffer before Put and
+// treats stored bytes as immutable; linkedcache hands out live values
+// under the same contract).
 func (s *Sharded[V]) Get(key string) (V, bool) {
 	sh := s.shard(key)
 	sh.mu.Lock()

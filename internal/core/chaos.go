@@ -30,23 +30,6 @@ type ChaosConfig struct {
 	Seed int64
 }
 
-// scheduleGen wraps a workload generator so that each generated op first
-// advances a fault schedule — op-indexed, hence exactly reproducible.
-type scheduleGen struct {
-	inner workload.Generator
-	sched *fault.Schedule
-	inj   *fault.Injector
-}
-
-// Next implements workload.Generator.
-func (g *scheduleGen) Next() workload.Op {
-	g.sched.Step(g.inj)
-	return g.inner.Next()
-}
-
-// Name implements workload.Generator.
-func (g *scheduleGen) Name() string { return g.inner.Name() }
-
 // ChaosResult bundles a chaos cell's priced outcome with the live fault
 // and service handles, so tests can assert on schedules and counters.
 type ChaosResult struct {
@@ -101,6 +84,7 @@ func (o FigOptions) ChaosCell(cc ChaosConfig, wcfg workload.SyntheticConfig) (*C
 		RemoteCacheBytes:  ws * 60 / 100,
 		AppReplicas:       o.AppReplicas,
 		RetrySeed:         cc.Seed,
+		Parallelism:       o.Parallelism,
 	}
 	if node != "" {
 		svcCfg.Faults = inj
@@ -114,7 +98,10 @@ func (o FigOptions) ChaosCell(cc ChaosConfig, wcfg workload.SyntheticConfig) (*C
 	}
 
 	// The kill window is expressed in total driven ops (warmup included),
-	// placed inside the metered window: down for ops*[2/5, 3/5).
+	// placed inside the metered window: down for ops*[2/5, 3/5). The
+	// schedule advances in the driver's serialized per-op hook, so it
+	// fires at execution time — correct under any parallelism, and at
+	// parallelism 1 exactly the historical step-then-run order.
 	var events []fault.Event
 	if cc.KillWindow && node != "" {
 		events = append(events,
@@ -122,9 +109,15 @@ func (o FigOptions) ChaosCell(cc ChaosConfig, wcfg workload.SyntheticConfig) (*C
 			fault.Event{AtOp: o.Warmup + o.Ops*3/5, Node: node, Action: fault.ActRevive},
 		)
 	}
-	driver := &scheduleGen{inner: gen, sched: fault.NewSchedule(events), inj: inj}
+	sched := fault.NewSchedule(events)
 
-	res, err := RunExperiment(svc, m, driver, o.Warmup, o.Ops, o.Prices)
+	res, err := RunExperimentCfg(svc, m, gen, RunConfig{
+		Warmup:      o.Warmup,
+		Ops:         o.Ops,
+		Parallelism: o.Parallelism,
+		Prices:      o.Prices,
+		OnOp:        func(int) { sched.Step(inj) },
+	})
 	if err != nil {
 		return nil, err
 	}

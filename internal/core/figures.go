@@ -31,6 +31,23 @@ type FigOptions struct {
 	// FaultRates overrides the chaos figure's fault-rate sweep
 	// (cmd/costbench -faultrate). Empty means the default sweep.
 	FaultRates []float64
+	// Parallelism drives experiment cells with that many concurrent
+	// workers (cmd/costbench -parallelism). Applies to the architectures
+	// whose services support worker lanes (Base, Remote, Linked); other
+	// cells run single-threaded. Default 1.
+	Parallelism int
+}
+
+// parFor returns the parallelism to use for one cell of arch: the
+// configured fan-out where worker lanes exist, 1 elsewhere.
+func (o FigOptions) parFor(arch Arch) int {
+	if o.Parallelism > 1 {
+		switch arch {
+		case Base, Remote, Linked:
+			return o.Parallelism
+		}
+	}
+	return 1
 }
 
 func (o *FigOptions) applyDefaults() {
@@ -67,6 +84,7 @@ func (o FigOptions) kvCell(arch Arch, cfg workload.SyntheticConfig) (*RunResult,
 	m := meter.NewMeter()
 	gen := workload.NewSynthetic(cfg)
 	ws := int64(cfg.Keys) * int64(cfg.ValueSize)
+	par := o.parFor(arch)
 	svcCfg := ServiceConfig{
 		Arch:              arch,
 		Meter:             m,
@@ -74,12 +92,15 @@ func (o FigOptions) kvCell(arch Arch, cfg workload.SyntheticConfig) (*RunResult,
 		AppCacheBytes:     ws * 60 / 100,
 		RemoteCacheBytes:  ws * 60 / 100,
 		AppReplicas:       o.AppReplicas,
+		Parallelism:       par,
 	}
 	svc, err := BuildKVService(svcCfg, gen)
 	if err != nil {
 		return nil, err
 	}
-	return RunExperiment(svc, m, gen, o.Warmup, o.Ops, o.Prices)
+	return RunExperimentCfg(svc, m, gen, RunConfig{
+		Warmup: o.Warmup, Ops: o.Ops, Parallelism: par, Prices: o.Prices,
+	})
 }
 
 // Fig2a reproduces Figure 2a: the analytic model's cost saving of Linked
@@ -319,6 +340,7 @@ func Fig5b(o FigOptions) (*Table, error) {
 		for i := 0; i < o.Keys; i++ {
 			ws += int64(workload.MetaValueSize(i)) + 64
 		}
+		par := o.parFor(arch)
 		svcCfg := ServiceConfig{
 			Arch:              arch,
 			Meter:             m,
@@ -326,12 +348,15 @@ func Fig5b(o FigOptions) (*Table, error) {
 			AppCacheBytes:     ws * 60 / 100,
 			RemoteCacheBytes:  ws * 60 / 100,
 			AppReplicas:       o.AppReplicas,
+			Parallelism:       par,
 		}
 		svc, err := BuildKVService(svcCfg, gen)
 		if err != nil {
 			return nil, err
 		}
-		res, err := RunExperiment(svc, m, gen, o.Warmup, o.Ops, o.Prices)
+		res, err := RunExperimentCfg(svc, m, gen, RunConfig{
+			Warmup: o.Warmup, Ops: o.Ops, Parallelism: par, Prices: o.Prices,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -503,6 +528,7 @@ func FigAblation(o FigOptions) (*Table, error) {
 		m := meter.NewMeter()
 		gen := workload.NewSynthetic(cfg)
 		ws := int64(cfg.Keys) * int64(cfg.ValueSize)
+		par := o.parFor(arch)
 		svc, err := BuildKVService(ServiceConfig{
 			Arch:                arch,
 			Meter:               m,
@@ -512,11 +538,14 @@ func FigAblation(o FigOptions) (*Table, error) {
 			AppReplicas:         o.AppReplicas,
 			StorageFrontendWork: frontend,
 			DiskPenaltyPerByte:  diskPerByte,
+			Parallelism:         par,
 		}, gen)
 		if err != nil {
 			return nil, err
 		}
-		return RunExperiment(svc, m, gen, o.Warmup/2, o.Ops/2, o.Prices)
+		return RunExperimentCfg(svc, m, gen, RunConfig{
+			Warmup: o.Warmup / 2, Ops: o.Ops / 2, Parallelism: par, Prices: o.Prices,
+		})
 	}
 	for _, fe := range []int{-1, 16384, 49152, 131072} {
 		for _, disk := range []float64{0.25, 1, 4} {
@@ -565,17 +594,21 @@ func FigAllocation(o FigOptions) (*Table, error) {
 		if share == 0 {
 			arch = Base // no app cache at all
 		}
+		par := o.parFor(arch)
 		svc, err := BuildKVService(ServiceConfig{
 			Arch:              arch,
 			Meter:             m,
 			StorageCacheBytes: maxInt64(sD, 1),
 			AppCacheBytes:     maxInt64(sA, 1),
 			AppReplicas:       o.AppReplicas,
+			Parallelism:       par,
 		}, gen)
 		if err != nil {
 			return nil, err
 		}
-		res, err := RunExperiment(svc, m, gen, o.Warmup, o.Ops, o.Prices)
+		res, err := RunExperimentCfg(svc, m, gen, RunConfig{
+			Warmup: o.Warmup, Ops: o.Ops, Parallelism: par, Prices: o.Prices,
+		})
 		if err != nil {
 			return nil, err
 		}

@@ -79,6 +79,16 @@ type ServiceConfig struct {
 	CacheRetry *rpc.RetryPolicy
 	// RetrySeed drives the retry layer's jitter sequence. Default 1.
 	RetrySeed int64
+
+	// Parallelism pre-builds that many worker lanes (Worker(i)) for the
+	// concurrent experiment driver. Each lane has its own front door,
+	// storage connection, cache client stack, fault decision stream and
+	// attribution context, so concurrent workers share no per-request
+	// mutable state beyond the (concurrency-safe) services themselves.
+	// Default 1: only the classic single-threaded path, byte-identical
+	// to previous behaviour. Supported for Base, Remote and Linked on
+	// in-process deployments.
+	Parallelism int
 }
 
 func (c *ServiceConfig) applyDefaults() {
@@ -105,6 +115,9 @@ func (c *ServiceConfig) applyDefaults() {
 	}
 	if c.RetrySeed == 0 {
 		c.RetrySeed = 1
+	}
+	if c.Parallelism < 1 {
+		c.Parallelism = 1
 	}
 }
 
@@ -138,6 +151,27 @@ type KVService struct {
 	cacheReads, cacheHits atomic.Int64
 
 	front *rpc.Server // client-facing
+
+	// def is the classic single-threaded lane (default fault stream, no
+	// attribution context); lanes are the pre-built worker lanes when
+	// Parallelism > 1.
+	def   kvLane
+	lanes []*kvLane
+}
+
+// kvLane is one request path through the service: a front door whose
+// handlers are bound to this lane's private connections, fault decision
+// stream and attribution context. The default lane (worker -1, nil attr)
+// reproduces the historical single-threaded behaviour exactly; worker
+// lanes give the concurrent driver contention-free, deterministic and
+// tightly-attributed request paths.
+type kvLane struct {
+	w     int            // fault decision stream; -1 = default
+	attr  *meter.AttrCtx // per-goroutine attribution; nil on the default lane
+	front *rpc.Server
+	db    *storage.Client
+	rc    *remotecache.Client // Remote only
+	retry *rpc.RetryConn      // Remote with CacheRetry only
 }
 
 // NewKVService builds a single-process deployment: the storage node and
@@ -207,6 +241,9 @@ func NewKVServiceRemote(cfg ServiceConfig, eps RemoteEndpoints) (*KVService, err
 	if cfg.Arch == Remote && eps.Cache == nil {
 		return nil, fmt.Errorf("core: the Remote architecture needs RemoteEndpoints.Cache")
 	}
+	if cfg.Parallelism > 1 {
+		return nil, fmt.Errorf("core: Parallelism > 1 requires an in-process deployment")
+	}
 	s := &KVService{cfg: cfg, m: cfg.Meter}
 	s.appComp = cfg.Meter.Component("app")
 	s.db = storage.NewClient(eps.DB)
@@ -274,12 +311,104 @@ func (s *KVService) finish(cacheConn rpc.Conn) error {
 		s.scaleLinkedMemory()
 	}
 
-	// Client-facing front door.
-	s.front = rpc.NewServer(s.appComp, meter.NewBurner(), cfg.RPCCost)
-	s.front.SetMeterHandlerBody(false)
-	s.front.Handle("app.Read", s.handleRead)
-	s.front.Handle("app.Write", s.handleWrite)
+	// The default lane mirrors the classic single-threaded service: the
+	// shared connections, the default fault stream, no attribution
+	// context.
+	s.def = kvLane{w: -1, db: s.db, rc: s.rc, retry: s.retry}
+	s.front = s.newFront(&s.def)
+	s.def.front = s.front
+
+	if cfg.Parallelism > 1 {
+		return s.buildLanes()
+	}
 	return nil
+}
+
+// newFront builds a client-facing front door whose handlers run on lane l.
+func (s *KVService) newFront(l *kvLane) *rpc.Server {
+	front := rpc.NewServer(s.appComp, meter.NewBurner(), s.cfg.RPCCost)
+	front.SetMeterHandlerBody(false)
+	front.Handle("app.Read", func(req []byte) ([]byte, error) { return s.handleRead(l, req) })
+	front.Handle("app.Write", func(req []byte) ([]byte, error) { return s.handleWrite(l, req) })
+	return front
+}
+
+// buildLanes pre-builds cfg.Parallelism worker lanes. Each lane owns a
+// private storage connection and (for Remote) a private cache client
+// stack — loopback, worker-scoped fault stream, worker-seeded retry layer
+// — all bound to the lane's attribution context. Keeping the stacks
+// private is what makes per-worker fault schedules deterministic: a
+// worker's decisions never interleave into another worker's stream.
+func (s *KVService) buildLanes() error {
+	cfg := s.cfg
+	switch cfg.Arch {
+	case Base, Remote, Linked:
+	default:
+		return fmt.Errorf("core: Parallelism > 1 is not supported for the %v architecture", cfg.Arch)
+	}
+	if s.node == nil {
+		return fmt.Errorf("core: Parallelism > 1 requires an in-process deployment")
+	}
+	s.lanes = make([]*kvLane, cfg.Parallelism)
+	for i := range s.lanes {
+		l := &kvLane{w: i, attr: s.m.NewAttrCtx()}
+		dbConn := rpc.NewLoopback(s.node.Server(), s.appComp, meter.NewBurner(), cfg.RPCCost)
+		dbConn.SetAttrCtx(l.attr)
+		l.db = storage.NewClient(dbConn)
+		if cfg.Arch == Remote {
+			lb := rpc.NewLoopback(s.rcServer.RPCServer(), s.appComp, meter.NewBurner(), cfg.RPCCost)
+			lb.SetAttrCtx(l.attr)
+			var cacheConn rpc.Conn = lb
+			if cfg.Faults != nil {
+				fc := cfg.Faults.WrapWorker(CacheNode, i, cacheConn)
+				fc.SetAttrCtx(l.attr)
+				cacheConn = fc
+			}
+			if cfg.CacheRetry != nil {
+				policy := *cfg.CacheRetry
+				if policy.RetryCounter == nil {
+					policy.RetryCounter = s.m.Counter(RetriesCounter)
+				}
+				rt := rpc.NewRetryConn(cacheConn, policy, cfg.RetrySeed+int64(i), s.appComp, meter.NewBurner())
+				rt.SetAttrCtx(l.attr)
+				l.retry = rt
+				cacheConn = rt
+			}
+			l.rc = remotecache.NewSingleClient(cacheConn)
+			l.rc.Degrade(s.degraded)
+		}
+		l.front = s.newFront(l)
+		s.lanes[i] = l
+	}
+	return nil
+}
+
+// KVWorker is one pre-built parallel lane of a KVService, handed to one
+// driver goroutine. Its Read/Write go through the lane's own front door,
+// so every hop's transport charge, fault decision and retry draw stays on
+// this worker's deterministic stream.
+type KVWorker struct {
+	s *KVService
+	l *kvLane
+}
+
+// Worker returns lane i. The service must have been built with
+// Parallelism > i.
+func (s *KVService) Worker(i int) (ServiceWorker, error) {
+	if i < 0 || i >= len(s.lanes) {
+		return nil, fmt.Errorf("core: worker %d of %d-lane service", i, len(s.lanes))
+	}
+	return &KVWorker{s: s, l: s.lanes[i]}, nil
+}
+
+// Read drives a client read through the worker's lane.
+func (w *KVWorker) Read(key string) ([]byte, error) {
+	return frontRead(w.l.front, key)
+}
+
+// Write drives a client write through the worker's lane.
+func (w *KVWorker) Write(key string, value []byte) error {
+	return frontWrite(w.l.front, key, value)
 }
 
 // scaleLinkedMemory bills the linked cache once per application server.
@@ -347,9 +476,10 @@ func ValueFor(key string, size int) []byte {
 	return out
 }
 
-// loadFromDB is the storage read path shared by all architectures.
-func (s *KVService) loadFromDB(key string) ([]byte, error) {
-	rs, err := s.db.Query("SELECT v FROM kvdata WHERE k = ?", sql.Text(key))
+// loadFromDB is the storage read path shared by all architectures, over
+// the lane's private storage connection.
+func (s *KVService) loadFromDB(l *kvLane, key string) ([]byte, error) {
+	rs, err := l.db.Query("SELECT v FROM kvdata WHERE k = ?", sql.Text(key))
 	if err != nil {
 		return nil, err
 	}
@@ -360,7 +490,7 @@ func (s *KVService) loadFromDB(key string) ([]byte, error) {
 }
 
 func (s *KVService) loadVersioned(key string) ([]byte, uint64, error) {
-	v, err := s.loadFromDB(key)
+	v, err := s.loadFromDB(&s.def, key)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -377,45 +507,47 @@ func (s *KVService) checkVersion(key string) (uint64, bool, error) {
 
 // linkedFault consults the fault layer for the in-process cache: an
 // injected error models the cache shard being lost or restarting, so the
-// read/write skips the cache (a degradation) and goes to storage.
-func (s *KVService) linkedFault() bool {
+// read/write skips the cache (a degradation) and goes to storage. The
+// decision is drawn from the lane's stream.
+func (s *KVService) linkedFault(l *kvLane) bool {
 	if s.cfg.Faults == nil {
 		return false
 	}
-	if err := s.cfg.Faults.Decide(LinkedCacheNode); err != nil {
+	if err := s.cfg.Faults.DecideCtx(LinkedCacheNode, l.w, l.attr); err != nil {
 		s.degraded.Inc()
 		return true
 	}
 	return false
 }
 
-// read dispatches a read through the architecture's cache hierarchy.
-func (s *KVService) read(key string) ([]byte, error) {
+// read dispatches a read through the architecture's cache hierarchy on
+// lane l.
+func (s *KVService) read(l *kvLane, key string) ([]byte, error) {
 	switch s.cfg.Arch {
 	case Base:
-		return s.loadFromDB(key)
+		return s.loadFromDB(l, key)
 	case Remote:
 		s.cacheReads.Add(1)
-		if v, found, err := s.rc.Get(key); err != nil {
+		if v, found, err := l.rc.Get(key); err != nil {
 			return nil, err
 		} else if found {
 			s.cacheHits.Add(1)
 			return v, nil
 		}
-		v, err := s.loadFromDB(key)
+		v, err := s.loadFromDB(l, key)
 		if err != nil {
 			return nil, err
 		}
-		if err := s.rc.Set(key, v); err != nil {
+		if err := l.rc.Set(key, v); err != nil {
 			return nil, err
 		}
 		return v, nil
 	case Linked:
 		s.cacheReads.Add(1)
-		if s.linkedFault() {
-			return s.loadFromDB(key)
+		if s.linkedFault(l) {
+			return s.loadFromDB(l, key)
 		}
-		v, hit, err := s.lc.GetOrLoad(key, func() ([]byte, error) { return s.loadFromDB(key) })
+		v, hit, err := s.lc.GetOrLoad(key, func() ([]byte, error) { return s.loadFromDB(l, key) })
 		if err == nil && hit {
 			s.cacheHits.Add(1)
 		}
@@ -434,10 +566,11 @@ func (s *KVService) read(key string) ([]byte, error) {
 	}
 }
 
-// write dispatches a write: storage first, then cache maintenance.
-func (s *KVService) write(key string, value []byte) error {
+// write dispatches a write on lane l: storage first, then cache
+// maintenance.
+func (s *KVService) write(l *kvLane, key string, value []byte) error {
 	storeWrite := func() error {
-		_, err := s.db.Exec("UPDATE kvdata SET v = ? WHERE k = ?", sql.Blob(value), sql.Text(key))
+		_, err := l.db.Exec("UPDATE kvdata SET v = ? WHERE k = ?", sql.Blob(value), sql.Text(key))
 		return err
 	}
 	switch s.cfg.Arch {
@@ -448,13 +581,13 @@ func (s *KVService) write(key string, value []byte) error {
 			return err
 		}
 		// Lookaside invalidation: delete, let the next read repopulate.
-		_, err := s.rc.Delete(key)
+		_, err := l.rc.Delete(key)
 		return err
 	case Linked:
 		if err := storeWrite(); err != nil {
 			return err
 		}
-		if !s.linkedFault() {
+		if !s.linkedFault(l) {
 			s.lc.Put(key, value)
 		}
 		return nil
@@ -492,6 +625,12 @@ func (s *KVService) write(key string, value []byte) error {
 // makes remote caches over-read (§2.4): they must ship the WHOLE object
 // to the app for it to use a small part.
 func Digest(value []byte) []byte {
+	return appendDigest(make([]byte, 0, 16), value)
+}
+
+// appendDigest appends the 16-byte digest of value to dst. Hot paths pass
+// a stack-backed dst to keep the digest off the heap.
+func appendDigest(dst, value []byte) []byte {
 	head := value
 	if len(head) > 4<<10 {
 		head = head[:4<<10]
@@ -500,52 +639,66 @@ func Digest(value []byte) []byte {
 	for _, c := range head {
 		h = (h ^ uint64(c)) * 1099511628211
 	}
-	out := make([]byte, 16)
 	for i := 0; i < 8; i++ {
-		out[i] = byte(h >> (8 * i))
+		dst = append(dst, byte(h>>(8*i)))
 	}
 	n := uint64(len(value))
 	for i := 0; i < 8; i++ {
-		out[8+i] = byte(n >> (8 * i))
+		dst = append(dst, byte(n>>(8*i)))
 	}
-	return out
+	return dst
 }
 
 // handleRead is the client-facing read: decode, serve through the cache
 // hierarchy, apply the application logic, reply with the small derived
 // result. Application CPU not attributed to a downstream component lands
-// on "app".
-func (s *KVService) handleRead(req []byte) ([]byte, error) {
+// on "app"; a worker lane's attribution context keeps that split tight
+// under concurrency.
+func (s *KVService) handleRead(l *kvLane, req []byte) ([]byte, error) {
 	var out []byte
 	var err error
-	meter.Attribute(s.m, s.appComp, func() {
+	meter.AttributeCtx(s.m, l.attr, s.appComp, func() {
 		var r remotecache.GetRequest // shape {1: key} — reuse the message
 		if err = wire.Unmarshal(req, &r); err != nil {
 			return
 		}
 		var v []byte
-		v, err = s.read(r.Key)
+		v, err = s.read(l, r.Key)
 		if err != nil {
 			return
 		}
-		out = wire.Marshal(&remotecache.GetResponse{Found: true, Value: Digest(v)})
+		// Encode the GetResponse shape {1: found, 2: digest} field-by-field:
+		// the pooled encoder plus a stack-backed digest keeps the reply to
+		// one buffer copy. The response buffer comes from the transport
+		// pool; the client side of the front door (frontRead) recycles it
+		// after decoding.
+		var dig [16]byte
+		e := wire.GetEncoder()
+		e.Bool(1, true)
+		e.BytesField(2, appendDigest(dig[:0], v))
+		out = append(rpc.GetBuffer(), e.Bytes()...)
+		wire.PutEncoder(e)
 	})
 	return out, err
 }
 
 // handleWrite is the client-facing write.
-func (s *KVService) handleWrite(req []byte) ([]byte, error) {
+func (s *KVService) handleWrite(l *kvLane, req []byte) ([]byte, error) {
 	var out []byte
 	var err error
-	meter.Attribute(s.m, s.appComp, func() {
+	meter.AttributeCtx(s.m, l.attr, s.appComp, func() {
 		var r remotecache.SetRequest // shape {key, value}
 		if err = wire.Unmarshal(req, &r); err != nil {
 			return
 		}
-		if err = s.write(r.Key, r.Value); err != nil {
+		if err = s.write(l, r.Key, r.Value); err != nil {
 			return
 		}
-		out = wire.Marshal(&remotecache.Ack{OK: true})
+		// Ack shape {1: ok}.
+		e := wire.GetEncoder()
+		e.Bool(1, true)
+		out = append(rpc.GetBuffer(), e.Bytes()...)
+		wire.PutEncoder(e)
 	})
 	return out, err
 }
@@ -554,21 +707,47 @@ func (s *KVService) handleWrite(req []byte) ([]byte, error) {
 func (s *KVService) Read(key string) ([]byte, error) {
 	// The experiment driver plays the client; its own CPU is outside the
 	// bill (the paper prices the service, not its callers).
-	respBody, err := s.front.Dispatch("app.Read", wire.Marshal(&remotecache.GetRequest{Key: key}))
+	return frontRead(s.front, key)
+}
+
+// Write implements Service.
+func (s *KVService) Write(key string, value []byte) error {
+	return frontWrite(s.front, key, value)
+}
+
+// frontRead performs one client read against a front-door server. The
+// request is encoded field-by-field from a pooled encoder (GetRequest
+// shape {1: key}) and the response buffer cycles back to the transport
+// pool: the handler builds its reply from the same pool, and the
+// GetResponse decoder copies Value out, so both sides of the round trip
+// are reusable.
+func frontRead(front *rpc.Server, key string) ([]byte, error) {
+	e := wire.GetEncoder()
+	e.String(1, key)
+	respBody, err := front.Dispatch("app.Read", e.Bytes())
+	wire.PutEncoder(e)
 	if err != nil {
 		return nil, err
 	}
 	var resp remotecache.GetResponse
-	if err := wire.Unmarshal(respBody, &resp); err != nil {
+	err = wire.Unmarshal(respBody, &resp)
+	rpc.PutBuffer(respBody)
+	if err != nil {
 		return nil, err
 	}
 	return resp.Value, nil
 }
 
-// Write implements Service.
-func (s *KVService) Write(key string, value []byte) error {
-	req := wire.Marshal(&remotecache.SetRequest{Key: key, Value: value})
-	_, err := s.front.Dispatch("app.Write", req)
+// frontWrite performs one client write against a front-door server,
+// encoding the SetRequest shape {1: key, 2: value, 3: ttl_ms}.
+func frontWrite(front *rpc.Server, key string, value []byte) error {
+	e := wire.GetEncoder()
+	e.String(1, key)
+	e.BytesField(2, value)
+	e.Int64(3, 0)
+	respBody, err := front.Dispatch("app.Write", e.Bytes())
+	wire.PutEncoder(e)
+	rpc.PutBuffer(respBody)
 	return err
 }
 
@@ -612,13 +791,28 @@ func (s *KVService) CacheHitRatio() float64 {
 // no-ops so the service could keep serving through cache faults.
 func (s *KVService) Degraded() int64 { return s.degraded.Value() }
 
-// RetryStats returns the cache retry layer's counters (zero when no
-// CacheRetry policy was configured).
+// RetryStats returns the cache retry layer's counters summed over the
+// default lane and every worker lane (zero when no CacheRetry policy was
+// configured).
 func (s *KVService) RetryStats() rpc.RetryStats {
-	if s.retry == nil {
-		return rpc.RetryStats{}
+	var total rpc.RetryStats
+	if s.retry != nil {
+		total = s.retry.Stats()
 	}
-	return s.retry.Stats()
+	for _, l := range s.lanes {
+		if l.retry == nil {
+			continue
+		}
+		st := l.retry.Stats()
+		total.Calls += st.Calls
+		total.Attempts += st.Attempts
+		total.Retries += st.Retries
+		total.BudgetDenied += st.BudgetDenied
+		total.DeadlineExceeded += st.DeadlineExceeded
+		total.Failures += st.Failures
+		total.BackoffTotal += st.BackoffTotal
+	}
+	return total
 }
 
 // Close implements Service.

@@ -1,0 +1,290 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"cachecost/internal/fault"
+	"cachecost/internal/meter"
+	"cachecost/internal/rpc"
+	"cachecost/internal/workload"
+)
+
+// parCell builds and drives one fig4a-style cell at the given
+// parallelism, returning the priced result.
+func parCell(t *testing.T, arch Arch, par int, seed int64) *RunResult {
+	t.Helper()
+	gen := workload.NewSynthetic(workload.SyntheticConfig{
+		Keys: 500, Alpha: 1.2, ReadRatio: 0.9, ValueSize: 1 << 10, Seed: seed,
+	})
+	m := meter.NewMeter()
+	ws := int64(500) * (1 << 10)
+	svc, err := BuildKVService(ServiceConfig{
+		Arch:              arch,
+		Meter:             m,
+		StorageCacheBytes: ws * 15 / 100,
+		AppCacheBytes:     ws * 60 / 100,
+		RemoteCacheBytes:  ws * 60 / 100,
+		AppReplicas:       3,
+		Parallelism:       par,
+	}, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunExperimentCfg(svc, m, gen, RunConfig{
+		Warmup: 300, Ops: 1500, Parallelism: par, Prices: meter.GCP,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestParallelHitRatioMatchesSequential: the workload split is
+// round-robin over one pre-drawn op stream, so the aggregate key/op
+// multiset — and therefore the cache hit ratio — must match the
+// sequential driver at any parallelism (small slack for benign
+// same-key load races).
+func TestParallelHitRatioMatchesSequential(t *testing.T) {
+	for _, arch := range []Arch{Remote, Linked} {
+		t.Run(arch.String(), func(t *testing.T) {
+			base := parCell(t, arch, 1, 7)
+			if base.HitRatio < 0.3 {
+				t.Fatalf("sequential hit ratio %0.3f implausibly low", base.HitRatio)
+			}
+			for _, par := range []int{2, 8} {
+				res := parCell(t, arch, par, 7)
+				if diff := math.Abs(res.HitRatio - base.HitRatio); diff > 0.05 {
+					t.Errorf("parallelism %d: hit ratio %0.4f vs sequential %0.4f (diff %0.4f)",
+						par, res.HitRatio, base.HitRatio, diff)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelCostOrderingStable: the paper's headline ordering at
+// r=0.9 — Linked < Remote < Base — must hold at every parallelism, and
+// each architecture's cost/Mreq must stay close to its sequential
+// value. Measured-cost assertions are timing-based, so this skips under
+// the race detector.
+func TestParallelCostOrderingStable(t *testing.T) {
+	if raceEnabled {
+		t.Skip("measured cost ratios are unstable under -race instrumentation")
+	}
+	costs := map[Arch]map[int]float64{}
+	for _, arch := range []Arch{Base, Remote, Linked} {
+		costs[arch] = map[int]float64{}
+		for _, par := range []int{1, 2, 8} {
+			costs[arch][par] = parCell(t, arch, par, 7).CostPerMReq
+		}
+	}
+	for _, par := range []int{1, 2, 8} {
+		if !(costs[Linked][par] < costs[Remote][par] && costs[Remote][par] < costs[Base][par]) {
+			t.Errorf("parallelism %d: ordering violated: Linked=%g Remote=%g Base=%g",
+				par, costs[Linked][par], costs[Remote][par], costs[Base][par])
+		}
+	}
+	for _, arch := range []Arch{Base, Remote, Linked} {
+		for _, par := range []int{2, 8} {
+			drift := math.Abs(costs[arch][par]-costs[arch][1]) / costs[arch][1]
+			if drift > 0.25 {
+				t.Errorf("%v at parallelism %d: cost/Mreq drifted %0.1f%% from sequential (%g vs %g)",
+					arch, par, 100*drift, costs[arch][par], costs[arch][1])
+			}
+		}
+	}
+}
+
+// TestParallelResultFields: the concurrent driver must report its
+// parallelism, wall clock, throughput and latency percentiles.
+func TestParallelResultFields(t *testing.T) {
+	res := parCell(t, Linked, 4, 3)
+	if res.Parallelism != 4 {
+		t.Errorf("Parallelism = %d", res.Parallelism)
+	}
+	if res.Wall <= 0 || res.Throughput <= 0 {
+		t.Errorf("Wall = %v, Throughput = %v", res.Wall, res.Throughput)
+	}
+	if res.LatencyP50 <= 0 || res.LatencyP99 < res.LatencyP50 {
+		t.Errorf("latencies: p50=%v p99=%v", res.LatencyP50, res.LatencyP99)
+	}
+	// The sequential driver reports them too.
+	res = parCell(t, Linked, 1, 3)
+	if res.Parallelism != 1 || res.Wall <= 0 || res.LatencyP99 < res.LatencyP50 {
+		t.Errorf("sequential: par=%d wall=%v p50=%v p99=%v",
+			res.Parallelism, res.Wall, res.LatencyP50, res.LatencyP99)
+	}
+}
+
+// nopConn is a healthy transport for fault-layer tests.
+type nopConn struct{}
+
+func (nopConn) Call(string, []byte) ([]byte, error) { return nil, nil }
+func (nopConn) Close() error                        { return nil }
+
+// workerFaultTrace drives `workers` goroutines concurrently, each making
+// `calls` calls on its own worker-wrapped conn, and returns each
+// worker's per-call outcome sequence (true = fault injected).
+func workerFaultTrace(t *testing.T, seed int64, workers, calls int) [][]bool {
+	t.Helper()
+	inj := fault.New(seed, fault.Options{})
+	inj.SetRule(CacheNode, fault.Rule{ErrorRate: 0.3})
+	traces := make([][]bool, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		conn := inj.WrapWorker(CacheNode, w, nopConn{})
+		wg.Add(1)
+		go func(w int, conn *fault.Conn) {
+			defer wg.Done()
+			trace := make([]bool, calls)
+			for i := range trace {
+				_, err := conn.Call("cache.Get", nil)
+				trace[i] = err != nil
+			}
+			traces[w] = trace
+		}(w, conn)
+	}
+	wg.Wait()
+	return traces
+}
+
+// TestParallelFaultSchedulesReproducible: each worker's fault decision
+// stream is drawn from its own seeded, salted sequence, so with a fixed
+// seed the i'th decision of worker w is the same value on every run —
+// regardless of how the goroutines interleave. (Aggregate per-worker
+// *counts* through a full service can still differ run to run, because
+// how many cache calls a worker makes depends on shared cache state;
+// the schedule underneath those calls is what is deterministic.)
+func TestParallelFaultSchedulesReproducible(t *testing.T) {
+	const workers, calls = 4, 400
+	a := workerFaultTrace(t, 11, workers, calls)
+	b := workerFaultTrace(t, 11, workers, calls)
+	for w := 0; w < workers; w++ {
+		for i := range a[w] {
+			if a[w][i] != b[w][i] {
+				t.Fatalf("worker %d decision %d diverged across identical runs", w, i)
+			}
+		}
+		n := 0
+		for _, hit := range a[w] {
+			if hit {
+				n++
+			}
+		}
+		if n < calls/10 || n > calls/2 {
+			t.Errorf("worker %d: %d/%d injected at rate 0.3", w, n, calls)
+		}
+	}
+	// Distinct workers must draw distinct streams from one seed...
+	if equalTrace(a[0], a[1]) {
+		t.Error("workers 0 and 1 drew identical fault streams")
+	}
+	// ...and a different seed must change every worker's stream.
+	c := workerFaultTrace(t, 12, workers, calls)
+	for w := 0; w < workers; w++ {
+		if equalTrace(a[w], c[w]) {
+			t.Errorf("worker %d: seed change did not alter the fault stream", w)
+		}
+	}
+}
+
+func equalTrace(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestParallelServiceFaultsDegradeNotFail: a Remote service at
+// parallelism 4 with rule faults and retries keeps answering every
+// request; faults surface as degradations and retries, spread across
+// every worker's stream.
+func TestParallelServiceFaultsDegradeNotFail(t *testing.T) {
+	const par = 4
+	m := meter.NewMeter()
+	inj := fault.New(11, fault.Options{Meter: m})
+	inj.SetRule(CacheNode, fault.Rule{ErrorRate: 0.2, StallWork: 512, StallRate: 0.2})
+	gen := workload.NewSynthetic(workload.SyntheticConfig{
+		Keys: 300, Alpha: 1.2, ReadRatio: 0.9, ValueSize: 512, Seed: 11,
+	})
+	ws := int64(300) * 512
+	svc, err := BuildKVService(ServiceConfig{
+		Arch:              Remote,
+		Meter:             m,
+		StorageCacheBytes: ws * 15 / 100,
+		RemoteCacheBytes:  ws * 60 / 100,
+		Faults:            inj,
+		CacheRetry:        &rpc.RetryPolicy{},
+		RetrySeed:         11,
+		Parallelism:       par,
+	}, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunExperimentCfg(svc, m, gen, RunConfig{
+		Warmup: 200, Ops: 1200, Parallelism: par, Prices: meter.GCP,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded == 0 || res.Retries == 0 {
+		t.Errorf("degraded=%d retries=%d at 20%% fault rate", res.Degraded, res.Retries)
+	}
+	for w := 0; w < par; w++ {
+		if inj.WorkerStats(CacheNode, w).Calls == 0 {
+			t.Errorf("worker %d drew no fault decisions", w)
+		}
+	}
+}
+
+// TestParallelWorkerErrors: lane bounds and unsupported configurations
+// fail loudly instead of silently running single-threaded.
+func TestParallelWorkerErrors(t *testing.T) {
+	m := meter.NewMeter()
+	gen := smallGen(1)
+	svc, err := BuildKVService(smallCfg(Linked, m), gen) // Parallelism 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Worker(0); err == nil {
+		t.Error("Worker(0) on a single-lane service should fail")
+	}
+	cfg := smallCfg(LinkedTTL, m)
+	cfg.Parallelism = 2
+	if _, err := NewKVService(cfg); err == nil {
+		t.Error("Parallelism > 1 should be rejected for LinkedTTL")
+	}
+}
+
+// TestChaosCellUnderParallelism: the chaos harness — rule faults plus a
+// mid-window kill/revive — must keep serving every request with the
+// concurrent driver, exactly as it does sequentially.
+func TestChaosCellUnderParallelism(t *testing.T) {
+	o := FigOptions{Ops: 1000, Warmup: 300, Keys: 300, Seed: 5, Parallelism: 4}
+	wcfg := workload.SyntheticConfig{Keys: 300, Alpha: 1.2, ReadRatio: 0.9, ValueSize: 512, Seed: 5}
+	for _, arch := range []Arch{Remote, Linked} {
+		res, err := o.ChaosCell(ChaosConfig{
+			Arch:       arch,
+			ErrorRate:  0.3,
+			KillWindow: true,
+			Retry:      true,
+			Seed:       5,
+		}, wcfg)
+		if err != nil {
+			t.Fatalf("%v: %v", arch, err)
+		}
+		if res.Degraded == 0 {
+			t.Errorf("%v: no degradations at 30%% fault rate with a kill window", arch)
+		}
+		if res.Parallelism != 4 {
+			t.Errorf("%v: ran at parallelism %d", arch, res.Parallelism)
+		}
+	}
+}

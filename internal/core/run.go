@@ -3,6 +3,10 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"cachecost/internal/meter"
 	"cachecost/internal/workload"
@@ -30,6 +34,16 @@ type RunResult struct {
 	// Retries counts cache-call retry attempts during the metered
 	// window (nonzero only with a retry policy and faults).
 	Retries int64
+
+	// Parallelism is the worker count the metered window ran at.
+	Parallelism int
+	// Wall is the metered window's wall-clock duration.
+	Wall time.Duration
+	// Throughput is metered ops per second of wall clock.
+	Throughput float64
+	// LatencyP50 and LatencyP99 are per-request latency percentiles over
+	// the metered window.
+	LatencyP50, LatencyP99 time.Duration
 }
 
 // String renders a one-line summary.
@@ -44,44 +58,110 @@ type hitRatioReporter interface {
 	CacheHitRatio() float64
 }
 
+// ServiceWorker is one worker's view of a service: the subset of Service
+// a driver goroutine needs. Each worker must be used by one goroutine at
+// a time.
+type ServiceWorker interface {
+	Read(key string) ([]byte, error)
+	Write(key string, value []byte) error
+}
+
+// ParallelService is a Service that pre-built per-worker request lanes
+// (KVService with ServiceConfig.Parallelism > 1).
+type ParallelService interface {
+	Service
+	Worker(i int) (ServiceWorker, error)
+}
+
+// RunConfig parameterizes RunExperimentCfg.
+type RunConfig struct {
+	// Warmup operations run unmetered before the window; Ops are metered.
+	Warmup, Ops int
+	// Parallelism fans the workload out to that many worker goroutines
+	// (each on its own service lane). <= 1 runs the classic sequential
+	// loop. The aggregate op stream is identical at any parallelism: ops
+	// are drawn from the generator once, in order, and dealt round-robin
+	// to workers.
+	Parallelism int
+	// Prices is the price book for the report.
+	Prices meter.PriceBook
+	// OnOp, when non-nil, is called before each operation — warmup and
+	// metered alike — with the number of operations started before it.
+	// Calls are serialized; under parallelism the order operations start
+	// in is scheduler-dependent, but exactly one call fires per op.
+	// Chaos schedules advance here.
+	OnOp func(n int)
+}
+
 // RunExperiment drives svc with ops operations from gen (after warmup
 // unmetered operations), then prices the metered window. The meter must
-// be the one the service was assembled with.
+// be the one the service was assembled with. This is the classic
+// sequential entry point; see RunExperimentCfg for the concurrent driver.
 func RunExperiment(svc Service, m *meter.Meter, gen workload.Generator, warmup, ops int, prices meter.PriceBook) (*RunResult, error) {
-	apply := func(n int) error {
-		for i := 0; i < n; i++ {
-			op := gen.Next()
-			switch op.Kind {
-			case workload.Read:
-				if _, err := svc.Read(op.Key); err != nil {
-					return fmt.Errorf("core: read %q: %w", op.Key, err)
-				}
-			case workload.Write:
-				if err := svc.Write(op.Key, ValueFor(op.Key, op.ValueSize)); err != nil {
-					return fmt.Errorf("core: write %q: %w", op.Key, err)
-				}
-			}
+	return RunExperimentCfg(svc, m, gen, RunConfig{Warmup: warmup, Ops: ops, Prices: prices})
+}
+
+// applyOp executes one workload op against a worker surface.
+func applyOp(svc ServiceWorker, op workload.Op) error {
+	switch op.Kind {
+	case workload.Read:
+		if _, err := svc.Read(op.Key); err != nil {
+			return fmt.Errorf("core: read %q: %w", op.Key, err)
 		}
-		return nil
+	case workload.Write:
+		if err := svc.Write(op.Key, ValueFor(op.Key, op.ValueSize)); err != nil {
+			return fmt.Errorf("core: write %q: %w", op.Key, err)
+		}
 	}
-	if err := apply(warmup); err != nil {
+	return nil
+}
+
+// RunExperimentCfg drives svc with cfg.Ops operations from gen (after
+// cfg.Warmup unmetered operations) across cfg.Parallelism workers, then
+// prices the metered window and reports throughput and latency
+// percentiles alongside cost.
+func RunExperimentCfg(svc Service, m *meter.Meter, gen workload.Generator, cfg RunConfig) (*RunResult, error) {
+	if cfg.Parallelism < 1 {
+		cfg.Parallelism = 1
+	}
+	// Meter on the thread-CPU clock for the whole run (driver goroutines
+	// are pinned to OS threads below): busy time then counts only CPU the
+	// measured code actually consumed, not wall time it spent preempted
+	// by other workers or parked on a lock. On an idle machine this is
+	// identical to the classic wall measurement for the single-threaded
+	// driver, and it is what keeps cost/Mreq parallelism-invariant.
+	m.SetThreadCPUClock(true)
+	defer m.SetThreadCPUClock(false)
+	var lats []time.Duration
+	var wall time.Duration
+	var err error
+	if cfg.Parallelism == 1 {
+		lats, wall, err = runSequential(svc, m, gen, cfg)
+	} else {
+		lats, wall, err = runParallel(svc, m, gen, cfg)
+	}
+	if err != nil {
 		return nil, err
 	}
-	// Collect garbage from setup and warmup (and from earlier experiment
-	// cells in the same process) so the metered window does not absorb
-	// another deployment's GC debt.
-	runtime.GC()
-	m.Reset()
-	if err := apply(ops); err != nil {
-		return nil, err
+	m.AddRequests(int64(cfg.Ops))
+	report := meter.BuildReport(m, cfg.Prices)
+	if cfg.Parallelism > 1 && len(lats) > 0 {
+		// Memory amortization under a concurrent driver: see
+		// meter.Report.LaneQPS. The single-lane rate is 1/mean latency.
+		var sum time.Duration
+		for _, d := range lats {
+			sum += d
+		}
+		mean := sum / time.Duration(len(lats))
+		if mean > 0 {
+			report.LaneQPS = float64(time.Second) / float64(mean)
+		}
 	}
-	m.AddRequests(int64(ops))
-	report := meter.BuildReport(m, prices)
 
 	res := &RunResult{
 		Arch:         svc.Arch(),
 		Workload:     gen.Name(),
-		Ops:          ops,
+		Ops:          cfg.Ops,
 		Report:       report,
 		Degraded:     m.CounterValue(DegradedCounter),
 		Retries:      m.CounterValue(RetriesCounter),
@@ -92,11 +172,170 @@ func RunExperiment(svc Service, m *meter.Meter, gen workload.Generator, warmup, 
 		AppCores:     report.ComponentCores("app"),
 		CacheCores:   report.ComponentCores("remotecache"),
 		StorageCores: report.ComponentCores("storage"),
+		Parallelism:  cfg.Parallelism,
+		Wall:         wall,
+	}
+	if wall > 0 {
+		res.Throughput = float64(cfg.Ops) / wall.Seconds()
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		res.LatencyP50 = lats[percentileIndex(len(lats), 50)]
+		res.LatencyP99 = lats[percentileIndex(len(lats), 99)]
 	}
 	if hr, ok := svc.(hitRatioReporter); ok {
 		res.HitRatio = hr.CacheHitRatio()
 	}
 	return res, nil
+}
+
+// percentileIndex returns the index of the p'th percentile in a sorted
+// slice of n samples (nearest-rank).
+func percentileIndex(n, p int) int {
+	i := n*p/100 - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+// runSequential is the classic single-threaded loop: ops stream straight
+// from the generator, preserving historical behaviour exactly.
+func runSequential(svc Service, m *meter.Meter, gen workload.Generator, cfg RunConfig) ([]time.Duration, time.Duration, error) {
+	// Pin the driving goroutine so the meter's thread-CPU readings are
+	// all taken against one thread's clock.
+	runtime.LockOSThread()
+	defer runtime.UnlockOSThread()
+	n := 0
+	apply := func(count int, lats []time.Duration) ([]time.Duration, error) {
+		for i := 0; i < count; i++ {
+			if cfg.OnOp != nil {
+				cfg.OnOp(n)
+			}
+			n++
+			op := gen.Next()
+			t0 := time.Now()
+			if err := applyOp(svc, op); err != nil {
+				return lats, err
+			}
+			if lats != nil {
+				lats = append(lats, time.Since(t0))
+			}
+		}
+		return lats, nil
+	}
+	if _, err := apply(cfg.Warmup, nil); err != nil {
+		return nil, 0, err
+	}
+	// Collect garbage from setup and warmup (and from earlier experiment
+	// cells in the same process) so the metered window does not absorb
+	// another deployment's GC debt.
+	runtime.GC()
+	m.Reset()
+	t0 := time.Now()
+	lats, err := apply(cfg.Ops, make([]time.Duration, 0, cfg.Ops))
+	wall := time.Since(t0)
+	if err != nil {
+		return nil, 0, err
+	}
+	return lats, wall, nil
+}
+
+// runParallel fans the op stream out to cfg.Parallelism workers. The
+// whole stream (warmup then metered) is drawn from the generator up
+// front, in the same order the sequential driver would, and dealt
+// round-robin: worker w executes ops w, w+N, w+2N, ... of each phase in
+// order. The aggregate key/op multiset is therefore identical at any
+// parallelism, and each worker's subsequence is deterministic.
+func runParallel(svc Service, m *meter.Meter, gen workload.Generator, cfg RunConfig) ([]time.Duration, time.Duration, error) {
+	ps, ok := svc.(ParallelService)
+	if !ok {
+		return nil, 0, fmt.Errorf("core: %T does not support a parallel driver", svc)
+	}
+	workers := make([]ServiceWorker, cfg.Parallelism)
+	for i := range workers {
+		w, err := ps.Worker(i)
+		if err != nil {
+			return nil, 0, err
+		}
+		workers[i] = w
+	}
+	stream := make([]workload.Op, cfg.Warmup+cfg.Ops)
+	for i := range stream {
+		stream[i] = gen.Next()
+	}
+
+	var started atomic.Int64
+	var onOpMu sync.Mutex
+	onOp := func() {
+		n := started.Add(1) - 1
+		if cfg.OnOp != nil {
+			onOpMu.Lock()
+			cfg.OnOp(int(n))
+			onOpMu.Unlock()
+		}
+	}
+
+	// runPhase executes ops[lo:hi) across the workers, returning each
+	// worker's error and (when sample is true) per-op latencies.
+	runPhase := func(lo, hi int, sample bool) ([][]time.Duration, error) {
+		errs := make([]error, len(workers))
+		lats := make([][]time.Duration, len(workers))
+		var wg sync.WaitGroup
+		for w := range workers {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				// Pin to an OS thread: every thread-CPU clock delta this
+				// worker's request path takes is then against one clock.
+				runtime.LockOSThread()
+				defer runtime.UnlockOSThread()
+				var mine []time.Duration
+				if sample {
+					mine = make([]time.Duration, 0, (hi-lo)/len(workers)+1)
+				}
+				for i := lo + w; i < hi; i += len(workers) {
+					onOp()
+					t0 := time.Now()
+					if err := applyOp(workers[w], stream[i]); err != nil {
+						errs[w] = err
+						break
+					}
+					if sample {
+						mine = append(mine, time.Since(t0))
+					}
+				}
+				lats[w] = mine
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		return lats, nil
+	}
+
+	if _, err := runPhase(0, cfg.Warmup, false); err != nil {
+		return nil, 0, err
+	}
+	runtime.GC()
+	m.Reset()
+	t0 := time.Now()
+	perWorker, err := runPhase(cfg.Warmup, len(stream), true)
+	wall := time.Since(t0)
+	if err != nil {
+		return nil, 0, err
+	}
+	lats := make([]time.Duration, 0, cfg.Ops)
+	for _, mine := range perWorker {
+		lats = append(lats, mine...)
+	}
+	return lats, wall, nil
 }
 
 // PreloadItems materializes the key population of a KV-style generator

@@ -16,9 +16,14 @@
 // decisions through Decide and Down.
 //
 // Determinism: every decision is a pure function of (seed, node name,
-// per-node call sequence number). Two runs with the same seed and the same
-// call order — which the single-threaded experiment driver guarantees —
-// produce identical fault schedules and identical op-level outcomes.
+// decision-stream identity, per-stream call sequence number). The default
+// stream reproduces the classic single-threaded schedule exactly. A
+// concurrent driver gives each worker its own stream (Wrap with
+// WrapWorker, or DecideCtx with a worker index): each stream has a private
+// atomic sequence counter and a worker-specific salt, so a fixed seed
+// reproduces the identical per-worker fault schedule regardless of how the
+// scheduler interleaves workers. Kill/blackhole/slow-start switches remain
+// node-global, as they model node state, not caller state.
 package fault
 
 import (
@@ -26,6 +31,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"cachecost/internal/meter"
 	"cachecost/internal/rpc"
@@ -109,13 +115,81 @@ func (s *NodeStats) add(o NodeStats) {
 	s.WorkInjected += o.WorkInjected
 }
 
+// statsCell is the lock-free accumulator behind NodeStats.
+type statsCell struct {
+	calls          atomic.Int64
+	injectedErrors atomic.Int64
+	downRejects    atomic.Int64
+	blackholed     atomic.Int64
+	stalls         atomic.Int64
+	slowStarts     atomic.Int64
+	workInjected   atomic.Int64
+}
+
+func (s *statsCell) snapshot() NodeStats {
+	return NodeStats{
+		Calls:          s.calls.Load(),
+		InjectedErrors: s.injectedErrors.Load(),
+		DownRejects:    s.downRejects.Load(),
+		Blackholed:     s.blackholed.Load(),
+		Stalls:         s.stalls.Load(),
+		SlowStarts:     s.slowStarts.Load(),
+		WorkInjected:   s.workInjected.Load(),
+	}
+}
+
+// stream is one deterministic decision stream against a node: a private
+// sequence counter plus a salt folded into every draw. The default stream
+// has salt 0, making its draws byte-identical to the historical
+// single-threaded injector.
+type stream struct {
+	salt  uint64
+	seq   atomic.Uint64
+	stats statsCell
+}
+
+// nodeState holds one fault target. The switches (rule, killed,
+// blackholed, slow-start budget) are node-global and atomic; decision
+// sequencing and stats live in per-stream state so concurrent workers
+// never contend.
 type nodeState struct {
-	rule       Rule
-	killed     bool
-	blackholed bool
-	seq        uint64 // per-node decision sequence, drives determinism
-	slowLeft   int
-	stats      NodeStats
+	nameHash   uint64
+	rule       atomic.Pointer[Rule]
+	killed     atomic.Bool
+	blackholed atomic.Bool
+	slowLeft   atomic.Int64
+
+	def stream // the default (worker-less) decision stream
+
+	wmu     sync.RWMutex
+	workers map[int]*stream
+}
+
+func (n *nodeState) stream(worker int) *stream {
+	if worker < 0 {
+		return &n.def
+	}
+	n.wmu.RLock()
+	st, ok := n.workers[worker]
+	n.wmu.RUnlock()
+	if ok {
+		return st
+	}
+	n.wmu.Lock()
+	defer n.wmu.Unlock()
+	if st, ok = n.workers[worker]; ok {
+		return st
+	}
+	st = &stream{salt: workerSalt(worker)}
+	n.workers[worker] = st
+	return st
+}
+
+// workerSalt derives the per-worker draw salt. Worker indices are small
+// integers, so a full-avalanche mix keeps neighbouring workers' fault
+// schedules statistically independent.
+func workerSalt(worker int) uint64 {
+	return splitmix64(uint64(worker) + 0x8000000000000000)
 }
 
 // Options configures an Injector.
@@ -131,15 +205,15 @@ type Options struct {
 }
 
 // Injector injects faults into named nodes. All methods are safe for
-// concurrent use; determinism additionally requires a deterministic call
-// order, which single-threaded experiment drivers provide.
+// concurrent use. Decisions on distinct streams are lock-free after the
+// first call; the injector-level lock is only taken to create nodes.
 type Injector struct {
 	seed        uint64
 	comp        *meter.Component
 	burner      *meter.Burner
 	timeoutWork int
 
-	mu    sync.Mutex
+	mu    sync.RWMutex
 	nodes map[string]*nodeState
 }
 
@@ -165,56 +239,56 @@ func New(seed int64, opts Options) *Injector {
 }
 
 func (in *Injector) node(name string) *nodeState {
+	in.mu.RLock()
 	n, ok := in.nodes[name]
-	if !ok {
-		n = &nodeState{}
-		in.nodes[name] = n
+	in.mu.RUnlock()
+	if ok {
+		return n
 	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if n, ok = in.nodes[name]; ok {
+		return n
+	}
+	n = &nodeState{nameHash: hashName(name), workers: make(map[int]*stream)}
+	n.rule.Store(&Rule{})
+	in.nodes[name] = n
 	return n
 }
 
 // SetRule installs the steady-state rule for node, replacing any earlier
 // rule. The node's kill/blackhole switches are unaffected.
 func (in *Injector) SetRule(node string, r Rule) {
-	in.mu.Lock()
-	defer in.mu.Unlock()
-	in.node(node).rule = r
+	in.node(node).rule.Store(&r)
 }
 
 // Kill flips the node's kill switch: every call fails with ErrNodeDown
 // until Revive.
 func (in *Injector) Kill(node string) {
-	in.mu.Lock()
-	defer in.mu.Unlock()
-	in.node(node).killed = true
+	in.node(node).killed.Store(true)
 }
 
 // Revive clears the kill switch and arms the node's slow-start window.
 func (in *Injector) Revive(node string) {
-	in.mu.Lock()
-	defer in.mu.Unlock()
 	n := in.node(node)
-	if n.killed {
-		n.killed = false
-		n.slowLeft = n.rule.SlowStartCalls
+	if n.killed.CompareAndSwap(true, false) {
+		n.slowLeft.Store(int64(n.rule.Load().SlowStartCalls))
 	}
 }
 
 // Blackhole sets or clears the node's partition switch: while set, calls
 // vanish (the caller pays timeout work and sees ErrBlackhole).
 func (in *Injector) Blackhole(node string, on bool) {
-	in.mu.Lock()
-	defer in.mu.Unlock()
-	in.node(node).blackholed = on
+	in.node(node).blackholed.Store(on)
 }
 
 // Down reports whether node is currently killed or blackholed. Pools and
 // replication layers use it to route around unreachable nodes.
 func (in *Injector) Down(node string) bool {
-	in.mu.Lock()
-	defer in.mu.Unlock()
+	in.mu.RLock()
 	n, ok := in.nodes[node]
-	return ok && (n.killed || n.blackholed)
+	in.mu.RUnlock()
+	return ok && (n.killed.Load() || n.blackholed.Load())
 }
 
 // splitmix64 is the decision hash: a full-avalanche mix of the seed, the
@@ -237,35 +311,47 @@ func hashName(s string) uint64 {
 // unit maps a decision draw to [0,1).
 func unit(x uint64) float64 { return float64(x>>11) / float64(1<<53) }
 
-// Decide takes the next fault decision for node and returns the injected
-// error, or nil to let the call proceed. Stall and slow-start work is
-// burned and metered before the verdict. Wrapped conns call this on every
-// Call; non-RPC layers (linked caches, raft groups) call it directly.
+// Decide takes the next fault decision on node's default stream and
+// returns the injected error, or nil to let the call proceed. Stall and
+// slow-start work is burned and metered before the verdict. Wrapped conns
+// call this on every Call; non-RPC layers (linked caches, raft groups)
+// call it directly.
 func (in *Injector) Decide(node string) error {
-	in.mu.Lock()
+	return in.DecideCtx(node, -1, nil)
+}
+
+// DecideCtx is Decide on an explicit decision stream: worker >= 0 selects
+// that worker's private stream (deterministic under concurrency), worker
+// < 0 the default stream. A non-nil ctx receives the burn time charged to
+// the fault component, so a caller's AttributeCtx window can subtract it.
+func (in *Injector) DecideCtx(node string, worker int, ctx *meter.AttrCtx) error {
 	n := in.node(node)
-	n.seq++
-	n.stats.Calls++
-	if n.killed {
-		n.stats.DownRejects++
-		in.mu.Unlock()
+	st := n.stream(worker)
+	seq := st.seq.Add(1)
+	st.stats.calls.Add(1)
+	if n.killed.Load() {
+		st.stats.downRejects.Add(1)
 		return ErrNodeDown
 	}
-	if n.blackholed {
-		n.stats.Blackholed++
-		n.stats.WorkInjected += int64(in.timeoutWork)
-		work := in.timeoutWork
-		in.mu.Unlock()
-		in.burn(work)
+	if n.blackholed.Load() {
+		st.stats.blackholed.Add(1)
+		st.stats.workInjected.Add(int64(in.timeoutWork))
+		in.burn(in.timeoutWork, ctx)
 		return ErrBlackhole
 	}
-	rule := n.rule
-	draw := splitmix64(in.seed ^ hashName(node) ^ n.seq)
+	rule := *n.rule.Load()
+	draw := splitmix64(in.seed ^ n.nameHash ^ st.salt ^ seq)
 	var work int
-	if n.slowLeft > 0 {
-		n.slowLeft--
-		work += rule.slowStartWork()
-		n.stats.SlowStarts++
+	for {
+		left := n.slowLeft.Load()
+		if left <= 0 {
+			break
+		}
+		if n.slowLeft.CompareAndSwap(left, left-1) {
+			work += rule.slowStartWork()
+			st.stats.slowStarts.Add(1)
+			break
+		}
 	}
 	// Independent sub-draws for the stall and error verdicts, both
 	// derived from the one deterministic draw.
@@ -273,46 +359,87 @@ func (in *Injector) Decide(node string) error {
 	errDraw := unit(splitmix64(draw))
 	if rule.stallRate() > 0 && stallDraw < rule.stallRate() {
 		work += rule.StallWork
-		n.stats.Stalls++
+		st.stats.stalls.Add(1)
 	}
 	var err error
 	if rule.ErrorRate > 0 && errDraw < rule.ErrorRate {
-		n.stats.InjectedErrors++
+		st.stats.injectedErrors.Add(1)
 		err = ErrInjected
 	}
-	n.stats.WorkInjected += int64(work)
-	in.mu.Unlock()
-	in.burn(work)
+	st.stats.workInjected.Add(int64(work))
+	in.burn(work, ctx)
 	return err
 }
 
-// burn charges injected work to the fault component.
-func (in *Injector) burn(work int) {
+// burn charges injected work to the fault component, crediting a non-nil
+// attribution context with the attributed duration.
+func (in *Injector) burn(work int, ctx *meter.AttrCtx) {
 	if work <= 0 || in.comp == nil {
 		return
 	}
 	sw := in.comp.Start()
 	in.burner.Burn(work)
-	sw.Stop()
+	ctx.AddInner(sw.Stop())
 }
 
-// NodeStats returns the counters for one node.
-func (in *Injector) NodeStats(node string) NodeStats {
-	in.mu.Lock()
-	defer in.mu.Unlock()
-	if n, ok := in.nodes[node]; ok {
-		return n.stats
+// nodeStats sums a node's counters across the default stream and every
+// worker stream.
+func (n *nodeState) nodeStats() NodeStats {
+	total := n.def.stats.snapshot()
+	n.wmu.RLock()
+	for _, st := range n.workers {
+		s := st.stats.snapshot()
+		total.add(s)
 	}
-	return NodeStats{}
+	n.wmu.RUnlock()
+	return total
+}
+
+// NodeStats returns the counters for one node, summed over all decision
+// streams.
+func (in *Injector) NodeStats(node string) NodeStats {
+	in.mu.RLock()
+	n, ok := in.nodes[node]
+	in.mu.RUnlock()
+	if !ok {
+		return NodeStats{}
+	}
+	return n.nodeStats()
+}
+
+// WorkerStats returns the counters for one worker's decision stream
+// against node. worker < 0 selects the default stream.
+func (in *Injector) WorkerStats(node string, worker int) NodeStats {
+	in.mu.RLock()
+	n, ok := in.nodes[node]
+	in.mu.RUnlock()
+	if !ok {
+		return NodeStats{}
+	}
+	if worker < 0 {
+		return n.def.stats.snapshot()
+	}
+	n.wmu.RLock()
+	st, ok := n.workers[worker]
+	n.wmu.RUnlock()
+	if !ok {
+		return NodeStats{}
+	}
+	return st.stats.snapshot()
 }
 
 // Stats returns counters summed over every node.
 func (in *Injector) Stats() NodeStats {
-	in.mu.Lock()
-	defer in.mu.Unlock()
-	var total NodeStats
+	in.mu.RLock()
+	nodes := make([]*nodeState, 0, len(in.nodes))
 	for _, n := range in.nodes {
-		total.add(n.stats)
+		nodes = append(nodes, n)
+	}
+	in.mu.RUnlock()
+	var total NodeStats
+	for _, n := range nodes {
+		s := n.nodeStats()
+		total.add(s)
 	}
 	return total
 }
@@ -320,16 +447,20 @@ func (in *Injector) Stats() NodeStats {
 // Trace renders the per-node decision counts, sorted by node name — a
 // compact fault-schedule fingerprint for determinism checks.
 func (in *Injector) Trace() string {
-	in.mu.Lock()
-	defer in.mu.Unlock()
+	in.mu.RLock()
 	names := make([]string, 0, len(in.nodes))
 	for name := range in.nodes {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	nodes := make([]*nodeState, len(names))
+	for i, name := range names {
+		nodes[i] = in.nodes[name]
+	}
+	in.mu.RUnlock()
 	out := ""
-	for _, name := range names {
-		s := in.nodes[name].stats
+	for i, name := range names {
+		s := nodes[i].nodeStats()
 		out += fmt.Sprintf("%s{calls=%d errs=%d down=%d bh=%d stalls=%d slow=%d work=%d} ",
 			name, s.Calls, s.InjectedErrors, s.DownRejects, s.Blackholed, s.Stalls, s.SlowStarts, s.WorkInjected)
 	}
@@ -338,20 +469,34 @@ func (in *Injector) Trace() string {
 
 // Conn is an rpc.Conn filtered through an Injector node.
 type Conn struct {
-	node string
-	in   *Injector
-	next rpc.Conn
+	node   string
+	worker int
+	in     *Injector
+	next   rpc.Conn
+	attr   *meter.AttrCtx
 }
 
-// Wrap returns conn filtered through the named node's fault decisions.
+// Wrap returns conn filtered through the named node's default decision
+// stream.
 func (in *Injector) Wrap(node string, conn rpc.Conn) *Conn {
-	return &Conn{node: node, in: in, next: conn}
+	return &Conn{node: node, worker: -1, in: in, next: conn}
 }
+
+// WrapWorker returns conn filtered through the named node using worker's
+// private decision stream, for concurrent drivers that need per-worker
+// deterministic fault schedules.
+func (in *Injector) WrapWorker(node string, worker int, conn rpc.Conn) *Conn {
+	return &Conn{node: node, worker: worker, in: in, next: conn}
+}
+
+// SetAttrCtx binds a per-worker attribution context: injected burn time is
+// credited there. Call before the conn is used.
+func (c *Conn) SetAttrCtx(ctx *meter.AttrCtx) { c.attr = ctx }
 
 // Call implements rpc.Conn: the node decides first; only clean calls
 // reach the underlying connection.
 func (c *Conn) Call(method string, req []byte) ([]byte, error) {
-	if err := c.in.Decide(c.node); err != nil {
+	if err := c.in.DecideCtx(c.node, c.worker, c.attr); err != nil {
 		return nil, err
 	}
 	return c.next.Call(method, req)

@@ -57,7 +57,11 @@ func New[V any](cfg Config, sizeOf cache.SizeOf[V]) *Cache[V] {
 	return c
 }
 
-// Get returns the live value for key.
+// Get returns the live value for key. The value is shared with the
+// cache (and with every other concurrent Get of the same key), not
+// copied — that zero-copy hit path is the architecture's cost edge.
+// The contract: treat returned values as immutable, and publish updates
+// by Put-ing a fresh value, never by mutating one in place.
 func (c *Cache[V]) Get(key string) (V, bool) { return c.store.Get(key) }
 
 // Put stores a live value with no TTL.

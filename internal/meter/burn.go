@@ -1,6 +1,6 @@
 package meter
 
-import "sync"
+import "sync/atomic"
 
 // Burner performs calibrated CPU work. It is used to model CPU costs that
 // exist in the paper's testbed but have no in-process equivalent here —
@@ -9,10 +9,15 @@ import "sync"
 // loopback RPC transport. The work is real (a rolling checksum over a
 // scratch buffer), so it scales with hardware speed exactly like the
 // surrounding real work, preserving relative cost shapes.
+//
+// Burn is lock-free: the scratch buffer is immutable after construction,
+// each call mixes into a local accumulator, and only the final fold into
+// the shared sink is atomic. Concurrent workers therefore burn without
+// serializing on a mutex — essential for a metering primitive that sits
+// on every RPC charge.
 type Burner struct {
-	mu      sync.Mutex
-	scratch []byte
-	sink    uint64
+	scratch []byte // written once in NewBurner, read-only afterwards
+	sink    atomic.Uint64
 }
 
 // NewBurner returns a Burner with an internal scratch buffer.
@@ -25,15 +30,13 @@ func NewBurner() *Burner {
 }
 
 // Burn performs CPU work proportional to n abstract cost units (roughly one
-// unit per byte of the modeled transfer). It is safe for concurrent use;
-// each call claims the scratch buffer briefly.
+// unit per byte of the modeled transfer). It is safe for concurrent use and
+// takes no locks.
 func (b *Burner) Burn(n int) {
 	if n <= 0 {
 		return
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	h := b.sink
+	h := b.sink.Load()
 	for n > 0 {
 		chunk := n
 		if chunk > len(b.scratch) {
@@ -44,13 +47,11 @@ func (b *Burner) Burn(n int) {
 		}
 		n -= chunk
 	}
-	b.sink = h
+	b.sink.Store(h)
 }
 
 // Sink returns the accumulated checksum. Its only purpose is to keep the
 // compiler from eliding Burn's work.
 func (b *Burner) Sink() uint64 {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.sink
+	return b.sink.Load()
 }

@@ -1,0 +1,37 @@
+package meter
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// busyClock selects the time source busy-time measurements read. The
+// default is the wall clock: for a single-threaded driver on real CPU
+// work, wall time of a non-blocking section IS its CPU time, and it is
+// what the historical (and test) semantics are defined against.
+//
+// In thread-CPU mode, readings come from the calling OS thread's CPU
+// clock instead. That makes busy time robust to oversubscription: a
+// goroutine that is preempted — or parked on a mutex — while it holds a
+// stopwatch open accrues nothing, instead of silently absorbing the
+// runtime of whichever goroutines the scheduler ran in its place. The
+// concurrent experiment driver enables this mode and pins each worker
+// goroutine to an OS thread, so deltas are always taken against the
+// same thread's clock.
+type busyClock struct {
+	threadCPU atomic.Bool
+}
+
+// now returns nanoseconds on the selected time source. A nil clock (a
+// detached component or zero AttrCtx) reads the wall clock.
+func (c *busyClock) now() int64 {
+	if c != nil && c.threadCPU.Load() {
+		return threadCPUNanos()
+	}
+	return wallNanos()
+}
+
+// wallBase anchors wall readings so they use the monotonic clock.
+var wallBase = time.Now()
+
+func wallNanos() int64 { return int64(time.Since(wallBase)) }

@@ -1,0 +1,8 @@
+//go:build !linux
+
+package meter
+
+// threadCPUNanos falls back to the wall clock where a per-thread CPU
+// clock is not wired up; thread-CPU mode then degrades to the classic
+// wall-time measurement.
+func threadCPUNanos() int64 { return wallNanos() }

@@ -32,7 +32,25 @@ type Meter struct {
 	counters   map[string]*Counter
 	start      time.Time
 	requests   atomic.Int64
+	// busy caches the meter-wide busy total. Every Component attribution
+	// adds to it, so TotalBusy — which Attribute consults twice per
+	// request — is one atomic load instead of a mutex-guarded walk of the
+	// component map.
+	busy atomic.Int64
+	// clk is the time source for busy measurements, shared with every
+	// component and attribution context the meter hands out.
+	clk busyClock
 }
+
+// SetThreadCPUClock switches busy-time measurement between the wall
+// clock (default) and the calling OS thread's CPU clock. Thread-CPU mode
+// makes measurements immune to goroutine preemption and lock waits —
+// essential when several workers drive the service on fewer cores — but
+// requires each measuring goroutine to be pinned with
+// runtime.LockOSThread for its readings to be taken against one thread.
+// The experiment driver enables it for the duration of a run. Switch
+// only while no measurement is in flight.
+func (m *Meter) SetThreadCPUClock(on bool) { m.clk.threadCPU.Store(on) }
 
 // NewMeter returns an empty Meter whose elapsed-time clock starts now.
 func NewMeter() *Meter {
@@ -51,7 +69,7 @@ func (m *Meter) Component(name string) *Component {
 	defer m.mu.Unlock()
 	c, ok := m.components[name]
 	if !ok {
-		c = &Component{name: name}
+		c = &Component{name: name, total: &m.busy, clk: &m.clk}
 		m.components[name] = c
 	}
 	return c
@@ -78,6 +96,7 @@ func (m *Meter) Reset() {
 	for _, c := range m.counters {
 		c.n.Store(0)
 	}
+	m.busy.Store(0)
 	m.requests.Store(0)
 	m.start = time.Now()
 }
@@ -107,37 +126,107 @@ func (m *Meter) Snapshot() []ComponentSnapshot {
 	return out
 }
 
-// TotalBusy returns the sum of busy time across every component.
+// TotalBusy returns the sum of busy time across every component. It is a
+// single atomic load — safe and cheap on any hot path.
 func (m *Meter) TotalBusy() time.Duration {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	var total time.Duration
-	for _, c := range m.components {
-		total += time.Duration(c.busyNanos.Load())
-	}
-	return total
+	return time.Duration(m.busy.Load())
 }
 
 // Attribute runs fn and credits c with the wall time fn consumed MINUS
 // whatever busy time fn's callees attributed to other components of the
 // same meter in the meantime. With a single-threaded caller this yields
 // exact, double-counting-free attribution for a handler that invokes
-// self-metering downstream services. Under concurrency the split between
-// components becomes approximate but the total stays correct.
+// self-metering downstream services. Under concurrency the meter-wide
+// delta also absorbs other goroutines' attributions; concurrent drivers
+// use AttributeCtx with a per-goroutine AttrCtx instead.
 func Attribute(m *Meter, c *Component, fn func()) {
+	AttributeCtx(m, nil, c, fn)
+}
+
+// AttributeCtx is Attribute with an optional per-goroutine attribution
+// context. With ctx == nil it behaves exactly like Attribute (meter-wide
+// busy delta — exact for a single-threaded caller). With a non-nil ctx —
+// one per worker goroutine, threaded through that worker's connections —
+// the callee busy subtracted is only what *this* goroutine's callees
+// recorded, so the split stays tight under concurrency.
+func AttributeCtx(m *Meter, ctx *AttrCtx, c *Component, fn func()) {
 	if c == nil {
 		fn()
 		return
 	}
-	before := m.TotalBusy()
-	t0 := time.Now()
+	var before time.Duration
+	if ctx != nil {
+		before = ctx.Inner()
+	} else {
+		before = m.TotalBusy()
+	}
+	t0 := m.clk.now()
 	fn()
-	total := time.Since(t0)
-	inner := m.TotalBusy() - before
+	total := time.Duration(m.clk.now() - t0)
+	var inner time.Duration
+	if ctx != nil {
+		inner = ctx.Inner() - before
+	} else {
+		inner = m.TotalBusy() - before
+	}
 	if own := total - inner; own > 0 {
 		c.AddBusy(own)
 	}
 	c.AddOps(1)
+}
+
+// AttrCtx is a per-goroutine attribution context for concurrent drivers.
+// A worker goroutine owns exactly one AttrCtx and threads it through its
+// private connections (loopback, retry, fault); every callee charge those
+// connections observe is recorded here, so AttributeCtx can subtract
+// precisely the busy time *this* goroutine's callees claimed — unpolluted
+// by other workers attributing to the same shared meter concurrently.
+//
+// An AttrCtx is intentionally not safe for concurrent use: it exists to
+// be single-goroutine state.
+type AttrCtx struct {
+	inner int64      // nanoseconds of callee-attributed (or excluded) time
+	clk   *busyClock // the owning meter's time source; nil reads the wall clock
+}
+
+// NewAttrCtx returns an attribution context on the meter's time source,
+// so Span measurements agree with the stopwatches crediting into it.
+func (m *Meter) NewAttrCtx() *AttrCtx { return &AttrCtx{clk: &m.clk} }
+
+// AddInner records d as busy time already attributed by a callee on this
+// goroutine (and therefore excluded from the enclosing component's own
+// time).
+func (c *AttrCtx) AddInner(d time.Duration) {
+	if c != nil && d > 0 {
+		c.inner += int64(d)
+	}
+}
+
+// Inner returns the accumulated callee time.
+func (c *AttrCtx) Inner() time.Duration {
+	if c == nil {
+		return 0
+	}
+	return time.Duration(c.inner)
+}
+
+// Span runs fn and counts its entire wall time as callee time, replacing
+// any finer-grained credits fn recorded itself. Callers wrap a synchronous
+// downstream call (an RPC dispatch, a self-metering library call) in a
+// Span so its wall — attributed work, lock waits and glue alike — is
+// excluded from the enclosing component's own time exactly once.
+func (c *AttrCtx) Span(fn func()) {
+	if c == nil {
+		fn()
+		return
+	}
+	pre := c.inner
+	t0 := c.clk.now()
+	fn()
+	if d := c.clk.now() - t0; d > 0 {
+		pre += d
+	}
+	c.inner = pre
 }
 
 // Component accumulates busy time, operation counts and provisioned memory
@@ -148,6 +237,8 @@ type Component struct {
 	busyNanos atomic.Int64
 	memBytes  atomic.Int64
 	ops       atomic.Int64
+	total     *atomic.Int64 // the owning Meter's busy total; nil if detached
+	clk       *busyClock    // the owning Meter's time source; nil reads wall
 }
 
 // Name returns the component's registered name.
@@ -157,6 +248,9 @@ func (c *Component) Name() string { return c.name }
 func (c *Component) AddBusy(d time.Duration) {
 	if d > 0 {
 		c.busyNanos.Add(int64(d))
+		if c.total != nil {
+			c.total.Add(int64(d))
+		}
 	}
 }
 
@@ -183,9 +277,9 @@ func (c *Component) Ops() int64 { return c.ops.Load() }
 // Track runs fn and attributes its wall time to the component. It is the
 // standard way to meter a CPU-bound handler body.
 func (c *Component) Track(fn func()) {
-	t0 := time.Now()
+	t0 := c.clk.now()
 	fn()
-	c.busyNanos.Add(int64(time.Since(t0)))
+	c.AddBusy(time.Duration(c.clk.now() - t0))
 	c.ops.Add(1)
 }
 
@@ -193,14 +287,22 @@ func (c *Component) Track(fn func()) {
 // handler needs to exclude a blocking section (e.g. waiting on a downstream
 // RPC) from its own busy time.
 func (c *Component) Start() *Stopwatch {
-	return &Stopwatch{c: c, t0: time.Now(), running: true}
+	return &Stopwatch{c: c, t0: c.clk.now(), running: true}
+}
+
+// Begin is Start without the heap allocation: it returns the Stopwatch by
+// value, for hot paths that start and stop within one frame. The value
+// must stay on the caller's stack — copying a running stopwatch and
+// stopping both copies double-counts.
+func (c *Component) Begin() Stopwatch {
+	return Stopwatch{c: c, t0: c.clk.now(), running: true}
 }
 
 // Stopwatch meters a single component across pause/resume boundaries.
 // It is not safe for concurrent use; each in-flight request should own one.
 type Stopwatch struct {
 	c       *Component
-	t0      time.Time
+	t0      int64 // busyClock reading at the last (re)start
 	acc     time.Duration
 	running bool
 }
@@ -209,7 +311,9 @@ type Stopwatch struct {
 // call). Pausing an already-paused stopwatch is a no-op.
 func (s *Stopwatch) Pause() {
 	if s.running {
-		s.acc += time.Since(s.t0)
+		if d := s.c.clk.now() - s.t0; d > 0 {
+			s.acc += time.Duration(d)
+		}
 		s.running = false
 	}
 }
@@ -218,7 +322,7 @@ func (s *Stopwatch) Pause() {
 // is a no-op.
 func (s *Stopwatch) Resume() {
 	if !s.running {
-		s.t0 = time.Now()
+		s.t0 = s.c.clk.now()
 		s.running = true
 	}
 }

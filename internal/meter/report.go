@@ -30,6 +30,17 @@ type Report struct {
 	CPUCost   float64           // $/month, all components
 	MemCost   float64           // $/month, all components
 	TotalCost float64           // CPUCost + MemCost
+
+	// LaneQPS, when set (> 0), is the single-lane request rate — the
+	// throughput one closed-loop worker sustains (1/mean latency). A
+	// concurrent driver sets it so memory amortization stays comparable
+	// to a single-threaded run: CPU cost per request is elapsed-invariant
+	// (busy/requests), but provisioned-memory cost per request divides a
+	// monthly rent by throughput, and a driver that packs N workers onto
+	// the same cores compresses elapsed without representing a larger
+	// deployment. Zero means "use aggregate QPS" (the single-threaded
+	// behaviour, unchanged).
+	LaneQPS float64
 }
 
 // BuildReport prices a meter's current snapshot.
@@ -78,8 +89,11 @@ func (r Report) CostPerMillionRequests() float64 {
 		return 0
 	}
 	const secondsPerMonth = 30 * 24 * 3600
-	requestsPerMonth := qps * secondsPerMonth
-	return r.TotalCost / requestsPerMonth * 1e6
+	memQPS := qps
+	if r.LaneQPS > 0 {
+		memQPS = r.LaneQPS
+	}
+	return (r.CPUCost/(qps*secondsPerMonth) + r.MemCost/(memQPS*secondsPerMonth)) * 1e6
 }
 
 // MemFraction returns provisioned-memory cost as a fraction of total cost.

@@ -97,12 +97,19 @@ func (c *Client) get(key string) ([]byte, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
-	respBody, err := conn.Call("cache.Get", wire.Marshal(&GetRequest{Key: key}))
+	// GetRequest shape {1: key}, encoded from the pool to keep the
+	// request round trip allocation-free.
+	e := wire.GetEncoder()
+	e.String(1, key)
+	respBody, err := conn.Call("cache.Get", e.Bytes())
+	wire.PutEncoder(e)
 	if err != nil {
 		return nil, false, err
 	}
 	var resp GetResponse
-	if err := wire.Unmarshal(respBody, &resp); err != nil {
+	err = wire.Unmarshal(respBody, &resp)
+	rpc.PutBuffer(respBody) // decode copied Value out; the buffer is dead
+	if err != nil {
 		return nil, false, err
 	}
 	if !resp.Found {
@@ -134,13 +141,20 @@ func (c *Client) setTTL(key string, value []byte, ttl time.Duration) error {
 	if err != nil {
 		return err
 	}
-	req := &SetRequest{Key: key, Value: value, TTLms: int64(ttl / time.Millisecond)}
-	respBody, err := conn.Call("cache.Set", wire.Marshal(req))
+	// SetRequest shape {1: key, 2: value, 3: ttl_ms}.
+	e := wire.GetEncoder()
+	e.String(1, key)
+	e.BytesField(2, value)
+	e.Int64(3, int64(ttl/time.Millisecond))
+	respBody, err := conn.Call("cache.Set", e.Bytes())
+	wire.PutEncoder(e)
 	if err != nil {
 		return err
 	}
 	var ack Ack
-	return wire.Unmarshal(respBody, &ack)
+	err = wire.Unmarshal(respBody, &ack)
+	rpc.PutBuffer(respBody)
+	return err
 }
 
 // Delete removes key, reporting whether it existed. In degraded mode a
@@ -160,12 +174,18 @@ func (c *Client) delete(key string) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	respBody, err := conn.Call("cache.Delete", wire.Marshal(&DeleteRequest{Key: key}))
+	// DeleteRequest shape {1: key}.
+	e := wire.GetEncoder()
+	e.String(1, key)
+	respBody, err := conn.Call("cache.Delete", e.Bytes())
+	wire.PutEncoder(e)
 	if err != nil {
 		return false, err
 	}
 	var ack Ack
-	if err := wire.Unmarshal(respBody, &ack); err != nil {
+	err = wire.Unmarshal(respBody, &ack)
+	rpc.PutBuffer(respBody)
+	if err != nil {
 		return false, err
 	}
 	return ack.OK, nil

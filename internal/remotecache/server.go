@@ -68,11 +68,23 @@ func (s *Server) Stats() cache.Stats { return s.store.Stats() }
 func (s *Server) UsedBytes() int64 { return s.store.UsedBytes() }
 
 func (s *Server) handleGet(req []byte) ([]byte, error) {
-	var r GetRequest
-	if err := wire.Unmarshal(req, &r); err != nil {
+	// Decode the key zero-copy: it is only a lookup argument, dead once
+	// Get returns, so it may alias the transport's request buffer. (Set
+	// and Delete keep the copying decode — Put retains its key.)
+	var key string
+	err := wire.Decode(req, func(d *wire.Decoder) (err error) {
+		return decodeFields(d, func(f uint32, t wire.Type) error {
+			if f == 1 {
+				key, err = d.StringZC()
+				return err
+			}
+			return d.Skip(t)
+		})
+	})
+	if err != nil {
 		return nil, err
 	}
-	v, ok := s.store.Get(r.Key)
+	v, ok := s.store.Get(key)
 	return wire.Marshal(&GetResponse{Found: ok, Value: v}), nil
 }
 
@@ -81,6 +93,9 @@ func (s *Server) handleSet(req []byte) ([]byte, error) {
 	if err := wire.Unmarshal(req, &r); err != nil {
 		return nil, err
 	}
+	// SetRequest's decode copied Key and Value out of req, so the stored
+	// value is independent of the transport buffer and immutable from
+	// here on; concurrent readers may share it safely.
 	if r.TTLms > 0 {
 		s.store.PutTTL(r.Key, r.Value, time.Duration(r.TTLms)*time.Millisecond)
 	} else {

@@ -1,0 +1,40 @@
+package rpc
+
+import "sync"
+
+// The transport buffer pool recycles message buffers across the RPC hot
+// path: request encodes on the client side, the loopback response copy,
+// and any caller that has finished decoding a response. Buffers and their
+// slice headers are pooled separately so a Get/Put cycle is allocation
+// free in the steady state (Put-ing a bare []byte into a sync.Pool would
+// box the header on every call).
+var (
+	// bufPool holds recycled buffers, boxed in *[]byte.
+	bufPool = sync.Pool{New: func() any { return new([]byte) }}
+	// hdrPool holds spare *[]byte boxes whose buffer has been handed out.
+	hdrPool = sync.Pool{New: func() any { return new([]byte) }}
+)
+
+// GetBuffer returns a zero-length buffer with reusable capacity. Pair it
+// with PutBuffer once the contents are dead.
+func GetBuffer() []byte {
+	bp := bufPool.Get().(*[]byte)
+	b := (*bp)[:0]
+	*bp = nil
+	hdrPool.Put(bp)
+	return b
+}
+
+// PutBuffer recycles b's capacity for future GetBuffer calls. The caller
+// must own b outright: nothing may alias it afterwards. Conn.Call
+// responses qualify once fully decoded (the wire decoders copy strings
+// and byte fields out of the input), which is what makes the read path's
+// response buffers reusable rather than per-call garbage.
+func PutBuffer(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	bp := hdrPool.Get().(*[]byte)
+	*bp = b
+	bufPool.Put(bp)
+}

@@ -31,6 +31,13 @@ type callResult struct {
 	err  error
 }
 
+// frameBufPool recycles frame-encode scratch buffers on both the client
+// and server write paths. Frames are fully written to the socket before
+// the buffer is returned, so steady-state encoding allocates nothing.
+var frameBufPool = sync.Pool{
+	New: func() any { return new([]byte) },
+}
+
 // Dial connects to a Server at addr. comp (optional) receives the caller's
 // transport overhead charges under the given cost model.
 func Dial(addr string, comp *meter.Component, burner *meter.Burner, cost CostModel) (*Client, error) {
@@ -67,14 +74,18 @@ func (c *Client) Call(method string, req []byte) ([]byte, error) {
 	c.pending[id] = ch
 	c.mu.Unlock()
 
-	buf, err := appendFrame(nil, &frame{kind: frameRequest, id: id, method: method, body: req})
+	bp := frameBufPool.Get().(*[]byte)
+	buf, err := appendFrame((*bp)[:0], &frame{kind: frameRequest, id: id, method: method, body: req})
 	if err != nil {
+		frameBufPool.Put(bp)
 		c.forget(id)
 		return nil, err
 	}
 	c.wmu.Lock()
 	_, err = c.conn.Write(buf)
 	c.wmu.Unlock()
+	*bp = buf
+	frameBufPool.Put(bp)
 	if err != nil {
 		c.forget(id)
 		return nil, err

@@ -2,9 +2,19 @@ package rpc
 
 import (
 	"net"
+	"sync"
+	"sync/atomic"
 
 	"cachecost/internal/meter"
 )
+
+// loopbackBufPool recycles the request "wire" buffers Loopback copies into.
+// Handlers must not retain the request past the call (the HandlerFunc
+// contract), so the buffer can be reused as soon as Dispatch returns —
+// making the steady-state request copy allocation-free.
+var loopbackBufPool = sync.Pool{
+	New: func() any { return new([]byte) },
+}
 
 // Loopback is an in-process Conn bound directly to a Server. It preserves
 // the cost semantics of a real network hop — the request and response are
@@ -16,7 +26,8 @@ type Loopback struct {
 	comp   *meter.Component // caller-side attribution; may be nil
 	burner *meter.Burner
 	cost   CostModel
-	closed bool
+	attr   *meter.AttrCtx // per-worker attribution context; may be nil
+	closed atomic.Bool
 }
 
 // NewLoopback returns a Conn that dispatches directly into server,
@@ -25,31 +36,55 @@ func NewLoopback(server *Server, comp *meter.Component, burner *meter.Burner, co
 	return &Loopback{server: server, comp: comp, burner: burner, cost: cost}
 }
 
+// SetAttrCtx binds a per-worker attribution context: transport charges and
+// the full dispatch wall time are recorded there, so a concurrent caller's
+// AttributeCtx window subtracts exactly this goroutine's callee time. Call
+// it before the connection is used; it is not synchronized against Call.
+func (l *Loopback) SetAttrCtx(ctx *meter.AttrCtx) { l.attr = ctx }
+
 // Call implements Conn.
 func (l *Loopback) Call(method string, req []byte) ([]byte, error) {
-	if l.closed {
+	if l.closed.Load() {
 		return nil, net.ErrClosed
 	}
 	if l.comp != nil && l.burner != nil {
-		l.cost.Charge(l.comp, l.burner, len(req))
+		l.attr.AddInner(l.cost.Charge(l.comp, l.burner, len(req)))
 	}
 	// Copy across the "wire": the server must not alias caller memory,
-	// exactly as with a socket.
-	wireReq := append([]byte(nil), req...)
-	resp, err := l.server.Dispatch(method, wireReq)
+	// exactly as with a socket. The buffer is pooled — handlers may not
+	// retain the request past the call, so it is free for reuse on return.
+	bp := loopbackBufPool.Get().(*[]byte)
+	wireReq := append((*bp)[:0], req...)
+	var resp []byte
+	var err error
+	if l.attr != nil {
+		// The dispatch wall — downstream attributed busy plus its glue —
+		// is callee time from this goroutine's perspective.
+		l.attr.Span(func() { resp, err = l.server.Dispatch(method, wireReq) })
+	} else {
+		resp, err = l.server.Dispatch(method, wireReq)
+	}
 	if err != nil {
+		*bp = wireReq
+		loopbackBufPool.Put(bp)
 		return nil, err
 	}
-	wireResp := append([]byte(nil), resp...)
+	// Copy the response out BEFORE recycling the request buffer: a handler
+	// may legally build its response over the request bytes (echo-style),
+	// so resp can alias wireReq. The destination comes from the shared
+	// transport pool; callers that finish decoding may PutBuffer it back.
+	wireResp := append(GetBuffer(), resp...)
+	*bp = wireReq
+	loopbackBufPool.Put(bp)
 	if l.comp != nil && l.burner != nil {
-		l.cost.Charge(l.comp, l.burner, len(wireResp))
+		l.attr.AddInner(l.cost.Charge(l.comp, l.burner, len(wireResp)))
 	}
 	return wireResp, nil
 }
 
 // Close implements Conn.
 func (l *Loopback) Close() error {
-	l.closed = true
+	l.closed.Store(true)
 	return nil
 }
 

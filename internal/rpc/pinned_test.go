@@ -1,0 +1,175 @@
+package rpc
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"cachecost/internal/meter"
+)
+
+// TestPoolPinnedAffinity: every call through Pinned(i) lands on the same
+// underlying connection while it is healthy, so a worker's request
+// stream never contends with (or interleaves into) another worker's
+// connection.
+func TestPoolPinnedAffinity(t *testing.T) {
+	counts := make([]atomic.Int64, 3)
+	conns := make([]Conn, 3)
+	for i := range conns {
+		i := i
+		conns[i] = connFunc(func(method string, req []byte) ([]byte, error) {
+			counts[i].Add(1)
+			return req, nil
+		})
+	}
+	p := NewPool(conns...)
+	for w := 0; w < 3; w++ {
+		pc := p.Pinned(w)
+		for k := 0; k < 5; k++ {
+			if _, err := pc.Call("m", nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := range counts {
+		if got := counts[i].Load(); got != 5 {
+			t.Fatalf("conn %d served %d calls, want 5", i, got)
+		}
+	}
+	// Pinned handles beyond the pool size wrap around.
+	if _, err := p.Pinned(4).Call("m", nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := counts[1].Load(); got != 6 {
+		t.Fatalf("Pinned(4) did not wrap to conn 1 (served %d)", got)
+	}
+	// Closing a pinned handle must not close the pool's connection.
+	if err := p.Pinned(0).Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Pinned(0).Call("m", nil); err != nil {
+		t.Fatalf("pool conn closed by pinned Close: %v", err)
+	}
+}
+
+// TestPoolPinnedFailover: a pinned worker still fails over when its home
+// connection reports Down, like the round-robin path.
+func TestPoolPinnedFailover(t *testing.T) {
+	var served [2]atomic.Int64
+	p := NewPool(
+		&downConn{down: true, connFunc: func(string, []byte) ([]byte, error) {
+			served[0].Add(1)
+			return nil, nil
+		}},
+		&downConn{connFunc: func(string, []byte) ([]byte, error) {
+			served[1].Add(1)
+			return []byte("ok"), nil
+		}},
+	)
+	resp, err := p.Pinned(0).Call("m", nil)
+	if err != nil || string(resp) != "ok" {
+		t.Fatalf("Call = %q, %v", resp, err)
+	}
+	if served[0].Load() != 0 || served[1].Load() != 1 {
+		t.Fatalf("downed home conn was used: %d/%d", served[0].Load(), served[1].Load())
+	}
+}
+
+// TestPoolConcurrentCallersWithPinnedLanes drives the pool from mixed
+// round-robin and pinned callers at once; under -race this checks the
+// lock-free checkout path.
+func TestPoolConcurrentCallersWithPinnedLanes(t *testing.T) {
+	var total atomic.Int64
+	conns := make([]Conn, 4)
+	for i := range conns {
+		conns[i] = connFunc(func(method string, req []byte) ([]byte, error) {
+			total.Add(1)
+			return req, nil
+		})
+	}
+	p := NewPool(conns...)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var c Conn = p
+			if w%2 == 0 {
+				c = p.Pinned(w / 2)
+			}
+			for i := 0; i < 50; i++ {
+				if _, err := c.Call("m", []byte(fmt.Sprintf("%d-%d", w, i))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := total.Load(); got != 8*50 {
+		t.Fatalf("served %d calls, want %d", got, 8*50)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Call("m", nil); err == nil {
+		t.Fatal("Call after Close should fail")
+	}
+}
+
+// TestLoopbackResponseIsCallerOwned: the loopback recycles its request
+// scratch buffers, so the response handed to the caller must be a
+// private copy that later calls cannot clobber.
+func TestLoopbackResponseIsCallerOwned(t *testing.T) {
+	m := meter.NewMeter()
+	s := NewServer(m.Component("server"), meter.NewBurner(), CostModel{})
+	s.Handle("echo", func(req []byte) ([]byte, error) { return req, nil })
+	lb := NewLoopback(s, m.Component("client"), meter.NewBurner(), CostModel{})
+
+	first, err := lb.Call("echo", []byte("first-payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lb.Call("echo", []byte("SECOND-PAYLOAD")); err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != "first-payload" {
+		t.Fatalf("first response clobbered by second call: %q", first)
+	}
+	// And mutating a response must not poison the transport.
+	for i := range first {
+		first[i] = 0
+	}
+	resp, err := lb.Call("echo", []byte("third"))
+	if err != nil || string(resp) != "third" {
+		t.Fatalf("Call = %q, %v", resp, err)
+	}
+}
+
+// TestLoopbackConcurrentCallers exercises the pooled request buffers from
+// several goroutines (meaningful under -race).
+func TestLoopbackConcurrentCallers(t *testing.T) {
+	m := meter.NewMeter()
+	s := NewServer(m.Component("server"), meter.NewBurner(), CostModel{})
+	s.Handle("echo", func(req []byte) ([]byte, error) { return req, nil })
+
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		// One loopback per goroutine, as the experiment driver wires it.
+		lb := NewLoopback(s, m.Component("client"), meter.NewBurner(), CostModel{})
+		wg.Add(1)
+		go func(w int, lb *Loopback) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				want := fmt.Sprintf("w%d-%d", w, i)
+				resp, err := lb.Call("echo", []byte(want))
+				if err != nil || string(resp) != want {
+					t.Errorf("Call = %q, %v (want %q)", resp, err, want)
+					return
+				}
+			}
+		}(w, lb)
+	}
+	wg.Wait()
+}

@@ -13,12 +13,17 @@ import (
 // frame writes through a single socket; an application server pushing
 // tens of thousands of requests per second uses a small pool, exactly as
 // production gRPC channels and database drivers do.
+//
+// The checkout path is contention-free: the connection slice is published
+// through an atomic pointer and never mutated in place, so Call and
+// Pinned conns read a consistent snapshot without touching a mutex. The
+// mutex exists only to serialize Close.
 type Pool struct {
-	conns []Conn
-	next  atomic.Uint64
+	conns  atomic.Pointer[[]Conn]
+	next   atomic.Uint64
+	closed atomic.Bool
 
-	mu     sync.Mutex
-	closed bool
+	mu sync.Mutex // serializes Close
 }
 
 // DialPool opens n connections to addr. Overhead attribution follows the
@@ -28,21 +33,25 @@ func DialPool(addr string, n int, comp *meter.Component, burner *meter.Burner, c
 	if n < 1 {
 		n = 1
 	}
-	p := &Pool{conns: make([]Conn, 0, n)}
+	conns := make([]Conn, 0, n)
 	for i := 0; i < n; i++ {
 		c, err := Dial(addr, comp, burner, cost)
 		if err != nil {
-			p.Close()
+			for _, open := range conns {
+				open.Close()
+			}
 			return nil, err
 		}
-		p.conns = append(p.conns, c)
+		conns = append(conns, c)
 	}
-	return p, nil
+	return NewPool(conns...), nil
 }
 
 // NewPool wraps pre-established connections (tests, mixed transports).
 func NewPool(conns ...Conn) *Pool {
-	return &Pool{conns: conns}
+	p := &Pool{}
+	p.conns.Store(&conns)
+	return p
 }
 
 // Downer is implemented by connections that know whether their backend
@@ -53,21 +62,25 @@ type Downer interface {
 	Down() bool
 }
 
-// Call implements Conn, picking the next connection round-robin. A
-// connection whose node is down — reported via Downer, or discovered by
-// a transport-level failure — is skipped while other healthy connections
-// remain; only application-level errors (*RemoteError) are returned
-// without failover.
-func (p *Pool) Call(method string, req []byte) ([]byte, error) {
-	p.mu.Lock()
-	if p.closed || len(p.conns) == 0 {
-		p.mu.Unlock()
-		return nil, ErrPoolClosed
+// snapshot returns the live connection slice, or nil if the pool is
+// closed or empty.
+func (p *Pool) snapshot() []Conn {
+	if p.closed.Load() {
+		return nil
 	}
-	conns := p.conns
-	p.mu.Unlock()
+	cp := p.conns.Load()
+	if cp == nil || len(*cp) == 0 {
+		return nil
+	}
+	return *cp
+}
 
-	start := p.next.Add(1)
+// callFrom attempts the call starting at index start, failing over across
+// the snapshot. A connection whose node is down — reported via Downer, or
+// discovered by a transport-level failure — is skipped while other healthy
+// connections remain; only application-level errors (*RemoteError) are
+// returned without failover.
+func callFrom(conns []Conn, start uint64, method string, req []byte) ([]byte, error) {
 	var firstErr error
 	for i := 0; i < len(conns); i++ {
 		conn := conns[(start+uint64(i))%uint64(len(conns))]
@@ -94,11 +107,55 @@ func (p *Pool) Call(method string, req []byte) ([]byte, error) {
 	return nil, firstErr
 }
 
+// Call implements Conn, picking the next connection round-robin.
+func (p *Pool) Call(method string, req []byte) ([]byte, error) {
+	conns := p.snapshot()
+	if conns == nil {
+		return nil, ErrPoolClosed
+	}
+	return callFrom(conns, p.next.Add(1), method, req)
+}
+
+// Pinned returns a Conn that prefers connection i — a per-worker affinity
+// handle. A worker that owns its pinned conn never touches the shared
+// round-robin counter, so concurrent workers check out connections with
+// zero cross-worker contention. When the pinned connection's node is down
+// the handle fails over across the rest of the pool with Call's exact
+// semantics. Closing the handle is a no-op; the pool owns the conns.
+func (p *Pool) Pinned(i int) Conn {
+	if i < 0 {
+		i = 0
+	}
+	return &pinnedConn{p: p, start: uint64(i)}
+}
+
+type pinnedConn struct {
+	p     *Pool
+	start uint64
+}
+
+// Call implements Conn.
+func (c *pinnedConn) Call(method string, req []byte) ([]byte, error) {
+	conns := c.p.snapshot()
+	if conns == nil {
+		return nil, ErrPoolClosed
+	}
+	return callFrom(conns, c.start, method, req)
+}
+
+// Close implements Conn. The pool owns the underlying connections.
+func (c *pinnedConn) Close() error { return nil }
+
 // Size returns the number of pooled connections.
 func (p *Pool) Size() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.conns)
+	if p.closed.Load() {
+		return 0
+	}
+	cp := p.conns.Load()
+	if cp == nil {
+		return 0
+	}
+	return len(*cp)
 }
 
 // Close implements Conn, closing every pooled connection and returning
@@ -106,14 +163,16 @@ func (p *Pool) Size() int {
 func (p *Pool) Close() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.closed = true
+	p.closed.Store(true)
+	cp := p.conns.Swap(nil)
 	var first error
-	for _, c := range p.conns {
-		if err := c.Close(); err != nil && first == nil {
-			first = err
+	if cp != nil {
+		for _, c := range *cp {
+			if err := c.Close(); err != nil && first == nil {
+				first = err
+			}
 		}
 	}
-	p.conns = nil
 	return first
 }
 

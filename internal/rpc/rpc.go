@@ -13,6 +13,7 @@ package rpc
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"cachecost/internal/meter"
 )
@@ -64,16 +65,18 @@ type CostModel struct {
 var DefaultCost = CostModel{PerMessage: 4096, PerByte: 0.5}
 
 // Charge burns CPU for one message of n payload bytes and attributes the
-// time to component c. A nil receiver-like zero model charges nothing.
-func (m CostModel) Charge(c *meter.Component, b *meter.Burner, n int) {
+// time to component c, returning the busy duration attributed. A zero
+// model charges nothing and returns 0. The return value lets callers that
+// track a per-goroutine attribution context credit the charge there.
+func (m CostModel) Charge(c *meter.Component, b *meter.Burner, n int) time.Duration {
 	if m.PerMessage == 0 && m.PerByte == 0 {
-		return
+		return 0
 	}
 	work := m.PerMessage + int(m.PerByte*float64(n))
 	if work <= 0 {
-		return
+		return 0
 	}
 	sw := c.Start()
 	b.Burn(work)
-	sw.Stop()
+	return sw.Stop()
 }

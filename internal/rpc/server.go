@@ -74,7 +74,7 @@ func (s *Server) Dispatch(method string, req []byte) ([]byte, error) {
 	var resp []byte
 	var err error
 	if s.comp != nil && s.meterBody {
-		sw := s.comp.Start()
+		sw := s.comp.Begin() // by value: one Dispatch per frame, no alloc
 		resp, err = fn(req)
 		sw.Stop()
 	} else {
@@ -143,7 +143,12 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		id := rd.id
 		method := rd.method
-		body := append([]byte(nil), rd.body...)
+		// Copy the body out of the read frame into a pooled buffer; the
+		// handler contract (request valid only for the duration of the
+		// call) lets the buffer be reused once Dispatch returns.
+		bodyBuf := frameBufPool.Get().(*[]byte)
+		body := append((*bodyBuf)[:0], rd.body...)
+		*bodyBuf = body
 		go func() {
 			resp, err := s.Dispatch(method, body)
 			out := frame{id: id}
@@ -155,14 +160,20 @@ func (s *Server) serveConn(conn net.Conn) {
 				out.kind = frameResponse
 				out.body = resp
 			}
-			buf, ferr := appendFrame(nil, &out)
+			respBuf := frameBufPool.Get().(*[]byte)
+			buf, ferr := appendFrame((*respBuf)[:0], &out)
 			if ferr != nil {
 				out = frame{id: id, kind: frameError, method: method, body: []byte(ferr.Error())}
-				buf, _ = appendFrame(nil, &out)
+				buf, _ = appendFrame((*respBuf)[:0], &out)
 			}
+			// Recycle the request buffer only after the response frame is
+			// encoded: resp may alias body (an echo-style handler).
+			frameBufPool.Put(bodyBuf)
 			wmu.Lock()
 			_, werr := conn.Write(buf)
 			wmu.Unlock()
+			*respBuf = buf
+			frameBufPool.Put(respBuf)
 			if werr != nil && !errors.Is(werr, net.ErrClosed) {
 				conn.Close()
 			}

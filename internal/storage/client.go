@@ -20,28 +20,35 @@ func NewClient(conn rpc.Conn) *Client { return &Client{conn: conn} }
 
 // Query runs a SELECT with bound parameters.
 func (c *Client) Query(src string, params ...sql.Value) (*plan.ResultSet, error) {
-	req := wire.Marshal(&QueryRequest{SQL: src, Params: params})
-	respBody, err := c.conn.Call("sql.Query", req)
-	if err != nil {
-		return nil, err
-	}
-	rs := &plan.ResultSet{}
-	if err := wire.Unmarshal(respBody, rs); err != nil {
-		return nil, err
-	}
-	return rs, nil
+	return c.roundTrip("sql.Query", src, params)
 }
 
 // Exec runs a write statement (INSERT/UPDATE/DELETE/DDL) with bound
 // parameters, replicated through the storage node's raft group.
 func (c *Client) Exec(src string, params ...sql.Value) (*plan.ResultSet, error) {
-	req := wire.Marshal(&QueryRequest{SQL: src, Params: params})
-	respBody, err := c.conn.Call("sql.Exec", req)
+	return c.roundTrip("sql.Exec", src, params)
+}
+
+// roundTrip encodes one statement, calls the node, and decodes the result
+// set. Request and response buffers cycle through the transport pool: the
+// ResultSet decoder copies every string and blob out of its input, so the
+// response is dead once Unmarshal returns.
+func (c *Client) roundTrip(method, src string, params []sql.Value) (*plan.ResultSet, error) {
+	// QueryRequest shape {1: sql, 2: param...}, encoded from the pool.
+	e := wire.GetEncoder()
+	e.String(1, src)
+	for _, p := range params {
+		sql.EncodeValue(e, 2, p)
+	}
+	respBody, err := c.conn.Call(method, e.Bytes())
+	wire.PutEncoder(e)
 	if err != nil {
 		return nil, err
 	}
 	rs := &plan.ResultSet{}
-	if err := wire.Unmarshal(respBody, rs); err != nil {
+	err = wire.Unmarshal(respBody, rs)
+	rpc.PutBuffer(respBody)
+	if err != nil {
 		return nil, err
 	}
 	return rs, nil
@@ -49,13 +56,19 @@ func (c *Client) Exec(src string, params ...sql.Value) (*plan.ResultSet, error) 
 
 // Version performs the §5.5 consistency version check for one row.
 func (c *Client) Version(table string, pk sql.Value) (uint64, bool, error) {
-	req := wire.Marshal(&VersionRequest{Table: table, PK: pk})
-	respBody, err := c.conn.Call("sql.Version", req)
+	// VersionRequest shape {1: table, 2: pk}.
+	e := wire.GetEncoder()
+	e.String(1, table)
+	sql.EncodeValue(e, 2, pk)
+	respBody, err := c.conn.Call("sql.Version", e.Bytes())
+	wire.PutEncoder(e)
 	if err != nil {
 		return 0, false, err
 	}
 	var vr VersionResponse
-	if err := wire.Unmarshal(respBody, &vr); err != nil {
+	err = wire.Unmarshal(respBody, &vr)
+	rpc.PutBuffer(respBody)
+	if err != nil {
 		return 0, false, err
 	}
 	return vr.Version, vr.Found, nil

@@ -1,0 +1,88 @@
+package wire
+
+import "testing"
+
+// allocMsg is a bytes-and-varint message whose decode aliases the input
+// buffer, so the codec's own allocation behaviour is what the test sees.
+type allocMsg struct {
+	ID    int64
+	Value []byte
+}
+
+func (m *allocMsg) MarshalWire(e *Encoder) {
+	e.Int64(1, m.ID)
+	e.BytesField(2, m.Value)
+}
+
+func (m *allocMsg) UnmarshalWire(d *Decoder) error {
+	for !d.Done() {
+		f, t, err := d.Next()
+		if err != nil {
+			return err
+		}
+		switch f {
+		case 1:
+			m.ID, err = d.Int64()
+		case 2:
+			m.Value, err = d.Bytes() // alias, not copy
+		default:
+			err = d.Skip(t)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TestMarshalAllocs pins the pooled encoder's steady state: one
+// allocation per Marshal (the returned copy) and zero for AppendMarshal
+// into a buffer with capacity.
+func TestMarshalAllocs(t *testing.T) {
+	msg := &allocMsg{ID: 42, Value: make([]byte, 512)}
+	got := testing.AllocsPerRun(200, func() {
+		_ = Marshal(msg)
+	})
+	if got > 1 {
+		t.Fatalf("Marshal allocs/op = %v, want <= 1", got)
+	}
+
+	dst := make([]byte, 0, 1024)
+	got = testing.AllocsPerRun(200, func() {
+		_ = AppendMarshal(dst[:0], msg)
+	})
+	if got > 0 {
+		t.Fatalf("AppendMarshal allocs/op = %v, want 0", got)
+	}
+}
+
+// TestUnmarshalAllocs pins the pooled decoder: decoding an aliasing
+// message allocates nothing.
+func TestUnmarshalAllocs(t *testing.T) {
+	buf := Marshal(&allocMsg{ID: 42, Value: make([]byte, 512)})
+	var out allocMsg
+	got := testing.AllocsPerRun(200, func() {
+		if err := Unmarshal(buf, &out); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got > 0 {
+		t.Fatalf("Unmarshal allocs/op = %v, want 0", got)
+	}
+}
+
+// TestAppendMarshalMatchesMarshal: both entry points must produce
+// identical bytes.
+func TestAppendMarshalMatchesMarshal(t *testing.T) {
+	msg := &allocMsg{ID: -7, Value: []byte("hello wire")}
+	a := Marshal(msg)
+	b := AppendMarshal(nil, msg)
+	if string(a) != string(b) {
+		t.Fatalf("Marshal %x != AppendMarshal %x", a, b)
+	}
+	pre := []byte("prefix")
+	c := AppendMarshal(pre, msg)
+	if string(c[:len(pre)]) != "prefix" || string(c[len(pre):]) != string(a) {
+		t.Fatalf("AppendMarshal with prefix mismatch: %x", c)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Type is a wire type, the low three bits of a field tag.
@@ -223,16 +224,61 @@ type Unmarshaler interface {
 	UnmarshalWire(d *Decoder) error
 }
 
+// encoderPool recycles Encoder scratch space across Marshal calls so the
+// steady state allocates only the returned buffer, never the working one.
+var encoderPool = sync.Pool{
+	New: func() any { return NewEncoder(256) },
+}
+
+// decoderPool recycles the Decoder header (the input itself is never
+// copied), making Unmarshal allocation-free.
+var decoderPool = sync.Pool{
+	New: func() any { return new(Decoder) },
+}
+
 // Marshal encodes m into a fresh buffer.
 func Marshal(m Marshaler) []byte {
-	e := NewEncoder(128)
+	e := encoderPool.Get().(*Encoder)
+	e.Reset()
 	m.MarshalWire(e)
 	out := make([]byte, e.Len())
 	copy(out, e.Bytes())
+	encoderPool.Put(e)
 	return out
 }
 
+// AppendMarshal encodes m and appends the encoding to dst, returning the
+// extended slice. Callers that own a reusable buffer avoid Marshal's
+// output allocation entirely.
+func AppendMarshal(dst []byte, m Marshaler) []byte {
+	e := encoderPool.Get().(*Encoder)
+	e.Reset()
+	m.MarshalWire(e)
+	dst = append(dst, e.Bytes()...)
+	encoderPool.Put(e)
+	return dst
+}
+
+// GetEncoder returns a reset encoder from the shared pool. Pair it with
+// PutEncoder once the encoded bytes are dead. Hot call sites that encode
+// field-by-field with a pooled encoder skip both Marshal's output copy
+// and the interface boxing of a message literal — the two allocations
+// the Marshaler-based path cannot avoid.
+func GetEncoder() *Encoder {
+	e := encoderPool.Get().(*Encoder)
+	e.Reset()
+	return e
+}
+
+// PutEncoder recycles e. The slice returned by e.Bytes() is invalidated.
+func PutEncoder(e *Encoder) { encoderPool.Put(e) }
+
 // Unmarshal decodes buf into m.
 func Unmarshal(buf []byte, m Unmarshaler) error {
-	return m.UnmarshalWire(NewDecoder(buf))
+	d := decoderPool.Get().(*Decoder)
+	d.buf, d.pos = buf, 0
+	err := m.UnmarshalWire(d)
+	d.buf = nil
+	decoderPool.Put(d)
+	return err
 }
