@@ -19,37 +19,64 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"cachecost/internal/core"
+	"cachecost/internal/trace"
 )
 
 func main() {
-	var (
-		ops         = flag.Int("ops", 3000, "metered operations per experiment cell")
-		warmup      = flag.Int("warmup", 1000, "unmetered warmup operations per cell")
-		keys        = flag.Int("keys", 2000, "synthetic key population (paper: 100000)")
-		tables      = flag.Int("tables", 300, "catalog table population")
-		seed        = flag.Int64("seed", 1, "workload seed")
-		replicas    = flag.Int("appreplicas", 3, "application servers carrying the linked cache")
-		faultRate   = flag.Float64("faultrate", -1, "cache fault rate for the chaos figure (-1 = default sweep)")
-		parallelism = flag.Int("parallelism", 1, "concurrent driver workers per experiment cell")
-		jsonOut     = flag.Bool("json", false, "emit tables as a JSON array on stdout")
-	)
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: costbench [flags] <figure>...|all|list\n\nfigures:\n")
-		for _, f := range core.Figures {
-			fmt.Fprintf(os.Stderr, "  %-12s %s\n", f.ID, f.Title)
-		}
-		fmt.Fprintf(os.Stderr, "\nflags:\n")
-		flag.PrintDefaults()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// createOutput opens path for writing, verifying up front that the path
+// is writable so a misspelled directory fails the run instead of
+// silently discarding the results.
+func createOutput(path string) (io.WriteCloser, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("cannot write output: %w", err)
 	}
-	flag.Parse()
-	args := flag.Args()
+	return f, nil
+}
+
+// run is main's testable body: it parses argv, regenerates the requested
+// figures and returns the process exit code.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("costbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		ops         = fs.Int("ops", 3000, "metered operations per experiment cell")
+		warmup      = fs.Int("warmup", 1000, "unmetered warmup operations per cell")
+		keys        = fs.Int("keys", 2000, "synthetic key population (paper: 100000)")
+		tables      = fs.Int("tables", 300, "catalog table population")
+		seed        = fs.Int64("seed", 1, "workload seed")
+		replicas    = fs.Int("appreplicas", 3, "application servers carrying the linked cache")
+		faultRate   = fs.Float64("faultrate", -1, "cache fault rate for the chaos figure (-1 = default sweep)")
+		parallelism = fs.Int("parallelism", 1, "concurrent driver workers per experiment cell")
+		jsonOut     = fs.Bool("json", false, "emit tables as a JSON array instead of text")
+		outPath     = fs.String("out", "", "write table output to this file instead of stdout")
+		tracePath   = fs.String("trace", "", "trace every cell and write the sampled traces as Chrome trace-event JSON to this file")
+		traceSample = fs.Int("tracesample", 1, "with -trace, record spans for 1 in N requests")
+		traceBuf    = fs.Int("tracebuf", 64, "with -trace, retain the last N completed traces")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: costbench [flags] <figure>...|all|list\n\nfigures:\n")
+		for _, f := range core.Figures {
+			fmt.Fprintf(stderr, "  %-12s %s\n", f.ID, f.Title)
+		}
+		fmt.Fprintf(stderr, "\nflags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	args := fs.Args()
 	if len(args) == 0 {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
 
 	opts := core.FigOptions{
@@ -67,9 +94,9 @@ func main() {
 
 	if args[0] == "list" {
 		for _, f := range core.Figures {
-			fmt.Printf("%-12s %s\n", f.ID, f.Title)
+			fmt.Fprintf(stdout, "%-12s %s\n", f.ID, f.Title)
 		}
-		return
+		return 0
 	}
 
 	var figs []core.Figure
@@ -79,11 +106,36 @@ func main() {
 		for _, id := range args {
 			f, err := core.FigureByID(id)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(2)
+				fmt.Fprintln(stderr, err)
+				return 2
 			}
 			figs = append(figs, f)
 		}
+	}
+
+	// Open every output up front: an unwritable path must fail the run
+	// before minutes of experiments, not silently discard their results.
+	var tableOut io.Writer = stdout
+	var outFile io.WriteCloser
+	if *outPath != "" {
+		f, err := createOutput(*outPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "costbench: -out %s: %v\n", *outPath, err)
+			return 1
+		}
+		outFile = f
+		tableOut = f
+	}
+	var traceOut io.WriteCloser
+	if *tracePath != "" {
+		f, err := createOutput(*tracePath)
+		if err != nil {
+			fmt.Fprintf(stderr, "costbench: -trace %s: %v\n", *tracePath, err)
+			return 1
+		}
+		defer f.Close()
+		traceOut = f
+		opts.Tracer = trace.New(trace.Config{SampleEvery: *traceSample, Capacity: *traceBuf})
 	}
 
 	// jsonTable is the machine-readable form of one regenerated table.
@@ -102,8 +154,8 @@ func main() {
 		t0 := time.Now()
 		table, err := f.Run(opts)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "costbench: %s: %v\n", f.ID, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "costbench: %s: %v\n", f.ID, err)
+			return 1
 		}
 		elapsed := time.Since(t0)
 		if *jsonOut {
@@ -118,15 +170,35 @@ func main() {
 			})
 			continue
 		}
-		fmt.Println(table.String())
-		fmt.Printf("(%s regenerated in %v)\n\n", f.ID, elapsed.Round(time.Millisecond))
-	}
-	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
-			fmt.Fprintf(os.Stderr, "costbench: %v\n", err)
-			os.Exit(1)
+		if _, err := fmt.Fprintf(tableOut, "%s\n(%s regenerated in %v)\n\n",
+			table.String(), f.ID, elapsed.Round(time.Millisecond)); err != nil {
+			fmt.Fprintf(stderr, "costbench: writing tables: %v\n", err)
+			return 1
 		}
 	}
+	if *jsonOut {
+		enc := json.NewEncoder(tableOut)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(stderr, "costbench: writing tables: %v\n", err)
+			return 1
+		}
+	}
+	if outFile != nil {
+		if err := outFile.Close(); err != nil {
+			fmt.Fprintf(stderr, "costbench: -out %s: %v\n", *outPath, err)
+			return 1
+		}
+	}
+	if traceOut != nil {
+		if err := trace.ExportChrome(traceOut, opts.Tracer.Traces()); err != nil {
+			fmt.Fprintf(stderr, "costbench: -trace %s: %v\n", *tracePath, err)
+			return 1
+		}
+		if err := traceOut.Close(); err != nil {
+			fmt.Fprintf(stderr, "costbench: -trace %s: %v\n", *tracePath, err)
+			return 1
+		}
+	}
+	return 0
 }

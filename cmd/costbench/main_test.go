@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fastArgs shrinks every population so a figure cell finishes in
+// milliseconds; tests exercise the CLI plumbing, not the estimates.
+var fastArgs = []string{"-ops", "60", "-warmup", "20", "-keys", "60", "-tables", "20"}
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code = run(args, &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+func TestListExitsZero(t *testing.T) {
+	code, stdout, _ := runCLI(t, "list")
+	if code != 0 {
+		t.Fatalf("list exited %d", code)
+	}
+	if !strings.Contains(stdout, "fig2a") {
+		t.Fatalf("list output missing figures:\n%s", stdout)
+	}
+}
+
+func TestUsageErrorsExitTwo(t *testing.T) {
+	for _, args := range [][]string{
+		{},
+		{"-nosuchflag"},
+		{"fig-does-not-exist"},
+	} {
+		code, _, stderr := runCLI(t, args...)
+		if code != 2 {
+			t.Errorf("args %v exited %d, want 2 (stderr: %s)", args, code, stderr)
+		}
+	}
+}
+
+// An unwritable output path must fail the run up front — before any
+// experiment burns minutes — with the path named on stderr.
+func TestUnwritableOutputFailsBeforeRunning(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "no-such-dir", "out.json")
+	for _, flagName := range []string{"-out", "-trace"} {
+		code, _, stderr := runCLI(t, append([]string{flagName, bad}, append(fastArgs, "fig2a")...)...)
+		if code != 1 {
+			t.Errorf("%s to unwritable path exited %d, want 1", flagName, code)
+		}
+		if !strings.Contains(stderr, bad) || !strings.Contains(stderr, "cannot write output") {
+			t.Errorf("%s error does not name the path:\n%s", flagName, stderr)
+		}
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	code, stdout, stderr := runCLI(t, append([]string{"-json"}, append(fastArgs, "fig2a")...)...)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	var tables []struct {
+		ID     string     `json:"id"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &tables); err != nil {
+		t.Fatalf("-json emitted invalid JSON: %v\n%s", err, stdout)
+	}
+	if len(tables) != 1 || tables[0].ID != "fig2a" || len(tables[0].Rows) == 0 {
+		t.Fatalf("unexpected tables: %+v", tables)
+	}
+}
+
+func TestOutFileReceivesTables(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tables.txt")
+	code, stdout, stderr := runCLI(t, append([]string{"-out", path}, append(fastArgs, "fig2a")...)...)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("-out still wrote to stdout:\n%s", stdout)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "fig2a") {
+		t.Fatalf("table file missing figure output:\n%s", b)
+	}
+}
+
+// TestTraceFileIsChromeLoadable runs an experiment-backed figure with
+// -trace and checks the emitted file is a Chrome trace-event array with
+// the request-path span names.
+func TestTraceFileIsChromeLoadable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	code, _, stderr := runCLI(t, append([]string{"-trace", path}, append(fastArgs, "fig4a")...)...)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []struct {
+		Name string `json:"name"`
+		Ph   string `json:"ph"`
+	}
+	if err := json.Unmarshal(b, &events); err != nil {
+		t.Fatalf("-trace emitted invalid JSON: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("trace file holds no events")
+	}
+	names := map[string]bool{}
+	for _, ev := range events {
+		if ev.Ph != "X" {
+			t.Fatalf("event phase %q, want X", ev.Ph)
+		}
+		names[ev.Name] = true
+	}
+	for _, want := range []string{"request.read", "app.read"} {
+		if !names[want] {
+			t.Errorf("trace file missing %q spans (have %v)", want, names)
+		}
+	}
+}

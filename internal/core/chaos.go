@@ -85,6 +85,7 @@ func (o FigOptions) ChaosCell(cc ChaosConfig, wcfg workload.SyntheticConfig) (*C
 		AppReplicas:       o.AppReplicas,
 		RetrySeed:         cc.Seed,
 		Parallelism:       o.Parallelism,
+		Tracer:            o.Tracer,
 	}
 	if node != "" {
 		svcCfg.Faults = inj
@@ -117,6 +118,7 @@ func (o FigOptions) ChaosCell(cc ChaosConfig, wcfg workload.SyntheticConfig) (*C
 		Parallelism: o.Parallelism,
 		Prices:      o.Prices,
 		OnOp:        func(int) { sched.Step(inj) },
+		Tracer:      o.Tracer,
 	})
 	if err != nil {
 		return nil, err

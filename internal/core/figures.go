@@ -6,6 +6,7 @@ import (
 
 	"cachecost/internal/consistency"
 	"cachecost/internal/meter"
+	"cachecost/internal/trace"
 	"cachecost/internal/workload"
 )
 
@@ -36,6 +37,11 @@ type FigOptions struct {
 	// whose services support worker lanes (Base, Remote, Linked); other
 	// cells run single-threaded. Default 1.
 	Parallelism int
+	// Tracer, when non-nil, assembles every experiment cell's service
+	// with request tracing (cmd/costbench -trace): each cell's RunResult
+	// carries exact path counters and the tracer's ring holds the last
+	// sampled traces for export. Nil (the default) disables tracing.
+	Tracer *trace.Tracer
 }
 
 // parFor returns the parallelism to use for one cell of arch: the
@@ -93,13 +99,14 @@ func (o FigOptions) kvCell(arch Arch, cfg workload.SyntheticConfig) (*RunResult,
 		RemoteCacheBytes:  ws * 60 / 100,
 		AppReplicas:       o.AppReplicas,
 		Parallelism:       par,
+		Tracer:            o.Tracer,
 	}
 	svc, err := BuildKVService(svcCfg, gen)
 	if err != nil {
 		return nil, err
 	}
 	return RunExperimentCfg(svc, m, gen, RunConfig{
-		Warmup: o.Warmup, Ops: o.Ops, Parallelism: par, Prices: o.Prices,
+		Warmup: o.Warmup, Ops: o.Ops, Parallelism: par, Prices: o.Prices, Tracer: o.Tracer,
 	})
 }
 
@@ -308,6 +315,7 @@ func (o FigOptions) catalogCell(arch Arch, mode CatalogMode) (*RunResult, error)
 			AppCacheBytes:     ws * 60 / 100,
 			RemoteCacheBytes:  ws * 60 / 100,
 			AppReplicas:       o.AppReplicas,
+			Tracer:            o.Tracer,
 		},
 		Mode:   mode,
 		Tables: o.Tables,
@@ -349,13 +357,14 @@ func Fig5b(o FigOptions) (*Table, error) {
 			RemoteCacheBytes:  ws * 60 / 100,
 			AppReplicas:       o.AppReplicas,
 			Parallelism:       par,
+			Tracer:            o.Tracer,
 		}
 		svc, err := BuildKVService(svcCfg, gen)
 		if err != nil {
 			return nil, err
 		}
 		res, err := RunExperimentCfg(svc, m, gen, RunConfig{
-			Warmup: o.Warmup, Ops: o.Ops, Parallelism: par, Prices: o.Prices,
+			Warmup: o.Warmup, Ops: o.Ops, Parallelism: par, Prices: o.Prices, Tracer: o.Tracer,
 		})
 		if err != nil {
 			return nil, err
@@ -539,12 +548,13 @@ func FigAblation(o FigOptions) (*Table, error) {
 			StorageFrontendWork: frontend,
 			DiskPenaltyPerByte:  diskPerByte,
 			Parallelism:         par,
+			Tracer:              o.Tracer,
 		}, gen)
 		if err != nil {
 			return nil, err
 		}
 		return RunExperimentCfg(svc, m, gen, RunConfig{
-			Warmup: o.Warmup / 2, Ops: o.Ops / 2, Parallelism: par, Prices: o.Prices,
+			Warmup: o.Warmup / 2, Ops: o.Ops / 2, Parallelism: par, Prices: o.Prices, Tracer: o.Tracer,
 		})
 	}
 	for _, fe := range []int{-1, 16384, 49152, 131072} {
@@ -602,12 +612,13 @@ func FigAllocation(o FigOptions) (*Table, error) {
 			AppCacheBytes:     maxInt64(sA, 1),
 			AppReplicas:       o.AppReplicas,
 			Parallelism:       par,
+			Tracer:            o.Tracer,
 		}, gen)
 		if err != nil {
 			return nil, err
 		}
 		res, err := RunExperimentCfg(svc, m, gen, RunConfig{
-			Warmup: o.Warmup, Ops: o.Ops, Parallelism: par, Prices: o.Prices,
+			Warmup: o.Warmup, Ops: o.Ops, Parallelism: par, Prices: o.Prices, Tracer: o.Tracer,
 		})
 		if err != nil {
 			return nil, err

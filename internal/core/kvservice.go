@@ -14,6 +14,7 @@ import (
 	"cachecost/internal/rpc"
 	"cachecost/internal/storage"
 	"cachecost/internal/storage/sql"
+	"cachecost/internal/trace"
 	"cachecost/internal/wire"
 )
 
@@ -79,6 +80,12 @@ type ServiceConfig struct {
 	CacheRetry *rpc.RetryPolicy
 	// RetrySeed drives the retry layer's jitter sequence. Default 1.
 	RetrySeed int64
+
+	// Tracer, when non-nil, records request-path spans and exact path
+	// counters (hops, statements, cache messages, raft ships) for every
+	// client operation. Nil disables tracing; the instrumented paths then
+	// cost one pointer test per layer.
+	Tracer *trace.Tracer
 
 	// Parallelism pre-builds that many worker lanes (Worker(i)) for the
 	// concurrent experiment driver. Each lane has its own front door,
@@ -191,6 +198,7 @@ func NewKVService(cfg ServiceConfig) (*KVService, error) {
 		Meter:              cfg.Meter,
 		DiskPenaltyPerByte: cfg.DiskPenaltyPerByte,
 		FrontendWork:       cfg.StorageFrontendWork,
+		Tracer:             cfg.Tracer,
 	})
 	// The app talks to storage over a loopback hop; the app pays its
 	// client-side transport overhead.
@@ -203,6 +211,7 @@ func NewKVService(cfg ServiceConfig) (*KVService, error) {
 			Meter:         cfg.Meter,
 			Name:          "remotecache",
 			RPCCost:       cfg.RPCCost,
+			Tracer:        cfg.Tracer,
 		})
 		cacheConn = rpc.NewLoopback(s.rcServer.RPCServer(), s.appComp, meter.NewBurner(), cfg.RPCCost)
 	}
@@ -328,8 +337,8 @@ func (s *KVService) finish(cacheConn rpc.Conn) error {
 func (s *KVService) newFront(l *kvLane) *rpc.Server {
 	front := rpc.NewServer(s.appComp, meter.NewBurner(), s.cfg.RPCCost)
 	front.SetMeterHandlerBody(false)
-	front.Handle("app.Read", func(req []byte) ([]byte, error) { return s.handleRead(l, req) })
-	front.Handle("app.Write", func(req []byte) ([]byte, error) { return s.handleWrite(l, req) })
+	front.HandleCtx("app.Read", func(sc trace.SpanContext, req []byte) ([]byte, error) { return s.handleRead(l, sc, req) })
+	front.HandleCtx("app.Write", func(sc trace.SpanContext, req []byte) ([]byte, error) { return s.handleWrite(l, sc, req) })
 	return front
 }
 
@@ -401,14 +410,22 @@ func (s *KVService) Worker(i int) (ServiceWorker, error) {
 	return &KVWorker{s: s, l: s.lanes[i]}, nil
 }
 
-// Read drives a client read through the worker's lane.
+// Read drives a client read through the worker's lane. Each worker's
+// requests open their own root span, so concurrent traces never share
+// spans.
 func (w *KVWorker) Read(key string) ([]byte, error) {
-	return frontRead(w.l.front, key)
+	sc, act := w.s.cfg.Tracer.StartRequest("read")
+	v, err := frontRead(sc, w.l.front, key)
+	act.End()
+	return v, err
 }
 
 // Write drives a client write through the worker's lane.
 func (w *KVWorker) Write(key string, value []byte) error {
-	return frontWrite(w.l.front, key, value)
+	sc, act := w.s.cfg.Tracer.StartRequest("write")
+	err := frontWrite(sc, w.l.front, key, value)
+	act.End()
+	return err
 }
 
 // scaleLinkedMemory bills the linked cache once per application server.
@@ -478,8 +495,8 @@ func ValueFor(key string, size int) []byte {
 
 // loadFromDB is the storage read path shared by all architectures, over
 // the lane's private storage connection.
-func (s *KVService) loadFromDB(l *kvLane, key string) ([]byte, error) {
-	rs, err := l.db.Query("SELECT v FROM kvdata WHERE k = ?", sql.Text(key))
+func (s *KVService) loadFromDB(l *kvLane, sc trace.SpanContext, key string) ([]byte, error) {
+	rs, err := l.db.QueryCtx(sc, "SELECT v FROM kvdata WHERE k = ?", sql.Text(key))
 	if err != nil {
 		return nil, err
 	}
@@ -489,31 +506,31 @@ func (s *KVService) loadFromDB(l *kvLane, key string) ([]byte, error) {
 	return rs.Rows[0][0].Blob, nil
 }
 
-func (s *KVService) loadVersioned(key string) ([]byte, uint64, error) {
-	v, err := s.loadFromDB(&s.def, key)
+func (s *KVService) loadVersioned(sc trace.SpanContext, key string) ([]byte, uint64, error) {
+	v, err := s.loadFromDB(&s.def, sc, key)
 	if err != nil {
 		return nil, 0, err
 	}
-	ver, _, err := s.db.Version("kvdata", sql.Text(key))
+	ver, _, err := s.db.VersionCtx(sc, "kvdata", sql.Text(key))
 	if err != nil {
 		return nil, 0, err
 	}
 	return v, ver, nil
 }
 
-func (s *KVService) checkVersion(key string) (uint64, bool, error) {
-	return s.db.Version("kvdata", sql.Text(key))
+func (s *KVService) checkVersion(sc trace.SpanContext, key string) (uint64, bool, error) {
+	return s.db.VersionCtx(sc, "kvdata", sql.Text(key))
 }
 
 // linkedFault consults the fault layer for the in-process cache: an
 // injected error models the cache shard being lost or restarting, so the
 // read/write skips the cache (a degradation) and goes to storage. The
 // decision is drawn from the lane's stream.
-func (s *KVService) linkedFault(l *kvLane) bool {
+func (s *KVService) linkedFault(l *kvLane, sc trace.SpanContext) bool {
 	if s.cfg.Faults == nil {
 		return false
 	}
-	if err := s.cfg.Faults.DecideCtx(LinkedCacheNode, l.w, l.attr); err != nil {
+	if err := s.cfg.Faults.DecideTrace(LinkedCacheNode, l.w, l.attr, sc); err != nil {
 		s.degraded.Inc()
 		return true
 	}
@@ -522,55 +539,85 @@ func (s *KVService) linkedFault(l *kvLane) bool {
 
 // read dispatches a read through the architecture's cache hierarchy on
 // lane l.
-func (s *KVService) read(l *kvLane, key string) ([]byte, error) {
+func (s *KVService) read(l *kvLane, sc trace.SpanContext, key string) ([]byte, error) {
 	switch s.cfg.Arch {
 	case Base:
-		return s.loadFromDB(l, key)
+		return s.loadFromDB(l, sc, key)
 	case Remote:
 		s.cacheReads.Add(1)
-		if v, found, err := l.rc.Get(key); err != nil {
+		if v, found, err := l.rc.GetCtx(sc, key); err != nil {
 			return nil, err
 		} else if found {
 			s.cacheHits.Add(1)
 			return v, nil
 		}
-		v, err := s.loadFromDB(l, key)
+		v, err := s.loadFromDB(l, sc, key)
 		if err != nil {
 			return nil, err
 		}
-		if err := l.rc.Set(key, v); err != nil {
+		if err := l.rc.SetTTLCtx(sc, key, v, 0); err != nil {
 			return nil, err
 		}
 		return v, nil
 	case Linked:
 		s.cacheReads.Add(1)
-		if s.linkedFault(l) {
-			return s.loadFromDB(l, key)
+		if s.linkedFault(l, sc) {
+			return s.loadFromDB(l, sc, key)
 		}
-		v, hit, err := s.lc.GetOrLoad(key, func() ([]byte, error) { return s.loadFromDB(l, key) })
+		v, hit, err := s.lc.GetOrLoadCtx(sc, key, func(lsc trace.SpanContext) ([]byte, error) {
+			return s.loadFromDB(l, lsc, key)
+		})
 		if err == nil && hit {
 			s.cacheHits.Add(1)
 		}
 		return v, err
 	case LinkedVersion:
-		v, _, err := s.vc.Read(key, s.checkVersion, s.loadVersioned)
+		v, _, err := s.consistentRead(sc, key, func(csc trace.SpanContext) ([]byte, bool, error) {
+			return s.vc.Read(key,
+				func(k string) (uint64, bool, error) { return s.checkVersion(csc, k) },
+				func(k string) ([]byte, uint64, error) { return s.loadVersioned(csc, k) })
+		})
 		return v, err
 	case LinkedOwned:
-		v, _, err := s.oc.Read(key, s.loadVersioned)
+		v, _, err := s.consistentRead(sc, key, func(csc trace.SpanContext) ([]byte, bool, error) {
+			return s.oc.Read(key, func(k string) ([]byte, uint64, error) { return s.loadVersioned(csc, k) })
+		})
 		return v, err
 	case LinkedTTL:
-		v, _, err := s.tc.Read(key, s.loadVersioned)
+		v, _, err := s.consistentRead(sc, key, func(csc trace.SpanContext) ([]byte, bool, error) {
+			return s.tc.Read(key, func(k string) ([]byte, uint64, error) { return s.loadVersioned(csc, k) })
+		})
 		return v, err
 	default:
 		return nil, fmt.Errorf("core: unknown arch %v", s.cfg.Arch)
 	}
 }
 
+// consistentRead wraps a consistency-cache read in an app.cache span:
+// the consistency strategies live outside the traced cache libraries, so
+// the service records their lookup spans and linked hit/miss counts
+// itself. The strategy's downstream storage calls (version checks and
+// loads) carry the span's child context, nesting them under the cache
+// span exactly as the §5.5 path model describes.
+func (s *KVService) consistentRead(sc trace.SpanContext, key string, read func(csc trace.SpanContext) ([]byte, bool, error)) ([]byte, bool, error) {
+	if !sc.Traced() {
+		return read(sc)
+	}
+	act, csc := trace.Start(sc, "app.cache", "read")
+	v, hit, err := read(csc)
+	if err == nil {
+		sc.Tracer().CountLinkedHit(hit)
+		act.AnnotateBool("cache.hit", hit)
+	}
+	act.End()
+	return v, hit, err
+}
+
 // write dispatches a write on lane l: storage first, then cache
 // maintenance.
-func (s *KVService) write(l *kvLane, key string, value []byte) error {
+func (s *KVService) write(l *kvLane, sc trace.SpanContext, key string, value []byte) error {
 	storeWrite := func() error {
-		_, err := l.db.Exec("UPDATE kvdata SET v = ? WHERE k = ?", sql.Blob(value), sql.Text(key))
+		_, err := l.db.ExecCtx(sc, "UPDATE kvdata SET v = ? WHERE k = ?", sql.Blob(value), sql.Text(key))
 		return err
 	}
 	switch s.cfg.Arch {
@@ -581,14 +628,14 @@ func (s *KVService) write(l *kvLane, key string, value []byte) error {
 			return err
 		}
 		// Lookaside invalidation: delete, let the next read repopulate.
-		_, err := l.rc.Delete(key)
+		_, err := l.rc.DeleteCtx(sc, key)
 		return err
 	case Linked:
 		if err := storeWrite(); err != nil {
 			return err
 		}
-		if !s.linkedFault(l) {
-			s.lc.Put(key, value)
+		if !s.linkedFault(l, sc) {
+			s.lc.PutCtx(sc, key, value)
 		}
 		return nil
 	case LinkedVersion:
@@ -602,7 +649,7 @@ func (s *KVService) write(l *kvLane, key string, value []byte) error {
 			if err := storeWrite(); err != nil {
 				return 0, err
 			}
-			ver, _, err := s.db.Version("kvdata", sql.Text(key))
+			ver, _, err := s.db.VersionCtx(sc, "kvdata", sql.Text(key))
 			return ver, err
 		})
 	case LinkedTTL:
@@ -654,19 +701,22 @@ func appendDigest(dst, value []byte) []byte {
 // result. Application CPU not attributed to a downstream component lands
 // on "app"; a worker lane's attribution context keeps that split tight
 // under concurrency.
-func (s *KVService) handleRead(l *kvLane, req []byte) ([]byte, error) {
+func (s *KVService) handleRead(l *kvLane, sc trace.SpanContext, req []byte) ([]byte, error) {
 	var out []byte
 	var err error
 	meter.AttributeCtx(s.m, l.attr, s.appComp, func() {
+		act, asc := trace.Start(sc, "app", "read")
+		defer act.End()
 		var r remotecache.GetRequest // shape {1: key} — reuse the message
 		if err = wire.Unmarshal(req, &r); err != nil {
 			return
 		}
 		var v []byte
-		v, err = s.read(l, r.Key)
+		v, err = s.read(l, asc, r.Key)
 		if err != nil {
 			return
 		}
+		act.SetBytes(len(req), len(v))
 		// Encode the GetResponse shape {1: found, 2: digest} field-by-field:
 		// the pooled encoder plus a stack-backed digest keeps the reply to
 		// one buffer copy. The response buffer comes from the transport
@@ -683,17 +733,20 @@ func (s *KVService) handleRead(l *kvLane, req []byte) ([]byte, error) {
 }
 
 // handleWrite is the client-facing write.
-func (s *KVService) handleWrite(l *kvLane, req []byte) ([]byte, error) {
+func (s *KVService) handleWrite(l *kvLane, sc trace.SpanContext, req []byte) ([]byte, error) {
 	var out []byte
 	var err error
 	meter.AttributeCtx(s.m, l.attr, s.appComp, func() {
+		act, asc := trace.Start(sc, "app", "write")
+		defer act.End()
 		var r remotecache.SetRequest // shape {key, value}
 		if err = wire.Unmarshal(req, &r); err != nil {
 			return
 		}
-		if err = s.write(l, r.Key, r.Value); err != nil {
+		if err = s.write(l, asc, r.Key, r.Value); err != nil {
 			return
 		}
+		act.SetBytes(len(req), 0)
 		// Ack shape {1: ok}.
 		e := wire.GetEncoder()
 		e.Bool(1, true)
@@ -706,13 +759,20 @@ func (s *KVService) handleWrite(l *kvLane, req []byte) ([]byte, error) {
 // Read implements Service from the client's side of the front door.
 func (s *KVService) Read(key string) ([]byte, error) {
 	// The experiment driver plays the client; its own CPU is outside the
-	// bill (the paper prices the service, not its callers).
-	return frontRead(s.front, key)
+	// bill (the paper prices the service, not its callers). The root span
+	// opens here too: the trace covers the whole client-visible request.
+	sc, act := s.cfg.Tracer.StartRequest("read")
+	v, err := frontRead(sc, s.front, key)
+	act.End()
+	return v, err
 }
 
 // Write implements Service.
 func (s *KVService) Write(key string, value []byte) error {
-	return frontWrite(s.front, key, value)
+	sc, act := s.cfg.Tracer.StartRequest("write")
+	err := frontWrite(sc, s.front, key, value)
+	act.End()
+	return err
 }
 
 // frontRead performs one client read against a front-door server. The
@@ -721,10 +781,10 @@ func (s *KVService) Write(key string, value []byte) error {
 // pool: the handler builds its reply from the same pool, and the
 // GetResponse decoder copies Value out, so both sides of the round trip
 // are reusable.
-func frontRead(front *rpc.Server, key string) ([]byte, error) {
+func frontRead(sc trace.SpanContext, front *rpc.Server, key string) ([]byte, error) {
 	e := wire.GetEncoder()
 	e.String(1, key)
-	respBody, err := front.Dispatch("app.Read", e.Bytes())
+	respBody, err := front.DispatchCtx(sc, "app.Read", e.Bytes())
 	wire.PutEncoder(e)
 	if err != nil {
 		return nil, err
@@ -740,12 +800,12 @@ func frontRead(front *rpc.Server, key string) ([]byte, error) {
 
 // frontWrite performs one client write against a front-door server,
 // encoding the SetRequest shape {1: key, 2: value, 3: ttl_ms}.
-func frontWrite(front *rpc.Server, key string, value []byte) error {
+func frontWrite(sc trace.SpanContext, front *rpc.Server, key string, value []byte) error {
 	e := wire.GetEncoder()
 	e.String(1, key)
 	e.BytesField(2, value)
 	e.Int64(3, 0)
-	respBody, err := front.Dispatch("app.Write", e.Bytes())
+	respBody, err := front.DispatchCtx(sc, "app.Write", e.Bytes())
 	wire.PutEncoder(e)
 	rpc.PutBuffer(respBody)
 	return err

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"cachecost/internal/meter"
+	"cachecost/internal/trace"
 	"cachecost/internal/workload"
 )
 
@@ -34,6 +35,11 @@ type RunResult struct {
 	// Retries counts cache-call retry attempts during the metered
 	// window (nonzero only with a retry policy and faults).
 	Retries int64
+
+	// Path holds the exact request-path counters for the metered window
+	// (hops, cache messages, SQL statements, raft ships per the paper's
+	// §5.3/§5.5 path model). Zero when the run had no Tracer.
+	Path trace.PathStats
 
 	// Parallelism is the worker count the metered window ran at.
 	Parallelism int
@@ -91,6 +97,10 @@ type RunConfig struct {
 	// in is scheduler-dependent, but exactly one call fires per op.
 	// Chaos schedules advance here.
 	OnOp func(n int)
+	// Tracer, when non-nil, is the tracer the service was assembled with
+	// (ServiceConfig.Tracer): its path counters are reset at the metered
+	// window boundary and snapshotted into RunResult.Path.
+	Tracer *trace.Tracer
 }
 
 // RunExperiment drives svc with ops operations from gen (after warmup
@@ -143,6 +153,7 @@ func RunExperimentCfg(svc Service, m *meter.Meter, gen workload.Generator, cfg R
 	if err != nil {
 		return nil, err
 	}
+	path := cfg.Tracer.PathStats()
 	m.AddRequests(int64(cfg.Ops))
 	report := meter.BuildReport(m, cfg.Prices)
 	if cfg.Parallelism > 1 && len(lats) > 0 {
@@ -172,6 +183,7 @@ func RunExperimentCfg(svc Service, m *meter.Meter, gen workload.Generator, cfg R
 		AppCores:     report.ComponentCores("app"),
 		CacheCores:   report.ComponentCores("remotecache"),
 		StorageCores: report.ComponentCores("storage"),
+		Path:         path,
 		Parallelism:  cfg.Parallelism,
 		Wall:         wall,
 	}
@@ -235,6 +247,7 @@ func runSequential(svc Service, m *meter.Meter, gen workload.Generator, cfg RunC
 	// another deployment's GC debt.
 	runtime.GC()
 	m.Reset()
+	cfg.Tracer.ResetCounters()
 	t0 := time.Now()
 	lats, err := apply(cfg.Ops, make([]time.Duration, 0, cfg.Ops))
 	wall := time.Since(t0)
@@ -325,6 +338,7 @@ func runParallel(svc Service, m *meter.Meter, gen workload.Generator, cfg RunCon
 	}
 	runtime.GC()
 	m.Reset()
+	cfg.Tracer.ResetCounters()
 	t0 := time.Now()
 	perWorker, err := runPhase(cfg.Warmup, len(stream), true)
 	wall := time.Since(t0)

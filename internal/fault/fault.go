@@ -35,6 +35,7 @@ import (
 
 	"cachecost/internal/meter"
 	"cachecost/internal/rpc"
+	"cachecost/internal/trace"
 )
 
 // Injected fault errors. They model transport-level failures, so retry
@@ -325,23 +326,35 @@ func (in *Injector) Decide(node string) error {
 // < 0 the default stream. A non-nil ctx receives the burn time charged to
 // the fault component, so a caller's AttributeCtx window can subtract it.
 func (in *Injector) DecideCtx(node string, worker int, ctx *meter.AttrCtx) error {
+	return in.DecideTrace(node, worker, ctx, trace.SpanContext{})
+}
+
+// DecideTrace is DecideCtx carrying the caller's span context: decisions
+// that inject anything — a kill reject, a blackhole timeout, stall or
+// slow-start work, a transient error — are recorded as "fault" spans on
+// the request trace and bump the trace's fault counter. Clean decisions
+// leave no span. The decision-draw sequence is byte-identical to
+// DecideCtx's, so fixed-seed fault schedules are unchanged by tracing.
+func (in *Injector) DecideTrace(node string, worker int, ctx *meter.AttrCtx, sc trace.SpanContext) error {
 	n := in.node(node)
 	st := n.stream(worker)
 	seq := st.seq.Add(1)
 	st.stats.calls.Add(1)
 	if n.killed.Load() {
 		st.stats.downRejects.Add(1)
+		in.recordFault(sc, node, "down", 0, nil)
 		return ErrNodeDown
 	}
 	if n.blackholed.Load() {
 		st.stats.blackholed.Add(1)
 		st.stats.workInjected.Add(int64(in.timeoutWork))
-		in.burn(in.timeoutWork, ctx)
+		in.recordFault(sc, node, "blackhole", in.timeoutWork, ctx)
 		return ErrBlackhole
 	}
 	rule := *n.rule.Load()
 	draw := splitmix64(in.seed ^ n.nameHash ^ st.salt ^ seq)
 	var work int
+	slow := false
 	for {
 		left := n.slowLeft.Load()
 		if left <= 0 {
@@ -350,6 +363,7 @@ func (in *Injector) DecideCtx(node string, worker int, ctx *meter.AttrCtx) error
 		if n.slowLeft.CompareAndSwap(left, left-1) {
 			work += rule.slowStartWork()
 			st.stats.slowStarts.Add(1)
+			slow = true
 			break
 		}
 	}
@@ -357,9 +371,11 @@ func (in *Injector) DecideCtx(node string, worker int, ctx *meter.AttrCtx) error
 	// derived from the one deterministic draw.
 	stallDraw := unit(draw)
 	errDraw := unit(splitmix64(draw))
+	stalled := false
 	if rule.stallRate() > 0 && stallDraw < rule.stallRate() {
 		work += rule.StallWork
 		st.stats.stalls.Add(1)
+		stalled = true
 	}
 	var err error
 	if rule.ErrorRate > 0 && errDraw < rule.ErrorRate {
@@ -367,8 +383,36 @@ func (in *Injector) DecideCtx(node string, worker int, ctx *meter.AttrCtx) error
 		err = ErrInjected
 	}
 	st.stats.workInjected.Add(int64(work))
-	in.burn(work, ctx)
+	if err == nil && work == 0 {
+		return nil // clean decision: no span, no burn
+	}
+	outcome := "stall"
+	switch {
+	case err != nil:
+		outcome = "error"
+	case slow && !stalled:
+		outcome = "slow-start"
+	}
+	in.recordFault(sc, node, outcome, work, ctx)
 	return err
+}
+
+// recordFault burns the injected work and, when the request is traced,
+// wraps it in a "fault" span annotated with the outcome, bumping the
+// path-level fault counter.
+func (in *Injector) recordFault(sc trace.SpanContext, node, outcome string, work int, ctx *meter.AttrCtx) {
+	if !sc.Traced() {
+		in.burn(work, ctx)
+		return
+	}
+	sc.Tracer().CountFault()
+	act, _ := trace.Start(sc, "fault", node)
+	act.Annotate("fault.outcome", outcome)
+	if work > 0 {
+		act.AnnotateInt("fault.work", int64(work))
+	}
+	in.burn(work, ctx)
+	act.End()
 }
 
 // burn charges injected work to the fault component, crediting a non-nil
@@ -500,6 +544,15 @@ func (c *Conn) Call(method string, req []byte) ([]byte, error) {
 		return nil, err
 	}
 	return c.next.Call(method, req)
+}
+
+// CallCtx implements rpc.TraceConn: injected faults appear as spans on
+// the request trace, and clean calls propagate the span context onward.
+func (c *Conn) CallCtx(sc trace.SpanContext, method string, req []byte) ([]byte, error) {
+	if err := c.in.DecideTrace(c.node, c.worker, c.attr, sc); err != nil {
+		return nil, err
+	}
+	return rpc.CallTraced(c.next, sc, method, req)
 }
 
 // Close implements rpc.Conn.

@@ -16,6 +16,7 @@ import (
 	"cachecost/internal/cache"
 	"cachecost/internal/cluster"
 	"cachecost/internal/meter"
+	"cachecost/internal/trace"
 )
 
 // Cache is a byte-budgeted in-process cache holding live values of type V.
@@ -23,6 +24,7 @@ import (
 type Cache[V any] struct {
 	store *cache.Sharded[V]
 	comp  *meter.Component
+	name  string
 }
 
 // Config parameterizes a linked cache.
@@ -45,12 +47,12 @@ func New[V any](cfg Config, sizeOf cache.SizeOf[V]) *Cache[V] {
 	if cfg.Shards <= 0 {
 		cfg.Shards = 16
 	}
-	c := &Cache[V]{store: cache.NewSharded[V](cfg.CapacityBytes, cfg.Shards, sizeOf)}
+	name := cfg.Name
+	if name == "" {
+		name = "app.cache"
+	}
+	c := &Cache[V]{store: cache.NewSharded[V](cfg.CapacityBytes, cfg.Shards, sizeOf), name: name}
 	if cfg.Meter != nil {
-		name := cfg.Name
-		if name == "" {
-			name = "app.cache"
-		}
 		c.comp = cfg.Meter.Component(name)
 		c.comp.SetMemBytes(cfg.CapacityBytes)
 	}
@@ -86,6 +88,52 @@ func (c *Cache[V]) GetOrLoad(key string, load func() (V, error)) (V, bool, error
 		return zero, false, err
 	}
 	c.store.Put(key, v)
+	return v, false, nil
+}
+
+// GetCtx is Get carrying the caller's span context: the in-process
+// lookup is recorded as a cache span (annotated cache.hit) under the
+// cache's component name, and the outcome feeds the trace's linked
+// hit/miss counters. No hop is counted — the lookup never leaves the
+// process, which is the architecture's whole point.
+func (c *Cache[V]) GetCtx(sc trace.SpanContext, key string) (V, bool) {
+	v, ok := c.store.Get(key)
+	if sc.Traced() {
+		sc.Tracer().CountLinkedHit(ok)
+		act, _ := trace.Start(sc, c.name, "get")
+		act.AnnotateBool("cache.hit", ok)
+		act.End()
+	}
+	return v, ok
+}
+
+// PutCtx is Put carrying the caller's span context.
+func (c *Cache[V]) PutCtx(sc trace.SpanContext, key string, v V) {
+	act, _ := trace.Start(sc, c.name, "put")
+	c.store.Put(key, v)
+	act.End()
+}
+
+// GetOrLoadCtx is GetOrLoad carrying the caller's span context; load
+// receives the cache span's context so the loader's downstream spans
+// (the storage round trip on a miss) nest under it.
+func (c *Cache[V]) GetOrLoadCtx(sc trace.SpanContext, key string, load func(sc trace.SpanContext) (V, error)) (V, bool, error) {
+	act, lsc := trace.Start(sc, c.name, "get-or-load")
+	v, ok := c.store.Get(key)
+	sc.Tracer().CountLinkedHit(ok)
+	act.AnnotateBool("cache.hit", ok)
+	if ok {
+		act.End()
+		return v, true, nil
+	}
+	v, err := load(lsc)
+	if err != nil {
+		act.End()
+		var zero V
+		return zero, false, err
+	}
+	c.store.Put(key, v)
+	act.End()
 	return v, false, nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"cachecost/internal/cluster"
 	"cachecost/internal/meter"
 	"cachecost/internal/rpc"
+	"cachecost/internal/trace"
 	"cachecost/internal/wire"
 )
 
@@ -84,15 +85,27 @@ func (c *Client) demote() {
 // Get fetches key, reporting presence. In degraded mode a cache failure
 // reads as a miss.
 func (c *Client) Get(key string) ([]byte, bool, error) {
-	v, found, err := c.get(key)
+	return c.GetCtx(trace.SpanContext{}, key)
+}
+
+// GetCtx is Get carrying the caller's span context: the lookup's outcome
+// (including a degraded-mode demotion, which reads as a miss) feeds the
+// trace-level cache hit/miss counters, and the cache RPC's two protocol
+// messages are counted against the request path.
+func (c *Client) GetCtx(sc trace.SpanContext, key string) ([]byte, bool, error) {
+	v, found, err := c.get(sc, key)
 	if err != nil && c.degrade.Load() {
 		c.demote()
-		return nil, false, nil
+		err = nil
+		v, found = nil, false
+	}
+	if err == nil {
+		sc.Tracer().CountCacheHit(found)
 	}
 	return v, found, err
 }
 
-func (c *Client) get(key string) ([]byte, bool, error) {
+func (c *Client) get(sc trace.SpanContext, key string) ([]byte, bool, error) {
 	conn, err := c.conn(key)
 	if err != nil {
 		return nil, false, err
@@ -101,8 +114,11 @@ func (c *Client) get(key string) ([]byte, bool, error) {
 	// request round trip allocation-free.
 	e := wire.GetEncoder()
 	e.String(1, key)
-	respBody, err := conn.Call("cache.Get", e.Bytes())
+	respBody, err := rpc.CallTraced(conn, sc, "cache.Get", e.Bytes())
 	wire.PutEncoder(e)
+	if err == nil {
+		sc.Tracer().CountCacheMsgs(2)
+	}
 	if err != nil {
 		return nil, false, err
 	}
@@ -126,7 +142,12 @@ func (c *Client) Set(key string, value []byte) error {
 // SetTTL stores key, expiring after ttl (0 = never). In degraded mode a
 // cache failure is a silent no-op: the next read re-populates.
 func (c *Client) SetTTL(key string, value []byte, ttl time.Duration) error {
-	if err := c.setTTL(key, value, ttl); err != nil {
+	return c.SetTTLCtx(trace.SpanContext{}, key, value, ttl)
+}
+
+// SetTTLCtx is SetTTL carrying the caller's span context.
+func (c *Client) SetTTLCtx(sc trace.SpanContext, key string, value []byte, ttl time.Duration) error {
+	if err := c.setTTL(sc, key, value, ttl); err != nil {
 		if c.degrade.Load() {
 			c.demote()
 			return nil
@@ -136,7 +157,7 @@ func (c *Client) SetTTL(key string, value []byte, ttl time.Duration) error {
 	return nil
 }
 
-func (c *Client) setTTL(key string, value []byte, ttl time.Duration) error {
+func (c *Client) setTTL(sc trace.SpanContext, key string, value []byte, ttl time.Duration) error {
 	conn, err := c.conn(key)
 	if err != nil {
 		return err
@@ -146,11 +167,12 @@ func (c *Client) setTTL(key string, value []byte, ttl time.Duration) error {
 	e.String(1, key)
 	e.BytesField(2, value)
 	e.Int64(3, int64(ttl/time.Millisecond))
-	respBody, err := conn.Call("cache.Set", e.Bytes())
+	respBody, err := rpc.CallTraced(conn, sc, "cache.Set", e.Bytes())
 	wire.PutEncoder(e)
 	if err != nil {
 		return err
 	}
+	sc.Tracer().CountCacheMsgs(2)
 	var ack Ack
 	err = wire.Unmarshal(respBody, &ack)
 	rpc.PutBuffer(respBody)
@@ -161,7 +183,12 @@ func (c *Client) setTTL(key string, value []byte, ttl time.Duration) error {
 // cache failure reports "did not exist" — the entry may survive until its
 // node recovers, the bounded-staleness price of lookaside invalidation.
 func (c *Client) Delete(key string) (bool, error) {
-	ok, err := c.delete(key)
+	return c.DeleteCtx(trace.SpanContext{}, key)
+}
+
+// DeleteCtx is Delete carrying the caller's span context.
+func (c *Client) DeleteCtx(sc trace.SpanContext, key string) (bool, error) {
+	ok, err := c.delete(sc, key)
 	if err != nil && c.degrade.Load() {
 		c.demote()
 		return false, nil
@@ -169,7 +196,7 @@ func (c *Client) Delete(key string) (bool, error) {
 	return ok, err
 }
 
-func (c *Client) delete(key string) (bool, error) {
+func (c *Client) delete(sc trace.SpanContext, key string) (bool, error) {
 	conn, err := c.conn(key)
 	if err != nil {
 		return false, err
@@ -177,11 +204,12 @@ func (c *Client) delete(key string) (bool, error) {
 	// DeleteRequest shape {1: key}.
 	e := wire.GetEncoder()
 	e.String(1, key)
-	respBody, err := conn.Call("cache.Delete", e.Bytes())
+	respBody, err := rpc.CallTraced(conn, sc, "cache.Delete", e.Bytes())
 	wire.PutEncoder(e)
 	if err != nil {
 		return false, err
 	}
+	sc.Tracer().CountCacheMsgs(2)
 	var ack Ack
 	err = wire.Unmarshal(respBody, &ack)
 	rpc.PutBuffer(respBody)

@@ -6,6 +6,7 @@ import (
 	"cachecost/internal/cache"
 	"cachecost/internal/meter"
 	"cachecost/internal/rpc"
+	"cachecost/internal/trace"
 	"cachecost/internal/wire"
 )
 
@@ -15,6 +16,7 @@ type Server struct {
 	store  *cache.Sharded[[]byte]
 	rpcsrv *rpc.Server
 	comp   *meter.Component
+	name   string
 }
 
 // ServerConfig parameterizes a cache node.
@@ -30,6 +32,10 @@ type ServerConfig struct {
 	Name string
 	// RPCCost is the transport overhead model.
 	RPCCost rpc.CostModel
+	// Tracer joins wire-carried span contexts when the node serves TCP
+	// connections. Loopback callers pass their context in-process and do
+	// not need it. Nil disables the join.
+	Tracer *trace.Tracer
 }
 
 // NewServer builds a cache node.
@@ -44,6 +50,7 @@ func NewServer(cfg ServerConfig) *Server {
 		store: cache.NewSharded[[]byte](cfg.CapacityBytes, cfg.Shards, func(k string, v []byte) int64 {
 			return int64(len(k) + len(v) + 64) // include per-entry overhead
 		}),
+		name: cfg.Name,
 	}
 	var burner *meter.Burner
 	if cfg.Meter != nil {
@@ -52,9 +59,12 @@ func NewServer(cfg ServerConfig) *Server {
 		burner = meter.NewBurner()
 	}
 	s.rpcsrv = rpc.NewServer(s.comp, burner, cfg.RPCCost)
-	s.rpcsrv.Handle("cache.Get", s.handleGet)
-	s.rpcsrv.Handle("cache.Set", s.handleSet)
-	s.rpcsrv.Handle("cache.Delete", s.handleDelete)
+	if cfg.Tracer != nil {
+		s.rpcsrv.SetTracer(cfg.Tracer, cfg.Name+".rpc")
+	}
+	s.rpcsrv.HandleCtx("cache.Get", s.handleGet)
+	s.rpcsrv.HandleCtx("cache.Set", s.handleSet)
+	s.rpcsrv.HandleCtx("cache.Delete", s.handleDelete)
 	return s
 }
 
@@ -67,7 +77,7 @@ func (s *Server) Stats() cache.Stats { return s.store.Stats() }
 // UsedBytes returns the budgeted bytes currently cached.
 func (s *Server) UsedBytes() int64 { return s.store.UsedBytes() }
 
-func (s *Server) handleGet(req []byte) ([]byte, error) {
+func (s *Server) handleGet(sc trace.SpanContext, req []byte) ([]byte, error) {
 	// Decode the key zero-copy: it is only a lookup argument, dead once
 	// Get returns, so it may alias the transport's request buffer. (Set
 	// and Delete keep the copying decode — Put retains its key.)
@@ -84,15 +94,21 @@ func (s *Server) handleGet(req []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	act, _ := trace.Start(sc, s.name, "get")
 	v, ok := s.store.Get(key)
-	return wire.Marshal(&GetResponse{Found: ok, Value: v}), nil
+	act.AnnotateBool("cache.hit", ok)
+	resp := wire.Marshal(&GetResponse{Found: ok, Value: v})
+	act.SetBytes(len(req), len(resp))
+	act.End()
+	return resp, nil
 }
 
-func (s *Server) handleSet(req []byte) ([]byte, error) {
+func (s *Server) handleSet(sc trace.SpanContext, req []byte) ([]byte, error) {
 	var r SetRequest
 	if err := wire.Unmarshal(req, &r); err != nil {
 		return nil, err
 	}
+	act, _ := trace.Start(sc, s.name, "set")
 	// SetRequest's decode copied Key and Value out of req, so the stored
 	// value is independent of the transport buffer and immutable from
 	// here on; concurrent readers may share it safely.
@@ -101,14 +117,19 @@ func (s *Server) handleSet(req []byte) ([]byte, error) {
 	} else {
 		s.store.Put(r.Key, r.Value)
 	}
+	act.SetBytes(len(req), 0)
+	act.End()
 	return wire.Marshal(&Ack{OK: true}), nil
 }
 
-func (s *Server) handleDelete(req []byte) ([]byte, error) {
+func (s *Server) handleDelete(sc trace.SpanContext, req []byte) ([]byte, error) {
 	var r DeleteRequest
 	if err := wire.Unmarshal(req, &r); err != nil {
 		return nil, err
 	}
+	act, _ := trace.Start(sc, s.name, "delete")
 	existed := s.store.Delete(r.Key)
+	act.AnnotateBool("cache.hit", existed)
+	act.End()
 	return wire.Marshal(&Ack{OK: existed}), nil
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"cachecost/internal/meter"
+	"cachecost/internal/trace"
 )
 
 // Client is a multiplexing TCP connection to a Server. Many goroutines may
@@ -58,6 +59,35 @@ func Dial(addr string, comp *meter.Component, burner *meter.Burner, cost CostMod
 
 // Call implements Conn.
 func (c *Client) Call(method string, req []byte) ([]byte, error) {
+	return c.call(&frame{kind: frameRequest, method: method, body: req})
+}
+
+// CallCtx implements TraceConn: the hop is recorded as an "rpc" span
+// (annotated rpc.hop=tcp) and counted, and when the request is sampled
+// the span context is embedded in the frame so the server's spans stitch
+// into this trace by ID.
+func (c *Client) CallCtx(sc trace.SpanContext, method string, req []byte) ([]byte, error) {
+	if !sc.Traced() {
+		return c.Call(method, req)
+	}
+	sc.Tracer().CountHop()
+	act, down := trace.Start(sc, "rpc", method)
+	act.Annotate("rpc.hop", "tcp")
+	f := frame{kind: frameRequest, method: method, body: req}
+	if down.Sampled() {
+		f.kind = frameRequestTraced
+		f.traceID, f.spanID, f.sampled = down.TraceID(), down.SpanID(), true
+	}
+	resp, err := c.call(&f)
+	act.SetBytes(len(req), len(resp))
+	act.End()
+	return resp, err
+}
+
+// call sends one pre-built request frame (kind, method, body and trace
+// context set by the caller) and waits for its response.
+func (c *Client) call(f *frame) ([]byte, error) {
+	req := f.body
 	if c.comp != nil && c.burner != nil {
 		c.cost.Charge(c.comp, c.burner, len(req))
 	}
@@ -73,9 +103,10 @@ func (c *Client) Call(method string, req []byte) ([]byte, error) {
 	id := c.nextID
 	c.pending[id] = ch
 	c.mu.Unlock()
+	f.id = id
 
 	bp := frameBufPool.Get().(*[]byte)
-	buf, err := appendFrame((*bp)[:0], &frame{kind: frameRequest, id: id, method: method, body: req})
+	buf, err := appendFrame((*bp)[:0], f)
 	if err != nil {
 		frameBufPool.Put(bp)
 		c.forget(id)

@@ -5,13 +5,18 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"cachecost/internal/wire"
 )
 
-// Frame kinds.
+// Frame kinds. A traced request is its own kind — not a flag bit — so a
+// reader that predates tracing rejects it cleanly instead of misparsing
+// the trace block as a frame ID.
 const (
-	frameRequest  = 0
-	frameResponse = 1
-	frameError    = 2
+	frameRequest       = 0
+	frameResponse      = 1
+	frameError         = 2
+	frameRequestTraced = 3
 )
 
 // MaxFrameSize bounds a single frame to keep a malformed or hostile peer
@@ -22,18 +27,25 @@ const MaxFrameSize = 64 << 20
 var errFrameTooLarge = errors.New("rpc: frame exceeds maximum size")
 
 // frame is the unit of transport: a request or response with an ID that
-// lets one connection multiplex many in-flight calls.
+// lets one connection multiplex many in-flight calls. Traced requests
+// (kind frameRequestTraced) additionally carry a span context so the
+// server's spans stitch into the caller's trace.
 type frame struct {
 	kind   uint8
 	id     uint64
 	method string // requests and errors carry the method for diagnostics
 	body   []byte
+
+	traceID uint64 // trace context; meaningful only for frameRequestTraced
+	spanID  uint64
+	sampled bool
 }
 
 // appendFrame serializes f to b:
 //
 //	u32   payload length (big endian)
 //	u8    kind
+//	17B   trace context (frameRequestTraced only; see internal/wire)
 //	uvar  id
 //	uvar  len(method) | method bytes
 //	rest  body
@@ -41,6 +53,9 @@ func appendFrame(b []byte, f *frame) ([]byte, error) {
 	start := len(b)
 	b = append(b, 0, 0, 0, 0) // length placeholder
 	b = append(b, f.kind)
+	if f.kind == frameRequestTraced {
+		b = wire.AppendTraceContext(b, f.traceID, f.spanID, f.sampled)
+	}
 	b = binary.AppendUvarint(b, f.id)
 	b = binary.AppendUvarint(b, uint64(len(f.method)))
 	b = append(b, f.method...)
@@ -75,6 +90,18 @@ func readFrame(r io.Reader, f *frame) error {
 	}
 	f.kind = buf[0]
 	buf = buf[1:]
+	f.traceID, f.spanID, f.sampled = 0, 0, false
+	if f.kind == frameRequestTraced {
+		// The trace context decoder fails closed: a truncated or malformed
+		// block drops the frame rather than stitching spans into a bogus
+		// trace.
+		tid, sid, sampled, err := wire.DecodeTraceContext(buf)
+		if err != nil {
+			return fmt.Errorf("rpc: bad trace context: %w", err)
+		}
+		f.traceID, f.spanID, f.sampled = tid, sid, sampled
+		buf = buf[wire.TraceContextSize:]
+	}
 	id, k := binary.Uvarint(buf)
 	if k <= 0 {
 		return fmt.Errorf("rpc: bad frame id")

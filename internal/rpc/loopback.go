@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"cachecost/internal/meter"
+	"cachecost/internal/trace"
 )
 
 // loopbackBufPool recycles the request "wire" buffers Loopback copies into.
@@ -44,6 +45,26 @@ func (l *Loopback) SetAttrCtx(ctx *meter.AttrCtx) { l.attr = ctx }
 
 // Call implements Conn.
 func (l *Loopback) Call(method string, req []byte) ([]byte, error) {
+	return l.call(trace.SpanContext{}, method, req)
+}
+
+// CallCtx implements TraceConn: the hop is recorded as an "rpc" span
+// (annotated rpc.hop=loopback) and counted, and the span context flows
+// into the server's dispatch.
+func (l *Loopback) CallCtx(sc trace.SpanContext, method string, req []byte) ([]byte, error) {
+	if !sc.Traced() {
+		return l.call(sc, method, req)
+	}
+	sc.Tracer().CountHop()
+	act, down := trace.Start(sc, "rpc", method)
+	act.Annotate("rpc.hop", "loopback")
+	resp, err := l.call(down, method, req)
+	act.SetBytes(len(req), len(resp))
+	act.End()
+	return resp, err
+}
+
+func (l *Loopback) call(sc trace.SpanContext, method string, req []byte) ([]byte, error) {
 	if l.closed.Load() {
 		return nil, net.ErrClosed
 	}
@@ -60,9 +81,9 @@ func (l *Loopback) Call(method string, req []byte) ([]byte, error) {
 	if l.attr != nil {
 		// The dispatch wall — downstream attributed busy plus its glue —
 		// is callee time from this goroutine's perspective.
-		l.attr.Span(func() { resp, err = l.server.Dispatch(method, wireReq) })
+		l.attr.Span(func() { resp, err = l.server.DispatchCtx(sc, method, wireReq) })
 	} else {
-		resp, err = l.server.Dispatch(method, wireReq)
+		resp, err = l.server.DispatchCtx(sc, method, wireReq)
 	}
 	if err != nil {
 		*bp = wireReq
@@ -102,6 +123,14 @@ func NewDirect(server *Server) *Direct { return &Direct{server: server} }
 // Call implements Conn.
 func (d *Direct) Call(method string, req []byte) ([]byte, error) {
 	return d.server.Dispatch(method, req)
+}
+
+// CallCtx implements TraceConn. A Direct call is not a network hop, so no
+// hop span is recorded and no hop is counted — the Linked architectures'
+// zero-hop invariant rests on this — but the context still flows so the
+// callee's own spans attach to the caller's trace.
+func (d *Direct) CallCtx(sc trace.SpanContext, method string, req []byte) ([]byte, error) {
+	return d.server.DispatchCtx(sc, method, req)
 }
 
 // Close implements Conn.

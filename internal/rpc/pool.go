@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"cachecost/internal/meter"
+	"cachecost/internal/trace"
 )
 
 // Pool is a Conn backed by several TCP connections to the same server,
@@ -80,14 +81,14 @@ func (p *Pool) snapshot() []Conn {
 // discovered by a transport-level failure — is skipped while other healthy
 // connections remain; only application-level errors (*RemoteError) are
 // returned without failover.
-func callFrom(conns []Conn, start uint64, method string, req []byte) ([]byte, error) {
+func callFrom(conns []Conn, start uint64, sc trace.SpanContext, method string, req []byte) ([]byte, error) {
 	var firstErr error
 	for i := 0; i < len(conns); i++ {
 		conn := conns[(start+uint64(i))%uint64(len(conns))]
 		if d, ok := conn.(Downer); ok && d.Down() {
 			continue
 		}
-		resp, err := conn.Call(method, req)
+		resp, err := CallTraced(conn, sc, method, req)
 		if err == nil {
 			return resp, nil
 		}
@@ -109,11 +110,17 @@ func callFrom(conns []Conn, start uint64, method string, req []byte) ([]byte, er
 
 // Call implements Conn, picking the next connection round-robin.
 func (p *Pool) Call(method string, req []byte) ([]byte, error) {
+	return p.CallCtx(trace.SpanContext{}, method, req)
+}
+
+// CallCtx implements TraceConn, propagating the span context to the
+// checked-out connection.
+func (p *Pool) CallCtx(sc trace.SpanContext, method string, req []byte) ([]byte, error) {
 	conns := p.snapshot()
 	if conns == nil {
 		return nil, ErrPoolClosed
 	}
-	return callFrom(conns, p.next.Add(1), method, req)
+	return callFrom(conns, p.next.Add(1), sc, method, req)
 }
 
 // Pinned returns a Conn that prefers connection i — a per-worker affinity
@@ -136,11 +143,16 @@ type pinnedConn struct {
 
 // Call implements Conn.
 func (c *pinnedConn) Call(method string, req []byte) ([]byte, error) {
+	return c.CallCtx(trace.SpanContext{}, method, req)
+}
+
+// CallCtx implements TraceConn.
+func (c *pinnedConn) CallCtx(sc trace.SpanContext, method string, req []byte) ([]byte, error) {
 	conns := c.p.snapshot()
 	if conns == nil {
 		return nil, ErrPoolClosed
 	}
-	return callFrom(conns, c.start, method, req)
+	return callFrom(conns, c.start, sc, method, req)
 }
 
 // Close implements Conn. The pool owns the underlying connections.

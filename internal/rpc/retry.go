@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"cachecost/internal/meter"
+	"cachecost/internal/trace"
 )
 
 // ErrRetryBudgetExhausted wraps the last transport error when the retry
@@ -156,6 +157,13 @@ func (r *RetryConn) nextJitter() float64 {
 // MaxAttempts times, spending retry-budget tokens and honouring the
 // per-call deadline between attempts.
 func (r *RetryConn) Call(method string, req []byte) ([]byte, error) {
+	return r.CallCtx(trace.SpanContext{}, method, req)
+}
+
+// CallCtx implements TraceConn: every attempt propagates the caller's
+// span context, so retried hops appear as repeated rpc spans under the
+// same parent.
+func (r *RetryConn) CallCtx(sc trace.SpanContext, method string, req []byte) ([]byte, error) {
 	p := &r.policy
 	var start time.Time
 	if p.Deadline > 0 {
@@ -176,7 +184,7 @@ func (r *RetryConn) Call(method string, req []byte) ([]byte, error) {
 		r.stats.Attempts++
 		r.mu.Unlock()
 
-		resp, err := r.next.Call(method, req)
+		resp, err := CallTraced(r.next, sc, method, req)
 		if err == nil {
 			return resp, nil
 		}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"cachecost/internal/meter"
+	"cachecost/internal/trace"
 )
 
 // Conn issues calls against a remote server. Implementations must be safe
@@ -28,9 +29,36 @@ type Conn interface {
 	Close() error
 }
 
+// TraceConn is implemented by connections that can propagate a span
+// context to the callee. All of this package's transports implement it;
+// wrappers (retry, pool, fault) pass the context through.
+type TraceConn interface {
+	Conn
+	// CallCtx is Call carrying the caller's span context.
+	CallCtx(sc trace.SpanContext, method string, req []byte) ([]byte, error)
+}
+
+// CallTraced issues a call with span-context propagation when both the
+// context and the connection support it, and falls back to the untraced
+// path otherwise. Instrumented layers route every call through this
+// helper, so a run with tracing disabled pays exactly one branch here.
+func CallTraced(conn Conn, sc trace.SpanContext, method string, req []byte) ([]byte, error) {
+	if sc.Traced() {
+		if tc, ok := conn.(TraceConn); ok {
+			return tc.CallCtx(sc, method, req)
+		}
+	}
+	return conn.Call(method, req)
+}
+
 // HandlerFunc processes one request body and returns a response body.
 // The request slice is only valid for the duration of the call.
 type HandlerFunc func(req []byte) ([]byte, error)
+
+// HandlerCtxFunc is a handler that also receives the caller's span
+// context, so it can open child spans and bump path counters. The
+// context is the zero value when the request arrived untraced.
+type HandlerCtxFunc func(sc trace.SpanContext, req []byte) ([]byte, error)
 
 // ErrNoSuchMethod is returned to callers of unregistered methods.
 var ErrNoSuchMethod = errors.New("rpc: no such method")

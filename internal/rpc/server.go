@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"cachecost/internal/meter"
+	"cachecost/internal/trace"
 )
 
 // Server dispatches incoming calls to registered handlers and attributes
@@ -14,11 +15,17 @@ import (
 // component.
 type Server struct {
 	mu       sync.RWMutex
-	handlers map[string]HandlerFunc
+	handlers map[string]HandlerCtxFunc
 
 	comp   *meter.Component // may be nil: unmetered
 	burner *meter.Burner
 	cost   CostModel
+
+	// tracer joins wire-carried span contexts for requests arriving over
+	// TCP; traceName labels the server-side dispatch span. In-process
+	// transports pass their context straight into DispatchCtx instead.
+	tracer    *trace.Tracer
+	traceName string
 	// meterBody controls whether Dispatch wraps the handler body in the
 	// component's stopwatch. Servers whose handlers meter their own
 	// internals (the storage node) disable it to avoid double counting;
@@ -35,13 +42,24 @@ type Server struct {
 // nil when the cost model is zero.
 func NewServer(comp *meter.Component, burner *meter.Burner, cost CostModel) *Server {
 	return &Server{
-		handlers:  make(map[string]HandlerFunc),
+		handlers:  make(map[string]HandlerCtxFunc),
 		comp:      comp,
 		burner:    burner,
 		cost:      cost,
 		meterBody: true,
 		listeners: make(map[net.Listener]struct{}),
 	}
+}
+
+// SetTracer binds a tracer used to join span contexts carried by TCP
+// frames, and names the server-side dispatch span (e.g. "storage.rpc").
+// In-process transports bypass this: they hand their span context
+// directly to DispatchCtx.
+func (s *Server) SetTracer(t *trace.Tracer, name string) {
+	if name == "" {
+		name = "rpc.server"
+	}
+	s.tracer, s.traceName = t, name
 }
 
 // SetMeterHandlerBody controls whether Dispatch attributes handler wall
@@ -52,6 +70,15 @@ func (s *Server) SetMeterHandlerBody(on bool) { s.meterBody = on }
 // Handle registers fn for method. Registering the same method twice
 // replaces the earlier handler.
 func (s *Server) Handle(method string, fn HandlerFunc) {
+	s.HandleCtx(method, func(_ trace.SpanContext, req []byte) ([]byte, error) {
+		return fn(req)
+	})
+}
+
+// HandleCtx registers a context-aware handler for method: it receives the
+// caller's span context (zero when the request arrived untraced) so it
+// can record spans and path counters.
+func (s *Server) HandleCtx(method string, fn HandlerCtxFunc) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.handlers[method] = fn
@@ -62,6 +89,12 @@ func (s *Server) Handle(method string, fn HandlerFunc) {
 // exported so the loopback transport and tests can drive a server without
 // a socket.
 func (s *Server) Dispatch(method string, req []byte) ([]byte, error) {
+	return s.DispatchCtx(trace.SpanContext{}, method, req)
+}
+
+// DispatchCtx is Dispatch carrying the caller's span context through to
+// the handler.
+func (s *Server) DispatchCtx(sc trace.SpanContext, method string, req []byte) ([]byte, error) {
 	s.mu.RLock()
 	fn, ok := s.handlers[method]
 	s.mu.RUnlock()
@@ -75,10 +108,10 @@ func (s *Server) Dispatch(method string, req []byte) ([]byte, error) {
 	var err error
 	if s.comp != nil && s.meterBody {
 		sw := s.comp.Begin() // by value: one Dispatch per frame, no alloc
-		resp, err = fn(req)
+		resp, err = fn(sc, req)
 		sw.Stop()
 	} else {
-		resp, err = fn(req)
+		resp, err = fn(sc, req)
 	}
 	if s.comp != nil && s.burner != nil {
 		s.cost.Charge(s.comp, s.burner, len(resp))
@@ -138,11 +171,12 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err := readFrame(conn, &rd); err != nil {
 			return // connection closed or corrupt; drop it
 		}
-		if rd.kind != frameRequest {
+		if rd.kind != frameRequest && rd.kind != frameRequestTraced {
 			return // protocol violation
 		}
 		id := rd.id
 		method := rd.method
+		traceID, spanID, sampled := rd.traceID, rd.spanID, rd.sampled
 		// Copy the body out of the read frame into a pooled buffer; the
 		// handler contract (request valid only for the duration of the
 		// call) lets the buffer be reused once Dispatch returns.
@@ -150,7 +184,15 @@ func (s *Server) serveConn(conn net.Conn) {
 		body := append((*bodyBuf)[:0], rd.body...)
 		*bodyBuf = body
 		go func() {
-			resp, err := s.Dispatch(method, body)
+			// Join the wire-carried span context so the handler's spans
+			// land in a local fragment of the caller's trace; the server-
+			// side dispatch span is recorded here (never in DispatchCtx)
+			// so in-process transports do not get a duplicate.
+			sc := s.tracer.Join(traceID, spanID, sampled)
+			act, hsc := trace.Start(sc, s.traceName, method)
+			resp, err := s.DispatchCtx(hsc, method, body)
+			act.SetBytes(len(body), len(resp))
+			act.End()
 			out := frame{id: id}
 			if err != nil {
 				out.kind = frameError

@@ -4,6 +4,7 @@ import (
 	"cachecost/internal/rpc"
 	"cachecost/internal/storage/plan"
 	"cachecost/internal/storage/sql"
+	"cachecost/internal/trace"
 	"cachecost/internal/wire"
 )
 
@@ -20,27 +21,38 @@ func NewClient(conn rpc.Conn) *Client { return &Client{conn: conn} }
 
 // Query runs a SELECT with bound parameters.
 func (c *Client) Query(src string, params ...sql.Value) (*plan.ResultSet, error) {
-	return c.roundTrip("sql.Query", src, params)
+	return c.roundTrip(trace.SpanContext{}, "sql.Query", src, params)
+}
+
+// QueryCtx is Query carrying the caller's span context through to the
+// storage node.
+func (c *Client) QueryCtx(sc trace.SpanContext, src string, params ...sql.Value) (*plan.ResultSet, error) {
+	return c.roundTrip(sc, "sql.Query", src, params)
 }
 
 // Exec runs a write statement (INSERT/UPDATE/DELETE/DDL) with bound
 // parameters, replicated through the storage node's raft group.
 func (c *Client) Exec(src string, params ...sql.Value) (*plan.ResultSet, error) {
-	return c.roundTrip("sql.Exec", src, params)
+	return c.roundTrip(trace.SpanContext{}, "sql.Exec", src, params)
+}
+
+// ExecCtx is Exec carrying the caller's span context.
+func (c *Client) ExecCtx(sc trace.SpanContext, src string, params ...sql.Value) (*plan.ResultSet, error) {
+	return c.roundTrip(sc, "sql.Exec", src, params)
 }
 
 // roundTrip encodes one statement, calls the node, and decodes the result
 // set. Request and response buffers cycle through the transport pool: the
 // ResultSet decoder copies every string and blob out of its input, so the
 // response is dead once Unmarshal returns.
-func (c *Client) roundTrip(method, src string, params []sql.Value) (*plan.ResultSet, error) {
+func (c *Client) roundTrip(sc trace.SpanContext, method, src string, params []sql.Value) (*plan.ResultSet, error) {
 	// QueryRequest shape {1: sql, 2: param...}, encoded from the pool.
 	e := wire.GetEncoder()
 	e.String(1, src)
 	for _, p := range params {
 		sql.EncodeValue(e, 2, p)
 	}
-	respBody, err := c.conn.Call(method, e.Bytes())
+	respBody, err := rpc.CallTraced(c.conn, sc, method, e.Bytes())
 	wire.PutEncoder(e)
 	if err != nil {
 		return nil, err
@@ -56,11 +68,16 @@ func (c *Client) roundTrip(method, src string, params []sql.Value) (*plan.Result
 
 // Version performs the §5.5 consistency version check for one row.
 func (c *Client) Version(table string, pk sql.Value) (uint64, bool, error) {
+	return c.VersionCtx(trace.SpanContext{}, table, pk)
+}
+
+// VersionCtx is Version carrying the caller's span context.
+func (c *Client) VersionCtx(sc trace.SpanContext, table string, pk sql.Value) (uint64, bool, error) {
 	// VersionRequest shape {1: table, 2: pk}.
 	e := wire.GetEncoder()
 	e.String(1, table)
 	sql.EncodeValue(e, 2, pk)
-	respBody, err := c.conn.Call("sql.Version", e.Bytes())
+	respBody, err := rpc.CallTraced(c.conn, sc, "sql.Version", e.Bytes())
 	wire.PutEncoder(e)
 	if err != nil {
 		return 0, false, err

@@ -11,6 +11,7 @@ import (
 	"cachecost/internal/storage/plan"
 	"cachecost/internal/storage/raft"
 	"cachecost/internal/storage/sql"
+	"cachecost/internal/trace"
 	"cachecost/internal/wire"
 )
 
@@ -41,6 +42,10 @@ type Config struct {
 	// machinery the paper finds consuming 40-65% of database CPU (§5.3).
 	// Default 49152; set negative to disable.
 	FrontendWork int
+	// Tracer joins wire-carried span contexts when the node serves TCP
+	// connections; loopback callers pass their context in-process. Nil
+	// disables the join.
+	Tracer *trace.Tracer
 }
 
 func (c *Config) applyDefaults() {
@@ -141,9 +146,12 @@ func NewNode(cfg Config) *Node {
 
 	n.server = rpc.NewServer(n.rpcComp, n.burner, cfg.RPCCost)
 	n.server.SetMeterHandlerBody(false) // handlers meter their own internals
-	n.server.Handle("sql.Query", n.handleQuery)
-	n.server.Handle("sql.Exec", n.handleExec)
-	n.server.Handle("sql.Version", n.handleVersion)
+	if cfg.Tracer != nil {
+		n.server.SetTracer(cfg.Tracer, cfg.Prefix+".rpc")
+	}
+	n.server.HandleCtx("sql.Query", n.handleQuery)
+	n.server.HandleCtx("sql.Exec", n.handleExec)
+	n.server.HandleCtx("sql.Version", n.handleVersion)
 	return n
 }
 
@@ -327,10 +335,12 @@ func truncate(s string, n int) string {
 
 // handleQuery serves read-only statements on the leader after validating
 // its lease.
-func (n *Node) handleQuery(req []byte) ([]byte, error) {
+func (n *Node) handleQuery(sc trace.SpanContext, req []byte) ([]byte, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	sc.Tracer().CountStatement()
 
+	sqlAct, _ := trace.Start(sc, "storage.sql", "parse")
 	var q QueryRequest
 	var stmt sql.Stmt
 	var err error
@@ -341,14 +351,18 @@ func (n *Node) handleQuery(req []byte) ([]byte, error) {
 		stmt, err = sql.Parse(q.SQL)
 	})
 	if err != nil {
+		sqlAct.End()
 		return nil, err
 	}
 	if _, ok := stmt.(*sql.SelectStmt); !ok {
+		sqlAct.End()
 		return nil, fmt.Errorf("storage: sql.Query only accepts SELECT; use sql.Exec")
 	}
 	n.burnFrontend()
+	sqlAct.SetBytes(len(req), 0)
+	sqlAct.End()
 	// Transaction layer: validate the leader lease before a local read.
-	if err := n.group.ValidateLease(); err != nil {
+	if err := n.group.ValidateLeaseCtx(sc); err != nil {
 		return nil, err
 	}
 	db := n.LeaderDB()
@@ -356,11 +370,13 @@ func (n *Node) handleQuery(req []byte) ([]byte, error) {
 		return nil, raft.ErrNotLeader
 	}
 	var rs *plan.ResultSet
+	kvAct, _ := trace.Start(sc, "storage.kv", "exec")
 	execErr := n.trackExec(func() error {
 		var e error
 		rs, e = db.Exec(stmt, q.Params)
 		return e
 	})
+	kvAct.End()
 	if execErr != nil {
 		return nil, execErr
 	}
@@ -371,10 +387,12 @@ func (n *Node) handleQuery(req []byte) ([]byte, error) {
 
 // handleExec serves write statements: parsed for validation on the
 // front-end, then replicated through raft and applied on every replica.
-func (n *Node) handleExec(req []byte) ([]byte, error) {
+func (n *Node) handleExec(sc trace.SpanContext, req []byte) ([]byte, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	sc.Tracer().CountStatement()
 
+	sqlAct, _ := trace.Start(sc, "storage.sql", "parse")
 	var q QueryRequest
 	var stmt sql.Stmt
 	var err error
@@ -385,12 +403,16 @@ func (n *Node) handleExec(req []byte) ([]byte, error) {
 		stmt, err = sql.Parse(q.SQL)
 	})
 	if err != nil {
+		sqlAct.End()
 		return nil, err
 	}
 	if _, ok := stmt.(*sql.SelectStmt); ok {
+		sqlAct.End()
 		return nil, fmt.Errorf("storage: sql.Exec does not accept SELECT; use sql.Query")
 	}
 	n.burnFrontend()
+	sqlAct.SetBytes(len(req), 0)
+	sqlAct.End()
 	// Dry-run validation on the leader would double-apply; instead rely
 	// on the apply path and surface its error.
 	n.applyErrMu.Lock()
@@ -402,7 +424,7 @@ func (n *Node) handleExec(req []byte) ([]byte, error) {
 		Key:   []byte(q.SQL[:min(len(q.SQL), 32)]),
 		Value: encodeCmd(&replicatedCmd{SQL: q.SQL, Params: q.Params}),
 	}
-	if _, err := n.group.Propose(cmd); err != nil {
+	if _, err := n.group.ProposeCtx(sc, cmd); err != nil {
 		return nil, err
 	}
 	if err := n.ApplyErr(); err != nil {
@@ -421,21 +443,26 @@ func (n *Node) handleExec(req []byte) ([]byte, error) {
 // the whole read path: request decode and SQL-layer work, lease
 // validation, and a full row fetch from the storage engine — only to
 // return eight bytes.
-func (n *Node) handleVersion(req []byte) ([]byte, error) {
+func (n *Node) handleVersion(sc trace.SpanContext, req []byte) ([]byte, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	sc.Tracer().CountStatement()
 
+	sqlAct, _ := trace.Start(sc, "storage.sql", "parse")
 	var vr VersionRequest
 	var err error
 	n.trackSQL(func() {
 		err = wire.Unmarshal(req, &vr)
 	})
 	if err != nil {
+		sqlAct.End()
 		return nil, err
 	}
 	// Even a version check traverses the SQL front-end (§5.5).
 	n.burnFrontend()
-	if err := n.group.ValidateLease(); err != nil {
+	sqlAct.Annotate("sql.op", "version-check")
+	sqlAct.End()
+	if err := n.group.ValidateLeaseCtx(sc); err != nil {
 		return nil, err
 	}
 	db := n.LeaderDB()
@@ -443,6 +470,7 @@ func (n *Node) handleVersion(req []byte) ([]byte, error) {
 		return nil, raft.ErrNotLeader
 	}
 	resp := &VersionResponse{}
+	kvAct, _ := trace.Start(sc, "storage.kv", "exec")
 	execErr := n.trackExec(func() error {
 		t, err := db.Catalog().Lookup(vr.Table)
 		if err != nil {
@@ -464,6 +492,7 @@ func (n *Node) handleVersion(req []byte) ([]byte, error) {
 		}
 		return nil
 	})
+	kvAct.End()
 	if execErr != nil {
 		return nil, execErr
 	}

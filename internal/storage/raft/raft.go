@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"cachecost/internal/meter"
+	"cachecost/internal/trace"
 )
 
 // Op codes for replicated commands.
@@ -274,6 +275,15 @@ func (g *Group) Term() uint64 {
 // of reachable followers, plus the leader's own append and the apply on
 // every live replica.
 func (g *Group) Propose(cmd Command) (int, error) {
+	return g.ProposeCtx(trace.SpanContext{}, cmd)
+}
+
+// ProposeCtx is Propose carrying the caller's span context: the proposal
+// is recorded as a "storage.raft" propose span annotated with the
+// replication fan-out (raft.fanout = AppendEntries ships, N_r−1 with all
+// followers reachable), each ship and each replica apply as child spans,
+// and the ships feed the trace's raft-ship counter.
+func (g *Group) ProposeCtx(sc trace.SpanContext, cmd Command) (int, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if g.leader < 0 {
@@ -284,6 +294,7 @@ func (g *Group) Propose(cmd Command) (int, error) {
 		return 0, ErrNotLeader
 	}
 	g.proposals++
+	act, psc := trace.Start(sc, "storage.raft", "propose")
 	entry := Entry{Term: ld.term, Cmd: cmd}
 	ld.log = append(ld.log, entry)
 	newIndex := ld.lastLogIndex()
@@ -291,23 +302,33 @@ func (g *Group) Propose(cmd Command) (int, error) {
 	// Ship to followers (AppendEntries with log-matching check).
 	size := len(cmd.Key) + len(cmd.Value) + 16
 	acks := 1 // leader
+	ships := int64(0)
 	for _, f := range g.nodes {
 		if f.id == ld.id || g.nodeDown(f) {
 			continue
 		}
+		ships++
+		shipAct, _ := trace.Start(psc, "storage.raft", "ship")
+		shipAct.AnnotateInt("raft.replica", int64(f.id))
+		shipAct.SetBytes(size, 0)
 		g.burn(g.cfg.ReplicationPerMsg + int(g.cfg.ReplicationPerByte*float64(size)))
 		if g.appendEntries(ld, f) {
 			acks++
 		}
+		shipAct.End()
 	}
+	sc.Tracer().CountRaftShips(ships)
+	act.AnnotateInt("raft.fanout", ships)
 	if acks <= len(g.nodes)/2 {
 		// Not committed; the entry stays in the leader log awaiting
 		// quorum (it may commit later after recovery), but the proposal
 		// fails now.
+		act.Annotate("raft.outcome", "no-quorum")
+		act.End()
 		return 0, ErrNoQuorum
 	}
 	ld.commitIndex = newIndex
-	g.applyCommitted(ld)
+	g.applyCommitted(psc, ld)
 	// Followers learn the commit index with the next message; model the
 	// common case of piggybacked commit by applying now on the nodes that
 	// acked.
@@ -317,9 +338,10 @@ func (g *Group) Propose(cmd Command) (int, error) {
 		}
 		if f.lastLogIndex() >= newIndex && f.log[newIndex-1].Term == entry.Term {
 			f.commitIndex = newIndex
-			g.applyCommitted(f)
+			g.applyCommitted(psc, f)
 		}
 	}
+	act.End()
 	return newIndex, nil
 }
 
@@ -345,8 +367,14 @@ func (g *Group) appendEntries(ld, f *node) bool {
 }
 
 // applyCommitted applies newly committed entries to n's state machine,
-// charging apply CPU.
-func (g *Group) applyCommitted(n *node) {
+// charging apply CPU. Each replica's apply is recorded as a child span of
+// the proposal when the request is sampled.
+func (g *Group) applyCommitted(sc trace.SpanContext, n *node) {
+	if n.lastApplied >= n.commitIndex {
+		return
+	}
+	act, _ := trace.Start(sc, "storage.raft", "apply")
+	act.AnnotateInt("raft.replica", int64(n.id))
 	for n.lastApplied < n.commitIndex {
 		e := n.log[n.lastApplied]
 		n.lastApplied++
@@ -356,6 +384,7 @@ func (g *Group) applyCommitted(n *node) {
 			n.sm.Apply(e.Cmd)
 		}
 	}
+	act.End()
 }
 
 // ValidateLease checks that the leader may serve a local read: its lease
@@ -364,18 +393,28 @@ func (g *Group) applyCommitted(n *node) {
 // performed (more expensive) and, if a quorum is reachable, the read may
 // proceed.
 func (g *Group) ValidateLease() error {
+	return g.ValidateLeaseCtx(trace.SpanContext{})
+}
+
+// ValidateLeaseCtx is ValidateLease carrying the caller's span context:
+// the check is recorded as a "storage.raft" lease span, annotated when it
+// escalates to a quorum read-index round.
+func (g *Group) ValidateLeaseCtx(sc trace.SpanContext) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if g.leader < 0 || g.nodeDown(g.nodes[g.leader]) {
 		return ErrNotLeader
 	}
 	g.leaseChecks++
+	act, _ := trace.Start(sc, "storage.raft", "lease")
+	defer act.End()
 	g.burn(g.cfg.LeaseCheckWork)
 	if g.tick < g.leaseUntil {
 		return nil
 	}
 	// Lease expired: fall back to a quorum read-index check.
 	g.quorumReads++
+	act.Annotate("raft.quorum-read", "true")
 	g.burn(g.cfg.QuorumCheckWork)
 	up := 0
 	for _, n := range g.nodes {

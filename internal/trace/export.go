@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// chromeEvent is one entry in the Chrome trace-event JSON array
+// (chrome://tracing "X" complete events). ts/dur are microseconds.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	Pid  int               `json:"pid"`
+	Tid  uint64            `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// ExportChrome writes traces as a Chrome trace-event JSON array, loadable
+// in chrome://tracing or Perfetto. Each trace becomes one "thread" (tid =
+// trace ID) so concurrent request paths render as parallel tracks.
+func ExportChrome(w io.Writer, traces []*Trace) error {
+	events := make([]chromeEvent, 0, 64)
+	for _, tr := range traces {
+		if tr == nil {
+			continue
+		}
+		for _, sp := range tr.Spans {
+			args := map[string]string{
+				"span":   strconv.FormatUint(uint64(sp.ID), 10),
+				"parent": strconv.FormatUint(uint64(sp.Parent), 10),
+			}
+			if sp.BytesIn > 0 {
+				args["bytes_in"] = strconv.FormatInt(sp.BytesIn, 10)
+			}
+			if sp.BytesOut > 0 {
+				args["bytes_out"] = strconv.FormatInt(sp.BytesOut, 10)
+			}
+			for _, a := range sp.Annotations {
+				args[a.Key] = a.Value
+			}
+			events = append(events, chromeEvent{
+				Name: sp.Component + "." + sp.Op,
+				Cat:  sp.Component,
+				Ph:   "X",
+				Ts:   float64(sp.Start.Nanoseconds()) / 1e3,
+				Dur:  float64(sp.Duration.Nanoseconds()) / 1e3,
+				Pid:  1,
+				Tid:  uint64(tr.ID),
+				Args: args,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(events); err != nil {
+		return fmt.Errorf("trace: export: %w", err)
+	}
+	return nil
+}
+
+// Normalize deep-copies traces and strips everything nondeterministic:
+// trace and span IDs are renumbered sequentially (in first-appearance
+// order) and timings are zeroed. Structural content — span order,
+// parentage, components, ops, byte counts, annotations — is preserved.
+// Golden-trace tests compare Normalize output across runs.
+func Normalize(traces []*Trace) []*Trace {
+	sorted := append([]*Trace(nil), traces...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	spanIDs := map[SpanID]SpanID{0: 0}
+	nextSpan := SpanID(0)
+	out := make([]*Trace, 0, len(sorted))
+	for i, tr := range sorted {
+		if tr == nil {
+			continue
+		}
+		cp := &Trace{ID: TraceID(i + 1), Root: tr.Root, Spans: make([]Span, len(tr.Spans))}
+		for j, sp := range tr.Spans {
+			nextSpan++
+			spanIDs[sp.ID] = nextSpan
+			cp.Spans[j] = Span{
+				ID:          nextSpan,
+				Component:   sp.Component,
+				Op:          sp.Op,
+				BytesIn:     sp.BytesIn,
+				BytesOut:    sp.BytesOut,
+				Annotations: append([]Annotation(nil), sp.Annotations...),
+			}
+		}
+		// Remap parents in a second pass: a parent always starts before
+		// its children within a trace, but keep the lookup total anyway.
+		for j := range cp.Spans {
+			cp.Spans[j].Parent = spanIDs[tr.Spans[j].Parent]
+		}
+		out = append(out, cp)
+	}
+	return out
+}

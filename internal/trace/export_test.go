@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// buildSample records two traces with known structure.
+func buildSample(t *testing.T) *Tracer {
+	t.Helper()
+	tr := New(Config{Now: fixedClock(), Capacity: 8})
+	for i := 0; i < 2; i++ {
+		sc, root := tr.StartRequest("read")
+		hop, down := Start(sc, "rpc", "sql.Query")
+		hop.Annotate("rpc.hop", "loopback")
+		hop.SetBytes(64, 128)
+		stmt, _ := Start(down, "storage.sql", "parse")
+		stmt.End()
+		hop.End()
+		root.End()
+	}
+	return tr
+}
+
+func TestExportChrome(t *testing.T) {
+	tr := buildSample(t)
+	var buf bytes.Buffer
+	if err := ExportChrome(&buf, tr.Traces()); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(events) != 6 {
+		t.Fatalf("%d events, want 6 (3 spans x 2 traces)", len(events))
+	}
+	names := map[string]int{}
+	for _, ev := range events {
+		names[ev["name"].(string)]++
+		if ev["ph"] != "X" {
+			t.Errorf("event phase %v, want X", ev["ph"])
+		}
+	}
+	for _, want := range []string{"request.read", "rpc.sql.Query", "storage.sql.parse"} {
+		if names[want] != 2 {
+			t.Errorf("%d %q events, want 2", names[want], want)
+		}
+	}
+	// The hop span carries its bytes and annotation as args.
+	for _, ev := range events {
+		if ev["name"] != "rpc.sql.Query" {
+			continue
+		}
+		args := ev["args"].(map[string]any)
+		if args["rpc.hop"] != "loopback" || args["bytes_in"] != "64" || args["bytes_out"] != "128" {
+			t.Errorf("hop args = %v", args)
+		}
+	}
+
+	// nil entries are skipped, not exported.
+	buf.Reset()
+	if err := ExportChrome(&buf, []*Trace{nil}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalizeIsDeterministic(t *testing.T) {
+	a := Normalize(buildSample(t).Traces())
+	b := Normalize(buildSample(t).Traces())
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if !bytes.Equal(aj, bj) {
+		t.Fatalf("two identical runs normalized differently:\n%s\n%s", aj, bj)
+	}
+	if len(a) != 2 {
+		t.Fatalf("%d traces, want 2", len(a))
+	}
+	if a[0].ID != 1 || a[1].ID != 2 {
+		t.Errorf("trace IDs %d,%d, want 1,2", a[0].ID, a[1].ID)
+	}
+	// Span IDs renumber sequentially across traces; timings zero out;
+	// parent edges survive the renumbering.
+	next := SpanID(0)
+	for _, tr := range a {
+		ids := map[SpanID]bool{}
+		for _, sp := range tr.Spans {
+			next++
+			if sp.ID != next {
+				t.Errorf("span ID %d, want %d", sp.ID, next)
+			}
+			ids[sp.ID] = true
+			if sp.Start != 0 || sp.Duration != 0 {
+				t.Errorf("span %d kept timing %v/%v", sp.ID, sp.Start, sp.Duration)
+			}
+		}
+		for _, sp := range tr.Spans[1:] {
+			if !ids[sp.Parent] {
+				t.Errorf("span %d parent %d broken by renumbering", sp.ID, sp.Parent)
+			}
+		}
+	}
+}
+
+func TestNormalizeDoesNotMutateInput(t *testing.T) {
+	traces := buildSample(t).Traces()
+	origID := traces[0].ID
+	origSpan := traces[0].Spans[1].ID
+	_ = Normalize(traces)
+	if traces[0].ID != origID || traces[0].Spans[1].ID != origSpan {
+		t.Fatal("Normalize mutated its input")
+	}
+}

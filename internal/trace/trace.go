@@ -1,0 +1,533 @@
+// Package trace provides request-scoped tracing for the cachecost
+// laboratory. The paper's cost claims are ultimately claims about request
+// *paths* — how many RPC hops, (de)serializations, storage statements and
+// replication fan-outs each architecture pays per operation (§5.3, §5.5) —
+// and the meter can only check the priced outcome, not the path. This
+// package records the path itself: every instrumented layer opens a span
+// (component, op, duration, bytes in/out, annotations such as "cache.hit"
+// or "raft.fanout"), and a SpanContext threads through both RPC transports
+// so spans taken on different sides of a hop stitch into one trace.
+//
+// Two observation surfaces coexist:
+//
+//   - Path counters (PathStats) are exact aggregates over every request,
+//     sampled or not: network hops, cache messages, SQL statements, raft
+//     ships, cache hits/misses, injected faults. The experiment driver
+//     snapshots them per metered window, so a run's structural shape
+//     (hops/op, statements/op) sits next to its cost in RunResult.
+//   - Span capture is sampled (1-in-N) into a ring buffer of the last N
+//     completed traces, exportable as Chrome trace-event JSON.
+//
+// Tracing is off when no Tracer is configured: the zero SpanContext is
+// inert, every method is nil-safe, and instrumented hot paths pay only a
+// pointer test.
+package trace
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID identifies one request's trace. IDs are sequential per Tracer,
+// which keeps fixed-seed runs reproducible.
+type TraceID uint64
+
+// SpanID identifies one span within a tracer's lifetime.
+type SpanID uint64
+
+// Annotation is one key/value note on a span ("cache.hit" = "true").
+type Annotation struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Span is one timed unit of work on a request path.
+type Span struct {
+	ID        SpanID        `json:"id"`
+	Parent    SpanID        `json:"parent,omitempty"`
+	Component string        `json:"component"`
+	Op        string        `json:"op"`
+	Start     time.Duration `json:"start_ns"`
+	Duration  time.Duration `json:"duration_ns"`
+	BytesIn   int64         `json:"bytes_in,omitempty"`
+	BytesOut  int64         `json:"bytes_out,omitempty"`
+
+	Annotations []Annotation `json:"annotations,omitempty"`
+}
+
+// Annotation returns the value of the first annotation with the given key.
+func (s *Span) Annotation(key string) (string, bool) {
+	for _, a := range s.Annotations {
+		if a.Key == key {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// Trace is one completed request trace: the spans recorded by this
+// process, in start order. Spans recorded by another process for the same
+// request carry the same TraceID and stitch at export time.
+type Trace struct {
+	ID    TraceID `json:"id"`
+	Root  string  `json:"root"`
+	Spans []Span  `json:"spans"`
+}
+
+// activeTrace is a trace still being recorded. It finalizes — snapshots
+// into the ring — when its last open span ends.
+type activeTrace struct {
+	id TraceID
+	t0 time.Time
+
+	mu    sync.Mutex
+	spans []Span
+	ended []bool
+	open  int
+}
+
+// SpanContext is the propagated identity of the current request: which
+// trace (if any) is recording, which span is the parent, and which Tracer
+// owns the path counters. The zero value means "tracing off" and makes
+// every operation a no-op. Contexts are passed by value down the request
+// path and across transports (see internal/wire's trace-context block).
+type SpanContext struct {
+	t     *Tracer
+	at    *activeTrace // in-process fast path; nil after a wire crossing
+	trace TraceID
+	span  SpanID
+}
+
+// Traced reports whether a Tracer is attached (path counters are live).
+func (sc SpanContext) Traced() bool { return sc.t != nil }
+
+// Sampled reports whether this request is recording spans.
+func (sc SpanContext) Sampled() bool { return sc.t != nil && sc.trace != 0 }
+
+// Tracer returns the attached Tracer, or nil. All Tracer methods are
+// nil-safe, so `sc.Tracer().CountHop()` is always legal.
+func (sc SpanContext) Tracer() *Tracer { return sc.t }
+
+// TraceID returns the trace identity for wire encoding (0 if unsampled).
+func (sc SpanContext) TraceID() uint64 { return uint64(sc.trace) }
+
+// SpanID returns the parent span identity for wire encoding.
+func (sc SpanContext) SpanID() uint64 { return uint64(sc.span) }
+
+// Active is a span in progress. The zero value (returned whenever the
+// request is not sampled) ignores every call.
+type Active struct {
+	t   *Tracer
+	at  *activeTrace
+	idx int
+}
+
+// Recording reports whether this handle writes to a live span.
+func (a Active) Recording() bool { return a.at != nil }
+
+// Annotate attaches a key/value note to the span.
+func (a Active) Annotate(key, value string) {
+	if a.at == nil {
+		return
+	}
+	a.at.mu.Lock()
+	sp := &a.at.spans[a.idx]
+	sp.Annotations = append(sp.Annotations, Annotation{Key: key, Value: value})
+	a.at.mu.Unlock()
+}
+
+// AnnotateInt attaches an integer-valued note.
+func (a Active) AnnotateInt(key string, v int64) {
+	if a.at == nil {
+		return
+	}
+	a.Annotate(key, strconv.FormatInt(v, 10))
+}
+
+// AnnotateBool attaches a true/false note.
+func (a Active) AnnotateBool(key string, v bool) {
+	if a.at == nil {
+		return
+	}
+	a.Annotate(key, strconv.FormatBool(v))
+}
+
+// SetBytes records the payload sizes that crossed this span.
+func (a Active) SetBytes(in, out int) {
+	if a.at == nil {
+		return
+	}
+	a.at.mu.Lock()
+	sp := &a.at.spans[a.idx]
+	sp.BytesIn, sp.BytesOut = int64(in), int64(out)
+	a.at.mu.Unlock()
+}
+
+// End closes the span, setting its duration. Ending a span twice is a
+// no-op. When the last open span of a trace ends, the trace finalizes
+// into the tracer's ring buffer.
+func (a Active) End() {
+	if a.at == nil {
+		return
+	}
+	now := a.t.now()
+	a.at.mu.Lock()
+	if a.at.ended[a.idx] {
+		a.at.mu.Unlock()
+		return
+	}
+	a.at.ended[a.idx] = true
+	sp := &a.at.spans[a.idx]
+	sp.Duration = now.Sub(a.at.t0) - sp.Start
+	a.at.open--
+	done := a.at.open == 0
+	a.at.mu.Unlock()
+	if done {
+		a.t.finish(a.at)
+	}
+}
+
+// Start opens a child span under sc. It returns the span handle and the
+// context downstream work should carry (sc unchanged when not sampling).
+// Safe on the zero context: both returns are inert.
+func Start(sc SpanContext, component, op string) (Active, SpanContext) {
+	if !sc.Sampled() {
+		return Active{}, sc
+	}
+	return sc.t.start(sc, component, op)
+}
+
+// Config parameterizes a Tracer.
+type Config struct {
+	// SampleEvery records spans for one request in every SampleEvery.
+	// Values <= 1 sample every request. Path counters always count every
+	// request regardless of sampling.
+	SampleEvery int
+	// Capacity is how many completed traces the ring buffer retains.
+	// Default 16.
+	Capacity int
+	// Now is the span clock; nil uses time.Now. Tests inject a fixed
+	// clock for fully deterministic output.
+	Now func() time.Time
+}
+
+// PathStats are the exact per-window path counters, independent of span
+// sampling. All counts are totals since the last ResetCounters.
+type PathStats struct {
+	// Requests is the number of client-visible requests started.
+	Requests int64
+	// RPCHops counts network hops (loopback or TCP message round trips);
+	// in-process Direct calls are not hops.
+	RPCHops int64
+	// CacheMsgs counts remote-cache protocol messages (request and
+	// response each count one, so one cache RPC is two messages).
+	CacheMsgs int64
+	// SQLStatements counts statements served by the storage front-end,
+	// including §5.5 version checks.
+	SQLStatements int64
+	// RaftShips counts AppendEntries ships to followers (the write
+	// fan-out, N_r-1 per committed proposal with all replicas up).
+	RaftShips int64
+	// CacheHits/CacheMisses count remote-cache lookups by outcome.
+	CacheHits, CacheMisses int64
+	// LinkedHits/LinkedMisses count in-process (linked) cache lookups.
+	LinkedHits, LinkedMisses int64
+	// Faults counts injected fault decisions that stalled or failed a
+	// call.
+	Faults int64
+}
+
+// pathCounters is the atomic backing store for PathStats.
+type pathCounters struct {
+	requests, hops, cacheMsgs, statements, raftShips atomic.Int64
+	cacheHits, cacheMisses                           atomic.Int64
+	linkedHits, linkedMisses                         atomic.Int64
+	faults                                           atomic.Int64
+}
+
+// Tracer samples request traces into a ring buffer and keeps exact path
+// counters. All methods are safe for concurrent use and nil-safe, so a
+// disabled deployment simply passes a nil *Tracer around.
+type Tracer struct {
+	cfg Config
+
+	seq       atomic.Uint64 // sampling sequence; never reset
+	nextTrace atomic.Uint64
+	nextSpan  atomic.Uint64
+
+	c pathCounters
+
+	mu       sync.Mutex
+	inflight map[TraceID]*activeTrace
+	ring     []*Trace
+}
+
+// New builds a Tracer.
+func New(cfg Config) *Tracer {
+	if cfg.SampleEvery < 1 {
+		cfg.SampleEvery = 1
+	}
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 16
+	}
+	return &Tracer{cfg: cfg, inflight: make(map[TraceID]*activeTrace)}
+}
+
+func (t *Tracer) now() time.Time {
+	if t.cfg.Now != nil {
+		return t.cfg.Now()
+	}
+	return time.Now()
+}
+
+// StartRequest opens the root span of a new request trace, applying the
+// sampling decision. The returned context is what the request path should
+// carry; the returned handle ends the root span. On a nil tracer both
+// returns are inert; on an unsampled request the context still carries
+// the tracer so path counters keep counting.
+func (t *Tracer) StartRequest(op string) (SpanContext, Active) {
+	if t == nil {
+		return SpanContext{}, Active{}
+	}
+	t.c.requests.Add(1)
+	n := t.seq.Add(1)
+	if t.cfg.SampleEvery > 1 && (n-1)%uint64(t.cfg.SampleEvery) != 0 {
+		return SpanContext{t: t}, Active{}
+	}
+	id := TraceID(t.nextTrace.Add(1))
+	at := &activeTrace{id: id, t0: t.now()}
+	t.mu.Lock()
+	t.inflight[id] = at
+	t.mu.Unlock()
+	root := SpanContext{t: t, at: at, trace: id}
+	sp, _ := t.start(root, "request", op)
+	return sp.context(), sp
+}
+
+// Background returns an unsampled context bound to t, so path counters
+// fire for requests that arrived without any wire context. Nil-safe.
+func (t *Tracer) Background() SpanContext {
+	if t == nil {
+		return SpanContext{}
+	}
+	return SpanContext{t: t}
+}
+
+// Join rebuilds a context from wire-decoded identities, binding it to
+// this tracer. Spans started under a joined context land in a local trace
+// fragment carrying the remote trace ID, so cross-process traces stitch
+// by ID at export time. Nil-safe.
+func (t *Tracer) Join(traceID, spanID uint64, sampled bool) SpanContext {
+	if t == nil {
+		return SpanContext{}
+	}
+	if !sampled || traceID == 0 {
+		return SpanContext{t: t}
+	}
+	return SpanContext{t: t, trace: TraceID(traceID), span: SpanID(spanID)}
+}
+
+// start records a new span under sc. sc must be sampled.
+func (t *Tracer) start(sc SpanContext, component, op string) (Active, SpanContext) {
+	at := sc.at
+	if at == nil {
+		at = t.lookup(sc.trace)
+	}
+	sid := SpanID(t.nextSpan.Add(1))
+	now := t.now()
+	at.mu.Lock()
+	idx := len(at.spans)
+	at.spans = append(at.spans, Span{
+		ID:        sid,
+		Parent:    sc.span,
+		Component: component,
+		Op:        op,
+		Start:     now.Sub(at.t0),
+	})
+	at.ended = append(at.ended, false)
+	at.open++
+	at.mu.Unlock()
+	a := Active{t: t, at: at, idx: idx}
+	return a, SpanContext{t: t, at: at, trace: at.id, span: sid}
+}
+
+// context rebuilds the handle's own span context (used for the root).
+func (a Active) context() SpanContext {
+	if a.at == nil {
+		return SpanContext{}
+	}
+	a.at.mu.Lock()
+	sid := a.at.spans[a.idx].ID
+	a.at.mu.Unlock()
+	return SpanContext{t: a.t, at: a.at, trace: a.at.id, span: sid}
+}
+
+// lookup finds the in-flight trace for a wire-joined context, creating a
+// local fragment when this tracer has never seen the trace (the remote
+// half lives in another process).
+func (t *Tracer) lookup(id TraceID) *activeTrace {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if at, ok := t.inflight[id]; ok {
+		return at
+	}
+	at := &activeTrace{id: id, t0: t.now()}
+	t.inflight[id] = at
+	return at
+}
+
+// finish snapshots a completed trace into the ring.
+func (t *Tracer) finish(at *activeTrace) {
+	at.mu.Lock()
+	tr := &Trace{ID: at.id, Spans: append([]Span(nil), at.spans...)}
+	at.mu.Unlock()
+	if len(tr.Spans) > 0 {
+		tr.Root = tr.Spans[0].Op
+	}
+	t.mu.Lock()
+	delete(t.inflight, at.id)
+	t.ring = append(t.ring, tr)
+	if over := len(t.ring) - t.cfg.Capacity; over > 0 {
+		t.ring = append(t.ring[:0:0], t.ring[over:]...)
+	}
+	t.mu.Unlock()
+}
+
+// Traces returns the completed traces currently in the ring, oldest
+// first. Nil-safe.
+func (t *Tracer) Traces() []*Trace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*Trace(nil), t.ring...)
+}
+
+// Last returns the most recently completed trace, or nil.
+func (t *Tracer) Last() *Trace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.ring) == 0 {
+		return nil
+	}
+	return t.ring[len(t.ring)-1]
+}
+
+// ResetTraces empties the ring buffer (in-flight traces keep recording).
+func (t *Tracer) ResetTraces() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.ring = nil
+	t.mu.Unlock()
+}
+
+// ResetCounters zeroes the path counters; the experiment driver calls it
+// at the metered-window boundary so PathStats cover only metered ops.
+func (t *Tracer) ResetCounters() {
+	if t == nil {
+		return
+	}
+	t.c.requests.Store(0)
+	t.c.hops.Store(0)
+	t.c.cacheMsgs.Store(0)
+	t.c.statements.Store(0)
+	t.c.raftShips.Store(0)
+	t.c.cacheHits.Store(0)
+	t.c.cacheMisses.Store(0)
+	t.c.linkedHits.Store(0)
+	t.c.linkedMisses.Store(0)
+	t.c.faults.Store(0)
+}
+
+// PathStats snapshots the path counters. Nil-safe (zero stats).
+func (t *Tracer) PathStats() PathStats {
+	if t == nil {
+		return PathStats{}
+	}
+	return PathStats{
+		Requests:      t.c.requests.Load(),
+		RPCHops:       t.c.hops.Load(),
+		CacheMsgs:     t.c.cacheMsgs.Load(),
+		SQLStatements: t.c.statements.Load(),
+		RaftShips:     t.c.raftShips.Load(),
+		CacheHits:     t.c.cacheHits.Load(),
+		CacheMisses:   t.c.cacheMisses.Load(),
+		LinkedHits:    t.c.linkedHits.Load(),
+		LinkedMisses:  t.c.linkedMisses.Load(),
+		Faults:        t.c.faults.Load(),
+	}
+}
+
+// CountHop records one network hop. Nil-safe, like every counter below.
+func (t *Tracer) CountHop() {
+	if t == nil {
+		return
+	}
+	t.c.hops.Add(1)
+}
+
+// CountCacheMsgs records n remote-cache protocol messages.
+func (t *Tracer) CountCacheMsgs(n int64) {
+	if t == nil {
+		return
+	}
+	t.c.cacheMsgs.Add(n)
+}
+
+// CountStatement records one storage statement (query, write or version
+// check).
+func (t *Tracer) CountStatement() {
+	if t == nil {
+		return
+	}
+	t.c.statements.Add(1)
+}
+
+// CountRaftShips records n AppendEntries ships to followers.
+func (t *Tracer) CountRaftShips(n int64) {
+	if t == nil {
+		return
+	}
+	t.c.raftShips.Add(n)
+}
+
+// CountCacheHit records a remote-cache lookup outcome.
+func (t *Tracer) CountCacheHit(hit bool) {
+	if t == nil {
+		return
+	}
+	if hit {
+		t.c.cacheHits.Add(1)
+	} else {
+		t.c.cacheMisses.Add(1)
+	}
+}
+
+// CountLinkedHit records an in-process cache lookup outcome.
+func (t *Tracer) CountLinkedHit(hit bool) {
+	if t == nil {
+		return
+	}
+	if hit {
+		t.c.linkedHits.Add(1)
+	} else {
+		t.c.linkedMisses.Add(1)
+	}
+}
+
+// CountFault records one injected fault (stall, error, kill or
+// blackhole) that altered a call.
+func (t *Tracer) CountFault() {
+	if t == nil {
+		return
+	}
+	t.c.faults.Add(1)
+}

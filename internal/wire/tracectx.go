@@ -1,0 +1,54 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// Trace-context framing. A span context crossing a transport boundary is
+// serialized as a fixed 17-byte block so both RPC transports can embed it
+// in their frames without varint ambiguity:
+//
+//	8  trace ID  (big endian)
+//	8  span ID   (big endian)
+//	1  flags     (bit 0: sampled; all other bits must be zero)
+//
+// Decoding fails closed: a truncated block, a trailing-garbage block or an
+// unknown flag bit is an error, never a guess — a corrupt header must not
+// stitch spans into the wrong trace.
+
+// TraceContextSize is the exact encoded size of a span context.
+const TraceContextSize = 17
+
+// Trace-context flag bits.
+const traceFlagSampled = 0x01
+
+// ErrBadTraceContext is returned for truncated or malformed span contexts.
+var ErrBadTraceContext = errors.New("wire: malformed trace context")
+
+// AppendTraceContext appends the 17-byte encoding of a span context.
+func AppendTraceContext(dst []byte, traceID, spanID uint64, sampled bool) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, traceID)
+	dst = binary.BigEndian.AppendUint64(dst, spanID)
+	var flags byte
+	if sampled {
+		flags |= traceFlagSampled
+	}
+	return append(dst, flags)
+}
+
+// DecodeTraceContext decodes a span context from the first
+// TraceContextSize bytes of b. It fails closed on truncation and on any
+// flag bit it does not understand.
+func DecodeTraceContext(b []byte) (traceID, spanID uint64, sampled bool, err error) {
+	if len(b) < TraceContextSize {
+		return 0, 0, false, ErrBadTraceContext
+	}
+	traceID = binary.BigEndian.Uint64(b)
+	spanID = binary.BigEndian.Uint64(b[8:])
+	flags := b[16]
+	if flags&^traceFlagSampled != 0 {
+		return 0, 0, false, ErrBadTraceContext
+	}
+	return traceID, spanID, flags&traceFlagSampled != 0, nil
+}

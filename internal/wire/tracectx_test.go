@@ -1,0 +1,78 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestTraceContextRoundtrip(t *testing.T) {
+	for _, tc := range []struct {
+		traceID, spanID uint64
+		sampled         bool
+	}{
+		{0, 0, false},
+		{1, 2, true},
+		{^uint64(0), ^uint64(0), true},
+		{0xdeadbeefcafe, 7, false},
+	} {
+		b := AppendTraceContext(nil, tc.traceID, tc.spanID, tc.sampled)
+		if len(b) != TraceContextSize {
+			t.Fatalf("encoded %d bytes, want %d", len(b), TraceContextSize)
+		}
+		gotT, gotS, gotF, err := DecodeTraceContext(b)
+		if err != nil || gotT != tc.traceID || gotS != tc.spanID || gotF != tc.sampled {
+			t.Fatalf("roundtrip %+v -> %d/%d/%v, %v", tc, gotT, gotS, gotF, err)
+		}
+	}
+}
+
+func TestTraceContextFailsClosed(t *testing.T) {
+	valid := AppendTraceContext(nil, 1, 2, true)
+	// Every truncation errors.
+	for i := 0; i < TraceContextSize; i++ {
+		if _, _, _, err := DecodeTraceContext(valid[:i]); err == nil {
+			t.Fatalf("%d-byte prefix decoded", i)
+		}
+	}
+	// Every unknown flag bit errors.
+	for bit := 1; bit < 8; bit++ {
+		b := append([]byte(nil), valid...)
+		b[16] |= 1 << bit
+		if _, _, _, err := DecodeTraceContext(b); err == nil {
+			t.Fatalf("unknown flag bit %d accepted", bit)
+		}
+	}
+}
+
+// FuzzTraceContext checks the decoder over arbitrary byte strings: it
+// must never panic, must fail closed on anything but a well-formed
+// block, and must agree with the encoder on everything it accepts.
+func FuzzTraceContext(f *testing.F) {
+	f.Add(AppendTraceContext(nil, 1, 2, true))
+	f.Add(AppendTraceContext(nil, 0, 0, false))
+	f.Add(AppendTraceContext(nil, ^uint64(0), 1<<63, true))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, TraceContextSize))
+	f.Add(bytes.Repeat([]byte{0xff}, TraceContextSize-1))
+	f.Add(append(AppendTraceContext(nil, 3, 4, false), 0xaa, 0xbb))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		traceID, spanID, sampled, err := DecodeTraceContext(b)
+		if err != nil {
+			// The only legal rejections: truncation or unknown flags.
+			if len(b) >= TraceContextSize && b[16]&^byte(0x01) == 0 {
+				t.Fatalf("rejected a well-formed block: % x", b[:TraceContextSize])
+			}
+			if traceID != 0 || spanID != 0 || sampled {
+				t.Fatalf("error with non-zero identities: %d/%d/%v", traceID, spanID, sampled)
+			}
+			return
+		}
+		if len(b) < TraceContextSize {
+			t.Fatalf("decoded %d bytes, need %d", len(b), TraceContextSize)
+		}
+		// Re-encoding what was decoded reproduces the input block.
+		if enc := AppendTraceContext(nil, traceID, spanID, sampled); !bytes.Equal(enc, b[:TraceContextSize]) {
+			t.Fatalf("decode/encode mismatch:\n in: % x\nout: % x", b[:TraceContextSize], enc)
+		}
+	})
+}
