@@ -22,6 +22,7 @@ import (
 	"cachecost/internal/core"
 	"cachecost/internal/meter"
 	"cachecost/internal/rpc"
+	"cachecost/internal/telemetry"
 	"cachecost/internal/workload"
 )
 
@@ -52,6 +53,7 @@ func main() {
 		poolSize  = flag.Int("pool", 4, "connections per downstream endpoint")
 		preload   = flag.Int("preload", 0, "preload N keys before serving")
 		valueSize = flag.Int("valuesize", 1024, "preloaded value size")
+		metrics   = flag.String("metrics", "", "serve /metrics, /metrics.json, /statusz and /debug/pprof on this address")
 	)
 	flag.Parse()
 
@@ -61,11 +63,25 @@ func main() {
 	}
 
 	m := meter.NewMeter()
+	reg := telemetry.NewRegistry()
+	telemetry.RegisterMeter(reg, "meter", m)
+	// Bind the ops endpoint before dialing or serving anything: a bad
+	// -metrics address must fail startup, not surface as a missing scrape
+	// after the service is already taking traffic.
+	if *metrics != "" {
+		msrv, err := telemetry.StartOps(*metrics, telemetry.OpsConfig{Registry: reg, Meter: m, Prices: meter.GCP})
+		if err != nil {
+			log.Fatalf("appserver: %v", err)
+		}
+		defer msrv.Close()
+		log.Printf("appserver: serving metrics on http://%s/metrics", msrv.Addr)
+	}
 	appComp := m.Component("app")
 	dbConn, err := rpc.DialPool(*storeAddr, *poolSize, appComp, meter.NewBurner(), rpc.DefaultCost)
 	if err != nil {
 		log.Fatalf("appserver: dial store: %v", err)
 	}
+	dbConn.SetMetrics(rpc.NewMetrics(reg, "tcp"))
 	eps := core.RemoteEndpoints{DB: dbConn}
 	if arch == core.Remote {
 		if *cacheAddr == "" {
@@ -75,6 +91,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("appserver: dial cache: %v", err)
 		}
+		cacheConn.SetMetrics(rpc.NewMetrics(reg, "tcp"))
 		eps.Cache = cacheConn
 	}
 
@@ -82,10 +99,12 @@ func main() {
 		Arch:          arch,
 		Meter:         m,
 		AppCacheBytes: *appCache,
+		Telemetry:     reg,
 	}, eps)
 	if err != nil {
 		log.Fatalf("appserver: %v", err)
 	}
+	svc.Front().SetMetrics(rpc.NewMetrics(reg, "server"))
 
 	if *preload > 0 {
 		log.Printf("appserver: preloading %d keys of %d bytes", *preload, *valueSize)

@@ -19,6 +19,7 @@ import (
 
 	"cachecost/internal/meter"
 	"cachecost/internal/remotecache"
+	"cachecost/internal/telemetry"
 )
 
 func main() {
@@ -27,14 +28,27 @@ func main() {
 		mem        = flag.Int64("mem", 256<<20, "cache capacity in bytes")
 		shards     = flag.Int("shards", 16, "lock shards")
 		statsEvery = flag.Duration("stats", 30*time.Second, "stats logging interval (0 = off)")
+		metrics    = flag.String("metrics", "", "serve /metrics, /metrics.json, /statusz and /debug/pprof on this address")
 	)
 	flag.Parse()
 
 	m := meter.NewMeter()
+	reg := telemetry.NewRegistry()
+	telemetry.RegisterMeter(reg, "meter", m)
+	// Fail startup on a bad -metrics address, before serving traffic.
+	if *metrics != "" {
+		msrv, err := telemetry.StartOps(*metrics, telemetry.OpsConfig{Registry: reg, Meter: m, Prices: meter.GCP})
+		if err != nil {
+			log.Fatalf("cacheserver: %v", err)
+		}
+		defer msrv.Close()
+		log.Printf("cacheserver: serving metrics on http://%s/metrics", msrv.Addr)
+	}
 	srv := remotecache.NewServer(remotecache.ServerConfig{
 		CapacityBytes: *mem,
 		Shards:        *shards,
 		Meter:         m,
+		Telemetry:     reg,
 	})
 
 	l, err := net.Listen("tcp", *addr)

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"cachecost/internal/core"
+	"cachecost/internal/telemetry"
 	"cachecost/internal/trace"
 )
 
@@ -61,6 +62,9 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		tracePath   = fs.String("trace", "", "trace every cell and write the sampled traces as Chrome trace-event JSON to this file")
 		traceSample = fs.Int("tracesample", 1, "with -trace, record spans for 1 in N requests")
 		traceBuf    = fs.Int("tracebuf", 64, "with -trace, retain the last N completed traces")
+		metricsAddr = fs.String("metrics", "", "serve /metrics, /metrics.json, /statusz and /debug/pprof on this address while figures run")
+		snapPath    = fs.String("snapshot", "", "append timestamped telemetry deltas to this JSONL file while figures run")
+		snapIvl     = fs.Duration("snapshot-interval", time.Second, "with -snapshot, the recording interval")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: costbench [flags] <figure>...|all|list\n\nfigures:\n")
@@ -91,6 +95,11 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	if *faultRate >= 0 {
 		opts.FaultRates = []float64{*faultRate}
 	}
+	// Telemetry is always on: the registry's record paths cost almost
+	// nothing, and every cell's result then carries measured percentiles
+	// (-json) whether or not an ops endpoint is serving.
+	reg := telemetry.NewRegistry()
+	opts.Telemetry = reg
 
 	if args[0] == "list" {
 		for _, f := range core.Figures {
@@ -136,8 +145,45 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		defer f.Close()
 		traceOut = f
 		opts.Tracer = trace.New(trace.Config{SampleEvery: *traceSample, Capacity: *traceBuf})
+	} else {
+		// The per-request path counters are exact regardless of span
+		// sampling, so every run carries a tracer; without -trace it
+		// samples (effectively) nothing and exports nowhere, but cells
+		// still report hops/statements/ships in -json output.
+		opts.Tracer = trace.New(trace.Config{SampleEvery: 1 << 30, Capacity: 1})
 	}
 
+	// The ops endpoint binds before any experiment runs: a bad -metrics
+	// address must fail the run up front, like an unwritable -out.
+	if *metricsAddr != "" {
+		srv, err := telemetry.StartOps(*metricsAddr, telemetry.OpsConfig{Registry: reg})
+		if err != nil {
+			fmt.Fprintf(stderr, "costbench: -metrics %s: %v\n", *metricsAddr, err)
+			return 1
+		}
+		defer srv.Close()
+		fmt.Fprintf(stderr, "costbench: serving metrics on http://%s/metrics\n", srv.Addr)
+	}
+	if *snapPath != "" {
+		f, err := createOutput(*snapPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "costbench: -snapshot %s: %v\n", *snapPath, err)
+			return 1
+		}
+		defer f.Close()
+		rec := telemetry.NewRecorder(reg, f)
+		stop, done := make(chan struct{}), make(chan struct{})
+		go rec.Run(*snapIvl, stop, done)
+		defer func() { close(stop); <-done }()
+	}
+
+	// jsonCell is one experiment cell's full result inside a jsonTable:
+	// the priced outcome plus the always-exact path counters and the
+	// telemetry registry's measured per-component latency digests.
+	type jsonCell struct {
+		Cell   string          `json:"cell"`
+		Result *core.RunResult `json:"result"`
+	}
 	// jsonTable is the machine-readable form of one regenerated table.
 	type jsonTable struct {
 		ID          string     `json:"id"`
@@ -147,10 +193,17 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		Notes       []string   `json:"notes,omitempty"`
 		Parallelism int        `json:"parallelism"`
 		ElapsedMS   int64      `json:"elapsed_ms"`
+		Cells       []jsonCell `json:"cells,omitempty"`
 	}
 	var out []jsonTable
 
 	for _, f := range figs {
+		var cells []jsonCell
+		if *jsonOut {
+			opts.OnResult = func(cell string, res *core.RunResult) {
+				cells = append(cells, jsonCell{Cell: cell, Result: res})
+			}
+		}
 		t0 := time.Now()
 		table, err := f.Run(opts)
 		if err != nil {
@@ -167,6 +220,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 				Notes:       table.Notes,
 				Parallelism: *parallelism,
 				ElapsedMS:   elapsed.Milliseconds(),
+				Cells:       cells,
 			})
 			continue
 		}

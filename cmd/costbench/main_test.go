@@ -130,3 +130,113 @@ func TestTraceFileIsChromeLoadable(t *testing.T) {
 		}
 	}
 }
+
+// A bad -metrics address must fail the run up front, before any
+// experiment burns minutes — the same contract as -out and -trace.
+func TestBadMetricsAddrFailsBeforeRunning(t *testing.T) {
+	code, _, stderr := runCLI(t, append([]string{"-metrics", "256.256.256.256:1"}, append(fastArgs, "fig2a")...)...)
+	if code != 1 {
+		t.Fatalf("bad -metrics exited %d, want 1 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stderr, "cannot bind metrics address") || !strings.Contains(stderr, "256.256.256.256:1") {
+		t.Fatalf("-metrics error does not name the address:\n%s", stderr)
+	}
+}
+
+// TestJSONCellsCarryPathAndHists checks the -json cell stream: every
+// experiment-backed cell reports its exact path counters (with no -trace
+// flag — they are always exact) and its measured latency digests.
+func TestJSONCellsCarryPathAndHists(t *testing.T) {
+	code, stdout, stderr := runCLI(t, append([]string{"-json"}, append(fastArgs, "fig5b")...)...)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	var tables []struct {
+		ID    string `json:"id"`
+		Cells []struct {
+			Cell   string `json:"cell"`
+			Result struct {
+				Ops  int `json:"Ops"`
+				Path struct {
+					Requests int64 `json:"Requests"`
+					RPCHops  int64 `json:"RPCHops"`
+				} `json:"Path"`
+				Hists []struct {
+					Name  string `json:"name"`
+					Count int64  `json:"count"`
+					P99   int64  `json:"p99"`
+				} `json:"Hists"`
+			} `json:"result"`
+		} `json:"cells"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &tables); err != nil {
+		t.Fatalf("-json emitted invalid JSON: %v\n%s", err, stdout)
+	}
+	if len(tables) != 1 || len(tables[0].Cells) == 0 {
+		t.Fatalf("no cells in -json output: %+v", tables)
+	}
+	for _, c := range tables[0].Cells {
+		r := c.Result
+		if r.Path.Requests == 0 || r.Path.RPCHops == 0 {
+			t.Errorf("cell %s: path counters empty without -trace; they are always exact (%+v)", c.Cell, r.Path)
+		}
+		var sawReq bool
+		for _, h := range r.Hists {
+			if h.Name == "request.latency" {
+				sawReq = true
+				if h.Count != int64(r.Ops) {
+					t.Errorf("cell %s: request.latency count %d != ops %d", c.Cell, h.Count, r.Ops)
+				}
+				if h.P99 <= 0 {
+					t.Errorf("cell %s: request.latency p99 = %d", c.Cell, h.P99)
+				}
+			}
+		}
+		if !sawReq {
+			t.Errorf("cell %s has no request.latency digest (hists: %+v)", c.Cell, r.Hists)
+		}
+	}
+}
+
+// TestSnapshotFileIsJSONL runs a figure with -snapshot and checks the
+// recorder appended parseable JSONL lines (at minimum the final flush).
+func TestSnapshotFileIsJSONL(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.jsonl")
+	code, _, stderr := runCLI(t, append([]string{"-snapshot", path}, append(fastArgs, "fig5b")...)...)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(b)), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("snapshot file is empty")
+	}
+	var last struct {
+		TS       string             `json:"ts"`
+		Counters map[string]float64 `json:"counters"`
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatalf("snapshot line is not JSON: %v\n%s", err, lines[len(lines)-1])
+	}
+	if last.TS == "" {
+		t.Fatal("snapshot line has no timestamp")
+	}
+}
+
+// TestMetricsEndpointServesDuringRun binds an ephemeral ops endpoint and
+// scrapes it after the run completes (the server stays up for the
+// process lifetime of run()'s caller; here we scrape in-flight via the
+// figure's own duration being too short, so instead just assert the
+// bind+serve lifecycle succeeded and the run exited clean).
+func TestMetricsFlagBindsAndRuns(t *testing.T) {
+	code, _, stderr := runCLI(t, append([]string{"-metrics", "127.0.0.1:0"}, append(fastArgs, "fig2a")...)...)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "serving metrics on http://") {
+		t.Fatalf("no serving banner on stderr:\n%s", stderr)
+	}
+}

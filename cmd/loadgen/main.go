@@ -18,6 +18,7 @@ import (
 	"cachecost/internal/core"
 	"cachecost/internal/remotecache"
 	"cachecost/internal/rpc"
+	"cachecost/internal/telemetry"
 	"cachecost/internal/wire"
 	"cachecost/internal/workload"
 )
@@ -34,8 +35,20 @@ func main() {
 		concurrency = flag.Int("concurrency", 8, "concurrent workers")
 		seed        = flag.Int64("seed", 1, "workload seed")
 		traceFile   = flag.String("trace", "", "replay a recorded trace (see cmd/tracegen)")
+		metrics     = flag.String("metrics", "", "serve /metrics, /metrics.json, /statusz and /debug/pprof on this address")
 	)
 	flag.Parse()
+
+	reg := telemetry.NewRegistry()
+	// Fail startup on a bad -metrics address, before issuing any load.
+	if *metrics != "" {
+		msrv, err := telemetry.StartOps(*metrics, telemetry.OpsConfig{Registry: reg})
+		if err != nil {
+			log.Fatalf("loadgen: %v", err)
+		}
+		defer msrv.Close()
+		log.Printf("loadgen: serving metrics on http://%s/metrics", msrv.Addr)
+	}
 
 	var gen workload.Generator
 	if *traceFile != "" {
@@ -52,7 +65,7 @@ func main() {
 	} else {
 		gen = buildGenerator(*wl, *keys, *alpha, *readRatio, *valueSize, *seed)
 	}
-	runLoad(gen, *target, *ops, *concurrency)
+	runLoad(gen, reg, *target, *ops, *concurrency)
 }
 
 func buildGenerator(wl string, keys int, alpha, readRatio float64, valueSize int, seed int64) workload.Generator {
@@ -69,7 +82,7 @@ func buildGenerator(wl string, keys int, alpha, readRatio float64, valueSize int
 	}
 }
 
-func runLoad(gen workload.Generator, target string, ops, concurrency int) {
+func runLoad(gen workload.Generator, reg *telemetry.Registry, target string, ops, concurrency int) {
 	// Pre-draw the operation stream (generators are not concurrency-safe
 	// and pre-drawing keeps the hot loop allocation-light).
 	stream := make([]workload.Op, ops)
@@ -77,12 +90,17 @@ func runLoad(gen workload.Generator, target string, ops, concurrency int) {
 		stream[i] = gen.Next()
 	}
 
+	// Per-op latency feeds the registry so a scrape mid-run reports live
+	// percentiles; the client connections feed per-message rpc metrics.
+	reqHist := reg.Histogram("request.latency", "seconds")
+	connMetrics := rpc.NewMetrics(reg, "tcp")
 	conns := make([]*rpc.Client, concurrency)
 	for i := range conns {
 		c, err := rpc.Dial(target, nil, nil, rpc.CostModel{})
 		if err != nil {
 			log.Fatalf("loadgen: dial: %v", err)
 		}
+		c.SetMetrics(connMetrics)
 		conns[i] = c
 		defer c.Close()
 	}
@@ -117,7 +135,9 @@ func runLoad(gen workload.Generator, target string, ops, concurrency int) {
 					failures.Add(1)
 					continue
 				}
-				latencies[w] = append(latencies[w], time.Since(start))
+				d := time.Since(start)
+				reqHist.Observe(int64(d))
+				latencies[w] = append(latencies[w], d)
 			}
 		}(w)
 	}

@@ -21,6 +21,7 @@ import (
 
 	"cachecost/internal/meter"
 	"cachecost/internal/storage"
+	"cachecost/internal/telemetry"
 )
 
 func main() {
@@ -30,15 +31,28 @@ func main() {
 		blockCache = flag.Int64("blockcache", 64<<20, "block cache bytes per replica (s_D)")
 		pageBytes  = flag.Int("pagebytes", 16<<10, "storage page size")
 		statsEvery = flag.Duration("stats", 30*time.Second, "stats logging interval (0 = off)")
+		metrics    = flag.String("metrics", "", "serve /metrics, /metrics.json, /statusz and /debug/pprof on this address")
 	)
 	flag.Parse()
 
 	m := meter.NewMeter()
+	reg := telemetry.NewRegistry()
+	telemetry.RegisterMeter(reg, "meter", m)
+	// Fail startup on a bad -metrics address, before serving traffic.
+	if *metrics != "" {
+		msrv, err := telemetry.StartOps(*metrics, telemetry.OpsConfig{Registry: reg, Meter: m, Prices: meter.GCP})
+		if err != nil {
+			log.Fatalf("storeserver: %v", err)
+		}
+		defer msrv.Close()
+		log.Printf("storeserver: serving metrics on http://%s/metrics", msrv.Addr)
+	}
 	node := storage.NewNode(storage.Config{
 		Replicas:        *replicas,
 		BlockCacheBytes: *blockCache,
 		PageBytes:       *pageBytes,
 		Meter:           m,
+		Telemetry:       reg,
 	})
 
 	l, err := net.Listen("tcp", *addr)

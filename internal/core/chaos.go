@@ -63,6 +63,7 @@ func (o FigOptions) ChaosCell(cc ChaosConfig, wcfg workload.SyntheticConfig) (*C
 		cc.StallWork = 2048
 	}
 	m := meter.NewMeter()
+	o.cellMeter(m)
 	inj := fault.New(cc.Seed, fault.Options{Meter: m})
 	node := faultNodeFor(cc.Arch)
 	if node != "" {
@@ -86,6 +87,7 @@ func (o FigOptions) ChaosCell(cc ChaosConfig, wcfg workload.SyntheticConfig) (*C
 		RetrySeed:         cc.Seed,
 		Parallelism:       o.Parallelism,
 		Tracer:            o.Tracer,
+		Telemetry:         o.Telemetry,
 	}
 	if node != "" {
 		svcCfg.Faults = inj
@@ -119,10 +121,12 @@ func (o FigOptions) ChaosCell(cc ChaosConfig, wcfg workload.SyntheticConfig) (*C
 		Prices:      o.Prices,
 		OnOp:        func(int) { sched.Step(inj) },
 		Tracer:      o.Tracer,
+		Telemetry:   o.Telemetry,
 	})
 	if err != nil {
 		return nil, err
 	}
+	o.emit(fmt.Sprintf("chaos/%s/rate=%g", cc.Arch, cc.ErrorRate), res)
 	return &ChaosResult{RunResult: res, Injector: inj, Service: svc}, nil
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"cachecost/internal/consistency"
 	"cachecost/internal/meter"
+	"cachecost/internal/telemetry"
 	"cachecost/internal/trace"
 	"cachecost/internal/workload"
 )
@@ -42,6 +43,33 @@ type FigOptions struct {
 	// carries exact path counters and the tracer's ring holds the last
 	// sampled traces for export. Nil (the default) disables tracing.
 	Tracer *trace.Tracer
+	// Telemetry, when non-nil, threads the live metrics registry through
+	// every experiment cell (cmd/costbench -metrics): the cell's service
+	// stack records RPC/cache/storage telemetry into it, the cell's fresh
+	// meter is bridged through a named collector (replaced per cell so
+	// scrapes always see the live cell), and each RunResult carries the
+	// cell's histogram summaries.
+	Telemetry *telemetry.Registry
+	// OnResult, when non-nil, receives every completed experiment cell's
+	// result as figures produce them, keyed by a cell label
+	// ("fig5b/Remote", "chaos/Linked/rate=0.1", ...). cmd/costbench uses
+	// it to stream per-cell measured latency into -json output.
+	OnResult func(cell string, res *RunResult)
+}
+
+// cellMeter bridges a freshly built cell meter into the telemetry
+// registry (under the fixed collector name "meter", replacing the
+// previous cell's bridge) so scrapes during a figure run always read the
+// live cell's attribution.
+func (o FigOptions) cellMeter(m *meter.Meter) {
+	telemetry.RegisterMeter(o.Telemetry, "meter", m)
+}
+
+// emit hands a completed cell's result to the OnResult hook.
+func (o FigOptions) emit(cell string, res *RunResult) {
+	if o.OnResult != nil {
+		o.OnResult(cell, res)
+	}
 }
 
 // parFor returns the parallelism to use for one cell of arch: the
@@ -88,6 +116,7 @@ func (o *FigOptions) applyDefaults() {
 // population grows.
 func (o FigOptions) kvCell(arch Arch, cfg workload.SyntheticConfig) (*RunResult, error) {
 	m := meter.NewMeter()
+	o.cellMeter(m)
 	gen := workload.NewSynthetic(cfg)
 	ws := int64(cfg.Keys) * int64(cfg.ValueSize)
 	par := o.parFor(arch)
@@ -100,14 +129,21 @@ func (o FigOptions) kvCell(arch Arch, cfg workload.SyntheticConfig) (*RunResult,
 		AppReplicas:       o.AppReplicas,
 		Parallelism:       par,
 		Tracer:            o.Tracer,
+		Telemetry:         o.Telemetry,
 	}
 	svc, err := BuildKVService(svcCfg, gen)
 	if err != nil {
 		return nil, err
 	}
-	return RunExperimentCfg(svc, m, gen, RunConfig{
+	res, err := RunExperimentCfg(svc, m, gen, RunConfig{
 		Warmup: o.Warmup, Ops: o.Ops, Parallelism: par, Prices: o.Prices, Tracer: o.Tracer,
+		Telemetry: o.Telemetry,
 	})
+	if err != nil {
+		return nil, err
+	}
+	o.emit(fmt.Sprintf("kv/%s/r=%.2f/v=%s", arch, cfg.ReadRatio, sizeLabel(cfg.ValueSize)), res)
+	return res, nil
 }
 
 // Fig2a reproduces Figure 2a: the analytic model's cost saving of Linked
@@ -299,6 +335,7 @@ func Fig5a(o FigOptions) (*Table, error) {
 // catalogCell runs one catalog-service cell.
 func (o FigOptions) catalogCell(arch Arch, mode CatalogMode) (*RunResult, error) {
 	m := meter.NewMeter()
+	o.cellMeter(m)
 	gen := workload.NewUnity(workload.UnityConfig{Tables: o.Tables, Seed: o.Seed})
 	// Size caches to 60% of the materialized working set (median 23KB
 	// objects, Figure 3a distribution) — see kvCell for the hit-ratio
@@ -316,6 +353,7 @@ func (o FigOptions) catalogCell(arch Arch, mode CatalogMode) (*RunResult, error)
 			RemoteCacheBytes:  ws * 60 / 100,
 			AppReplicas:       o.AppReplicas,
 			Tracer:            o.Tracer,
+			Telemetry:         o.Telemetry,
 		},
 		Mode:   mode,
 		Tables: o.Tables,
@@ -328,7 +366,14 @@ func (o FigOptions) catalogCell(arch Arch, mode CatalogMode) (*RunResult, error)
 	if ops < 200 {
 		ops = 200
 	}
-	return RunExperiment(svc, m, gen, ops/3, ops, o.Prices)
+	res, err := RunExperimentCfg(svc, m, gen, RunConfig{
+		Warmup: ops / 3, Ops: ops, Prices: o.Prices, Tracer: o.Tracer, Telemetry: o.Telemetry,
+	})
+	if err != nil {
+		return nil, err
+	}
+	o.emit(fmt.Sprintf("catalog/%s/%s", mode, arch), res)
+	return res, nil
 }
 
 // Fig5b reproduces Figure 5b: cost across architectures on the Meta-like
@@ -343,6 +388,7 @@ func Fig5b(o FigOptions) (*Table, error) {
 	var baseCost float64
 	for _, arch := range Archs {
 		m := meter.NewMeter()
+		o.cellMeter(m)
 		gen := workload.NewMetaKV(workload.MetaKVConfig{Keys: o.Keys, Seed: o.Seed})
 		var ws int64
 		for i := 0; i < o.Keys; i++ {
@@ -358,6 +404,7 @@ func Fig5b(o FigOptions) (*Table, error) {
 			AppReplicas:       o.AppReplicas,
 			Parallelism:       par,
 			Tracer:            o.Tracer,
+			Telemetry:         o.Telemetry,
 		}
 		svc, err := BuildKVService(svcCfg, gen)
 		if err != nil {
@@ -365,10 +412,12 @@ func Fig5b(o FigOptions) (*Table, error) {
 		}
 		res, err := RunExperimentCfg(svc, m, gen, RunConfig{
 			Warmup: o.Warmup, Ops: o.Ops, Parallelism: par, Prices: o.Prices, Tracer: o.Tracer,
+			Telemetry: o.Telemetry,
 		})
 		if err != nil {
 			return nil, err
 		}
+		o.emit("fig5b/"+arch.String(), res)
 		if arch == Base {
 			baseCost = res.CostPerMReq
 		}
@@ -535,6 +584,7 @@ func FigAblation(o FigOptions) (*Table, error) {
 	cfg := workload.SyntheticConfig{Keys: o.Keys, Alpha: 1.2, ReadRatio: 0.9, ValueSize: 2 << 10, Seed: o.Seed}
 	run := func(arch Arch, frontend int, diskPerByte float64) (*RunResult, error) {
 		m := meter.NewMeter()
+		o.cellMeter(m)
 		gen := workload.NewSynthetic(cfg)
 		ws := int64(cfg.Keys) * int64(cfg.ValueSize)
 		par := o.parFor(arch)
@@ -549,13 +599,20 @@ func FigAblation(o FigOptions) (*Table, error) {
 			DiskPenaltyPerByte:  diskPerByte,
 			Parallelism:         par,
 			Tracer:              o.Tracer,
+			Telemetry:           o.Telemetry,
 		}, gen)
 		if err != nil {
 			return nil, err
 		}
-		return RunExperimentCfg(svc, m, gen, RunConfig{
+		res, err := RunExperimentCfg(svc, m, gen, RunConfig{
 			Warmup: o.Warmup / 2, Ops: o.Ops / 2, Parallelism: par, Prices: o.Prices, Tracer: o.Tracer,
+			Telemetry: o.Telemetry,
 		})
+		if err != nil {
+			return nil, err
+		}
+		o.emit(fmt.Sprintf("ablation/%s/fe=%d/disk=%g", arch, frontend, diskPerByte), res)
+		return res, nil
 	}
 	for _, fe := range []int{-1, 16384, 49152, 131072} {
 		for _, disk := range []float64{0.25, 1, 4} {
@@ -599,6 +656,7 @@ func FigAllocation(o FigOptions) (*Table, error) {
 		sA := budget * int64(share) / 100
 		sD := budget - sA
 		m := meter.NewMeter()
+		o.cellMeter(m)
 		gen := workload.NewSynthetic(cfg)
 		arch := Linked
 		if share == 0 {
@@ -613,16 +671,19 @@ func FigAllocation(o FigOptions) (*Table, error) {
 			AppReplicas:       o.AppReplicas,
 			Parallelism:       par,
 			Tracer:            o.Tracer,
+			Telemetry:         o.Telemetry,
 		}, gen)
 		if err != nil {
 			return nil, err
 		}
 		res, err := RunExperimentCfg(svc, m, gen, RunConfig{
 			Warmup: o.Warmup, Ops: o.Ops, Parallelism: par, Prices: o.Prices, Tracer: o.Tracer,
+			Telemetry: o.Telemetry,
 		})
 		if err != nil {
 			return nil, err
 		}
+		o.emit(fmt.Sprintf("allocation/sA=%d%%", share), res)
 		if share == 0 {
 			allStorage = res.CostPerMReq
 		}
@@ -700,6 +761,7 @@ var Figures = []Figure{
 	{"allocation", "memory split: linked vs storage cache", FigAllocation},
 	{"ablation", "calibration sensitivity", FigAblation},
 	{"chaos", "cost under cache-tier faults", FigChaos},
+	{"timeseries", "windowed telemetry through warm-up and a cache kill", FigTimeseries},
 }
 
 // FigureByID returns the registered figure or an error listing options.

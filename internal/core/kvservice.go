@@ -14,6 +14,7 @@ import (
 	"cachecost/internal/rpc"
 	"cachecost/internal/storage"
 	"cachecost/internal/storage/sql"
+	"cachecost/internal/telemetry"
 	"cachecost/internal/trace"
 	"cachecost/internal/wire"
 )
@@ -86,6 +87,13 @@ type ServiceConfig struct {
 	// client operation. Nil disables tracing; the instrumented paths then
 	// cost one pointer test per layer.
 	Tracer *trace.Tracer
+
+	// Telemetry, when non-nil, threads a metrics registry through every
+	// layer of the deployment: per-message RPC histograms on each loopback
+	// and on the storage/cache servers, pull collectors for the cache and
+	// storage tiers, and fault-injection tallies. Nil disables telemetry;
+	// the instrumented paths then cost one pointer test per record site.
+	Telemetry *telemetry.Registry
 
 	// Parallelism pre-builds that many worker lanes (Worker(i)) for the
 	// concurrent experiment driver. Each lane has its own front door,
@@ -199,10 +207,16 @@ func NewKVService(cfg ServiceConfig) (*KVService, error) {
 		DiskPenaltyPerByte: cfg.DiskPenaltyPerByte,
 		FrontendWork:       cfg.StorageFrontendWork,
 		Tracer:             cfg.Tracer,
+		Telemetry:          cfg.Telemetry,
 	})
 	// The app talks to storage over a loopback hop; the app pays its
-	// client-side transport overhead.
-	s.db = storage.NewClient(rpc.NewLoopback(s.node.Server(), s.appComp, meter.NewBurner(), cfg.RPCCost))
+	// client-side transport overhead. All in-process loopbacks share one
+	// per-transport metrics family, so process-level scrapes see the
+	// merged message stream.
+	lbm := rpc.NewMetrics(cfg.Telemetry, "loopback")
+	dbLoop := rpc.NewLoopback(s.node.Server(), s.appComp, meter.NewBurner(), cfg.RPCCost)
+	dbLoop.SetMetrics(lbm)
+	s.db = storage.NewClient(dbLoop)
 
 	var cacheConn rpc.Conn
 	if cfg.Arch == Remote {
@@ -212,8 +226,11 @@ func NewKVService(cfg ServiceConfig) (*KVService, error) {
 			Name:          "remotecache",
 			RPCCost:       cfg.RPCCost,
 			Tracer:        cfg.Tracer,
+			Telemetry:     cfg.Telemetry,
 		})
-		cacheConn = rpc.NewLoopback(s.rcServer.RPCServer(), s.appComp, meter.NewBurner(), cfg.RPCCost)
+		cacheLoop := rpc.NewLoopback(s.rcServer.RPCServer(), s.appComp, meter.NewBurner(), cfg.RPCCost)
+		cacheLoop.SetMetrics(lbm)
+		cacheConn = cacheLoop
 	}
 	if err := s.finish(cacheConn); err != nil {
 		return nil, err
@@ -270,6 +287,9 @@ func NewKVServiceRemote(cfg ServiceConfig, eps RemoteEndpoints) (*KVService, err
 func (s *KVService) finish(cacheConn rpc.Conn) error {
 	cfg := s.cfg
 	s.degraded = s.m.Counter(DegradedCounter)
+	if cfg.Faults != nil {
+		cfg.Faults.RegisterTelemetry(cfg.Telemetry)
+	}
 	switch cfg.Arch {
 	case Remote:
 		// Robustness layering, innermost first: fault injection at the
@@ -289,11 +309,13 @@ func (s *KVService) finish(cacheConn rpc.Conn) error {
 		}
 		s.rc = remotecache.NewSingleClient(cacheConn)
 		s.rc.Degrade(s.degraded)
+		s.rc.SetTelemetry(cfg.Telemetry)
 	case Linked:
 		s.lc = linkedcache.New(linkedcache.Config{
 			CapacityBytes: cfg.AppCacheBytes,
 			Meter:         cfg.Meter,
 			Name:          "app.cache",
+			Telemetry:     cfg.Telemetry,
 		}, func(k string, v []byte) int64 { return int64(len(k) + len(v) + 64) })
 		s.scaleLinkedMemory()
 	case LinkedVersion:
@@ -301,6 +323,7 @@ func (s *KVService) finish(cacheConn rpc.Conn) error {
 			CapacityBytes: cfg.AppCacheBytes,
 			Meter:         cfg.Meter,
 			Name:          "app.cache",
+			Telemetry:     cfg.Telemetry,
 		}, func(k string, v []byte) int64 { return int64(len(k) + len(v) + 64) })
 		s.scaleLinkedMemory()
 	case LinkedOwned:
@@ -309,6 +332,7 @@ func (s *KVService) finish(cacheConn rpc.Conn) error {
 			CapacityBytes: cfg.AppCacheBytes,
 			Meter:         cfg.Meter,
 			Name:          "app.cache",
+			Telemetry:     cfg.Telemetry,
 		}, func(k string, v []byte) int64 { return int64(len(k) + len(v) + 64) })
 		s.scaleLinkedMemory()
 	case LinkedTTL:
@@ -316,6 +340,7 @@ func (s *KVService) finish(cacheConn rpc.Conn) error {
 			CapacityBytes: cfg.AppCacheBytes,
 			Meter:         cfg.Meter,
 			Name:          "app.cache",
+			Telemetry:     cfg.Telemetry,
 		}, cfg.TTL, func(k string, v []byte) int64 { return int64(len(k) + len(v) + 64) })
 		s.scaleLinkedMemory()
 	}
@@ -359,14 +384,17 @@ func (s *KVService) buildLanes() error {
 		return fmt.Errorf("core: Parallelism > 1 requires an in-process deployment")
 	}
 	s.lanes = make([]*kvLane, cfg.Parallelism)
+	lbm := rpc.NewMetrics(cfg.Telemetry, "loopback")
 	for i := range s.lanes {
 		l := &kvLane{w: i, attr: s.m.NewAttrCtx()}
 		dbConn := rpc.NewLoopback(s.node.Server(), s.appComp, meter.NewBurner(), cfg.RPCCost)
 		dbConn.SetAttrCtx(l.attr)
+		dbConn.SetMetrics(lbm)
 		l.db = storage.NewClient(dbConn)
 		if cfg.Arch == Remote {
 			lb := rpc.NewLoopback(s.rcServer.RPCServer(), s.appComp, meter.NewBurner(), cfg.RPCCost)
 			lb.SetAttrCtx(l.attr)
+			lb.SetMetrics(lbm)
 			var cacheConn rpc.Conn = lb
 			if cfg.Faults != nil {
 				fc := cfg.Faults.WrapWorker(CacheNode, i, cacheConn)
@@ -385,6 +413,7 @@ func (s *KVService) buildLanes() error {
 			}
 			l.rc = remotecache.NewSingleClient(cacheConn)
 			l.rc.Degrade(s.degraded)
+			l.rc.SetTelemetry(cfg.Telemetry)
 		}
 		l.front = s.newFront(l)
 		s.lanes[i] = l

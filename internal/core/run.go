@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"cachecost/internal/meter"
+	"cachecost/internal/telemetry"
 	"cachecost/internal/trace"
 	"cachecost/internal/workload"
 )
@@ -50,6 +51,11 @@ type RunResult struct {
 	// LatencyP50 and LatencyP99 are per-request latency percentiles over
 	// the metered window.
 	LatencyP50, LatencyP99 time.Duration
+
+	// Hists holds per-component histogram digests (request latency, rpc
+	// message latency/bytes, sql statement latency) for the metered
+	// window. Empty when the run had no telemetry registry.
+	Hists []telemetry.HistSummary
 }
 
 // String renders a one-line summary.
@@ -101,6 +107,12 @@ type RunConfig struct {
 	// (ServiceConfig.Tracer): its path counters are reset at the metered
 	// window boundary and snapshotted into RunResult.Path.
 	Tracer *trace.Tracer
+	// Telemetry, when non-nil, is the registry the service was assembled
+	// with (ServiceConfig.Telemetry): its flows are reset at the metered
+	// window boundary (mirroring meter.Reset), per-request latency is
+	// observed into a "request.latency" histogram, and every histogram's
+	// digest is snapshotted into RunResult.Hists.
+	Telemetry *telemetry.Registry
 }
 
 // RunExperiment drives svc with ops operations from gen (after warmup
@@ -154,6 +166,10 @@ func RunExperimentCfg(svc Service, m *meter.Meter, gen workload.Generator, cfg R
 		return nil, err
 	}
 	path := cfg.Tracer.PathStats()
+	var hists []telemetry.HistSummary
+	if cfg.Telemetry != nil {
+		hists = cfg.Telemetry.Snapshot().HistSummaries()
+	}
 	m.AddRequests(int64(cfg.Ops))
 	report := meter.BuildReport(m, cfg.Prices)
 	if cfg.Parallelism > 1 && len(lats) > 0 {
@@ -186,6 +202,7 @@ func RunExperimentCfg(svc Service, m *meter.Meter, gen workload.Generator, cfg R
 		Path:         path,
 		Parallelism:  cfg.Parallelism,
 		Wall:         wall,
+		Hists:        hists,
 	}
 	if wall > 0 {
 		res.Throughput = float64(cfg.Ops) / wall.Seconds()
@@ -221,6 +238,7 @@ func runSequential(svc Service, m *meter.Meter, gen workload.Generator, cfg RunC
 	// all taken against one thread's clock.
 	runtime.LockOSThread()
 	defer runtime.UnlockOSThread()
+	reqHist := cfg.Telemetry.Histogram("request.latency", "seconds")
 	n := 0
 	apply := func(count int, lats []time.Duration) ([]time.Duration, error) {
 		for i := 0; i < count; i++ {
@@ -233,8 +251,10 @@ func runSequential(svc Service, m *meter.Meter, gen workload.Generator, cfg RunC
 			if err := applyOp(svc, op); err != nil {
 				return lats, err
 			}
+			d := time.Since(t0)
+			reqHist.Observe(int64(d))
 			if lats != nil {
-				lats = append(lats, time.Since(t0))
+				lats = append(lats, d)
 			}
 		}
 		return lats, nil
@@ -248,6 +268,7 @@ func runSequential(svc Service, m *meter.Meter, gen workload.Generator, cfg RunC
 	runtime.GC()
 	m.Reset()
 	cfg.Tracer.ResetCounters()
+	cfg.Telemetry.Reset()
 	t0 := time.Now()
 	lats, err := apply(cfg.Ops, make([]time.Duration, 0, cfg.Ops))
 	wall := time.Since(t0)
@@ -280,6 +301,7 @@ func runParallel(svc Service, m *meter.Meter, gen workload.Generator, cfg RunCon
 	for i := range stream {
 		stream[i] = gen.Next()
 	}
+	reqHist := cfg.Telemetry.Histogram("request.latency", "seconds")
 
 	var started atomic.Int64
 	var onOpMu sync.Mutex
@@ -317,8 +339,10 @@ func runParallel(svc Service, m *meter.Meter, gen workload.Generator, cfg RunCon
 						errs[w] = err
 						break
 					}
+					d := time.Since(t0)
+					reqHist.Observe(int64(d))
 					if sample {
-						mine = append(mine, time.Since(t0))
+						mine = append(mine, d)
 					}
 				}
 				lats[w] = mine
@@ -339,6 +363,7 @@ func runParallel(svc Service, m *meter.Meter, gen workload.Generator, cfg RunCon
 	runtime.GC()
 	m.Reset()
 	cfg.Tracer.ResetCounters()
+	cfg.Telemetry.Reset()
 	t0 := time.Now()
 	perWorker, err := runPhase(cfg.Warmup, len(stream), true)
 	wall := time.Since(t0)

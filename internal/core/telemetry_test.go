@@ -1,0 +1,188 @@
+package core
+
+import (
+	"strconv"
+	"testing"
+
+	"cachecost/internal/meter"
+	"cachecost/internal/telemetry"
+	"cachecost/internal/trace"
+)
+
+// findHist returns the run's histogram digest for name, summed across
+// label variants (e.g. the per-stmt storage latency family).
+func findHists(res *RunResult, name string) (count int64, found bool) {
+	for _, h := range res.Hists {
+		if h.Name == name {
+			count += h.Count
+			found = true
+		}
+	}
+	return count, found
+}
+
+// TestRunTelemetryConservation cross-checks the histogram plane against
+// the exact counting planes that already exist: the request-latency
+// histogram must hold exactly one observation per metered op, and the
+// storage statement-latency family must agree with the tracer's exact
+// per-request SQL statement counters. If these drift, the telemetry
+// layer is dropping or double-counting observations.
+func TestRunTelemetryConservation(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	tr := trace.New(trace.Config{SampleEvery: 1 << 30, Capacity: 1})
+	m := meter.NewMeter()
+	gen := smallGen(7)
+	cfg := smallCfg(Remote, m)
+	cfg.Tracer = tr
+	cfg.Telemetry = reg
+	svc, err := BuildKVService(cfg, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ops = 900
+	res, err := RunExperimentCfg(svc, m, gen, RunConfig{
+		Warmup: 300, Ops: ops, Prices: meter.GCP, Tracer: tr, Telemetry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hists) == 0 {
+		t.Fatal("RunResult.Hists is empty with a telemetry registry configured")
+	}
+	reqCount, ok := findHists(res, "request.latency")
+	if !ok {
+		t.Fatal("no request.latency histogram in RunResult.Hists")
+	}
+	if reqCount != ops {
+		t.Fatalf("request.latency count = %d, want exactly %d (one observation per metered op)", reqCount, ops)
+	}
+	stmtCount, ok := findHists(res, "storage.stmt.latency")
+	if !ok {
+		t.Fatal("no storage.stmt.latency histograms in RunResult.Hists")
+	}
+	if stmtCount != res.Path.SQLStatements {
+		t.Fatalf("storage.stmt.latency count = %d, tracer counted %d SQL statements", stmtCount, res.Path.SQLStatements)
+	}
+	if _, ok := findHists(res, "rpc.msg.latency"); !ok {
+		t.Fatal("no rpc.msg.latency histograms: transports are not feeding the registry")
+	}
+}
+
+// TestTelemetryParallelismInvariance is the acceptance check for the
+// histogram plane's accuracy: at parallelism 1 and 4, the p99 the
+// log-bucketed histogram reports must track the exactly-computed sample
+// p99 (RunResult.LatencyP99, sorted per-op samples) within 5% — the
+// bucketing's worst-case relative error is 1/32, so drift beyond that
+// band means merged shards lost or misplaced observations.
+func TestTelemetryParallelismInvariance(t *testing.T) {
+	if raceEnabled {
+		t.Skip("latency distributions are distorted by race-detector instrumentation")
+	}
+	for _, par := range []int{1, 4} {
+		reg := telemetry.NewRegistry()
+		m := meter.NewMeter()
+		gen := smallGen(11)
+		cfg := smallCfg(Remote, m)
+		cfg.Parallelism = par
+		cfg.Telemetry = reg
+		svc, err := BuildKVService(cfg, gen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const ops = 2400
+		res, err := RunExperimentCfg(svc, m, gen, RunConfig{
+			Warmup: 400, Ops: ops, Parallelism: par, Prices: meter.GCP, Telemetry: reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var req *telemetry.HistSummary
+		for i := range res.Hists {
+			if res.Hists[i].Name == "request.latency" {
+				req = &res.Hists[i]
+			}
+		}
+		if req == nil {
+			t.Fatalf("P%d: no request.latency histogram", par)
+		}
+		if req.Count != ops {
+			t.Fatalf("P%d: histogram count = %d, want %d", par, req.Count, ops)
+		}
+		exact := float64(res.LatencyP99)
+		reported := float64(req.P99)
+		drift := (reported - exact) / exact
+		if drift < 0 {
+			drift = -drift
+		}
+		if drift > 0.05 {
+			t.Fatalf("P%d: histogram p99 %v vs exact sample p99 %v: drift %.1f%% > 5%%",
+				par, req.P99, res.LatencyP99, 100*drift)
+		}
+	}
+}
+
+// TestFigTimeseriesShape drives the windowed-telemetry figure and checks
+// the story it is meant to tell: warm-up windows first, a kill window
+// where the cache hit ratio collapses and degradations appear, and a
+// recovery phase after revival.
+func TestFigTimeseriesShape(t *testing.T) {
+	if raceEnabled {
+		t.Skip("windowed latency shapes are distorted by race-detector instrumentation")
+	}
+	var cells []string
+	o := tinyOpts()
+	o.OnResult = func(cell string, res *RunResult) { cells = append(cells, cell) }
+	tab, err := FigTimeseries(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 10 {
+		t.Fatalf("rows = %d, want 10 windows:\n%s", len(tab.Rows), tab)
+	}
+	if tab.Rows[0][2] != "warmup" {
+		t.Fatalf("first window phase = %q, want warmup", tab.Rows[0][2])
+	}
+	phase := func(row int) string { return tab.Rows[row][2] }
+	var steadyHit, killedHit, killedDegraded float64
+	var sawSteady, sawKilled, sawRecovered bool
+	for i := range tab.Rows {
+		switch phase(i) {
+		case "steady":
+			sawSteady = true
+			steadyHit = cell(t, tab, i, 6)
+		case "killed":
+			sawKilled = true
+			killedHit = cell(t, tab, i, 6)
+			killedDegraded += cell(t, tab, i, 7)
+		case "recovered":
+			sawRecovered = true
+		}
+	}
+	if !sawSteady || !sawKilled || !sawRecovered {
+		t.Fatalf("missing phases (steady=%v killed=%v recovered=%v):\n%s", sawSteady, sawKilled, sawRecovered, tab)
+	}
+	if killedDegraded == 0 {
+		t.Errorf("kill window recorded no degradations:\n%s", tab)
+	}
+	if killedHit >= steadyHit {
+		t.Errorf("killed-window hit ratio %.2f should fall below steady %.2f:\n%s", killedHit, steadyHit, tab)
+	}
+	// Every window must carry ops, and the metered windows' op counts
+	// must sum to the metered total.
+	var meteredOps int64
+	for i := range tab.Rows {
+		n, err := strconv.ParseInt(tab.Rows[i][3], 10, 64)
+		if err != nil {
+			t.Fatalf("window %d ops %q not integer", i+1, tab.Rows[i][3])
+		}
+		if phase(i) != "warmup" {
+			meteredOps += n
+		}
+	}
+	if meteredOps != int64(o.Ops) {
+		t.Errorf("metered windows sum to %d ops, want %d", meteredOps, o.Ops)
+	}
+	if len(cells) != 1 || cells[0] != "timeseries/Remote" {
+		t.Errorf("OnResult cells = %v, want [timeseries/Remote]", cells)
+	}
+}

@@ -1,0 +1,30 @@
+package fault
+
+import "cachecost/internal/telemetry"
+
+// RegisterTelemetry installs a pull collector publishing the injector's
+// aggregate fault tallies. The injection hot path keeps its existing
+// atomics; the registry reads them only when scraped. A nil registry is
+// a no-op.
+func (in *Injector) RegisterTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.RegisterCollector("fault", func(emit func(telemetry.Sample)) {
+		s := in.Stats()
+		for _, c := range []struct {
+			name string
+			v    int64
+		}{
+			{"fault.calls", s.Calls},
+			{"fault.injected_errors", s.InjectedErrors},
+			{"fault.down_rejects", s.DownRejects},
+			{"fault.blackholed", s.Blackholed},
+			{"fault.stalls", s.Stalls},
+			{"fault.slow_starts", s.SlowStarts},
+		} {
+			emit(telemetry.Sample{Name: c.name, Kind: telemetry.KindCounter, Value: float64(c.v)})
+		}
+		emit(telemetry.Sample{Name: "fault.work_injected", Kind: telemetry.KindCounter, Value: float64(s.WorkInjected)})
+	})
+}

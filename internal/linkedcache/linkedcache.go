@@ -16,6 +16,7 @@ import (
 	"cachecost/internal/cache"
 	"cachecost/internal/cluster"
 	"cachecost/internal/meter"
+	"cachecost/internal/telemetry"
 	"cachecost/internal/trace"
 )
 
@@ -39,6 +40,9 @@ type Config struct {
 	Meter *meter.Meter
 	// Name defaults to "app.cache".
 	Name string
+	// Telemetry, when set, registers a pull collector exposing the
+	// cache's hit/miss/eviction counters and used bytes under Name.
+	Telemetry *telemetry.Registry
 }
 
 // New builds a linked cache. sizeOf reports the budgeted bytes of a value;
@@ -56,7 +60,25 @@ func New[V any](cfg Config, sizeOf cache.SizeOf[V]) *Cache[V] {
 		c.comp = cfg.Meter.Component(name)
 		c.comp.SetMemBytes(cfg.CapacityBytes)
 	}
+	c.RegisterTelemetry(cfg.Telemetry)
 	return c
+}
+
+// RegisterTelemetry installs a pull collector publishing the cache's
+// counters and used bytes; the lookup hot path is untouched. A nil
+// registry is a no-op.
+func (c *Cache[V]) RegisterTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	lbl := []telemetry.Label{telemetry.L("cache", c.name)}
+	reg.RegisterCollector("linkedcache."+c.name, func(emit func(telemetry.Sample)) {
+		st := c.store.Stats()
+		emit(telemetry.Sample{Name: "cache.hits", Labels: lbl, Kind: telemetry.KindCounter, Value: float64(st.Hits)})
+		emit(telemetry.Sample{Name: "cache.misses", Labels: lbl, Kind: telemetry.KindCounter, Value: float64(st.Misses)})
+		emit(telemetry.Sample{Name: "cache.evictions", Labels: lbl, Kind: telemetry.KindCounter, Value: float64(st.Evictions)})
+		emit(telemetry.Sample{Name: "cache.used_bytes", Labels: lbl, Kind: telemetry.KindGauge, Value: float64(c.store.UsedBytes())})
+	})
 }
 
 // Get returns the live value for key. The value is shared with the

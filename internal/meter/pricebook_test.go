@@ -1,0 +1,51 @@
+package meter
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func almost(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+		t.Errorf("%s = %v, want %v", name, got, want)
+	}
+}
+
+// TestGCPDefaults pins the paper's §3 unit prices: changing them changes
+// every dollar figure in EXPERIMENTS.md, so drift must be deliberate.
+func TestGCPDefaults(t *testing.T) {
+	almost(t, "CPUCoreMonth", GCP.CPUCoreMonth, 17.0)
+	almost(t, "MemGBMonth", GCP.MemGBMonth, 2.0)
+	almost(t, "StorageGBMonth", GCP.StorageGBMonth, 0.02)
+}
+
+func TestPriceArithmetic(t *testing.T) {
+	p := PriceBook{CPUCoreMonth: 10, MemGBMonth: 4, StorageGBMonth: 0.5}
+	almost(t, "CPUCost(2.5 cores)", p.CPUCost(2.5), 25)
+	almost(t, "CPUCost(0)", p.CPUCost(0), 0)
+	almost(t, "MemCost(1GB)", p.MemCost(1<<30), 4)
+	almost(t, "MemCost(512MB)", p.MemCost(512<<20), 2)
+	almost(t, "StorageCost(10GB)", p.StorageCost(10<<30), 5)
+}
+
+// WithMemoryMultiplier must scale only memory and must not mutate the
+// receiver — the §4 sensitivity sweep reuses the base book per point.
+func TestWithMemoryMultiplier(t *testing.T) {
+	base := GCP
+	scaled := base.WithMemoryMultiplier(40)
+	almost(t, "scaled.MemGBMonth", scaled.MemGBMonth, 80)
+	almost(t, "scaled.CPUCoreMonth", scaled.CPUCoreMonth, base.CPUCoreMonth)
+	almost(t, "scaled.StorageGBMonth", scaled.StorageGBMonth, base.StorageGBMonth)
+	almost(t, "base unchanged", base.MemGBMonth, 2.0)
+}
+
+func TestPriceBookString(t *testing.T) {
+	s := GCP.String()
+	for _, want := range []string{"cpu=$17.00", "mem=$2.00", "storage=$0.0200"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}

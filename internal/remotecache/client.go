@@ -9,6 +9,7 @@ import (
 	"cachecost/internal/cluster"
 	"cachecost/internal/meter"
 	"cachecost/internal/rpc"
+	"cachecost/internal/telemetry"
 	"cachecost/internal/trace"
 	"cachecost/internal/wire"
 )
@@ -34,6 +35,11 @@ type Client struct {
 	degrade  atomic.Bool
 	degraded atomic.Int64   // cache errors demoted so far
 	counter  *meter.Counter // optional mirror into a meter's counters
+
+	// Client-observed outcome counters; nil (no-op) until SetTelemetry.
+	tmHits     *telemetry.Counter
+	tmMisses   *telemetry.Counter
+	tmDegraded *telemetry.Counter
 }
 
 // NewClient builds a client over named connections (node name -> conn).
@@ -63,6 +69,16 @@ func (c *Client) conn(key string) (rpc.Conn, error) {
 	return conn, nil
 }
 
+// SetTelemetry binds client-side outcome counters: hits and misses as
+// the application observed them (a degraded-mode demotion counts as a
+// miss) plus demotions. Call before the client takes traffic; it is not
+// synchronized against Get/Set/Delete.
+func (c *Client) SetTelemetry(reg *telemetry.Registry) {
+	c.tmHits = reg.Counter("cache.client.hits")
+	c.tmMisses = reg.Counter("cache.client.misses")
+	c.tmDegraded = reg.Counter("cache.client.degraded")
+}
+
 // Degrade switches the client to graceful degradation: cache errors are
 // demoted to misses/no-ops and counted. counter (optional) additionally
 // receives each demotion, so degradations appear in the meter's report.
@@ -80,6 +96,7 @@ func (c *Client) demote() {
 	if c.counter != nil {
 		c.counter.Inc()
 	}
+	c.tmDegraded.Inc()
 }
 
 // Get fetches key, reporting presence. In degraded mode a cache failure
@@ -101,6 +118,11 @@ func (c *Client) GetCtx(sc trace.SpanContext, key string) ([]byte, bool, error) 
 	}
 	if err == nil {
 		sc.Tracer().CountCacheHit(found)
+		if found {
+			c.tmHits.Inc()
+		} else {
+			c.tmMisses.Inc()
+		}
 	}
 	return v, found, err
 }

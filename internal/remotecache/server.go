@@ -6,6 +6,7 @@ import (
 	"cachecost/internal/cache"
 	"cachecost/internal/meter"
 	"cachecost/internal/rpc"
+	"cachecost/internal/telemetry"
 	"cachecost/internal/trace"
 	"cachecost/internal/wire"
 )
@@ -36,6 +37,10 @@ type ServerConfig struct {
 	// connections. Loopback callers pass their context in-process and do
 	// not need it. Nil disables the join.
 	Tracer *trace.Tracer
+	// Telemetry, when set, registers a pull collector exposing the node's
+	// hit/miss/eviction counters and used bytes under Name, and feeds
+	// per-dispatch rpc metrics.
+	Telemetry *telemetry.Registry
 }
 
 // NewServer builds a cache node.
@@ -62,6 +67,10 @@ func NewServer(cfg ServerConfig) *Server {
 	if cfg.Tracer != nil {
 		s.rpcsrv.SetTracer(cfg.Tracer, cfg.Name+".rpc")
 	}
+	if cfg.Telemetry != nil {
+		s.rpcsrv.SetMetrics(rpc.NewMetrics(cfg.Telemetry, cfg.Name))
+		s.RegisterTelemetry(cfg.Telemetry)
+	}
 	s.rpcsrv.HandleCtx("cache.Get", s.handleGet)
 	s.rpcsrv.HandleCtx("cache.Set", s.handleSet)
 	s.rpcsrv.HandleCtx("cache.Delete", s.handleDelete)
@@ -76,6 +85,24 @@ func (s *Server) Stats() cache.Stats { return s.store.Stats() }
 
 // UsedBytes returns the budgeted bytes currently cached.
 func (s *Server) UsedBytes() int64 { return s.store.UsedBytes() }
+
+// RegisterTelemetry installs a pull collector publishing the node's
+// cache counters and used bytes. The store's own atomics are read only
+// at scrape time; the serving hot path is untouched.
+func (s *Server) RegisterTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	lbl := []telemetry.Label{telemetry.L("node", s.name)}
+	reg.RegisterCollector("remotecache."+s.name, func(emit func(telemetry.Sample)) {
+		st := s.store.Stats()
+		emit(telemetry.Sample{Name: "cache.hits", Labels: lbl, Kind: telemetry.KindCounter, Value: float64(st.Hits)})
+		emit(telemetry.Sample{Name: "cache.misses", Labels: lbl, Kind: telemetry.KindCounter, Value: float64(st.Misses)})
+		emit(telemetry.Sample{Name: "cache.evictions", Labels: lbl, Kind: telemetry.KindCounter, Value: float64(st.Evictions)})
+		emit(telemetry.Sample{Name: "cache.expirations", Labels: lbl, Kind: telemetry.KindCounter, Value: float64(st.Expirations)})
+		emit(telemetry.Sample{Name: "cache.used_bytes", Labels: lbl, Kind: telemetry.KindGauge, Value: float64(s.store.UsedBytes())})
+	})
+}
 
 func (s *Server) handleGet(sc trace.SpanContext, req []byte) ([]byte, error) {
 	// Decode the key zero-copy: it is only a lookup argument, dead once

@@ -22,9 +22,10 @@ type Client struct {
 	pending map[uint64]chan callResult
 	err     error // sticky transport error
 
-	comp   *meter.Component // caller-side overhead attribution; may be nil
-	burner *meter.Burner
-	cost   CostModel
+	comp    *meter.Component // caller-side overhead attribution; may be nil
+	burner  *meter.Burner
+	cost    CostModel
+	metrics *Metrics // per-message telemetry; may be nil
 }
 
 type callResult struct {
@@ -84,9 +85,15 @@ func (c *Client) CallCtx(sc trace.SpanContext, method string, req []byte) ([]byt
 	return resp, err
 }
 
+// SetMetrics binds per-message telemetry (round-trip latency, sizes,
+// error counts). Call before the connection is used; it is not
+// synchronized against Call.
+func (c *Client) SetMetrics(m *Metrics) { c.metrics = m }
+
 // call sends one pre-built request frame (kind, method, body and trace
 // context set by the caller) and waits for its response.
 func (c *Client) call(f *frame) ([]byte, error) {
+	start := c.metrics.begin()
 	req := f.body
 	if c.comp != nil && c.burner != nil {
 		c.cost.Charge(c.comp, c.burner, len(req))
@@ -110,6 +117,7 @@ func (c *Client) call(f *frame) ([]byte, error) {
 	if err != nil {
 		frameBufPool.Put(bp)
 		c.forget(id)
+		c.metrics.end(start, len(req), 0, err)
 		return nil, err
 	}
 	c.wmu.Lock()
@@ -119,16 +127,19 @@ func (c *Client) call(f *frame) ([]byte, error) {
 	frameBufPool.Put(bp)
 	if err != nil {
 		c.forget(id)
+		c.metrics.end(start, len(req), 0, err)
 		return nil, err
 	}
 
 	res := <-ch
 	if res.err != nil {
+		c.metrics.end(start, len(req), 0, res.err)
 		return nil, res.err
 	}
 	if c.comp != nil && c.burner != nil {
 		c.cost.Charge(c.comp, c.burner, len(res.body))
 	}
+	c.metrics.end(start, len(req), len(res.body), nil)
 	return res.body, nil
 }
 

@@ -26,9 +26,10 @@ type Loopback struct {
 	server *Server
 	comp   *meter.Component // caller-side attribution; may be nil
 	burner *meter.Burner
-	cost   CostModel
-	attr   *meter.AttrCtx // per-worker attribution context; may be nil
-	closed atomic.Bool
+	cost    CostModel
+	attr    *meter.AttrCtx // per-worker attribution context; may be nil
+	metrics *Metrics       // per-message telemetry; may be nil
+	closed  atomic.Bool
 }
 
 // NewLoopback returns a Conn that dispatches directly into server,
@@ -42,6 +43,10 @@ func NewLoopback(server *Server, comp *meter.Component, burner *meter.Burner, co
 // AttributeCtx window subtracts exactly this goroutine's callee time. Call
 // it before the connection is used; it is not synchronized against Call.
 func (l *Loopback) SetAttrCtx(ctx *meter.AttrCtx) { l.attr = ctx }
+
+// SetMetrics binds per-message telemetry. Call before the connection is
+// used; it is not synchronized against Call.
+func (l *Loopback) SetMetrics(m *Metrics) { l.metrics = m }
 
 // Call implements Conn.
 func (l *Loopback) Call(method string, req []byte) ([]byte, error) {
@@ -68,6 +73,7 @@ func (l *Loopback) call(sc trace.SpanContext, method string, req []byte) ([]byte
 	if l.closed.Load() {
 		return nil, net.ErrClosed
 	}
+	start := l.metrics.begin()
 	if l.comp != nil && l.burner != nil {
 		l.attr.AddInner(l.cost.Charge(l.comp, l.burner, len(req)))
 	}
@@ -88,6 +94,7 @@ func (l *Loopback) call(sc trace.SpanContext, method string, req []byte) ([]byte
 	if err != nil {
 		*bp = wireReq
 		loopbackBufPool.Put(bp)
+		l.metrics.end(start, len(req), 0, err)
 		return nil, err
 	}
 	// Copy the response out BEFORE recycling the request buffer: a handler
@@ -100,6 +107,7 @@ func (l *Loopback) call(sc trace.SpanContext, method string, req []byte) ([]byte
 	if l.comp != nil && l.burner != nil {
 		l.attr.AddInner(l.cost.Charge(l.comp, l.burner, len(wireResp)))
 	}
+	l.metrics.end(start, len(req), len(wireResp), nil)
 	return wireResp, nil
 }
 

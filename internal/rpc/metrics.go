@@ -1,0 +1,63 @@
+package rpc
+
+import (
+	"time"
+
+	"cachecost/internal/telemetry"
+)
+
+// Metrics is the telemetry bundle one transport endpoint feeds: a
+// per-message round-trip latency histogram, request/response size
+// histograms, and message/error counters, all labelled with the
+// transport ("tcp", "loopback") or endpoint role ("server"). Recording
+// is nil-safe and allocation-free — an endpoint without telemetry
+// carries a nil *Metrics and pays one pointer test per message.
+type Metrics struct {
+	latency   *telemetry.Histogram
+	reqBytes  *telemetry.Histogram
+	respBytes *telemetry.Histogram
+	msgs      *telemetry.Counter
+	errors    *telemetry.Counter
+}
+
+// NewMetrics registers the rpc metric family for one transport label in
+// reg. Distinct endpoints sharing a registry and label share the
+// metrics — per-message streams merge, which is what a process-level
+// scrape wants.
+func NewMetrics(reg *telemetry.Registry, transport string) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	lbl := telemetry.L("transport", transport)
+	return &Metrics{
+		latency:   reg.Histogram("rpc.msg.latency", "seconds", lbl),
+		reqBytes:  reg.Histogram("rpc.msg.req_bytes", "bytes", lbl),
+		respBytes: reg.Histogram("rpc.msg.resp_bytes", "bytes", lbl),
+		msgs:      reg.Counter("rpc.msgs", lbl),
+		errors:    reg.Counter("rpc.errors", lbl),
+	}
+}
+
+// begin stamps the message start. A zero time means "unmetered" so
+// callers can hold one code path.
+func (m *Metrics) begin() time.Time {
+	if m == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// end records one message round trip.
+func (m *Metrics) end(start time.Time, reqLen, respLen int, err error) {
+	if m == nil {
+		return
+	}
+	m.latency.Observe(int64(time.Since(start)))
+	m.reqBytes.Observe(int64(reqLen))
+	m.msgs.Inc()
+	if err != nil {
+		m.errors.Inc()
+		return
+	}
+	m.respBytes.Observe(int64(respLen))
+}

@@ -55,6 +55,20 @@ func NewPool(conns ...Conn) *Pool {
 	return p
 }
 
+// SetMetrics binds per-message telemetry on every pooled connection
+// that supports it. Call before the pool takes traffic.
+func (p *Pool) SetMetrics(m *Metrics) {
+	cp := p.conns.Load()
+	if cp == nil {
+		return
+	}
+	for _, c := range *cp {
+		if mc, ok := c.(interface{ SetMetrics(*Metrics) }); ok {
+			mc.SetMetrics(m)
+		}
+	}
+}
+
 // Downer is implemented by connections that know whether their backend
 // is currently unreachable (the fault layer's wrapped conns, health-
 // checked clients). Pools skip down connections while healthy ones

@@ -31,6 +31,8 @@ type Server struct {
 	// internals (the storage node) disable it to avoid double counting;
 	// transport overhead is charged to comp either way.
 	meterBody bool
+	// metrics, when set, records per-dispatch latency and sizes.
+	metrics *Metrics
 
 	lnMu      sync.Mutex
 	listeners map[net.Listener]struct{}
@@ -67,6 +69,11 @@ func (s *Server) SetTracer(t *trace.Tracer, name string) {
 // handlers meter their own work against finer-grained components.
 func (s *Server) SetMeterHandlerBody(on bool) { s.meterBody = on }
 
+// SetMetrics binds per-dispatch telemetry (handler latency, message
+// sizes, error counts). Call before the server receives traffic; it is
+// not synchronized against Dispatch.
+func (s *Server) SetMetrics(m *Metrics) { s.metrics = m }
+
 // Handle registers fn for method. Registering the same method twice
 // replaces the earlier handler.
 func (s *Server) Handle(method string, fn HandlerFunc) {
@@ -101,6 +108,7 @@ func (s *Server) DispatchCtx(sc trace.SpanContext, method string, req []byte) ([
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoSuchMethod, method)
 	}
+	start := s.metrics.begin()
 	if s.comp != nil && s.burner != nil {
 		s.cost.Charge(s.comp, s.burner, len(req))
 	}
@@ -116,6 +124,7 @@ func (s *Server) DispatchCtx(sc trace.SpanContext, method string, req []byte) ([
 	if s.comp != nil && s.burner != nil {
 		s.cost.Charge(s.comp, s.burner, len(resp))
 	}
+	s.metrics.end(start, len(req), len(resp), err)
 	return resp, err
 }
 

@@ -11,6 +11,7 @@ import (
 	"cachecost/internal/storage/plan"
 	"cachecost/internal/storage/raft"
 	"cachecost/internal/storage/sql"
+	"cachecost/internal/telemetry"
 	"cachecost/internal/trace"
 	"cachecost/internal/wire"
 )
@@ -46,6 +47,11 @@ type Config struct {
 	// connections; loopback callers pass their context in-process. Nil
 	// disables the join.
 	Tracer *trace.Tracer
+	// Telemetry, when set, feeds per-statement latency histograms and
+	// rpc dispatch metrics, and registers a pull collector exposing the
+	// block-cache hit ratio and raft replication counters (including
+	// ship lag) under Prefix.
+	Telemetry *telemetry.Registry
 }
 
 func (c *Config) applyDefaults() {
@@ -93,6 +99,12 @@ type Node struct {
 	raftComp *meter.Component // replication + lease validation
 
 	server *rpc.Server
+
+	// stmtHist records per-statement wall latency by kind; nil (no-op)
+	// without telemetry.
+	histQuery   *telemetry.Histogram
+	histExec    *telemetry.Histogram
+	histVersion *telemetry.Histogram
 
 	// lastResult holds each replica's most recent apply result; indexed
 	// by replica id, guarded by mu (appliers run under Propose, which the
@@ -152,7 +164,43 @@ func NewNode(cfg Config) *Node {
 	n.server.HandleCtx("sql.Query", n.handleQuery)
 	n.server.HandleCtx("sql.Exec", n.handleExec)
 	n.server.HandleCtx("sql.Version", n.handleVersion)
+	if cfg.Telemetry != nil {
+		n.histQuery = cfg.Telemetry.Histogram("storage.stmt.latency", "seconds", telemetry.L("stmt", "query"))
+		n.histExec = cfg.Telemetry.Histogram("storage.stmt.latency", "seconds", telemetry.L("stmt", "exec"))
+		n.histVersion = cfg.Telemetry.Histogram("storage.stmt.latency", "seconds", telemetry.L("stmt", "version"))
+		n.server.SetMetrics(rpc.NewMetrics(cfg.Telemetry, cfg.Prefix))
+		n.RegisterTelemetry(cfg.Telemetry)
+	}
 	return n
+}
+
+// RegisterTelemetry installs a pull collector publishing the node's
+// storage-engine and replication state: block-cache hits/misses, disk
+// traffic, raft proposal/election counters, and the current ship lag
+// (how far the worst reachable follower trails the leader's log). The
+// statement path is untouched — everything here reads existing atomics
+// or cheap snapshots at scrape time.
+func (n *Node) RegisterTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	lbl := []telemetry.Label{telemetry.L("node", n.cfg.Prefix)}
+	reg.RegisterCollector("storage."+n.cfg.Prefix, func(emit func(telemetry.Sample)) {
+		if db := n.LeaderDB(); db != nil {
+			cs := db.Store().CacheStats()
+			emit(telemetry.Sample{Name: "storage.block_cache.hits", Labels: lbl, Kind: telemetry.KindCounter, Value: float64(cs.Hits)})
+			emit(telemetry.Sample{Name: "storage.block_cache.misses", Labels: lbl, Kind: telemetry.KindCounter, Value: float64(cs.Misses)})
+			st := db.Store().Stats()
+			emit(telemetry.Sample{Name: "storage.disk.read_bytes", Labels: lbl, Kind: telemetry.KindCounter, Value: float64(st.DiskReadBytes)})
+			emit(telemetry.Sample{Name: "storage.disk.write_bytes", Labels: lbl, Kind: telemetry.KindCounter, Value: float64(st.DiskWriteBytes)})
+		}
+		gs := n.group.Stats()
+		emit(telemetry.Sample{Name: "raft.proposals", Labels: lbl, Kind: telemetry.KindCounter, Value: float64(gs.Proposals)})
+		emit(telemetry.Sample{Name: "raft.ships", Labels: lbl, Kind: telemetry.KindCounter, Value: float64(gs.Ships)})
+		emit(telemetry.Sample{Name: "raft.lease_checks", Labels: lbl, Kind: telemetry.KindCounter, Value: float64(gs.LeaseChecks)})
+		emit(telemetry.Sample{Name: "raft.elections", Labels: lbl, Kind: telemetry.KindCounter, Value: float64(gs.Elections)})
+		emit(telemetry.Sample{Name: "raft.ship_lag", Labels: lbl, Kind: telemetry.KindGauge, Value: float64(n.group.ShipLag())})
+	})
 }
 
 // applier executes replicated statements against one replica's DB.
@@ -339,6 +387,7 @@ func (n *Node) handleQuery(sc trace.SpanContext, req []byte) ([]byte, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	sc.Tracer().CountStatement()
+	defer n.histQuery.ObserveSince(time.Now())
 
 	sqlAct, _ := trace.Start(sc, "storage.sql", "parse")
 	var q QueryRequest
@@ -391,6 +440,7 @@ func (n *Node) handleExec(sc trace.SpanContext, req []byte) ([]byte, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	sc.Tracer().CountStatement()
+	defer n.histExec.ObserveSince(time.Now())
 
 	sqlAct, _ := trace.Start(sc, "storage.sql", "parse")
 	var q QueryRequest
@@ -447,6 +497,7 @@ func (n *Node) handleVersion(sc trace.SpanContext, req []byte) ([]byte, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	sc.Tracer().CountStatement()
+	defer n.histVersion.ObserveSince(time.Now())
 
 	sqlAct, _ := trace.Start(sc, "storage.sql", "parse")
 	var vr VersionRequest

@@ -170,6 +170,7 @@ type Group struct {
 	leaseChecks int64
 	quorumReads int64
 	elections   int64
+	ships       int64
 }
 
 // NewGroup creates a group of cfg.Replicas nodes, each applying committed
@@ -318,6 +319,7 @@ func (g *Group) ProposeCtx(sc trace.SpanContext, cmd Command) (int, error) {
 		shipAct.End()
 	}
 	sc.Tracer().CountRaftShips(ships)
+	g.ships += ships
 	act.AnnotateInt("raft.fanout", ships)
 	if acks <= len(g.nodes)/2 {
 		// Not committed; the entry stays in the leader log awaiting
@@ -519,6 +521,7 @@ type GroupStats struct {
 	LeaseChecks int64
 	QuorumReads int64
 	Elections   int64
+	Ships       int64 // cumulative AppendEntries messages shipped to followers
 	Leader      int
 	Term        uint64
 }
@@ -536,9 +539,34 @@ func (g *Group) Stats() GroupStats {
 		LeaseChecks: g.leaseChecks,
 		QuorumReads: g.quorumReads,
 		Elections:   g.elections,
+		Ships:       g.ships,
 		Leader:      g.leader,
 		Term:        term,
 	}
+}
+
+// ShipLag reports how far the worst reachable follower's applied state
+// trails the leader's log — the replication lag a monitoring plane
+// watches. Zero when fully caught up, when there is no leader, or when
+// no follower is reachable (an unreachable follower is the gate's
+// problem, not replication lag).
+func (g *Group) ShipLag() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.leader < 0 {
+		return 0
+	}
+	ld := g.nodes[g.leader]
+	lag := 0
+	for _, f := range g.nodes {
+		if f.id == ld.id || g.nodeDown(f) {
+			continue
+		}
+		if d := ld.lastLogIndex() - f.lastApplied; d > lag {
+			lag = d
+		}
+	}
+	return lag
 }
 
 // LogLen returns the log length of node id (tests).

@@ -1,0 +1,170 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Exposition formats. Every metric family is exported under the
+// cachecost_ prefix with dots flattened to underscores, so
+// "rpc.call.latency" scrapes as cachecost_rpc_call_latency. Histograms
+// render as Prometheus summary families (pre-computed quantiles) rather
+// than 1152 bucket lines — the quantiles are what the paper's analysis
+// consumes, and the full buckets remain available via /metrics.json and
+// the JSONL recorder.
+
+const metricPrefix = "cachecost_"
+
+// promName flattens a dotted metric name into a Prometheus-legal one.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString(metricPrefix)
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promLabels renders {k="v",...}; extra pairs are appended after the
+// metric's own labels (used for quantile="0.99").
+func promLabels(labels []Label, extra ...Label) string {
+	all := append(append([]Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		v := strings.ReplaceAll(l.Value, `\`, `\\`)
+		v = strings.ReplaceAll(v, `"`, `\"`)
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(v)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// histScale converts a raw observed value into the exposition unit:
+// nanosecond observations in "seconds" histograms scale by 1e-9,
+// everything else passes through.
+func histScale(unit string) float64 {
+	if unit == "seconds" {
+		return 1e-9
+	}
+	return 1
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text format
+// (version 0.0.4): counters, gauges, and summary-style histograms with
+// quantile labels, _sum and _count.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	// One TYPE line per family, families in sorted order. Metrics
+	// sharing a name but differing in labels form one family.
+	type family struct {
+		kind  string
+		lines []string
+	}
+	fams := map[string]*family{}
+	add := func(name, kind, line string) {
+		f, ok := fams[name]
+		if !ok {
+			f = &family{kind: kind}
+			fams[name] = f
+		}
+		f.lines = append(f.lines, line)
+	}
+	for _, c := range s.Counters {
+		n := promName(c.Name)
+		add(n, "counter", fmt.Sprintf("%s%s %g", n, promLabels(c.Labels), c.Value))
+	}
+	for _, g := range s.Gauges {
+		n := promName(g.Name)
+		add(n, "gauge", fmt.Sprintf("%s%s %g", n, promLabels(g.Labels), g.Value))
+	}
+	for _, h := range s.Hists {
+		n := promName(h.Name)
+		sum := h.Summary()
+		scale := histScale(h.Unit)
+		for _, q := range []struct {
+			q string
+			v int64
+		}{{"0.5", sum.P50}, {"0.9", sum.P90}, {"0.99", sum.P99}, {"0.999", sum.P999}} {
+			add(n, "summary", fmt.Sprintf("%s%s %g", n, promLabels(h.Labels, L("quantile", q.q)), float64(q.v)*scale))
+		}
+		add(n, "summary", fmt.Sprintf("%s_sum%s %g", n, promLabels(h.Labels), float64(h.Sum)*scale))
+		add(n, "summary", fmt.Sprintf("%s_count%s %d", n, promLabels(h.Labels), h.Count))
+	}
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f := fams[n]
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", n, f.kind); err != nil {
+			return err
+		}
+		for _, line := range f.lines {
+			if _, err := fmt.Fprintln(w, line); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// jsonMetric is the /metrics.json element shape.
+type jsonMetric struct {
+	Name   string  `json:"name"`
+	Labels []Label `json:"labels,omitempty"`
+	Value  float64 `json:"value"`
+}
+
+type jsonHist struct {
+	Name   string  `json:"name"`
+	Labels []Label `json:"labels,omitempty"`
+	HistSummary
+}
+
+// jsonSnapshot is the full /metrics.json document.
+type jsonSnapshot struct {
+	Counters   []jsonMetric `json:"counters"`
+	Gauges     []jsonMetric `json:"gauges"`
+	Histograms []jsonHist   `json:"histograms"`
+}
+
+// WriteJSON renders the snapshot as one JSON document: counters,
+// gauges, and histogram digests (count/sum/max/quantiles in raw units).
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	doc := jsonSnapshot{
+		Counters:   make([]jsonMetric, 0, len(s.Counters)),
+		Gauges:     make([]jsonMetric, 0, len(s.Gauges)),
+		Histograms: make([]jsonHist, 0, len(s.Hists)),
+	}
+	for _, c := range s.Counters {
+		doc.Counters = append(doc.Counters, jsonMetric{Name: c.Name, Labels: c.Labels, Value: c.Value})
+	}
+	for _, g := range s.Gauges {
+		doc.Gauges = append(doc.Gauges, jsonMetric{Name: g.Name, Labels: g.Labels, Value: g.Value})
+	}
+	for _, h := range s.Hists {
+		sum := h.Summary()
+		doc.Histograms = append(doc.Histograms, jsonHist{Name: h.Name, Labels: h.Labels, HistSummary: sum})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

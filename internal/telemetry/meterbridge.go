@@ -1,0 +1,28 @@
+package telemetry
+
+import "cachecost/internal/meter"
+
+// RegisterMeter installs a pull collector exposing a meter's component
+// busy-time, memory levels, op counts and named counters. The meter's
+// own atomics are read only at scrape time, so bridging adds nothing to
+// the metered hot paths. Registered under a fixed name so experiment
+// drivers that build a fresh meter per cell can re-bridge without
+// accumulating dead collectors.
+func RegisterMeter(reg *Registry, name string, m *meter.Meter) {
+	if reg == nil || m == nil {
+		return
+	}
+	reg.RegisterCollector(name, func(emit func(Sample)) {
+		for _, cs := range m.Snapshot() {
+			lbl := []Label{L("component", cs.Name)}
+			emit(Sample{Name: "meter.busy_seconds", Labels: lbl, Kind: KindCounter, Value: cs.Busy.Seconds()})
+			emit(Sample{Name: "meter.ops", Labels: lbl, Kind: KindCounter, Value: float64(cs.Ops)})
+			if cs.MemBytes != 0 {
+				emit(Sample{Name: "meter.mem_bytes", Labels: lbl, Kind: KindGauge, Value: float64(cs.MemBytes)})
+			}
+		}
+		for _, c := range m.Counters() {
+			emit(Sample{Name: "meter.counter", Labels: []Label{L("name", c.Name)}, Kind: KindCounter, Value: float64(c.Value)})
+		}
+	})
+}

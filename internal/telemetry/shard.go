@@ -1,0 +1,29 @@
+package telemetry
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// pad64 is the atomic word all metrics are built from. Aliasing it
+// keeps the rest of the package free of sync/atomic noise.
+type pad64 = atomic.Int64
+
+// defaultShardCount sizes the write fan-out: enough shards to cover the
+// machine's parallelism (capped — beyond ~16 lanes the merge cost on
+// read grows faster than contention shrinks), rounded up to a power of
+// two so shard selection is a mask, not a modulo.
+func defaultShardCount() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 16 {
+		n = 16
+	}
+	if n < 1 {
+		n = 1
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
