@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"cachecost/internal/core"
@@ -30,6 +32,27 @@ import (
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// parseBatchSizes parses the -batchsizes flag: a comma-separated list of
+// positive batch sizes.
+func parseBatchSizes(s string) ([]int, error) {
+	var sizes []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("batch sizes must be positive integers")
+		}
+		sizes = append(sizes, n)
+	}
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("no batch sizes given")
+	}
+	return sizes, nil
 }
 
 // createOutput opens path for writing, verifying up front that the path
@@ -56,6 +79,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		seed        = fs.Int64("seed", 1, "workload seed")
 		replicas    = fs.Int("appreplicas", 3, "application servers carrying the linked cache")
 		faultRate   = fs.Float64("faultrate", -1, "cache fault rate for the chaos figure (-1 = default sweep)")
+		figure      = fs.String("figure", "", "figure to regenerate (alternative to the positional form)")
+		batchSizes  = fs.String("batchsizes", "", "comma-separated batch sizes for the batch figure (default sweep: 1,2,4,8,16,32)")
 		parallelism = fs.Int("parallelism", 1, "concurrent driver workers per experiment cell")
 		jsonOut     = fs.Bool("json", false, "emit tables as a JSON array instead of text")
 		outPath     = fs.String("out", "", "write table output to this file instead of stdout")
@@ -78,6 +103,9 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	args := fs.Args()
+	if *figure != "" {
+		args = append(args, *figure)
+	}
 	if len(args) == 0 {
 		fs.Usage()
 		return 2
@@ -94,6 +122,14 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 	if *faultRate >= 0 {
 		opts.FaultRates = []float64{*faultRate}
+	}
+	if *batchSizes != "" {
+		sizes, err := parseBatchSizes(*batchSizes)
+		if err != nil {
+			fmt.Fprintf(stderr, "costbench: -batchsizes %s: %v\n", *batchSizes, err)
+			return 2
+		}
+		opts.BatchSizes = sizes
 	}
 	// Telemetry is always on: the registry's record paths cost almost
 	// nothing, and every cell's result then carries measured percentiles

@@ -43,6 +43,37 @@ func TestUsageErrorsExitTwo(t *testing.T) {
 	}
 }
 
+// The batch figure runs through the -figure/-batchsizes flag form and
+// emits one row per (arch, B) cell.
+func TestBatchFigureFlags(t *testing.T) {
+	code, stdout, stderr := runCLI(t, append([]string{"-json", "-figure", "batch", "-batchsizes", "1,4"}, fastArgs...)...)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	var tables []struct {
+		ID   string     `json:"id"`
+		Rows [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &tables); err != nil {
+		t.Fatalf("-json emitted invalid JSON: %v\n%s", err, stdout)
+	}
+	if len(tables) != 1 || tables[0].ID != "batch" {
+		t.Fatalf("unexpected tables: %+v", tables)
+	}
+	if len(tables[0].Rows) != 6 { // 3 archs x 2 batch sizes
+		t.Fatalf("rows = %d, want 6:\n%v", len(tables[0].Rows), tables[0].Rows)
+	}
+}
+
+func TestBadBatchSizesExitTwo(t *testing.T) {
+	for _, bad := range []string{"0", "-3", "x", ","} {
+		code, _, stderr := runCLI(t, "-batchsizes", bad, "batch")
+		if code != 2 {
+			t.Errorf("-batchsizes %q exited %d, want 2 (stderr: %s)", bad, code, stderr)
+		}
+	}
+}
+
 // An unwritable output path must fail the run up front — before any
 // experiment burns minutes — with the path named on stderr.
 func TestUnwritableOutputFailsBeforeRunning(t *testing.T) {

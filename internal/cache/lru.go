@@ -121,7 +121,10 @@ func (c *LRU[V]) Get(key string) (V, bool) {
 	return en.val, true
 }
 
-// Peek returns the value without updating recency or stats.
+// Peek returns the value without updating recency or hit/miss stats. An
+// expired entry is reclaimed (counted under Expirations, like Get):
+// leaving it resident would keep dead bytes charged against UsedBytes
+// and Len until the next Get of that exact key.
 func (c *LRU[V]) Peek(key string) (V, bool) {
 	var zero V
 	el, ok := c.items[key]
@@ -130,6 +133,7 @@ func (c *LRU[V]) Peek(key string) (V, bool) {
 	}
 	en := el.Value.(*entry[V])
 	if !en.expire.IsZero() && c.now().After(en.expire) {
+		c.removeElement(el, &c.stats.Expirations)
 		return zero, false
 	}
 	return en.val, true
@@ -148,20 +152,29 @@ func (c *LRU[V]) PutTTL(key string, v V, ttl time.Duration) {
 	if ttl > 0 {
 		expire = c.now().Add(ttl)
 	}
+	if size > c.capacity {
+		// Not admitted (the value would evict everything else for one
+		// uncacheable object). On replace, the old entry is dropped too —
+		// keeping it would serve a value the caller just overwrote, and
+		// promoting it to the front would make evictToFit purge every
+		// OTHER entry before the oversize one. Either way this counts as
+		// an immediate eviction for observability.
+		if el, ok := c.items[key]; ok {
+			c.removeElement(el, &c.stats.Evictions)
+			return
+		}
+		c.stats.Evictions++
+		if c.onEvict != nil {
+			c.onEvict(key, v)
+		}
+		return
+	}
 	if el, ok := c.items[key]; ok {
 		en := el.Value.(*entry[V])
 		c.used += size - en.size
 		en.val, en.size, en.expire = v, size, expire
 		c.ll.MoveToFront(el)
 		c.evictToFit()
-		return
-	}
-	if size > c.capacity {
-		// Not admitted; count as an immediate eviction for observability.
-		c.stats.Evictions++
-		if c.onEvict != nil {
-			c.onEvict(key, v)
-		}
 		return
 	}
 	el := c.ll.PushFront(&entry[V]{key: key, val: v, size: size, expire: expire})

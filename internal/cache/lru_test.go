@@ -211,6 +211,113 @@ func TestLRUGenericObjectValues(t *testing.T) {
 	}
 }
 
+// Regression: replacing an existing key with a value larger than the whole
+// capacity must apply the same non-admission rule as insert. The pre-fix
+// replace path kept the oversize entry at the front, and evictToFit then
+// purged every OTHER entry before touching it.
+func TestLRUOversizedReplaceNotAdmitted(t *testing.T) {
+	c := newByteLRU(10)
+	var evicted []string
+	c.SetEvictFunc(func(k string, _ []byte) { evicted = append(evicted, k) })
+	c.Put("a", make([]byte, 4))
+	c.Put("b", make([]byte, 4))
+	c.Put("a", make([]byte, 100)) // oversize replace
+	if _, ok := c.Peek("a"); ok {
+		t.Fatal("oversize replacement must not be admitted")
+	}
+	if _, ok := c.Peek("b"); !ok {
+		t.Fatal("other entries must survive an oversize replace")
+	}
+	if c.Len() != 1 || c.UsedBytes() != 4 {
+		t.Fatalf("Len=%d used=%d, want 1/4", c.Len(), c.UsedBytes())
+	}
+	if c.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1 (the dropped old entry)", c.Stats().Evictions)
+	}
+	if len(evicted) != 1 || evicted[0] != "a" {
+		t.Fatalf("evict callback saw %v, want [a]", evicted)
+	}
+}
+
+// Regression: Peek of an expired entry must reclaim it. Pre-fix, the dead
+// entry stayed charged against UsedBytes/Len until the next Get of that
+// exact key.
+func TestLRUPeekReclaimsExpired(t *testing.T) {
+	c := newByteLRU(100)
+	now := time.Unix(1000, 0)
+	c.SetClock(func() time.Time { return now })
+	c.PutTTL("a", make([]byte, 8), time.Minute)
+	now = now.Add(2 * time.Minute)
+	if _, ok := c.Peek("a"); ok {
+		t.Fatal("expired entry must read as a miss")
+	}
+	if c.Len() != 0 || c.UsedBytes() != 0 {
+		t.Fatalf("Len=%d used=%d after expired Peek, want 0/0", c.Len(), c.UsedBytes())
+	}
+	if c.Stats().Expirations != 1 {
+		t.Fatalf("expirations = %d, want 1", c.Stats().Expirations)
+	}
+	st := c.Stats()
+	if st.Hits != 0 || st.Misses != 0 {
+		t.Fatal("Peek must not touch hit/miss counters")
+	}
+}
+
+// checkLRUInvariants asserts the accounting invariants that both bugfixes
+// protect: UsedBytes equals the sum of live entry sizes, Len matches the
+// map and list, and usage never exceeds capacity.
+func checkLRUInvariants(t *testing.T, c *LRU[[]byte]) {
+	t.Helper()
+	var sum int64
+	for _, el := range c.items {
+		sum += el.Value.(*entry[[]byte]).size
+	}
+	if c.used != sum {
+		t.Fatalf("used = %d, Σ live sizes = %d", c.used, sum)
+	}
+	if c.ll.Len() != len(c.items) {
+		t.Fatalf("list len %d != map len %d", c.ll.Len(), len(c.items))
+	}
+	if c.used > c.capacity {
+		t.Fatalf("used %d exceeds capacity %d", c.used, c.capacity)
+	}
+}
+
+// FuzzLRUInvariants drives a random op sequence (put, oversize put,
+// replace, get, peek, delete, TTL put, clock advance) and checks the
+// used == Σ live sizes invariant after every single operation.
+func FuzzLRUInvariants(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{9, 9, 9, 0, 0, 0, 5, 5})
+	f.Add([]byte{3, 17, 255, 3, 17, 42, 7, 7, 7, 128, 64})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		c := newByteLRU(64)
+		now := time.Unix(1000, 0)
+		c.SetClock(func() time.Time { return now })
+		for i := 0; i+1 < len(script); i += 2 {
+			op, arg := script[i], script[i+1]
+			key := fmt.Sprintf("k%d", arg%8)
+			switch op % 7 {
+			case 0: // put, sometimes oversize
+				c.Put(key, make([]byte, int(arg)))
+			case 1: // bounded put (always admissible)
+				c.Put(key, make([]byte, int(arg%32)))
+			case 2:
+				c.Get(key)
+			case 3:
+				c.Peek(key)
+			case 4:
+				c.Delete(key)
+			case 5: // TTL put
+				c.PutTTL(key, make([]byte, int(arg%32)), time.Duration(arg%4)*time.Second)
+			case 6: // advance clock so TTL entries expire
+				now = now.Add(time.Duration(arg%5) * time.Second)
+			}
+			checkLRUInvariants(t, c)
+		}
+	})
+}
+
 func TestStatsRatios(t *testing.T) {
 	s := Stats{Hits: 3, Misses: 1}
 	if s.HitRatio() != 0.75 {

@@ -23,8 +23,9 @@ type TTLCache[V any] struct {
 	ttl   time.Duration
 	now   func() time.Time
 
-	mu    sync.Mutex
-	stats TTLStats
+	mu      sync.Mutex
+	stats   TTLStats
+	flights map[string]*ttlFlight[V]
 }
 
 type ttlEntry[V any] struct {
@@ -32,13 +33,23 @@ type ttlEntry[V any] struct {
 	fetched time.Time
 }
 
+// ttlFlight is one in-progress load. Concurrent readers of the same
+// expired or missing key attach to the flight instead of issuing their
+// own load; the leader publishes val/err before closing done.
+type ttlFlight[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
 // TTLStats counts TTL-cache events.
 type TTLStats struct {
-	Reads   int64
-	Hits    int64 // served within TTL, no storage contact
-	Expired int64 // entry present but aged out
-	Misses  int64
-	Loads   int64
+	Reads     int64
+	Hits      int64 // served within TTL, no storage contact
+	Expired   int64 // entry present but aged out
+	Misses    int64
+	Loads     int64
+	Coalesced int64 // reads that piggybacked on an in-flight load
 }
 
 // NewTTLCache builds a TTL cache with the given freshness bound.
@@ -47,8 +58,9 @@ func NewTTLCache[V any](cfg linkedcache.Config, ttl time.Duration, sizeOf func(k
 		cache: linkedcache.New(cfg, func(k string, e ttlEntry[V]) int64 {
 			return sizeOf(k, e.value) + 24
 		}),
-		ttl: ttl,
-		now: time.Now,
+		ttl:     ttl,
+		now:     time.Now,
+		flights: make(map[string]*ttlFlight[V]),
 	}
 }
 
@@ -56,7 +68,11 @@ func NewTTLCache[V any](cfg linkedcache.Config, ttl time.Duration, sizeOf func(k
 func (c *TTLCache[V]) SetClock(now func() time.Time) { c.now = now }
 
 // Read serves key with staleness bounded by the TTL: a fresh-enough
-// entry returns immediately; otherwise the value is reloaded.
+// entry returns immediately; otherwise the value is reloaded. Concurrent
+// reloads of the same key are coalesced into a single load — without
+// this, every reader arriving in the window between the expiry Delete
+// and the refill Put would issue its own storage load (the classic
+// thundering herd on a hot key's TTL edge).
 func (c *TTLCache[V]) Read(key string, load LoadFunc[V]) (V, bool, error) {
 	var zero V
 	c.count(func(s *TTLStats) { s.Reads++ })
@@ -70,12 +86,36 @@ func (c *TTLCache[V]) Read(key string, load LoadFunc[V]) (V, bool, error) {
 	} else {
 		c.count(func(s *TTLStats) { s.Misses++ })
 	}
+
+	c.mu.Lock()
+	if fl, ok := c.flights[key]; ok {
+		c.stats.Coalesced++
+		c.mu.Unlock()
+		<-fl.done
+		if fl.err != nil {
+			return zero, false, fl.err
+		}
+		return fl.val, false, nil
+	}
+	fl := &ttlFlight[V]{done: make(chan struct{})}
+	c.flights[key] = fl
+	c.mu.Unlock()
+
 	v, _, err := load(key)
+	if err == nil {
+		c.cache.Put(key, ttlEntry[V]{value: v, fetched: c.now()})
+	}
+	fl.val, fl.err = v, err
+	c.mu.Lock()
+	delete(c.flights, key)
+	if err == nil {
+		c.stats.Loads++
+	}
+	c.mu.Unlock()
+	close(fl.done)
 	if err != nil {
 		return zero, false, err
 	}
-	c.count(func(s *TTLStats) { s.Loads++ })
-	c.cache.Put(key, ttlEntry[V]{value: v, fetched: c.now()})
 	return v, false, nil
 }
 

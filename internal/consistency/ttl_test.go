@@ -2,6 +2,7 @@ package consistency
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -107,6 +108,101 @@ func TestTTLInvalidate(t *testing.T) {
 	c.Invalidate("k")
 	if _, hit, _ := c.Read("k", st.load); hit {
 		t.Fatal("invalidated entry should reload")
+	}
+}
+
+// Regression: concurrent readers of the same expired key must coalesce
+// onto a single load. Pre-fix, every reader arriving between the expiry
+// Delete and the refill Put issued its own storage load (thundering
+// herd). A gate in the load function holds the leader's load open until
+// all readers have entered Read, so the pre-fix code would count N
+// loads where the fixed code counts exactly 1.
+func TestTTLCoalescesConcurrentLoads(t *testing.T) {
+	const readers = 8
+	st := newFakeStore()
+	st.put("k", "v1")
+	c, now := newTTL(time.Minute)
+	c.Read("k", st.load) // populate
+	*now = now.Add(2 * time.Minute)
+
+	var (
+		mu      sync.Mutex
+		loads   int
+		entered = make(chan struct{}, readers)
+		release = make(chan struct{})
+	)
+	gated := func(key string) (string, uint64, error) {
+		mu.Lock()
+		loads++
+		mu.Unlock()
+		entered <- struct{}{}
+		<-release
+		return st.load(key)
+	}
+
+	var wg sync.WaitGroup
+	results := make([]string, readers)
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, _, err := c.Read("k", gated)
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = v
+		}(i)
+	}
+	<-entered // leader is inside the load; everyone else must wait on it
+	// Give the remaining readers time to reach the flight map. They
+	// cannot proceed past it until release, so after the leader returns
+	// any reader that entered the coalescing window shares its result.
+	for deadline := time.Now().Add(2 * time.Second); ; {
+		c.mu.Lock()
+		waiting := c.stats.Coalesced
+		c.mu.Unlock()
+		if waiting == readers-1 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if loads != 1 {
+		t.Fatalf("load invoked %d times for %d concurrent readers, want 1", loads, readers)
+	}
+	for i, v := range results {
+		if v != "v1" {
+			t.Fatalf("reader %d got %q, want v1", i, v)
+		}
+	}
+	stats := c.Stats()
+	if stats.Coalesced != readers-1 {
+		t.Fatalf("Coalesced = %d, want %d", stats.Coalesced, readers-1)
+	}
+	if stats.Loads != 2 {
+		t.Fatalf("Loads = %d, want 2 (populate + one coalesced reload)", stats.Loads)
+	}
+}
+
+// A failed load must propagate its error to every coalesced reader and
+// must not leave a stuck flight behind.
+func TestTTLCoalescedLoadError(t *testing.T) {
+	c, _ := newTTL(time.Minute)
+	wantErr := fmt.Errorf("storage down")
+	failing := func(string) (string, uint64, error) { return "", 0, wantErr }
+	if _, _, err := c.Read("k", failing); err != wantErr {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+	// The flight must be cleaned up: a later read retries the load.
+	st := newFakeStore()
+	st.put("k", "v1")
+	if v, _, err := c.Read("k", st.load); err != nil || v != "v1" {
+		t.Fatalf("read after failed load = %q, %v", v, err)
+	}
+	if got := c.Stats().Loads; got != 1 {
+		t.Fatalf("Loads = %d, want 1 (failed load not counted)", got)
 	}
 }
 

@@ -50,6 +50,10 @@ type FigOptions struct {
 	// scrapes always see the live cell), and each RunResult carries the
 	// cell's histogram summaries.
 	Telemetry *telemetry.Registry
+	// BatchSizes overrides the batch figure's batch-size sweep
+	// (cmd/costbench -batchsizes). Empty means the default sweep
+	// B ∈ {1, 2, 4, 8, 16, 32}.
+	BatchSizes []int
 	// OnResult, when non-nil, receives every completed experiment cell's
 	// result as figures produce them, keyed by a cell label
 	// ("fig5b/Remote", "chaos/Linked/rate=0.1", ...). cmd/costbench uses
@@ -760,6 +764,7 @@ var Figures = []Figure{
 	{"marginal", "model marginals", FigMarginal},
 	{"allocation", "memory split: linked vs storage cache", FigAllocation},
 	{"ablation", "calibration sensitivity", FigAblation},
+	{"batch", "cost vs multi-key batch size", FigBatch},
 	{"chaos", "cost under cache-tier faults", FigChaos},
 	{"timeseries", "windowed telemetry through warm-up and a cache kill", FigTimeseries},
 }

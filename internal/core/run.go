@@ -95,6 +95,17 @@ type RunConfig struct {
 	// are drawn from the generator once, in order, and dealt round-robin
 	// to workers.
 	Parallelism int
+	// BatchSize groups each worker's operations into multi-key batches
+	// of this size (the service must implement BatchServiceWorker).
+	// Within one batch the reads are issued as one ReadBatch and the
+	// writes as one WriteBatch — reads first — so op order is preserved
+	// across batches but not within one; the aggregate op multiset is
+	// identical at any batch size. OnOp still fires once per op, per-op
+	// latency is approximated as batch wall time / batch ops, and the
+	// meter still normalizes cost per op, so results are comparable
+	// across B. <= 1 runs the classic per-op path, byte-identical to
+	// previous behaviour.
+	BatchSize int
 	// Prices is the price book for the report.
 	Prices meter.PriceBook
 	// OnOp, when non-nil, is called before each operation — warmup and
@@ -157,9 +168,14 @@ func RunExperimentCfg(svc Service, m *meter.Meter, gen workload.Generator, cfg R
 	var lats []time.Duration
 	var wall time.Duration
 	var err error
-	if cfg.Parallelism == 1 {
+	switch {
+	case cfg.BatchSize > 1 && cfg.Parallelism == 1:
+		lats, wall, err = runSequentialBatched(svc, m, gen, cfg)
+	case cfg.BatchSize > 1:
+		lats, wall, err = runParallelBatched(svc, m, gen, cfg)
+	case cfg.Parallelism == 1:
 		lats, wall, err = runSequential(svc, m, gen, cfg)
-	} else {
+	default:
 		lats, wall, err = runParallel(svc, m, gen, cfg)
 	}
 	if err != nil {

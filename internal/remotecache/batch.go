@@ -1,0 +1,466 @@
+package remotecache
+
+import (
+	"fmt"
+	"time"
+
+	"cachecost/internal/rpc"
+	"cachecost/internal/trace"
+	"cachecost/internal/wire"
+)
+
+// Multi-key operations. A batch ships one request frame and one response
+// frame per owning cache node regardless of how many keys it carries, so
+// the per-message costs the paper's model charges — RPC framing, flush,
+// dispatch, trace-context propagation — are amortized over the batch.
+// Response vectors are positional: Found[i] and Values[i] answer Keys[i]
+// of the request, with Values[i] empty on a miss.
+//
+// Partial-result semantics: the client fans a batch out per owning node
+// (consistent hashing, same ring as the scalar ops). In degraded mode a
+// failed node RPC demotes that node's slice of the batch to misses —
+// counted as ONE demotion, it was one RPC — while other nodes' results
+// stand. In strict mode any node failure fails the whole batch.
+
+// MultiGetRequest asks for many keys in one frame.
+type MultiGetRequest struct {
+	Keys []string
+}
+
+// MarshalWire implements wire.Marshaler.
+func (r *MultiGetRequest) MarshalWire(e *wire.Encoder) { e.StringSlice(1, r.Keys) }
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (r *MultiGetRequest) UnmarshalWire(d *wire.Decoder) error {
+	return decodeFields(d, func(f uint32, t wire.Type) (err error) {
+		if f == 1 {
+			var k string
+			k, err = d.String()
+			r.Keys = append(r.Keys, k)
+			return err
+		}
+		return d.Skip(t)
+	})
+}
+
+// MultiGetResponse carries positional results: Found as a packed bitmap,
+// Values as repeated bytes aligned with the request's key order.
+type MultiGetResponse struct {
+	Found  []bool
+	Values [][]byte
+}
+
+// MarshalWire implements wire.Marshaler.
+func (r *MultiGetResponse) MarshalWire(e *wire.Encoder) {
+	e.PackedBools(1, r.Found)
+	e.BytesSlice(2, r.Values)
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (r *MultiGetResponse) UnmarshalWire(d *wire.Decoder) error {
+	return decodeFields(d, func(f uint32, t wire.Type) (err error) {
+		switch f {
+		case 1:
+			r.Found, err = d.PackedBools(r.Found)
+		case 2:
+			var b []byte
+			b, err = d.Bytes()
+			if len(b) == 0 {
+				r.Values = append(r.Values, nil)
+			} else {
+				r.Values = append(r.Values, append([]byte(nil), b...))
+			}
+		default:
+			err = d.Skip(t)
+		}
+		return err
+	})
+}
+
+// MultiSetRequest stores many key/value pairs, sharing one TTL — batches
+// come from one backfill decision, so per-key TTLs would only pad the
+// frame.
+type MultiSetRequest struct {
+	Keys   []string
+	Values [][]byte
+	TTLms  int64
+}
+
+// MarshalWire implements wire.Marshaler.
+func (r *MultiSetRequest) MarshalWire(e *wire.Encoder) {
+	e.StringSlice(1, r.Keys)
+	e.BytesSlice(2, r.Values)
+	e.Int64(3, r.TTLms)
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (r *MultiSetRequest) UnmarshalWire(d *wire.Decoder) error {
+	return decodeFields(d, func(f uint32, t wire.Type) (err error) {
+		switch f {
+		case 1:
+			var k string
+			k, err = d.String()
+			r.Keys = append(r.Keys, k)
+		case 2:
+			var b []byte
+			b, err = d.Bytes()
+			r.Values = append(r.Values, append([]byte(nil), b...))
+		case 3:
+			r.TTLms, err = d.Int64()
+		default:
+			err = d.Skip(t)
+		}
+		return err
+	})
+}
+
+// MultiDeleteRequest removes many keys in one frame.
+type MultiDeleteRequest struct {
+	Keys []string
+}
+
+// MarshalWire implements wire.Marshaler.
+func (r *MultiDeleteRequest) MarshalWire(e *wire.Encoder) { e.StringSlice(1, r.Keys) }
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (r *MultiDeleteRequest) UnmarshalWire(d *wire.Decoder) error {
+	return decodeFields(d, func(f uint32, t wire.Type) (err error) {
+		if f == 1 {
+			var k string
+			k, err = d.String()
+			r.Keys = append(r.Keys, k)
+			return err
+		}
+		return d.Skip(t)
+	})
+}
+
+// MultiAck is the positional write reply: OK[i] answers Keys[i] (for
+// MultiDelete, whether the key existed).
+type MultiAck struct {
+	OK []bool
+}
+
+// MarshalWire implements wire.Marshaler.
+func (r *MultiAck) MarshalWire(e *wire.Encoder) { e.PackedBools(1, r.OK) }
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (r *MultiAck) UnmarshalWire(d *wire.Decoder) error {
+	return decodeFields(d, func(f uint32, t wire.Type) (err error) {
+		if f == 1 {
+			r.OK, err = d.PackedBools(r.OK)
+			return err
+		}
+		return d.Skip(t)
+	})
+}
+
+// nodeBatch is one owning node's slice of a batch: the keys it owns and
+// their positions in the caller's order.
+type nodeBatch struct {
+	node string
+	conn rpc.Conn
+	keys []string
+	idx  []int
+}
+
+// group partitions keys by owning node, preserving each key's position.
+// Single-node rings (the common experiment topology) yield one group.
+func (c *Client) group(keys []string) ([]*nodeBatch, error) {
+	var groups []*nodeBatch
+	byNode := make(map[string]*nodeBatch, 1)
+	for i, key := range keys {
+		node := c.ring.Owner(key)
+		if node == "" {
+			return nil, ErrNoNodes
+		}
+		g, ok := byNode[node]
+		if !ok {
+			conn, okc := c.conns[node]
+			if !okc {
+				return nil, fmt.Errorf("remotecache: no connection for node %q", node)
+			}
+			g = &nodeBatch{node: node, conn: conn}
+			byNode[node] = g
+			groups = append(groups, g)
+		}
+		g.keys = append(g.keys, key)
+		g.idx = append(g.idx, i)
+	}
+	return groups, nil
+}
+
+// MultiGet fetches keys, reporting per-key presence positionally.
+func (c *Client) MultiGet(keys []string) ([][]byte, []bool, error) {
+	return c.MultiGetCtx(trace.SpanContext{}, keys)
+}
+
+// MultiGetCtx is MultiGet carrying the caller's span context. Each node
+// RPC counts two cache messages (one request, one response frame —
+// NOT two per key); each key's outcome feeds the trace hit/miss
+// counters exactly as the scalar path would. In degraded mode a failed
+// node RPC demotes its keys to misses without failing the batch.
+func (c *Client) MultiGetCtx(sc trace.SpanContext, keys []string) ([][]byte, []bool, error) {
+	values := make([][]byte, len(keys))
+	found := make([]bool, len(keys))
+	if len(keys) == 0 {
+		return values, found, nil
+	}
+	groups, err := c.group(keys)
+	if err != nil {
+		if !c.degrade.Load() {
+			return nil, nil, err
+		}
+		c.demote()
+		groups = nil // every key reads as a miss
+	}
+	for _, g := range groups {
+		resp, err := c.multiGetNode(sc, g)
+		if err != nil {
+			if !c.degrade.Load() {
+				return nil, nil, err
+			}
+			c.demote() // one failed RPC, one demotion; g's keys stay misses
+			continue
+		}
+		for i, ki := range g.idx {
+			values[ki], found[ki] = resp.Values[i], resp.Found[i]
+		}
+	}
+	for _, f := range found {
+		sc.Tracer().CountCacheHit(f)
+		if f {
+			c.tmHits.Inc()
+		} else {
+			c.tmMisses.Inc()
+		}
+	}
+	return values, found, nil
+}
+
+func (c *Client) multiGetNode(sc trace.SpanContext, g *nodeBatch) (*MultiGetResponse, error) {
+	e := wire.GetEncoder()
+	e.StringSlice(1, g.keys)
+	respBody, err := rpc.CallTraced(g.conn, sc, "cache.MultiGet", e.Bytes())
+	wire.PutEncoder(e)
+	if err != nil {
+		return nil, err
+	}
+	sc.Tracer().CountCacheMsgs(2)
+	resp := &MultiGetResponse{
+		Found:  make([]bool, 0, len(g.keys)),
+		Values: make([][]byte, 0, len(g.keys)),
+	}
+	err = wire.Unmarshal(respBody, resp)
+	rpc.PutBuffer(respBody) // decode copied the values out; the buffer is dead
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Found) != len(g.keys) || len(resp.Values) != len(g.keys) {
+		return nil, fmt.Errorf("remotecache: MultiGet response misaligned: %d keys, %d found, %d values",
+			len(g.keys), len(resp.Found), len(resp.Values))
+	}
+	return resp, nil
+}
+
+// MultiSetTTL stores keys[i] = values[i], all expiring after ttl
+// (0 = never).
+func (c *Client) MultiSetTTL(keys []string, values [][]byte, ttl time.Duration) error {
+	return c.MultiSetTTLCtx(trace.SpanContext{}, keys, values, ttl)
+}
+
+// MultiSetTTLCtx is MultiSetTTL carrying the caller's span context. In
+// degraded mode a failed node RPC is one counted no-op demotion: the
+// next read of those keys re-populates.
+func (c *Client) MultiSetTTLCtx(sc trace.SpanContext, keys []string, values [][]byte, ttl time.Duration) error {
+	if len(keys) != len(values) {
+		return fmt.Errorf("remotecache: MultiSet %d keys but %d values", len(keys), len(values))
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+	groups, err := c.group(keys)
+	if err != nil {
+		if !c.degrade.Load() {
+			return err
+		}
+		c.demote()
+		return nil
+	}
+	for _, g := range groups {
+		e := wire.GetEncoder()
+		e.StringSlice(1, g.keys)
+		for _, ki := range g.idx {
+			e.BytesField(2, values[ki])
+		}
+		e.Int64(3, int64(ttl/time.Millisecond))
+		respBody, err := rpc.CallTraced(g.conn, sc, "cache.MultiSet", e.Bytes())
+		wire.PutEncoder(e)
+		if err != nil {
+			if !c.degrade.Load() {
+				return err
+			}
+			c.demote()
+			continue
+		}
+		sc.Tracer().CountCacheMsgs(2)
+		var ack MultiAck
+		err = wire.Unmarshal(respBody, &ack)
+		rpc.PutBuffer(respBody)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MultiDelete removes keys — the batched invalidation path. In degraded
+// mode a failed node RPC is one counted demotion; those entries may
+// survive until their node recovers, the same bounded-staleness price
+// the scalar Delete documents.
+func (c *Client) MultiDelete(keys []string) error {
+	return c.MultiDeleteCtx(trace.SpanContext{}, keys)
+}
+
+// MultiDeleteCtx is MultiDelete carrying the caller's span context.
+func (c *Client) MultiDeleteCtx(sc trace.SpanContext, keys []string) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	groups, err := c.group(keys)
+	if err != nil {
+		if !c.degrade.Load() {
+			return err
+		}
+		c.demote()
+		return nil
+	}
+	for _, g := range groups {
+		e := wire.GetEncoder()
+		e.StringSlice(1, g.keys)
+		respBody, err := rpc.CallTraced(g.conn, sc, "cache.MultiDelete", e.Bytes())
+		wire.PutEncoder(e)
+		if err != nil {
+			if !c.degrade.Load() {
+				return err
+			}
+			c.demote()
+			continue
+		}
+		sc.Tracer().CountCacheMsgs(2)
+		var ack MultiAck
+		err = wire.Unmarshal(respBody, &ack)
+		rpc.PutBuffer(respBody)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// handleMultiGet serves cache.MultiGet. Keys are decoded zero-copy (they
+// are lookup arguments, dead once the handler returns); the response is
+// one frame with a packed found bitmap and the values positionally.
+func (s *Server) handleMultiGet(sc trace.SpanContext, req []byte) ([]byte, error) {
+	var keys []string
+	err := wire.Decode(req, func(d *wire.Decoder) error {
+		return decodeFields(d, func(f uint32, t wire.Type) error {
+			if f == 1 {
+				k, err := d.StringZC()
+				if err != nil {
+					return err
+				}
+				keys = append(keys, k)
+				return nil
+			}
+			return d.Skip(t)
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	act, _ := trace.Start(sc, s.name, "multiget")
+	found := make([]bool, len(keys))
+	values := make([][]byte, len(keys))
+	hits := 0
+	for i, k := range keys {
+		values[i], found[i] = s.store.Get(k)
+		if found[i] {
+			hits++
+		}
+	}
+	e := wire.GetEncoder()
+	e.PackedBools(1, found)
+	e.BytesSlice(2, values)
+	resp := append([]byte(nil), e.Bytes()...)
+	wire.PutEncoder(e)
+	act.AnnotateInt("batch.keys", int64(len(keys)))
+	act.AnnotateInt("batch.hits", int64(hits))
+	act.SetBytes(len(req), len(resp))
+	act.End()
+	return resp, nil
+}
+
+// handleMultiSet serves cache.MultiSet. The decode copies keys and
+// values out of the transport buffer (the store retains them).
+func (s *Server) handleMultiSet(sc trace.SpanContext, req []byte) ([]byte, error) {
+	var r MultiSetRequest
+	if err := wire.Unmarshal(req, &r); err != nil {
+		return nil, err
+	}
+	if len(r.Keys) != len(r.Values) {
+		return nil, fmt.Errorf("remotecache: MultiSet %d keys but %d values", len(r.Keys), len(r.Values))
+	}
+	act, _ := trace.Start(sc, s.name, "multiset")
+	ok := make([]bool, len(r.Keys))
+	for i, k := range r.Keys {
+		if r.TTLms > 0 {
+			s.store.PutTTL(k, r.Values[i], time.Duration(r.TTLms)*time.Millisecond)
+		} else {
+			s.store.Put(k, r.Values[i])
+		}
+		ok[i] = true
+	}
+	act.AnnotateInt("batch.keys", int64(len(r.Keys)))
+	act.SetBytes(len(req), 0)
+	act.End()
+	e := wire.GetEncoder()
+	e.PackedBools(1, ok)
+	resp := append([]byte(nil), e.Bytes()...)
+	wire.PutEncoder(e)
+	return resp, nil
+}
+
+// handleMultiDelete serves cache.MultiDelete; OK[i] reports whether
+// key i existed.
+func (s *Server) handleMultiDelete(sc trace.SpanContext, req []byte) ([]byte, error) {
+	var keys []string
+	err := wire.Decode(req, func(d *wire.Decoder) error {
+		return decodeFields(d, func(f uint32, t wire.Type) error {
+			if f == 1 {
+				k, err := d.StringZC()
+				if err != nil {
+					return err
+				}
+				keys = append(keys, k)
+				return nil
+			}
+			return d.Skip(t)
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	act, _ := trace.Start(sc, s.name, "multidelete")
+	ok := make([]bool, len(keys))
+	for i, k := range keys {
+		ok[i] = s.store.Delete(k)
+	}
+	act.AnnotateInt("batch.keys", int64(len(keys)))
+	act.End()
+	e := wire.GetEncoder()
+	e.PackedBools(1, ok)
+	resp := append([]byte(nil), e.Bytes()...)
+	wire.PutEncoder(e)
+	return resp, nil
+}

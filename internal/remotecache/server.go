@@ -12,7 +12,8 @@ import (
 )
 
 // Server is one remote cache node: a byte-budgeted sharded LRU behind RPC
-// methods cache.Get / cache.Set / cache.Delete.
+// methods cache.Get / cache.Set / cache.Delete and their batched
+// counterparts cache.MultiGet / cache.MultiSet / cache.MultiDelete.
 type Server struct {
 	store  *cache.Sharded[[]byte]
 	rpcsrv *rpc.Server
@@ -74,6 +75,9 @@ func NewServer(cfg ServerConfig) *Server {
 	s.rpcsrv.HandleCtx("cache.Get", s.handleGet)
 	s.rpcsrv.HandleCtx("cache.Set", s.handleSet)
 	s.rpcsrv.HandleCtx("cache.Delete", s.handleDelete)
+	s.rpcsrv.HandleCtx("cache.MultiGet", s.handleMultiGet)
+	s.rpcsrv.HandleCtx("cache.MultiSet", s.handleMultiSet)
+	s.rpcsrv.HandleCtx("cache.MultiDelete", s.handleMultiDelete)
 	return s
 }
 

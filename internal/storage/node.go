@@ -105,6 +105,7 @@ type Node struct {
 	histQuery   *telemetry.Histogram
 	histExec    *telemetry.Histogram
 	histVersion *telemetry.Histogram
+	histBatch   *telemetry.Histogram
 
 	// lastResult holds each replica's most recent apply result; indexed
 	// by replica id, guarded by mu (appliers run under Propose, which the
@@ -164,10 +165,12 @@ func NewNode(cfg Config) *Node {
 	n.server.HandleCtx("sql.Query", n.handleQuery)
 	n.server.HandleCtx("sql.Exec", n.handleExec)
 	n.server.HandleCtx("sql.Version", n.handleVersion)
+	n.server.HandleCtx("sql.BatchQuery", n.handleBatchQuery)
 	if cfg.Telemetry != nil {
 		n.histQuery = cfg.Telemetry.Histogram("storage.stmt.latency", "seconds", telemetry.L("stmt", "query"))
 		n.histExec = cfg.Telemetry.Histogram("storage.stmt.latency", "seconds", telemetry.L("stmt", "exec"))
 		n.histVersion = cfg.Telemetry.Histogram("storage.stmt.latency", "seconds", telemetry.L("stmt", "version"))
+		n.histBatch = cfg.Telemetry.Histogram("storage.stmt.latency", "seconds", telemetry.L("stmt", "batch"))
 		n.server.SetMetrics(rpc.NewMetrics(cfg.Telemetry, cfg.Prefix))
 		n.RegisterTelemetry(cfg.Telemetry)
 	}

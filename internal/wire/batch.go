@@ -1,0 +1,97 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Batch frame primitives. Multi-key request/response messages carry two
+// shapes the scalar codec does not cover efficiently:
+//
+//   - a per-key bool vector (found/ok flags), which as repeated Bool
+//     fields would cost 2 bytes per key — packed, it costs ⌈n/8⌉ bytes
+//     plus one tag for the whole vector;
+//   - repeated string/bytes fields (keys, values), which reuse the
+//     ordinary length-delimited encoding: one tagged occurrence per
+//     element, order-preserving, so response element i aligns with
+//     request element i.
+//
+// The packed bool layout inside one TBytes field body is
+//
+//	uvarint(count) ⌈count/8⌉ bitmap bytes, bit i = byte i/8, LSB-first
+//
+// Count-prefixing makes the field self-describing: without it a 1-byte
+// bitmap could mean anywhere from 1 to 8 bools, and a response's Found
+// vector could silently misalign with the request's key list.
+
+// ErrPackedBools is returned when a packed bool field body is malformed.
+var ErrPackedBools = errors.New("wire: malformed packed bools")
+
+// maxPackedBools bounds decode-side allocation for hostile inputs. A
+// batch of a million keys is far beyond anything the transport ships.
+const maxPackedBools = 1 << 20
+
+// PackedBools encodes vs as a single count-prefixed bitmap field.
+// An empty or nil slice encodes a zero-count field (still present, so
+// decoders can distinguish "no results" from "field absent").
+func (e *Encoder) PackedBools(field uint32, vs []bool) {
+	e.tag(field, TBytes)
+	nbytes := (len(vs) + 7) / 8
+	e.buf = AppendUvarint(e.buf, uint64(UvarintLen(uint64(len(vs)))+nbytes))
+	e.buf = AppendUvarint(e.buf, uint64(len(vs)))
+	start := len(e.buf)
+	e.buf = append(e.buf, make([]byte, nbytes)...)
+	for i, v := range vs {
+		if v {
+			e.buf[start+i/8] |= 1 << (i % 8)
+		}
+	}
+}
+
+// PackedBools decodes a count-prefixed bitmap field body appended to
+// dst (pass nil for a fresh slice). The trailing bitmap bits beyond
+// count must be zero — a nonzero spare bit means the encoder and
+// decoder disagree about the layout.
+func (d *Decoder) PackedBools(dst []bool) ([]bool, error) {
+	body, err := d.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	n, used, err := Uvarint(body)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrPackedBools, err)
+	}
+	if n > maxPackedBools {
+		return nil, fmt.Errorf("%w: count %d exceeds limit", ErrPackedBools, n)
+	}
+	bitmap := body[used:]
+	if len(bitmap) != (int(n)+7)/8 {
+		return nil, fmt.Errorf("%w: count %d but %d bitmap bytes", ErrPackedBools, n, len(bitmap))
+	}
+	for i := uint64(0); i < n; i++ {
+		dst = append(dst, bitmap[i/8]&(1<<(i%8)) != 0)
+	}
+	if n%8 != 0 && len(bitmap) > 0 {
+		if spare := bitmap[len(bitmap)-1] >> (n % 8); spare != 0 {
+			return nil, fmt.Errorf("%w: nonzero spare bits", ErrPackedBools)
+		}
+	}
+	return dst, nil
+}
+
+// StringSlice encodes vs as repeated length-delimited occurrences of
+// field, preserving order.
+func (e *Encoder) StringSlice(field uint32, vs []string) {
+	for _, v := range vs {
+		e.String(field, v)
+	}
+}
+
+// BytesSlice encodes vs as repeated length-delimited occurrences of
+// field, preserving order. Nil elements encode as empty (the batch
+// convention for "no value at this position").
+func (e *Encoder) BytesSlice(field uint32, vs [][]byte) {
+	for _, v := range vs {
+		e.BytesField(field, v)
+	}
+}
