@@ -54,6 +54,8 @@ func main() {
 		preload   = flag.Int("preload", 0, "preload N keys before serving")
 		valueSize = flag.Int("valuesize", 1024, "preloaded value size")
 		metrics   = flag.String("metrics", "", "serve /metrics, /metrics.json, /statusz and /debug/pprof on this address")
+		inflight  = flag.Int("maxinflight", 0, "admission gate: concurrent request slots (0 = no admission control)")
+		queue     = flag.Int("queuedepth", 0, "admission gate: bounded wait-queue depth behind the slots")
 	)
 	flag.Parse()
 
@@ -95,12 +97,17 @@ func main() {
 		eps.Cache = cacheConn
 	}
 
-	svc, err := core.NewKVServiceRemote(core.ServiceConfig{
+	svcCfg := core.ServiceConfig{
 		Arch:          arch,
 		Meter:         m,
 		AppCacheBytes: *appCache,
 		Telemetry:     reg,
-	}, eps)
+	}
+	if *inflight > 0 {
+		svcCfg.Admission = &core.AdmissionConfig{MaxInflight: *inflight, QueueDepth: *queue}
+		log.Printf("appserver: admission gate: %d slots, queue depth %d", *inflight, *queue)
+	}
+	svc, err := core.NewKVServiceRemote(svcCfg, eps)
 	if err != nil {
 		log.Fatalf("appserver: %v", err)
 	}

@@ -28,6 +28,7 @@ import (
 	"cachecost/internal/core"
 	"cachecost/internal/telemetry"
 	"cachecost/internal/trace"
+	"cachecost/internal/workload"
 )
 
 func main() {
@@ -53,6 +54,27 @@ func parseBatchSizes(s string) ([]int, error) {
 		return nil, fmt.Errorf("no batch sizes given")
 	}
 	return sizes, nil
+}
+
+// parseLoads parses the -offered flag: a comma-separated list of
+// positive offered-load multipliers.
+func parseLoads(s string) ([]float64, error) {
+	var loads []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("offered-load multipliers must be positive numbers")
+		}
+		loads = append(loads, v)
+	}
+	if len(loads) == 0 {
+		return nil, fmt.Errorf("no offered-load multipliers given")
+	}
+	return loads, nil
 }
 
 // createOutput opens path for writing, verifying up front that the path
@@ -87,6 +109,9 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		tracePath   = fs.String("trace", "", "trace every cell and write the sampled traces as Chrome trace-event JSON to this file")
 		traceSample = fs.Int("tracesample", 1, "with -trace, record spans for 1 in N requests")
 		traceBuf    = fs.Int("tracebuf", 64, "with -trace, retain the last N completed traces")
+		offered     = fs.String("offered", "", "comma-separated offered-load multipliers of closed-loop capacity for the overload figure (default sweep: 0.3,0.6,1.5,3)")
+		slo         = fs.Duration("slo", 0, "per-request latency budget for the overload figure (0 = derive from the capacity probe)")
+		arrival     = fs.String("arrival", "", "arrival process for the overload figure: poisson, bursty or diurnal (default poisson)")
 		metricsAddr = fs.String("metrics", "", "serve /metrics, /metrics.json, /statusz and /debug/pprof on this address while figures run")
 		snapPath    = fs.String("snapshot", "", "append timestamped telemetry deltas to this JSONL file while figures run")
 		snapIvl     = fs.Duration("snapshot-interval", time.Second, "with -snapshot, the recording interval")
@@ -130,6 +155,22 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		opts.BatchSizes = sizes
+	}
+	if *offered != "" {
+		loads, err := parseLoads(*offered)
+		if err != nil {
+			fmt.Fprintf(stderr, "costbench: -offered %s: %v\n", *offered, err)
+			return 2
+		}
+		opts.OfferedLoads = loads
+	}
+	opts.SLO = *slo
+	if *arrival != "" {
+		if _, err := workload.ParseArrivalProcess(*arrival); err != nil {
+			fmt.Fprintf(stderr, "costbench: -arrival: %v\n", err)
+			return 2
+		}
+		opts.Arrival = *arrival
 	}
 	// Telemetry is always on: the registry's record paths cost almost
 	// nothing, and every cell's result then carries measured percentiles

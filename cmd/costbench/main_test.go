@@ -271,3 +271,52 @@ func TestMetricsFlagBindsAndRuns(t *testing.T) {
 		t.Fatalf("no serving banner on stderr:\n%s", stderr)
 	}
 }
+
+// The overload figure runs through -offered/-arrival/-slo and emits one
+// row per (arch, offered load), with the shed columns present.
+func TestOverloadFigureFlags(t *testing.T) {
+	code, stdout, stderr := runCLI(t, append([]string{
+		"-json", "-figure", "overload", "-offered", "0.4,2.5", "-arrival", "bursty", "-slo", "20ms",
+	}, fastArgs...)...)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	var tables []struct {
+		ID     string     `json:"id"`
+		Title  string     `json:"title"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &tables); err != nil {
+		t.Fatalf("-json emitted invalid JSON: %v\n%s", err, stdout)
+	}
+	if len(tables) != 1 || tables[0].ID != "overload" {
+		t.Fatalf("unexpected tables: %+v", tables)
+	}
+	if len(tables[0].Rows) != 6 { // 3 archs x 2 offered loads
+		t.Fatalf("rows = %d, want 6:\n%v", len(tables[0].Rows), tables[0].Rows)
+	}
+	if !strings.Contains(tables[0].Title, "bursty") {
+		t.Fatalf("-arrival bursty not reflected in title: %q", tables[0].Title)
+	}
+	want := []string{"arch", "load_x", "offered_qps", "goodput_qps"}
+	for i, col := range want {
+		if tables[0].Header[i] != col {
+			t.Fatalf("header = %v, want prefix %v", tables[0].Header, want)
+		}
+	}
+}
+
+func TestBadOverloadFlagsExitTwo(t *testing.T) {
+	for _, args := range [][]string{
+		{"-offered", "0", "overload"},
+		{"-offered", "x", "overload"},
+		{"-offered", ",", "overload"},
+		{"-arrival", "sawtooth", "overload"},
+	} {
+		code, _, stderr := runCLI(t, args...)
+		if code != 2 {
+			t.Errorf("args %v exited %d, want 2 (stderr: %s)", args, code, stderr)
+		}
+	}
+}

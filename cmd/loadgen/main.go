@@ -1,7 +1,16 @@
 // Command loadgen drives an appserver with one of the paper's workloads
 // over real sockets and reports throughput and latency percentiles.
 //
+// The default mode is closed-loop: N workers, each issuing the next op
+// when the last returns. With -arrival it switches to open-loop: a
+// deterministic seeded schedule fixes every op's intended arrival before
+// the run, a dispatcher releases ops at those instants into bounded
+// per-worker queues, and latency is reported against BOTH clocks — the
+// intended arrival (coordinated-omission-free) and the send instant (the
+// closed-loop blind spot, shown for contrast).
+//
 //	loadgen -target localhost:7001 -workload synthetic -ops 50000 -concurrency 8
+//	loadgen -target localhost:7001 -arrival poisson -rate 20000 -slo 10ms -ops 50000
 //	loadgen -target localhost:7001 -trace trace.bin -ops 50000
 package main
 
@@ -10,6 +19,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -19,6 +29,7 @@ import (
 	"cachecost/internal/remotecache"
 	"cachecost/internal/rpc"
 	"cachecost/internal/telemetry"
+	"cachecost/internal/trace"
 	"cachecost/internal/wire"
 	"cachecost/internal/workload"
 )
@@ -36,6 +47,10 @@ func main() {
 		seed        = flag.Int64("seed", 1, "workload seed")
 		traceFile   = flag.String("trace", "", "replay a recorded trace (see cmd/tracegen)")
 		metrics     = flag.String("metrics", "", "serve /metrics, /metrics.json, /statusz and /debug/pprof on this address")
+		arrival     = flag.String("arrival", "", "open-loop arrival process: poisson|bursty|diurnal (empty = closed loop)")
+		rate        = flag.Float64("rate", 0, "open-loop mean offered rate in ops/sec (required with -arrival)")
+		slo         = flag.Duration("slo", 0, "open-loop per-op latency budget, propagated as a deadline (0 = none)")
+		laneDepth   = flag.Int("lanedepth", 1024, "open-loop bound on each worker's queue; arrivals past it are shed client-side")
 	)
 	flag.Parse()
 
@@ -64,6 +79,19 @@ func main() {
 		gen = rep
 	} else {
 		gen = buildGenerator(*wl, *keys, *alpha, *readRatio, *valueSize, *seed)
+	}
+	if *arrival != "" {
+		proc, err := workload.ParseArrivalProcess(*arrival)
+		if err != nil {
+			log.Fatalf("loadgen: -arrival: %v", err)
+		}
+		if *rate <= 0 {
+			log.Fatal("loadgen: -arrival requires a positive -rate")
+		}
+		runOpenLoop(gen, reg, *target, *ops, *concurrency, workload.ArrivalConfig{
+			Process: proc, Rate: *rate, Seed: *seed,
+		}, *slo, *laneDepth)
+		return
 	}
 	runLoad(gen, reg, *target, *ops, *concurrency)
 }
@@ -161,4 +189,167 @@ func runLoad(gen workload.Generator, reg *telemetry.Registry, target string, ops
 	fmt.Printf("throughput: %.0f ops/s\n", float64(len(all))/elapsed.Seconds())
 	fmt.Printf("latency: p50=%v p90=%v p99=%v max=%v\n",
 		pct(0.50), pct(0.90), pct(0.99), pct(1.0))
+}
+
+// timedOp is one dispatched open-loop operation.
+type timedOp struct {
+	op       workload.Op
+	intended time.Time
+	deadline time.Time
+}
+
+// callOp issues one op on conn, attaching the deadline (when set) to the
+// wire trace context so the server's admission gate can act on it.
+func callOp(conn *rpc.Client, op workload.Op, deadline time.Time) error {
+	var sc trace.SpanContext
+	if !deadline.IsZero() {
+		sc = sc.WithDeadline(deadline)
+	}
+	var err error
+	if op.Kind == workload.Read {
+		_, err = conn.CallCtx(sc, "app.Read", wire.Marshal(&remotecache.GetRequest{Key: op.Key}))
+	} else {
+		_, err = conn.CallCtx(sc, "app.Write", wire.Marshal(&remotecache.SetRequest{
+			Key:   op.Key,
+			Value: core.ValueFor(op.Key, op.ValueSize),
+		}))
+	}
+	return err
+}
+
+// runOpenLoop drives the target from a deterministic arrival schedule:
+// the same open-loop mechanics as the in-process experiment driver
+// (bounded lanes, dispatcher pacing, dual-clock recording), over real
+// sockets.
+func runOpenLoop(gen workload.Generator, reg *telemetry.Registry, target string, ops, lanes int, acfg workload.ArrivalConfig, slo time.Duration, depth int) {
+	stream := make([]workload.Op, ops)
+	for i := range stream {
+		stream[i] = gen.Next()
+	}
+	sched, err := workload.BuildSchedule(acfg, ops)
+	if err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+
+	reqHist := reg.Histogram("request.latency", "seconds")
+	connMetrics := rpc.NewMetrics(reg, "tcp")
+	conns := make([]*rpc.Client, lanes)
+	for i := range conns {
+		c, err := rpc.Dial(target, nil, nil, rpc.CostModel{})
+		if err != nil {
+			log.Fatalf("loadgen: dial: %v", err)
+		}
+		c.SetMetrics(connMetrics)
+		conns[i] = c
+		defer c.Close()
+	}
+
+	type laneRec struct {
+		intended, send []time.Duration
+		failures       int64
+		executed       int
+	}
+	recs := make([]laneRec, lanes)
+	chans := make([]chan timedOp, lanes)
+	var wg sync.WaitGroup
+	for w := 0; w < lanes; w++ {
+		chans[w] = make(chan timedOp, depth)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rec := &recs[w]
+			for to := range chans[w] {
+				sendT0 := time.Now()
+				if err := callOp(conns[w], to.op, to.deadline); err != nil {
+					rec.failures++
+					continue
+				}
+				done := time.Now()
+				rec.executed++
+				dIntended := done.Sub(to.intended)
+				reqHist.Observe(int64(dIntended))
+				rec.intended = append(rec.intended, dIntended)
+				rec.send = append(rec.send, done.Sub(sendT0))
+			}
+		}(w)
+	}
+
+	// Dispatch each op at its intended instant; a full lane sheds the op
+	// client-side (bounded buffers keep a dead server from eating RAM).
+	var clientShed int64
+	t0 := time.Now()
+	for i := 0; i < ops; i++ {
+		tgt := t0.Add(sched.Offset(i))
+		for {
+			rem := time.Until(tgt)
+			if rem <= 0 {
+				break
+			}
+			if rem > 200*time.Microsecond {
+				time.Sleep(rem - 100*time.Microsecond)
+			} else {
+				runtime.Gosched()
+			}
+		}
+		var deadline time.Time
+		if slo > 0 {
+			deadline = tgt.Add(slo)
+		}
+		select {
+		case chans[i%lanes] <- timedOp{op: stream[i], intended: tgt, deadline: deadline}:
+		default:
+			clientShed++
+		}
+	}
+	for _, ch := range chans {
+		close(ch)
+	}
+	wg.Wait()
+	wall := time.Since(t0)
+
+	var intended, send []time.Duration
+	var failures int64
+	executed := 0
+	for i := range recs {
+		intended = append(intended, recs[i].intended...)
+		send = append(send, recs[i].send...)
+		failures += recs[i].failures
+		executed += recs[i].executed
+	}
+	sort.Slice(intended, func(i, j int) bool { return intended[i] < intended[j] })
+	sort.Slice(send, func(i, j int) bool { return send[i] < send[j] })
+	pct := func(s []time.Duration, p float64) time.Duration {
+		if len(s) == 0 {
+			return 0
+		}
+		return s[int(p*float64(len(s)-1))]
+	}
+
+	fmt.Printf("workload=%s arrival=%s offered=%d executed=%d client_shed=%d failures=%d\n",
+		gen.Name(), sched.Name(), ops, executed, clientShed, failures)
+	fmt.Printf("offered rate: %.0f ops/s (schedule span %v, wall %v)\n",
+		sched.OfferedQPS(), sched.Span().Round(time.Millisecond), wall.Round(time.Millisecond))
+	fmt.Printf("throughput: %.0f ops/s (executed / schedule span)\n",
+		float64(executed)/sched.Span().Seconds())
+	fmt.Printf("latency (intended-arrival clock, CO-free): p50=%v p90=%v p99=%v max=%v\n",
+		pct(intended, 0.50), pct(intended, 0.90), pct(intended, 0.99), pct(intended, 1.0))
+	fmt.Printf("latency (send clock, for contrast):        p50=%v p90=%v p99=%v max=%v\n",
+		pct(send, 0.50), pct(send, 0.90), pct(send, 0.99), pct(send, 1.0))
+	if slo > 0 {
+		late := 0
+		for _, d := range intended {
+			if d > slo {
+				late++
+			}
+		}
+		fmt.Printf("slo=%v: %d/%d executed ops (%.2f%%) finished past budget\n",
+			slo, late, executed, 100*float64(late)/float64(max(executed, 1)))
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"cachecost/internal/consistency"
 	"cachecost/internal/meter"
@@ -54,6 +55,18 @@ type FigOptions struct {
 	// (cmd/costbench -batchsizes). Empty means the default sweep
 	// B ∈ {1, 2, 4, 8, 16, 32}.
 	BatchSizes []int
+	// OfferedLoads overrides the overload figure's offered-load sweep,
+	// as multiples of each architecture's probed closed-loop capacity
+	// (cmd/costbench -offered). Empty means 0.3, 0.6, 1.5, 3.0.
+	OfferedLoads []float64
+	// SLO overrides the overload figure's per-request latency budget
+	// (cmd/costbench -slo). Zero derives it from the capacity probe:
+	// max(10x closed-loop p99, 2ms).
+	SLO time.Duration
+	// Arrival names the overload figure's arrival process
+	// (cmd/costbench -arrival): poisson, bursty or diurnal. Empty means
+	// poisson.
+	Arrival string
 	// OnResult, when non-nil, receives every completed experiment cell's
 	// result as figures produce them, keyed by a cell label
 	// ("fig5b/Remote", "chaos/Linked/rate=0.1", ...). cmd/costbench uses
@@ -766,6 +779,7 @@ var Figures = []Figure{
 	{"ablation", "calibration sensitivity", FigAblation},
 	{"batch", "cost vs multi-key batch size", FigBatch},
 	{"chaos", "cost under cache-tier faults", FigChaos},
+	{"overload", "open-loop cost and honest latency past saturation", FigOverload},
 	{"timeseries", "windowed telemetry through warm-up and a cache kill", FigTimeseries},
 }
 

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cachecost/internal/admission"
 	"cachecost/internal/cluster"
 	"cachecost/internal/consistency"
 	"cachecost/internal/fault"
@@ -33,6 +34,29 @@ const DegradedCounter = "cache.degraded"
 
 // RetriesCounter is the meter counter bumped per cache-call retry.
 const RetriesCounter = "rpc.retries"
+
+// ShedCounter is the meter counter bumped when the admission gate
+// refuses a request because its wait queue is full; the request gets a
+// degraded cache-only answer instead of the full path.
+const ShedCounter = "admission.shed"
+
+// DeadlineExceededCounter is the meter counter bumped when a request's
+// SLO deadline expired at or before admission.
+const DeadlineExceededCounter = "admission.deadline"
+
+// AdmissionConfig bounds the service's accepted work under overload: at
+// most MaxInflight requests execute the full path concurrently, at most
+// QueueDepth wait for a slot, and everything beyond — or anything whose
+// propagated deadline expires first — is shed to a degraded cache-only
+// answer. See internal/admission.
+type AdmissionConfig struct {
+	// MaxInflight is the number of concurrently admitted requests.
+	// Required (> 0).
+	MaxInflight int
+	// QueueDepth bounds the wait queue; 0 sheds the instant all slots
+	// are busy.
+	QueueDepth int
+}
 
 // ServiceConfig assembles one architecture deployment for an experiment.
 type ServiceConfig struct {
@@ -79,6 +103,11 @@ type ServiceConfig struct {
 	// connection in an rpc.RetryConn with this policy (retries are
 	// counted under RetriesCounter).
 	CacheRetry *rpc.RetryPolicy
+	// Admission, when non-nil, interposes an SLO-aware admission gate on
+	// the client-facing read/write path: requests past MaxInflight wait
+	// in a bounded queue, and overflow or deadline expiry is shed to a
+	// degraded cache-only answer (ShedCounter / DeadlineExceededCounter).
+	Admission *AdmissionConfig
 	// RetrySeed drives the retry layer's jitter sequence. Default 1.
 	RetrySeed int64
 
@@ -159,6 +188,16 @@ type KVService struct {
 
 	retry    *rpc.RetryConn // cache retry layer, when configured
 	degraded *meter.Counter // cache errors demoted to misses
+
+	// Admission control, when configured: one gate shared by every lane
+	// (slots are a service-level resource), with shed/deadline counters
+	// on both the meter (reset at the metered-window boundary, surfaced
+	// in RunResult) and the telemetry registry (live scrapes).
+	gate       *admission.Gate
+	shedCtr    *meter.Counter
+	dlCtr      *meter.Counter
+	telShed    *telemetry.Counter
+	telExpired *telemetry.Counter
 	// Service-level cache accounting: reads that consulted the cache
 	// tier and reads it served. Unlike the caches' internal stats these
 	// see degraded (fault-skipped) lookups, so hit ratio falls as the
@@ -289,6 +328,26 @@ func (s *KVService) finish(cacheConn rpc.Conn) error {
 	s.degraded = s.m.Counter(DegradedCounter)
 	if cfg.Faults != nil {
 		cfg.Faults.RegisterTelemetry(cfg.Telemetry)
+	}
+	if cfg.Admission != nil {
+		if cfg.Admission.MaxInflight <= 0 {
+			return fmt.Errorf("core: AdmissionConfig.MaxInflight must be positive")
+		}
+		s.gate = admission.NewGate(cfg.Admission.MaxInflight, cfg.Admission.QueueDepth, nil)
+		s.shedCtr = s.m.Counter(ShedCounter)
+		s.dlCtr = s.m.Counter(DeadlineExceededCounter)
+		s.telShed = cfg.Telemetry.Counter("admission.shed")
+		s.telExpired = cfg.Telemetry.Counter("admission.deadline_exceeded")
+		if cfg.Telemetry != nil {
+			gate := s.gate
+			cfg.Telemetry.RegisterCollector("admission", func(emit func(telemetry.Sample)) {
+				st := gate.Stats()
+				emit(telemetry.Sample{Name: "admission.inflight", Kind: telemetry.KindGauge, Value: float64(st.Inflight)})
+				emit(telemetry.Sample{Name: "admission.waiting", Kind: telemetry.KindGauge, Value: float64(st.Waiting)})
+				emit(telemetry.Sample{Name: "admission.offered", Kind: telemetry.KindCounter, Value: float64(st.Offered)})
+				emit(telemetry.Sample{Name: "admission.admitted", Kind: telemetry.KindCounter, Value: float64(st.Admitted)})
+			})
+		}
 	}
 	switch cfg.Arch {
 	case Remote:
@@ -455,6 +514,24 @@ func (w *KVWorker) Read(key string) ([]byte, error) {
 func (w *KVWorker) Write(key string, value []byte) error {
 	sc, act := w.s.cfg.Tracer.StartRequest("write")
 	err := frontWrite(sc, w.l.front, key, value)
+	act.End()
+	return err
+}
+
+// ReadDeadline implements DeadlineWorker: the deadline rides the span
+// context through the front door (and any transport) to the admission
+// gate.
+func (w *KVWorker) ReadDeadline(key string, deadline time.Time) ([]byte, error) {
+	sc, act := w.s.cfg.Tracer.StartRequest("read")
+	v, err := frontRead(sc.WithDeadline(deadline), w.l.front, key)
+	act.End()
+	return v, err
+}
+
+// WriteDeadline implements DeadlineWorker.
+func (w *KVWorker) WriteDeadline(key string, value []byte, deadline time.Time) error {
+	sc, act := w.s.cfg.Tracer.StartRequest("write")
+	err := frontWrite(sc.WithDeadline(deadline), w.l.front, key, value)
 	act.End()
 	return err
 }
@@ -727,11 +804,88 @@ func appendDigest(dst, value []byte) []byte {
 	return dst
 }
 
-// handleRead is the client-facing read: decode, serve through the cache
-// hierarchy, apply the application logic, reply with the small derived
-// result. Application CPU not attributed to a downstream component lands
-// on "app"; a worker lane's attribution context keeps that split tight
-// under concurrency.
+// admit consults the admission gate for one client request. It returns
+// the gate outcome and, for Admitted, the release the handler must call
+// when its full-path work finishes. Shed and expired outcomes bump their
+// counters here.
+func (s *KVService) admit(sc trace.SpanContext) (admission.Outcome, func()) {
+	if s.gate == nil {
+		return admission.Admitted, func() {}
+	}
+	outcome, release := s.gate.Enter(sc.Deadline())
+	switch outcome {
+	case admission.ShedQueueFull:
+		s.shedCtr.Inc()
+		s.telShed.Inc()
+	case admission.DeadlineExpired:
+		s.dlCtr.Inc()
+		s.telExpired.Inc()
+	}
+	return outcome, release
+}
+
+// readShed is the degraded serve for a shed read: answer from the cache
+// tier alone — no storage, no admission slot — so overload responses
+// stay cheap and bounded. Base has no cache tier and sheds outright;
+// Remote consults the remote cache (whose client demotes errors to
+// misses, so a dead cache degrades this to an immediate miss); Linked
+// reads its in-process cache. Deliberately not counted in
+// cacheReads/cacheHits: the hit ratio describes the full-path policy,
+// not overload triage.
+func (s *KVService) readShed(l *kvLane, sc trace.SpanContext, key string) ([]byte, bool) {
+	switch s.cfg.Arch {
+	case Remote:
+		if l.rc == nil {
+			return nil, false
+		}
+		v, found, err := l.rc.GetCtx(sc, key)
+		if err != nil || !found {
+			return nil, false
+		}
+		return v, true
+	case Linked:
+		if s.lc == nil {
+			return nil, false
+		}
+		return s.lc.GetCtx(sc, key)
+	default:
+		return nil, false
+	}
+}
+
+// encodeReadOut encodes the GetResponse shape {1: found, 2: digest}
+// field-by-field: the pooled encoder plus a stack-backed digest keeps
+// the reply to one buffer copy. The response buffer comes from the
+// transport pool; the client side of the front door (frontRead) recycles
+// it after decoding.
+func encodeReadOut(found bool, v []byte) []byte {
+	var dig [16]byte
+	e := wire.GetEncoder()
+	e.Bool(1, found)
+	if found {
+		e.BytesField(2, appendDigest(dig[:0], v))
+	}
+	out := append(rpc.GetBuffer(), e.Bytes()...)
+	wire.PutEncoder(e)
+	return out
+}
+
+// encodeAck encodes the write ack shape {1: ok}.
+func encodeAck(ok bool) []byte {
+	e := wire.GetEncoder()
+	e.Bool(1, ok)
+	out := append(rpc.GetBuffer(), e.Bytes()...)
+	wire.PutEncoder(e)
+	return out
+}
+
+// handleRead is the client-facing read: decode, pass the admission gate,
+// serve through the cache hierarchy, apply the application logic, reply
+// with the small derived result. Application CPU not attributed to a
+// downstream component lands on "app"; a worker lane's attribution
+// context keeps that split tight under concurrency. A shed request is a
+// non-error: it answers found=false (or a cache-only hit) so overload is
+// a degraded mode, not a failure storm.
 func (s *KVService) handleRead(l *kvLane, sc trace.SpanContext, req []byte) ([]byte, error) {
 	var out []byte
 	var err error
@@ -742,28 +896,36 @@ func (s *KVService) handleRead(l *kvLane, sc trace.SpanContext, req []byte) ([]b
 		if err = wire.Unmarshal(req, &r); err != nil {
 			return
 		}
+		outcome, release := s.admit(sc)
+		switch outcome {
+		case admission.ShedQueueFull:
+			act.Annotate("admission", "shed")
+			if v, ok := s.readShed(l, asc, r.Key); ok {
+				out = encodeReadOut(true, v)
+			} else {
+				out = encodeReadOut(false, nil)
+			}
+			return
+		case admission.DeadlineExpired:
+			act.Annotate("admission", "deadline")
+			out = encodeReadOut(false, nil)
+			return
+		}
+		defer release()
 		var v []byte
 		v, err = s.read(l, asc, r.Key)
 		if err != nil {
 			return
 		}
 		act.SetBytes(len(req), len(v))
-		// Encode the GetResponse shape {1: found, 2: digest} field-by-field:
-		// the pooled encoder plus a stack-backed digest keeps the reply to
-		// one buffer copy. The response buffer comes from the transport
-		// pool; the client side of the front door (frontRead) recycles it
-		// after decoding.
-		var dig [16]byte
-		e := wire.GetEncoder()
-		e.Bool(1, true)
-		e.BytesField(2, appendDigest(dig[:0], v))
-		out = append(rpc.GetBuffer(), e.Bytes()...)
-		wire.PutEncoder(e)
+		out = encodeReadOut(true, v)
 	})
 	return out, err
 }
 
-// handleWrite is the client-facing write.
+// handleWrite is the client-facing write. A shed or expired write is
+// acknowledged ok=false and NOT applied: under overload the service
+// refuses mutations rather than applying them outside the SLO.
 func (s *KVService) handleWrite(l *kvLane, sc trace.SpanContext, req []byte) ([]byte, error) {
 	var out []byte
 	var err error
@@ -774,15 +936,23 @@ func (s *KVService) handleWrite(l *kvLane, sc trace.SpanContext, req []byte) ([]
 		if err = wire.Unmarshal(req, &r); err != nil {
 			return
 		}
+		outcome, release := s.admit(sc)
+		switch outcome {
+		case admission.ShedQueueFull:
+			act.Annotate("admission", "shed")
+			out = encodeAck(false)
+			return
+		case admission.DeadlineExpired:
+			act.Annotate("admission", "deadline")
+			out = encodeAck(false)
+			return
+		}
+		defer release()
 		if err = s.write(l, asc, r.Key, r.Value); err != nil {
 			return
 		}
 		act.SetBytes(len(req), 0)
-		// Ack shape {1: ok}.
-		e := wire.GetEncoder()
-		e.Bool(1, true)
-		out = append(rpc.GetBuffer(), e.Bytes()...)
-		wire.PutEncoder(e)
+		out = encodeAck(true)
 	})
 	return out, err
 }
@@ -805,6 +975,26 @@ func (s *KVService) Write(key string, value []byte) error {
 	act.End()
 	return err
 }
+
+// ReadDeadline implements DeadlineWorker on the default lane.
+func (s *KVService) ReadDeadline(key string, deadline time.Time) ([]byte, error) {
+	sc, act := s.cfg.Tracer.StartRequest("read")
+	v, err := frontRead(sc.WithDeadline(deadline), s.front, key)
+	act.End()
+	return v, err
+}
+
+// WriteDeadline implements DeadlineWorker on the default lane.
+func (s *KVService) WriteDeadline(key string, value []byte, deadline time.Time) error {
+	sc, act := s.cfg.Tracer.StartRequest("write")
+	err := frontWrite(sc.WithDeadline(deadline), s.front, key, value)
+	act.End()
+	return err
+}
+
+// AdmissionStats snapshots the admission gate's conservation counters
+// (zero without an AdmissionConfig).
+func (s *KVService) AdmissionStats() admission.Stats { return s.gate.Stats() }
 
 // frontRead performs one client read against a front-door server. The
 // request is encoded field-by-field from a pooled encoder (GetRequest

@@ -46,11 +46,43 @@ type RunResult struct {
 	Parallelism int
 	// Wall is the metered window's wall-clock duration.
 	Wall time.Duration
-	// Throughput is metered ops per second of wall clock.
+	// Throughput is metered ops per second. Closed loop: ops over the
+	// wall clock. Open loop: executed ops over the schedule span — the
+	// wall clock of the slowest lane includes post-schedule drain time
+	// and would overstate load figures (see RunConfig.Arrival).
 	Throughput float64
 	// LatencyP50 and LatencyP99 are per-request latency percentiles over
-	// the metered window.
+	// the metered window. Under open loop these are measured from each
+	// op's *intended* arrival (coordinated-omission-free): an op that
+	// waited in a lane queue is charged for the wait.
 	LatencyP50, LatencyP99 time.Duration
+
+	// Open-loop fields; zero unless RunConfig.Arrival was set.
+
+	// Arrival names the schedule ("poisson@2000qps").
+	Arrival string
+	// Offered is how many ops the schedule offered in the metered
+	// window; Executed is how many were actually issued to the service
+	// (Offered - ClientShed).
+	Offered, Executed int
+	// ClientShed counts ops dropped at intended arrival because their
+	// lane queue was full — the client-side half of overload.
+	ClientShed int64
+	// ServerShed counts ops the service's admission gate refused
+	// (queue full); DeadlineExceeded counts ops whose SLO deadline
+	// expired at or before admission. Both come from the service meter
+	// and are zero without ServiceConfig.Admission.
+	ServerShed, DeadlineExceeded int64
+	// OfferedQPS is the schedule-defined offered rate (Offered / span).
+	OfferedQPS float64
+	// ScheduleSpan is the schedule's intended duration.
+	ScheduleSpan time.Duration
+	// SendLatencyP50/P99 are percentiles on the send-time clock (from
+	// the moment the op left its lane queue) — the coordinated-omission
+	// blind spot, reported alongside the honest clock so the gap is
+	// visible. The regression suite pins that under a stall the
+	// intended-arrival p99 is strictly worse than this one.
+	SendLatencyP50, SendLatencyP99 time.Duration
 
 	// Hists holds per-component histogram digests (request latency, rpc
 	// message latency/bytes, sql statement latency) for the metered
@@ -114,6 +146,22 @@ type RunConfig struct {
 	// in is scheduler-dependent, but exactly one call fires per op.
 	// Chaos schedules advance here.
 	OnOp func(n int)
+	// Arrival, when non-nil, switches the metered window to open-loop
+	// driving: a deterministic schedule of cfg.Ops intended arrivals is
+	// built from this config, a dispatcher releases each op at its
+	// intended instant into a bounded per-lane queue, and latency is
+	// measured from the intended arrival (coordinated-omission-free).
+	// Warmup remains closed-loop. Incompatible with BatchSize > 1.
+	Arrival *workload.ArrivalConfig
+	// SLO, under open loop, is each op's latency budget: the op's
+	// deadline is its intended arrival plus SLO, propagated down the
+	// request path (and across transports) for admission control.
+	// Zero means no deadline.
+	SLO time.Duration
+	// LaneDepth bounds each worker lane's client-side queue under open
+	// loop; an op arriving to a full lane is dropped and counted in
+	// RunResult.ClientShed. Default 1024.
+	LaneDepth int
 	// Tracer, when non-nil, is the tracer the service was assembled with
 	// (ServiceConfig.Tracer): its path counters are reset at the metered
 	// window boundary and snapshotted into RunResult.Path.
@@ -167,8 +215,16 @@ func RunExperimentCfg(svc Service, m *meter.Meter, gen workload.Generator, cfg R
 	defer m.SetThreadCPUClock(false)
 	var lats []time.Duration
 	var wall time.Duration
+	var ol *openLoopStats
 	var err error
 	switch {
+	case cfg.Arrival != nil && cfg.BatchSize > 1:
+		return nil, fmt.Errorf("core: open-loop driving does not support batching")
+	case cfg.Arrival != nil:
+		ol, err = runOpenLoop(svc, m, gen, cfg)
+		if ol != nil {
+			lats, wall = ol.intended, ol.wall
+		}
 	case cfg.BatchSize > 1 && cfg.Parallelism == 1:
 		lats, wall, err = runSequentialBatched(svc, m, gen, cfg)
 	case cfg.BatchSize > 1:
@@ -186,7 +242,14 @@ func RunExperimentCfg(svc Service, m *meter.Meter, gen workload.Generator, cfg R
 	if cfg.Telemetry != nil {
 		hists = cfg.Telemetry.Snapshot().HistSummaries()
 	}
-	m.AddRequests(int64(cfg.Ops))
+	// Price the requests the service actually saw: under open loop,
+	// client-shed ops never reached the service and must not dilute
+	// cost/Mreq.
+	metered := cfg.Ops
+	if ol != nil {
+		metered = ol.executed
+	}
+	m.AddRequests(int64(metered))
 	report := meter.BuildReport(m, cfg.Prices)
 	if cfg.Parallelism > 1 && len(lats) > 0 {
 		// Memory amortization under a concurrent driver: see
@@ -220,7 +283,29 @@ func RunExperimentCfg(svc Service, m *meter.Meter, gen workload.Generator, cfg R
 		Wall:         wall,
 		Hists:        hists,
 	}
-	if wall > 0 {
+	if ol != nil {
+		res.Ops = ol.executed
+		res.Arrival = ol.name
+		res.Offered = ol.offered
+		res.Executed = ol.executed
+		res.ClientShed = ol.clientShed
+		res.ServerShed = m.CounterValue(ShedCounter)
+		res.DeadlineExceeded = m.CounterValue(DeadlineExceededCounter)
+		res.ScheduleSpan = ol.span
+		if sp := ol.span.Seconds(); sp > 0 {
+			res.OfferedQPS = float64(ol.offered) / sp
+			// The slowest lane's wall clock includes drain time past the
+			// schedule's end; the schedule span is the honest denominator
+			// for rate at a given offered load.
+			res.Throughput = float64(ol.executed) / sp
+		}
+		if len(ol.send) > 0 {
+			send := append([]time.Duration(nil), ol.send...)
+			sort.Slice(send, func(i, j int) bool { return send[i] < send[j] })
+			res.SendLatencyP50 = send[percentileIndex(len(send), 50)]
+			res.SendLatencyP99 = send[percentileIndex(len(send), 99)]
+		}
+	} else if wall > 0 {
 		res.Throughput = float64(cfg.Ops) / wall.Seconds()
 	}
 	if len(lats) > 0 {

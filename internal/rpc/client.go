@@ -65,19 +65,21 @@ func (c *Client) Call(method string, req []byte) ([]byte, error) {
 
 // CallCtx implements TraceConn: the hop is recorded as an "rpc" span
 // (annotated rpc.hop=tcp) and counted, and when the request is sampled
-// the span context is embedded in the frame so the server's spans stitch
-// into this trace by ID.
+// or carries a deadline the span context is embedded in the frame so the
+// server's spans stitch into this trace by ID and its admission control
+// sees the caller's SLO budget.
 func (c *Client) CallCtx(sc trace.SpanContext, method string, req []byte) ([]byte, error) {
-	if !sc.Traced() {
+	if !sc.Traced() && !sc.HasDeadline() {
 		return c.Call(method, req)
 	}
 	sc.Tracer().CountHop()
 	act, down := trace.Start(sc, "rpc", method)
 	act.Annotate("rpc.hop", "tcp")
 	f := frame{kind: frameRequest, method: method, body: req}
-	if down.Sampled() {
+	if down.Sampled() || down.HasDeadline() {
 		f.kind = frameRequestTraced
-		f.traceID, f.spanID, f.sampled = down.TraceID(), down.SpanID(), true
+		f.traceID, f.spanID, f.sampled = down.TraceID(), down.SpanID(), down.Sampled()
+		f.deadline = down.DeadlineUnixNano()
 	}
 	resp, err := c.call(&f)
 	act.SetBytes(len(req), len(resp))

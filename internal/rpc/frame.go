@@ -36,16 +36,17 @@ type frame struct {
 	method string // requests and errors carry the method for diagnostics
 	body   []byte
 
-	traceID uint64 // trace context; meaningful only for frameRequestTraced
-	spanID  uint64
-	sampled bool
+	traceID  uint64 // trace context; meaningful only for frameRequestTraced
+	spanID   uint64
+	sampled  bool
+	deadline int64 // SLO expiry, unix nanos (0: none); frameRequestTraced only
 }
 
 // appendFrame serializes f to b:
 //
 //	u32   payload length (big endian)
 //	u8    kind
-//	17B   trace context (frameRequestTraced only; see internal/wire)
+//	17/25B trace context (frameRequestTraced only; see internal/wire)
 //	uvar  id
 //	uvar  len(method) | method bytes
 //	rest  body
@@ -54,7 +55,7 @@ func appendFrame(b []byte, f *frame) ([]byte, error) {
 	b = append(b, 0, 0, 0, 0) // length placeholder
 	b = append(b, f.kind)
 	if f.kind == frameRequestTraced {
-		b = wire.AppendTraceContext(b, f.traceID, f.spanID, f.sampled)
+		b = wire.AppendTraceContext(b, f.traceID, f.spanID, f.sampled, f.deadline)
 	}
 	b = binary.AppendUvarint(b, f.id)
 	b = binary.AppendUvarint(b, uint64(len(f.method)))
@@ -90,17 +91,17 @@ func readFrame(r io.Reader, f *frame) error {
 	}
 	f.kind = buf[0]
 	buf = buf[1:]
-	f.traceID, f.spanID, f.sampled = 0, 0, false
+	f.traceID, f.spanID, f.sampled, f.deadline = 0, 0, false, 0
 	if f.kind == frameRequestTraced {
 		// The trace context decoder fails closed: a truncated or malformed
 		// block drops the frame rather than stitching spans into a bogus
-		// trace.
-		tid, sid, sampled, err := wire.DecodeTraceContext(buf)
+		// trace or inventing a deadline.
+		tid, sid, sampled, deadline, n, err := wire.DecodeTraceContext(buf)
 		if err != nil {
 			return fmt.Errorf("rpc: bad trace context: %w", err)
 		}
-		f.traceID, f.spanID, f.sampled = tid, sid, sampled
-		buf = buf[wire.TraceContextSize:]
+		f.traceID, f.spanID, f.sampled, f.deadline = tid, sid, sampled, deadline
+		buf = buf[n:]
 	}
 	id, k := binary.Uvarint(buf)
 	if k <= 0 {

@@ -38,12 +38,13 @@ type TraceConn interface {
 	CallCtx(sc trace.SpanContext, method string, req []byte) ([]byte, error)
 }
 
-// CallTraced issues a call with span-context propagation when both the
-// context and the connection support it, and falls back to the untraced
-// path otherwise. Instrumented layers route every call through this
-// helper, so a run with tracing disabled pays exactly one branch here.
+// CallTraced issues a call with span-context propagation when the
+// context carries anything worth propagating — a tracer or a deadline —
+// and the connection supports it, falling back to the untraced path
+// otherwise. Instrumented layers route every call through this helper,
+// so a run with tracing disabled pays exactly one branch here.
 func CallTraced(conn Conn, sc trace.SpanContext, method string, req []byte) ([]byte, error) {
-	if sc.Traced() {
+	if sc.Traced() || sc.HasDeadline() {
 		if tc, ok := conn.(TraceConn); ok {
 			return tc.CallCtx(sc, method, req)
 		}

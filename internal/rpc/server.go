@@ -185,7 +185,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		id := rd.id
 		method := rd.method
-		traceID, spanID, sampled := rd.traceID, rd.spanID, rd.sampled
+		traceID, spanID, sampled, deadline := rd.traceID, rd.spanID, rd.sampled, rd.deadline
 		// Copy the body out of the read frame into a pooled buffer; the
 		// handler contract (request valid only for the duration of the
 		// call) lets the buffer be reused once Dispatch returns.
@@ -196,8 +196,10 @@ func (s *Server) serveConn(conn net.Conn) {
 			// Join the wire-carried span context so the handler's spans
 			// land in a local fragment of the caller's trace; the server-
 			// side dispatch span is recorded here (never in DispatchCtx)
-			// so in-process transports do not get a duplicate.
-			sc := s.tracer.Join(traceID, spanID, sampled)
+			// so in-process transports do not get a duplicate. The wire
+			// deadline re-attaches even when the server has no tracer —
+			// admission control must see the SLO either way.
+			sc := s.tracer.Join(traceID, spanID, sampled).WithDeadlineUnixNano(deadline)
 			act, hsc := trace.Start(sc, s.traceName, method)
 			resp, err := s.DispatchCtx(hsc, method, body)
 			act.SetBytes(len(body), len(resp))

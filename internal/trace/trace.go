@@ -98,6 +98,13 @@ type SpanContext struct {
 	at    *activeTrace // in-process fast path; nil after a wire crossing
 	trace TraceID
 	span  SpanID
+	// deadline is the request's SLO budget expiry in unix nanoseconds
+	// (0: none). It rides the context down the request path and across
+	// transports so every layer — including remote servers — can shed
+	// work that can no longer finish in time. Deadlines are orthogonal
+	// to sampling: an unsampled (or even untraced) request still
+	// carries its deadline.
+	deadline int64
 }
 
 // Traced reports whether a Tracer is attached (path counters are live).
@@ -115,6 +122,45 @@ func (sc SpanContext) TraceID() uint64 { return uint64(sc.trace) }
 
 // SpanID returns the parent span identity for wire encoding.
 func (sc SpanContext) SpanID() uint64 { return uint64(sc.span) }
+
+// WithDeadline returns sc carrying the given SLO expiry. A zero time
+// clears the deadline. Valid on any context, including the zero value —
+// deadlines propagate even with tracing off.
+func (sc SpanContext) WithDeadline(d time.Time) SpanContext {
+	if d.IsZero() {
+		sc.deadline = 0
+	} else {
+		sc.deadline = d.UnixNano()
+	}
+	return sc
+}
+
+// WithDeadlineUnixNano is WithDeadline from a wire-decoded value
+// (0 clears).
+func (sc SpanContext) WithDeadlineUnixNano(ns int64) SpanContext {
+	sc.deadline = ns
+	return sc
+}
+
+// HasDeadline reports whether the request carries an SLO expiry.
+func (sc SpanContext) HasDeadline() bool { return sc.deadline != 0 }
+
+// Deadline returns the SLO expiry (zero time if none).
+func (sc SpanContext) Deadline() time.Time {
+	if sc.deadline == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, sc.deadline)
+}
+
+// DeadlineUnixNano returns the SLO expiry for wire encoding (0 if none).
+func (sc SpanContext) DeadlineUnixNano() int64 { return sc.deadline }
+
+// Expired reports whether the deadline has passed at the given instant.
+// A context without a deadline never expires.
+func (sc SpanContext) Expired(now time.Time) bool {
+	return sc.deadline != 0 && now.UnixNano() > sc.deadline
+}
 
 // Active is a span in progress. The zero value (returned whenever the
 // request is not sampled) ignores every call.
@@ -350,7 +396,7 @@ func (t *Tracer) start(sc SpanContext, component, op string) (Active, SpanContex
 	at.open++
 	at.mu.Unlock()
 	a := Active{t: t, at: at, idx: idx}
-	return a, SpanContext{t: t, at: at, trace: at.id, span: sid}
+	return a, SpanContext{t: t, at: at, trace: at.id, span: sid, deadline: sc.deadline}
 }
 
 // context rebuilds the handle's own span context (used for the root).
