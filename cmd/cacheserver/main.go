@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"os"
@@ -19,6 +20,7 @@ import (
 
 	"cachecost/internal/meter"
 	"cachecost/internal/remotecache"
+	"cachecost/internal/shardmgr"
 	"cachecost/internal/telemetry"
 )
 
@@ -29,6 +31,7 @@ func main() {
 		shards     = flag.Int("shards", 16, "lock shards")
 		statsEvery = flag.Duration("stats", 30*time.Second, "stats logging interval (0 = off)")
 		metrics    = flag.String("metrics", "", "serve /metrics, /metrics.json, /statusz and /debug/pprof on this address")
+		hotK       = flag.Int("hotkeys", 32, "track the node's top-k hot keys and report them on /statusz (0 = off)")
 	)
 	flag.Parse()
 
@@ -44,12 +47,30 @@ func main() {
 		defer msrv.Close()
 		log.Printf("cacheserver: serving metrics on http://%s/metrics", msrv.Addr)
 	}
-	srv := remotecache.NewServer(remotecache.ServerConfig{
+	// An optional hot-key detector on the serve path: constant memory,
+	// no effect on correctness — it only feeds the /statusz report an
+	// operator reads when deciding whether this node needs relief.
+	var det *shardmgr.Detector
+	if *hotK > 0 {
+		det = shardmgr.NewDetector(8 * *hotK)
+		k := *hotK
+		reg.RegisterStatus("hotkeys", func(w io.Writer) {
+			fmt.Fprintf(w, "hot keys (top %d of %d observed gets, count [±err]):\n", k, det.Ops())
+			for _, hk := range det.TopK(k) {
+				fmt.Fprintf(w, "  %-40q %d [±%d]\n", hk.Key, hk.Count, hk.Err)
+			}
+		})
+	}
+	srvCfg := remotecache.ServerConfig{
 		CapacityBytes: *mem,
 		Shards:        *shards,
 		Meter:         m,
 		Telemetry:     reg,
-	})
+	}
+	if det != nil {
+		srvCfg.Hot = det
+	}
+	srv := remotecache.NewServer(srvCfg)
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -9,7 +9,6 @@ package cluster
 
 import (
 	"fmt"
-	"hash/fnv"
 	"sort"
 	"sync"
 )
@@ -38,13 +37,19 @@ func NewRing(replicas int) *Ring {
 	}
 }
 
+// hash64 is FNV-1a over the string's bytes, computed inline so key
+// lookups never copy the string into a []byte (hash/fnv's Write forces
+// the conversion; indexing the string directly is allocation-free and
+// byte-identical). FNV-1a of short, similar strings yields
+// near-sequential values, which would clump a member's virtual nodes
+// into one arc of the ring, so a murmur3-style finalizer spreads them
+// uniformly.
 func hash64(s string) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(s))
-	// FNV-1a of short, similar strings yields near-sequential values,
-	// which would clump a member's virtual nodes into one arc of the
-	// ring. A murmur3-style finalizer spreads them uniformly.
-	x := h.Sum64()
+	x := uint64(14695981039346656037) // FNV-1a offset basis
+	for i := 0; i < len(s); i++ {
+		x ^= uint64(s[i])
+		x *= 1099511628211 // FNV-1a prime
+	}
 	x ^= x >> 33
 	x *= 0xff51afd7ed558ccd
 	x ^= x >> 33
@@ -105,6 +110,38 @@ func (r *Ring) Owner(key string) string {
 		i = 0
 	}
 	return r.owners[r.hashes[i]]
+}
+
+// Owners returns up to n distinct members walking clockwise from key's
+// point on the ring: the first is Owner(key), the rest its successor
+// members — the natural replica set for the key. Fewer than n members
+// are returned when the ring is smaller than n.
+func (r *Ring) Owners(key string, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.hashes) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	out := make([]string, 0, n)
+	for j := 0; j < len(r.hashes) && len(out) < n; j++ {
+		m := r.owners[r.hashes[(i+j)%len(r.hashes)]]
+		seen := false
+		for _, have := range out {
+			if have == m {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			out = append(out, m)
+		}
+	}
+	return out
 }
 
 // Members returns the current members, sorted.

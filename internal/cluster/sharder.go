@@ -50,7 +50,10 @@ func (s *Sharder) Watch(fn WatchFunc) {
 }
 
 // Join adds a node and bumps the generation; keys that move to the new
-// node are reported to watchers.
+// node are reported to watchers. Watchers are invoked after unlocking —
+// on a snapshot copy of the watcher slice, so a watcher may call back
+// into the sharder (or register further watchers) without deadlocking —
+// and events are grouped per (from, to) edge.
 func (s *Sharder) Join(node string) {
 	s.mu.Lock()
 	s.ring.Add(node)
@@ -58,15 +61,16 @@ func (s *Sharder) Join(node string) {
 	moved := s.remapLocked()
 	watchers := append([]WatchFunc(nil), s.watchers...)
 	s.mu.Unlock()
-	for to, keys := range moved {
+	for _, ev := range moved {
 		for _, fn := range watchers {
-			fn(keys.keys, keys.from, to)
+			fn(ev.keys, ev.from, ev.to)
 		}
 	}
 }
 
 // Leave removes a node and bumps the generation; its keys are remapped
-// and reported.
+// and reported. Same locking discipline as Join: the watcher slice is
+// copied under the lock and invoked outside it.
 func (s *Sharder) Leave(node string) {
 	s.mu.Lock()
 	s.ring.Remove(node)
@@ -74,36 +78,45 @@ func (s *Sharder) Leave(node string) {
 	moved := s.remapLocked()
 	watchers := append([]WatchFunc(nil), s.watchers...)
 	s.mu.Unlock()
-	for to, keys := range moved {
+	for _, ev := range moved {
 		for _, fn := range watchers {
-			fn(keys.keys, keys.from, to)
+			fn(ev.keys, ev.from, ev.to)
 		}
 	}
 }
 
-type movedKeys struct {
-	from string
-	keys []string
+// movedEvent is one resharding edge: keys that moved from one owner to
+// another in a single membership change.
+type movedEvent struct {
+	from, to string
+	keys     []string
 }
 
-// remapLocked recomputes tracked-key ownership, returning keys grouped by
-// their new owner. Callers hold s.mu.
-func (s *Sharder) remapLocked() map[string]*movedKeys {
-	moved := make(map[string]*movedKeys)
+// remapLocked recomputes tracked-key ownership, returning keys grouped
+// by (from, to) edge. Grouping by destination alone is wrong: one Join
+// can move keys from several old owners onto the same new node (and a
+// Leave remaps every key the leaver owned to whichever successor arc it
+// hashes into), and collapsing those into a single event would report
+// all but the first group with the wrong `from`. Callers hold s.mu.
+func (s *Sharder) remapLocked() []movedEvent {
+	var events []movedEvent
+	idx := make(map[[2]string]int)
 	for key, owner := range s.tracked {
 		now := s.ring.Owner(key)
 		if now == owner {
 			continue
 		}
-		mk, ok := moved[now]
+		edge := [2]string{owner, now}
+		i, ok := idx[edge]
 		if !ok {
-			mk = &movedKeys{from: owner}
-			moved[now] = mk
+			i = len(events)
+			idx[edge] = i
+			events = append(events, movedEvent{from: owner, to: now})
 		}
-		mk.keys = append(mk.keys, key)
+		events[i].keys = append(events[i].keys, key)
 		s.tracked[key] = now
 	}
-	return moved
+	return events
 }
 
 // Assign returns the current assignment for key and records the key for

@@ -780,6 +780,7 @@ var Figures = []Figure{
 	{"batch", "cost vs multi-key batch size", FigBatch},
 	{"chaos", "cost under cache-tier faults", FigChaos},
 	{"overload", "open-loop cost and honest latency past saturation", FigOverload},
+	{"hotshard", "dynamic shard management through a popularity flip", FigHotShard},
 	{"timeseries", "windowed telemetry through warm-up and a cache kill", FigTimeseries},
 }
 

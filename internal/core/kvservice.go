@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -13,6 +14,7 @@ import (
 	"cachecost/internal/meter"
 	"cachecost/internal/remotecache"
 	"cachecost/internal/rpc"
+	"cachecost/internal/shardmgr"
 	"cachecost/internal/storage"
 	"cachecost/internal/storage/sql"
 	"cachecost/internal/telemetry"
@@ -80,6 +82,31 @@ type ServiceConfig struct {
 	// RemoteCacheBytes is the remote cache budget, used by Remote.
 	// Default 8 MiB at experiment scale.
 	RemoteCacheBytes int64
+	// CacheNodes splits the Remote architecture's cache tier over this
+	// many nodes (RemoteCacheBytes divided evenly; same total memory
+	// bill). Default 1: the classic single-node wiring, byte-identical
+	// to previous behaviour. With > 1 nodes the client routes through a
+	// cluster.ShardMap — epoch-stamped keys, replica fan-out — whether
+	// or not a shard manager is reshaping it.
+	CacheNodes int
+	// CacheNodeConcurrency, when > 0, caps each cache node's
+	// concurrently served requests (remotecache.ServerConfig's
+	// MaxConcurrent): the fixed per-node serving capacity that makes a
+	// hot node actually saturate in-process instead of silently
+	// borrowing host CPU.
+	CacheNodeConcurrency int
+	// CacheNodeServeTime, when > 0, occupies one of a cache node's
+	// serving slots for that wall-clock duration per request
+	// (remotecache.ServerConfig's ServeTime). Together with
+	// CacheNodeConcurrency this fixes each node's serving rate, so a
+	// node whose demand exceeds it queues in wall-clock time — the
+	// physics the hotshard figure measures.
+	CacheNodeServeTime time.Duration
+	// ShardMgr, when non-nil, runs dynamic shard management over the
+	// CacheNodes tier: hot-key detection on the serve path, replica
+	// fan-out for hot shards, live migration off overloaded nodes.
+	// Requires CacheNodes > 1.
+	ShardMgr *ShardMgrConfig
 	// RPCCost models transport overhead on every hop.
 	RPCCost rpc.CostModel
 	// DiskPenaltyPerByte tunes the storage disk model (0 = default).
@@ -135,9 +162,33 @@ type ServiceConfig struct {
 	Parallelism int
 }
 
+// ShardMgrConfig parameterizes the dynamic shard manager (see
+// internal/shardmgr for the policy).
+type ShardMgrConfig struct {
+	// Shards is the logical shard count. Default 64.
+	Shards int
+	// MaxReplicas caps a hot shard's replica set. Default: CacheNodes.
+	MaxReplicas int
+	// TopK is the hot-key detector's per-stripe counter budget.
+	// Default 32.
+	TopK int
+	// HandoffTicks is how many manager ticks a migration's double-read
+	// window stays open. Default 2.
+	HandoffTicks int
+	// HotFrac is the manager's replication threshold (shardmgr.Config's
+	// HotFrac). Zero keeps the manager default.
+	HotFrac float64
+	// MigrateFrac is the manager's migration threshold (shardmgr.Config's
+	// MigrateFrac). Zero keeps the manager default.
+	MigrateFrac float64
+}
+
 func (c *ServiceConfig) applyDefaults() {
 	if c.StorageReplicas <= 0 {
 		c.StorageReplicas = 3
+	}
+	if c.CacheNodes <= 0 {
+		c.CacheNodes = 1
 	}
 	if c.StorageCacheBytes == 0 {
 		c.StorageCacheBytes = 8 << 20
@@ -179,6 +230,15 @@ type KVService struct {
 
 	rcServer *remotecache.Server
 	rc       *remotecache.Client
+
+	// Multi-node cache tier (CacheNodes > 1): servers by shard-map node
+	// name, the shared placement map, and — when ShardMgr is configured
+	// — the detector feeding the manager.
+	rcServers map[string]*remotecache.Server
+	smap      *cluster.ShardMap
+	detector  *shardmgr.Detector
+	shardMgr  *shardmgr.Manager
+	retries   []*rpc.RetryConn // per-node retry layers (multi-node default lane)
 
 	lc      *linkedcache.Cache[[]byte]
 	vc      *consistency.VersionedCache[[]byte]
@@ -236,6 +296,9 @@ func NewKVService(cfg ServiceConfig) (*KVService, error) {
 	if cfg.Meter == nil {
 		return nil, fmt.Errorf("core: ServiceConfig.Meter is required")
 	}
+	if cfg.ShardMgr != nil && cfg.CacheNodes < 2 {
+		return nil, fmt.Errorf("core: ShardMgr requires CacheNodes > 1")
+	}
 	s := &KVService{cfg: cfg, m: cfg.Meter}
 	s.appComp = cfg.Meter.Component("app")
 
@@ -259,17 +322,25 @@ func NewKVService(cfg ServiceConfig) (*KVService, error) {
 
 	var cacheConn rpc.Conn
 	if cfg.Arch == Remote {
-		s.rcServer = remotecache.NewServer(remotecache.ServerConfig{
-			CapacityBytes: cfg.RemoteCacheBytes,
-			Meter:         cfg.Meter,
-			Name:          "remotecache",
-			RPCCost:       cfg.RPCCost,
-			Tracer:        cfg.Tracer,
-			Telemetry:     cfg.Telemetry,
-		})
-		cacheLoop := rpc.NewLoopback(s.rcServer.RPCServer(), s.appComp, meter.NewBurner(), cfg.RPCCost)
-		cacheLoop.SetMetrics(lbm)
-		cacheConn = cacheLoop
+		if cfg.CacheNodes > 1 {
+			if err := s.buildCacheTier(); err != nil {
+				return nil, err
+			}
+		} else {
+			s.rcServer = remotecache.NewServer(remotecache.ServerConfig{
+				CapacityBytes: cfg.RemoteCacheBytes,
+				Meter:         cfg.Meter,
+				Name:          "remotecache",
+				RPCCost:       cfg.RPCCost,
+				Tracer:        cfg.Tracer,
+				Telemetry:     cfg.Telemetry,
+				MaxConcurrent: cfg.CacheNodeConcurrency,
+				ServeTime:     cfg.CacheNodeServeTime,
+			})
+			cacheLoop := rpc.NewLoopback(s.rcServer.RPCServer(), s.appComp, meter.NewBurner(), cfg.RPCCost)
+			cacheLoop.SetMetrics(lbm)
+			cacheConn = cacheLoop
+		}
 	}
 	if err := s.finish(cacheConn); err != nil {
 		return nil, err
@@ -309,6 +380,9 @@ func NewKVServiceRemote(cfg ServiceConfig, eps RemoteEndpoints) (*KVService, err
 	if cfg.Parallelism > 1 {
 		return nil, fmt.Errorf("core: Parallelism > 1 requires an in-process deployment")
 	}
+	if cfg.CacheNodes > 1 {
+		return nil, fmt.Errorf("core: CacheNodes > 1 requires an in-process deployment")
+	}
 	s := &KVService{cfg: cfg, m: cfg.Meter}
 	s.appComp = cfg.Meter.Component("app")
 	s.db = storage.NewClient(eps.DB)
@@ -319,6 +393,129 @@ func NewKVServiceRemote(cfg ServiceConfig, eps RemoteEndpoints) (*KVService, err
 		return nil, err
 	}
 	return s, nil
+}
+
+// cacheNodeName is the shard-map name of cache node i ("c0", "c1", …).
+func cacheNodeName(i int) string { return "c" + strconv.Itoa(i) }
+
+// CacheFaultNode is the fault-injection target name of cache node i in
+// a multi-node tier ("cache0" matches the single-node CacheNode).
+func CacheFaultNode(i int) string { return "cache" + strconv.Itoa(i) }
+
+// buildCacheTier constructs the CacheNodes > 1 remote tier: one server
+// per node (each metered as "remotecache.c<i>", so the bill's
+// remotecache rollup is unchanged), the shared shard map seeded from a
+// consistent-hash ring, and — when ShardMgr is configured — the hot-key
+// detector on every node's serve path plus the manager that reshapes
+// the map. The total memory bill equals the single-node tier's:
+// RemoteCacheBytes split evenly.
+func (s *KVService) buildCacheTier() error {
+	cfg := s.cfg
+	names := make([]string, cfg.CacheNodes)
+	for i := range names {
+		names[i] = cacheNodeName(i)
+	}
+	shards, topK, maxReplicas, handoffTicks := 64, 32, cfg.CacheNodes, 2
+	if mc := cfg.ShardMgr; mc != nil {
+		if mc.Shards > 0 {
+			shards = mc.Shards
+		}
+		if mc.TopK > 0 {
+			topK = mc.TopK
+		}
+		if mc.MaxReplicas > 0 {
+			maxReplicas = mc.MaxReplicas
+		}
+		if mc.HandoffTicks > 0 {
+			handoffTicks = mc.HandoffTicks
+		}
+		s.detector = shardmgr.NewDetector(topK)
+	}
+	smap, err := cluster.NewShardMap(shards, names, 64)
+	if err != nil {
+		return err
+	}
+	s.smap = smap
+	perNode := cfg.RemoteCacheBytes / int64(cfg.CacheNodes)
+	s.rcServers = make(map[string]*remotecache.Server, cfg.CacheNodes)
+	var hot remotecache.KeyRecorder
+	if s.detector != nil {
+		hot = s.detector
+	}
+	for _, n := range names {
+		s.rcServers[n] = remotecache.NewServer(remotecache.ServerConfig{
+			CapacityBytes: perNode,
+			Meter:         cfg.Meter,
+			Name:          "remotecache." + n,
+			RPCCost:       cfg.RPCCost,
+			Tracer:        cfg.Tracer,
+			Telemetry:     cfg.Telemetry,
+			MaxConcurrent: cfg.CacheNodeConcurrency,
+			ServeTime:     cfg.CacheNodeServeTime,
+			Hot:           hot,
+		})
+	}
+	if cfg.ShardMgr != nil {
+		mgr, err := shardmgr.New(shardmgr.Config{
+			Map:          smap,
+			Detector:     s.detector,
+			Registry:     cfg.Telemetry,
+			MaxReplicas:  maxReplicas,
+			HandoffTicks: handoffTicks,
+			HotFrac:      cfg.ShardMgr.HotFrac,
+			MigrateFrac:  cfg.ShardMgr.MigrateFrac,
+		})
+		if err != nil {
+			return err
+		}
+		s.shardMgr = mgr
+	}
+	return nil
+}
+
+// routedCacheClient builds one lane's client stack over the multi-node
+// tier: a private loopback per node, fault wrapping per node (targets
+// CacheFaultNode(i); worker lanes draw from their own decision
+// streams), a per-node retry layer, and the shard-map router on top.
+func (s *KVService) routedCacheClient(lbm *rpc.Metrics, attr *meter.AttrCtx, worker int) (*remotecache.Client, []*rpc.RetryConn, error) {
+	cfg := s.cfg
+	conns := make(map[string]rpc.Conn, cfg.CacheNodes)
+	var retries []*rpc.RetryConn
+	for i := 0; i < cfg.CacheNodes; i++ {
+		n := cacheNodeName(i)
+		lb := rpc.NewLoopback(s.rcServers[n].RPCServer(), s.appComp, meter.NewBurner(), cfg.RPCCost)
+		lb.SetAttrCtx(attr)
+		lb.SetMetrics(lbm)
+		var conn rpc.Conn = lb
+		if cfg.Faults != nil {
+			if worker < 0 {
+				conn = cfg.Faults.Wrap(CacheFaultNode(i), conn)
+			} else {
+				fc := cfg.Faults.WrapWorker(CacheFaultNode(i), worker, conn)
+				fc.SetAttrCtx(attr)
+				conn = fc
+			}
+		}
+		if cfg.CacheRetry != nil {
+			policy := *cfg.CacheRetry
+			if policy.RetryCounter == nil {
+				policy.RetryCounter = s.m.Counter(RetriesCounter)
+			}
+			seed := cfg.RetrySeed + int64(worker+1)*int64(cfg.CacheNodes) + int64(i)
+			rt := rpc.NewRetryConn(conn, policy, seed, s.appComp, meter.NewBurner())
+			rt.SetAttrCtx(attr)
+			retries = append(retries, rt)
+			conn = rt
+		}
+		conns[n] = conn
+	}
+	c, err := remotecache.NewRoutedClient(conns, s.smap)
+	if err != nil {
+		return nil, nil, err
+	}
+	c.Degrade(s.degraded)
+	c.SetTelemetry(cfg.Telemetry)
+	return c, retries, nil
 }
 
 // finish wires the architecture's cache layer and the client-facing front
@@ -351,6 +548,17 @@ func (s *KVService) finish(cacheConn rpc.Conn) error {
 	}
 	switch cfg.Arch {
 	case Remote:
+		if s.smap != nil {
+			// Multi-node tier: the default lane gets its own routed client
+			// stack (per-node loopback + faults + retries under the map).
+			rc, retries, err := s.routedCacheClient(rpc.NewMetrics(cfg.Telemetry, "loopback"), nil, -1)
+			if err != nil {
+				return err
+			}
+			s.rc = rc
+			s.retries = retries
+			break
+		}
 		// Robustness layering, innermost first: fault injection at the
 		// cache node, budgeted retries above it, graceful degradation in
 		// the client above that — the stack a production lookaside
@@ -452,7 +660,14 @@ func (s *KVService) buildLanes() error {
 		dbConn.SetAttrCtx(l.attr)
 		dbConn.SetMetrics(lbm)
 		l.db = storage.NewClient(dbConn)
-		if cfg.Arch == Remote {
+		if cfg.Arch == Remote && s.smap != nil {
+			rc, retries, err := s.routedCacheClient(lbm, l.attr, i)
+			if err != nil {
+				return err
+			}
+			l.rc = rc
+			s.retries = append(s.retries, retries...)
+		} else if cfg.Arch == Remote {
 			lb := rpc.NewLoopback(s.rcServer.RPCServer(), s.appComp, meter.NewBurner(), cfg.RPCCost)
 			lb.SetAttrCtx(l.attr)
 			lb.SetMetrics(lbm)
@@ -544,6 +759,42 @@ func (s *KVService) scaleLinkedMemory() {
 // Front returns the client-facing RPC server.
 func (s *KVService) Front() *rpc.Server { return s.front }
 
+// ShardManager returns the dynamic shard manager (nil unless ShardMgr
+// was configured). The experiment driver calls its Tick on the cadence
+// it wants — ticks are not time-based, so runs stay deterministic.
+func (s *KVService) ShardManager() *shardmgr.Manager { return s.shardMgr }
+
+// ShardMap returns the multi-node tier's placement map (nil for
+// single-node deployments).
+func (s *KVService) ShardMap() *cluster.ShardMap { return s.smap }
+
+// HotKeys returns the detector's current top-n served keys with their
+// epoch stamps stripped (nil without a ShardMgr config).
+func (s *KVService) HotKeys(n int) []shardmgr.HotKey {
+	if s.detector == nil {
+		return nil
+	}
+	hks := s.detector.TopK(n)
+	for i := range hks {
+		hks[i].Key = cluster.TrimEpoch(hks[i].Key)
+	}
+	return hks
+}
+
+// CacheNodeOps reports each cache node's served-request count, keyed by
+// shard-map node name — the per-node load spread the hot-shard figure
+// reports. Nil for single-node deployments.
+func (s *KVService) CacheNodeOps() map[string]int64 {
+	if s.rcServers == nil {
+		return nil
+	}
+	out := make(map[string]int64, len(s.rcServers))
+	for n, srv := range s.rcServers {
+		out[n] = srv.Ops()
+	}
+	return out
+}
+
 // Node exposes the storage node (experiments tune s_D, inject faults).
 func (s *KVService) Node() *storage.Node { return s.node }
 
@@ -583,6 +834,35 @@ func (s *KVService) Preload(items []PreloadItem) error {
 		if _, err := s.db.Exec(stmt, params...); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// WarmRemoteCache seeds the Remote architecture's cache tier with every
+// preload item, as an operator warms a fresh cache fleet before shifting
+// traffic onto it. Without it an experiment's metered window starts on
+// compulsory misses — storage round trips that measure the miss path,
+// not the cache tier under test. Loading goes through each node's bulk
+// path (remotecache.Server.Preload): no serving slots, serve work, ops
+// tallies or hot-key observations, exactly like storage's unmetered
+// bootstrap loads.
+func (s *KVService) WarmRemoteCache(items []PreloadItem) error {
+	switch {
+	case s.smap != nil:
+		for _, it := range items {
+			v := ValueFor(it.Key, it.Size)
+			pl := s.smap.Placement(s.smap.ShardOf(it.Key))
+			ek := cluster.EpochKey(pl.Epoch, it.Key)
+			for _, n := range pl.Replicas {
+				s.rcServers[n].Preload(ek, v)
+			}
+		}
+	case s.rcServer != nil:
+		for _, it := range items {
+			s.rcServer.Preload(it.Key, ValueFor(it.Key, it.Size))
+		}
+	default:
+		return fmt.Errorf("core: WarmRemoteCache requires an in-process Remote deployment")
 	}
 	return nil
 }
@@ -1079,6 +1359,16 @@ func (s *KVService) RetryStats() rpc.RetryStats {
 	var total rpc.RetryStats
 	if s.retry != nil {
 		total = s.retry.Stats()
+	}
+	for _, rt := range s.retries {
+		st := rt.Stats()
+		total.Calls += st.Calls
+		total.Attempts += st.Attempts
+		total.Retries += st.Retries
+		total.BudgetDenied += st.BudgetDenied
+		total.DeadlineExceeded += st.DeadlineExceeded
+		total.Failures += st.Failures
+		total.BackoffTotal += st.BackoffTotal
 	}
 	for _, l := range s.lanes {
 		if l.retry == nil {

@@ -206,6 +206,32 @@ func (c *Client) MultiGetCtx(sc trace.SpanContext, keys []string) ([][]byte, []b
 	if len(keys) == 0 {
 		return values, found, nil
 	}
+	if c.router != nil {
+		// Routed mode falls back to per-key scalar ops: each key's replica
+		// choice and handoff state is independent, so there is no single
+		// owning node to batch against. (Per-replica-set batching is a
+		// possible future optimization; demotions count per key here.)
+		for i, k := range keys {
+			v, f, err := c.get(sc, k)
+			if err != nil {
+				if !c.degrade.Load() {
+					return nil, nil, err
+				}
+				c.demote()
+				continue
+			}
+			values[i], found[i] = v, f
+		}
+		for _, f := range found {
+			sc.Tracer().CountCacheHit(f)
+			if f {
+				c.tmHits.Inc()
+			} else {
+				c.tmMisses.Inc()
+			}
+		}
+		return values, found, nil
+	}
 	groups, err := c.group(keys)
 	if err != nil {
 		if !c.degrade.Load() {
@@ -279,6 +305,17 @@ func (c *Client) MultiSetTTLCtx(sc trace.SpanContext, keys []string, values [][]
 	if len(keys) == 0 {
 		return nil
 	}
+	if c.router != nil {
+		for i, k := range keys {
+			if err := c.setTTL(sc, k, values[i], ttl); err != nil {
+				if !c.degrade.Load() {
+					return err
+				}
+				c.demote()
+			}
+		}
+		return nil
+	}
 	groups, err := c.group(keys)
 	if err != nil {
 		if !c.degrade.Load() {
@@ -325,6 +362,17 @@ func (c *Client) MultiDelete(keys []string) error {
 // MultiDeleteCtx is MultiDelete carrying the caller's span context.
 func (c *Client) MultiDeleteCtx(sc trace.SpanContext, keys []string) error {
 	if len(keys) == 0 {
+		return nil
+	}
+	if c.router != nil {
+		for _, k := range keys {
+			if _, err := c.delete(sc, k); err != nil {
+				if !c.degrade.Load() {
+					return err
+				}
+				c.demote()
+			}
+		}
 		return nil
 	}
 	groups, err := c.group(keys)
@@ -379,12 +427,17 @@ func (s *Server) handleMultiGet(sc trace.SpanContext, req []byte) ([]byte, error
 	if err != nil {
 		return nil, err
 	}
+	s.acquire()
+	defer s.release()
 	act, _ := trace.Start(sc, s.name, "multiget")
 	found := make([]bool, len(keys))
 	values := make([][]byte, len(keys))
 	hits := 0
 	for i, k := range keys {
 		values[i], found[i] = s.store.Get(k)
+		if s.hot != nil {
+			s.hot.Record(k)
+		}
 		if found[i] {
 			hits++
 		}
@@ -411,6 +464,8 @@ func (s *Server) handleMultiSet(sc trace.SpanContext, req []byte) ([]byte, error
 	if len(r.Keys) != len(r.Values) {
 		return nil, fmt.Errorf("remotecache: MultiSet %d keys but %d values", len(r.Keys), len(r.Values))
 	}
+	s.acquire()
+	defer s.release()
 	act, _ := trace.Start(sc, s.name, "multiset")
 	ok := make([]bool, len(r.Keys))
 	for i, k := range r.Keys {
@@ -451,6 +506,8 @@ func (s *Server) handleMultiDelete(sc trace.SpanContext, req []byte) ([]byte, er
 	if err != nil {
 		return nil, err
 	}
+	s.acquire()
+	defer s.release()
 	act, _ := trace.Start(sc, s.name, "multidelete")
 	ok := make([]bool, len(keys))
 	for i, k := range keys {

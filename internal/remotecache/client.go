@@ -40,6 +40,10 @@ type Client struct {
 	tmHits     *telemetry.Counter
 	tmMisses   *telemetry.Counter
 	tmDegraded *telemetry.Counter
+
+	// router, when set (NewRoutedClient), replaces ring routing with
+	// shard-map routing: replica fan-out, P2C reads, handoff double-reads.
+	router *router
 }
 
 // NewClient builds a client over named connections (node name -> conn).
@@ -77,6 +81,10 @@ func (c *Client) SetTelemetry(reg *telemetry.Registry) {
 	c.tmHits = reg.Counter("cache.client.hits")
 	c.tmMisses = reg.Counter("cache.client.misses")
 	c.tmDegraded = reg.Counter("cache.client.degraded")
+	if c.router != nil {
+		c.router.tmFanout = reg.Counter("cache.client.fanout_writes")
+		c.router.tmHandoff = reg.Counter("cache.client.handoff_reads")
+	}
 }
 
 // Degrade switches the client to graceful degradation: cache errors are
@@ -128,6 +136,9 @@ func (c *Client) GetCtx(sc trace.SpanContext, key string) ([]byte, bool, error) 
 }
 
 func (c *Client) get(sc trace.SpanContext, key string) ([]byte, bool, error) {
+	if c.router != nil {
+		return c.routedGet(sc, key)
+	}
 	conn, err := c.conn(key)
 	if err != nil {
 		return nil, false, err
@@ -180,6 +191,9 @@ func (c *Client) SetTTLCtx(sc trace.SpanContext, key string, value []byte, ttl t
 }
 
 func (c *Client) setTTL(sc trace.SpanContext, key string, value []byte, ttl time.Duration) error {
+	if c.router != nil {
+		return c.routedSet(sc, key, value, ttl)
+	}
 	conn, err := c.conn(key)
 	if err != nil {
 		return err
@@ -219,6 +233,9 @@ func (c *Client) DeleteCtx(sc trace.SpanContext, key string) (bool, error) {
 }
 
 func (c *Client) delete(sc trace.SpanContext, key string) (bool, error) {
+	if c.router != nil {
+		return c.routedDelete(sc, key)
+	}
 	conn, err := c.conn(key)
 	if err != nil {
 		return false, err

@@ -1,0 +1,284 @@
+package remotecache
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"cachecost/internal/cluster"
+	"cachecost/internal/rpc"
+	"cachecost/internal/telemetry"
+	"cachecost/internal/trace"
+	"cachecost/internal/wire"
+)
+
+// Routed mode: instead of a private consistent-hash ring, the client
+// resolves keys through a shared cluster.ShardMap — the dynamic
+// placement the shard manager reshapes at runtime. Reads spread over a
+// hot shard's replica set with power-of-two-choices on the client's own
+// inflight counts; writes fan out to every replica (and invalidate the
+// old primary during a handoff) so replicas never serve stale data;
+// reads that miss during a handoff double-read the old primary at its
+// old epoch and copy the value forward, warming the new primary without
+// a stop-the-world transfer. Every cache key is stamped with the
+// shard's epoch (cluster.EpochKey), so any entry written under a
+// superseded placement is unreachable by construction — acting on a
+// stale Placement snapshot is harmless, which is what lets the read
+// path stay lock-free.
+
+// inflightCell is one node's padded in-flight request count — the
+// client-side queue-depth signal power-of-two-choices balances on.
+type inflightCell struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+type router struct {
+	smap     *cluster.ShardMap
+	nodeIdx  map[string]int
+	inflight []inflightCell
+	rrseq    atomic.Uint64
+
+	// Routing telemetry; nil (no-op) until SetTelemetry.
+	tmFanout  *telemetry.Counter
+	tmHandoff *telemetry.Counter
+}
+
+// NewRoutedClient builds a client that routes through smap. Every node
+// in the map must have a connection.
+func NewRoutedClient(conns map[string]rpc.Conn, smap *cluster.ShardMap) (*Client, error) {
+	if smap == nil {
+		return nil, fmt.Errorf("remotecache: routed client needs a shard map")
+	}
+	c := NewClient(conns)
+	nodes := smap.Nodes()
+	r := &router{
+		smap:     smap,
+		nodeIdx:  make(map[string]int, len(nodes)),
+		inflight: make([]inflightCell, len(nodes)),
+	}
+	for i, n := range nodes {
+		if _, ok := c.conns[n]; !ok {
+			return nil, fmt.Errorf("remotecache: no connection for shard-map node %q", n)
+		}
+		r.nodeIdx[n] = i
+	}
+	c.router = r
+	return c, nil
+}
+
+// ShardMap returns the map a routed client resolves through (nil for a
+// ring-routed client).
+func (c *Client) ShardMap() *cluster.ShardMap {
+	if c.router == nil {
+		return nil
+	}
+	return c.router.smap
+}
+
+// pickReplica chooses the replica to read from: the sole replica when
+// the shard is unreplicated, otherwise two distinct candidates from a
+// mixed sequence number and the one with fewer in-flight requests —
+// power-of-two-choices over the client's own queue-depth estimate,
+// which tracks true node load closely without any coordination.
+func (r *router) pickReplica(pl cluster.ShardPlacement) string {
+	n := len(pl.Replicas)
+	if n == 1 {
+		return pl.Replicas[0]
+	}
+	h := r.rrseq.Add(1)
+	// splitmix64 finalizer: consecutive sequence numbers must not pick
+	// correlated pairs.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	i := int(h % uint64(n))
+	j := int((h >> 32) % uint64(n))
+	if i == j {
+		j = (j + 1) % n
+	}
+	a, b := pl.Replicas[i], pl.Replicas[j]
+	if r.inflight[r.nodeIdx[a]].v.Load() <= r.inflight[r.nodeIdx[b]].v.Load() {
+		return a
+	}
+	return b
+}
+
+// nodeConn resolves a placement node to its connection and inflight
+// index.
+func (c *Client) nodeConn(node string) (rpc.Conn, int, error) {
+	conn, ok := c.conns[node]
+	if !ok {
+		return nil, 0, fmt.Errorf("remotecache: no connection for node %q", node)
+	}
+	return conn, c.router.nodeIdx[node], nil
+}
+
+// routedGet is the replica-aware read path. The epoch-stamped key is
+// looked up on the chosen replica; during a handoff a miss falls
+// through to the old primary at its old epoch, and a hit there is
+// copied forward to the new primary so repeated reads converge onto the
+// new placement while the handoff window is open.
+func (c *Client) routedGet(sc trace.SpanContext, key string) ([]byte, bool, error) {
+	r := c.router
+	shard := r.smap.ShardOf(key)
+	r.smap.Note(shard)
+	pl := r.smap.Placement(shard)
+	node := r.pickReplica(pl)
+	v, found, err := c.getNode(sc, node, cluster.EpochKey(pl.Epoch, key))
+	if err != nil || found {
+		return v, found, err
+	}
+	if !pl.Migrating() {
+		return nil, false, nil
+	}
+	// Double-read window: the new primary is still cold for this key.
+	r.tmHandoff.Inc()
+	v, found, err = c.getNode(sc, pl.Old, cluster.EpochKey(pl.OldEpoch, key))
+	if err != nil || !found {
+		return nil, false, err
+	}
+	// Copy forward so the next read hits the new primary directly. A
+	// copy-forward failure propagates: in strict mode it is a real cache
+	// error, in degraded mode the caller's demotion turns it into a miss
+	// (the value is re-fetched from storage — wasteful, never wrong).
+	if err := c.setNode(sc, pl.Replicas[0], cluster.EpochKey(pl.Epoch, key), v, 0); err != nil {
+		return nil, false, err
+	}
+	return v, true, nil
+}
+
+// routedSet fans the write out to every replica at the current epoch,
+// then invalidates the old primary's entry during a handoff. A write is
+// acknowledged only once every replica holds it — a subsequent read
+// from ANY replica sees it, so replica fan-out never serves stale data.
+func (c *Client) routedSet(sc trace.SpanContext, key string, value []byte, ttl time.Duration) error {
+	r := c.router
+	shard := r.smap.ShardOf(key)
+	r.smap.Note(shard)
+	pl := r.smap.Placement(shard)
+	ek := cluster.EpochKey(pl.Epoch, key)
+	for i, node := range pl.Replicas {
+		if err := c.setNode(sc, node, ek, value, ttl); err != nil {
+			return err
+		}
+		if i > 0 {
+			r.tmFanout.Inc()
+		}
+	}
+	if pl.Migrating() {
+		if _, err := c.deleteNode(sc, pl.Old, cluster.EpochKey(pl.OldEpoch, key)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// routedDelete invalidates the key on every replica and, during a
+// handoff, on the old primary.
+func (c *Client) routedDelete(sc trace.SpanContext, key string) (bool, error) {
+	r := c.router
+	shard := r.smap.ShardOf(key)
+	r.smap.Note(shard)
+	pl := r.smap.Placement(shard)
+	ek := cluster.EpochKey(pl.Epoch, key)
+	existed := false
+	for _, node := range pl.Replicas {
+		ok, err := c.deleteNode(sc, node, ek)
+		if err != nil {
+			return false, err
+		}
+		existed = existed || ok
+	}
+	if pl.Migrating() {
+		ok, err := c.deleteNode(sc, pl.Old, cluster.EpochKey(pl.OldEpoch, key))
+		if err != nil {
+			return false, err
+		}
+		existed = existed || ok
+	}
+	return existed, nil
+}
+
+// getNode / setNode / deleteNode are the single-node RPC legs of the
+// routed ops: identical wire shapes to the ring-routed path, plus the
+// inflight tracking power-of-two-choices feeds on.
+
+func (c *Client) getNode(sc trace.SpanContext, node, key string) ([]byte, bool, error) {
+	conn, idx, err := c.nodeConn(node)
+	if err != nil {
+		return nil, false, err
+	}
+	infl := &c.router.inflight[idx].v
+	infl.Add(1)
+	e := wire.GetEncoder()
+	e.String(1, key)
+	respBody, err := rpc.CallTraced(conn, sc, "cache.Get", e.Bytes())
+	wire.PutEncoder(e)
+	infl.Add(-1)
+	if err != nil {
+		return nil, false, err
+	}
+	sc.Tracer().CountCacheMsgs(2)
+	var resp GetResponse
+	err = wire.Unmarshal(respBody, &resp)
+	rpc.PutBuffer(respBody)
+	if err != nil {
+		return nil, false, err
+	}
+	if !resp.Found {
+		return nil, false, nil
+	}
+	return resp.Value, true, nil
+}
+
+func (c *Client) setNode(sc trace.SpanContext, node, key string, value []byte, ttl time.Duration) error {
+	conn, idx, err := c.nodeConn(node)
+	if err != nil {
+		return err
+	}
+	infl := &c.router.inflight[idx].v
+	infl.Add(1)
+	e := wire.GetEncoder()
+	e.String(1, key)
+	e.BytesField(2, value)
+	e.Int64(3, int64(ttl/time.Millisecond))
+	respBody, err := rpc.CallTraced(conn, sc, "cache.Set", e.Bytes())
+	wire.PutEncoder(e)
+	infl.Add(-1)
+	if err != nil {
+		return err
+	}
+	sc.Tracer().CountCacheMsgs(2)
+	var ack Ack
+	err = wire.Unmarshal(respBody, &ack)
+	rpc.PutBuffer(respBody)
+	return err
+}
+
+func (c *Client) deleteNode(sc trace.SpanContext, node, key string) (bool, error) {
+	conn, idx, err := c.nodeConn(node)
+	if err != nil {
+		return false, err
+	}
+	infl := &c.router.inflight[idx].v
+	infl.Add(1)
+	e := wire.GetEncoder()
+	e.String(1, key)
+	respBody, err := rpc.CallTraced(conn, sc, "cache.Delete", e.Bytes())
+	wire.PutEncoder(e)
+	infl.Add(-1)
+	if err != nil {
+		return false, err
+	}
+	sc.Tracer().CountCacheMsgs(2)
+	var ack Ack
+	err = wire.Unmarshal(respBody, &ack)
+	rpc.PutBuffer(respBody)
+	if err != nil {
+		return false, err
+	}
+	return ack.OK, nil
+}

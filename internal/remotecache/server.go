@@ -1,6 +1,7 @@
 package remotecache
 
 import (
+	"sync/atomic"
 	"time"
 
 	"cachecost/internal/cache"
@@ -11,6 +12,14 @@ import (
 	"cachecost/internal/wire"
 )
 
+// KeyRecorder observes every key a cache node serves a Get for. The
+// shard manager's hot-key detector implements it; the string passed MAY
+// alias a transport buffer, so implementations must clone anything they
+// retain.
+type KeyRecorder interface {
+	Record(key string)
+}
+
 // Server is one remote cache node: a byte-budgeted sharded LRU behind RPC
 // methods cache.Get / cache.Set / cache.Delete and their batched
 // counterparts cache.MultiGet / cache.MultiSet / cache.MultiDelete.
@@ -19,6 +28,10 @@ type Server struct {
 	rpcsrv *rpc.Server
 	comp   *meter.Component
 	name   string
+	hot    KeyRecorder
+	slots  chan struct{}
+	serve  time.Duration
+	ops    atomic.Int64
 }
 
 // ServerConfig parameterizes a cache node.
@@ -42,6 +55,29 @@ type ServerConfig struct {
 	// hit/miss/eviction counters and used bytes under Name, and feeds
 	// per-dispatch rpc metrics.
 	Telemetry *telemetry.Registry
+	// Hot, when set, observes every Get-served key — the shard manager's
+	// hot-key detector. Nil disables the feed at zero cost.
+	Hot KeyRecorder
+	// MaxConcurrent, when > 0, caps the node's concurrently served
+	// requests with a semaphore: arrivals beyond the cap queue. In the
+	// in-process laboratory every node shares the host's cores, so
+	// without a cap a "hot" node just borrows more CPU and never
+	// saturates; the semaphore models a node's fixed serving capacity,
+	// making overload visible as wall-clock queueing (which the
+	// intended-arrival clock surfaces) rather than as hidden CPU theft.
+	MaxConcurrent int
+	// ServeTime, when > 0, holds a serving slot for that wall-clock
+	// duration on every request. Together with MaxConcurrent this gives
+	// the node a real, fixed serving rate — MaxConcurrent/ServeTime
+	// requests per second — so a node whose demand exceeds it queues in
+	// wall-clock time. The slot is occupied by sleeping, not by burning
+	// host CPU: on a small host N modeled nodes must be able to serve
+	// (and saturate) independently, which CPU burning cannot express —
+	// the shared host CPU would saturate before any one node did. The
+	// duration is attributed to the node's meter component as busy
+	// serving time, so the cost model sees it like any other work. Zero
+	// (the default) keeps the raw in-memory lookup speed.
+	ServeTime time.Duration
 }
 
 // NewServer builds a cache node.
@@ -57,7 +93,12 @@ func NewServer(cfg ServerConfig) *Server {
 			return int64(len(k) + len(v) + 64) // include per-entry overhead
 		}),
 		name: cfg.Name,
+		hot:  cfg.Hot,
 	}
+	if cfg.MaxConcurrent > 0 {
+		s.slots = make(chan struct{}, cfg.MaxConcurrent)
+	}
+	s.serve = cfg.ServeTime
 	var burner *meter.Burner
 	if cfg.Meter != nil {
 		s.comp = cfg.Meter.Component(cfg.Name)
@@ -83,6 +124,43 @@ func NewServer(cfg ServerConfig) *Server {
 
 // RPCServer exposes the node for rpc.Serve / loopback connections.
 func (s *Server) RPCServer() *rpc.Server { return s.rpcsrv }
+
+// Ops returns the number of requests the node has served — the
+// per-node demand signal the hot-shard experiment reports as QPS
+// spread.
+func (s *Server) Ops() int64 { return s.ops.Load() }
+
+// acquire takes a serving slot, blocking when the node is already
+// serving MaxConcurrent requests, tallies the request and occupies the
+// slot for the configured serving time. Paired with release; both are a
+// single nil test when no cap is configured.
+func (s *Server) acquire() {
+	s.ops.Add(1)
+	if s.slots != nil {
+		s.slots <- struct{}{}
+	}
+	if s.serve > 0 {
+		time.Sleep(s.serve)
+		if s.comp != nil {
+			s.comp.AddBusy(s.serve)
+		}
+	}
+}
+
+func (s *Server) release() {
+	if s.slots != nil {
+		<-s.slots
+	}
+}
+
+// Preload bulk-loads one entry directly into the node's store, outside
+// the serving path: no serving slot, no serve work, no ops tally and no
+// hot-key observation. Experiment harnesses use it to warm a cache tier
+// the way an operator does before shifting traffic onto it. Callers on
+// an epoch-stamped tier must pass the epoch-stamped key.
+func (s *Server) Preload(key string, value []byte) {
+	s.store.Put(key, value)
+}
 
 // Stats returns the cache counters.
 func (s *Server) Stats() cache.Stats { return s.store.Stats() }
@@ -125,8 +203,14 @@ func (s *Server) handleGet(sc trace.SpanContext, req []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.acquire()
+	defer s.release()
 	act, _ := trace.Start(sc, s.name, "get")
 	v, ok := s.store.Get(key)
+	if s.hot != nil {
+		// key aliases the request buffer; the detector clones on retain.
+		s.hot.Record(key)
+	}
 	act.AnnotateBool("cache.hit", ok)
 	resp := wire.Marshal(&GetResponse{Found: ok, Value: v})
 	act.SetBytes(len(req), len(resp))
@@ -139,6 +223,8 @@ func (s *Server) handleSet(sc trace.SpanContext, req []byte) ([]byte, error) {
 	if err := wire.Unmarshal(req, &r); err != nil {
 		return nil, err
 	}
+	s.acquire()
+	defer s.release()
 	act, _ := trace.Start(sc, s.name, "set")
 	// SetRequest's decode copied Key and Value out of req, so the stored
 	// value is independent of the transport buffer and immutable from
@@ -158,6 +244,8 @@ func (s *Server) handleDelete(sc trace.SpanContext, req []byte) ([]byte, error) 
 	if err := wire.Unmarshal(req, &r); err != nil {
 		return nil, err
 	}
+	s.acquire()
+	defer s.release()
 	act, _ := trace.Start(sc, s.name, "delete")
 	existed := s.store.Delete(r.Key)
 	act.AnnotateBool("cache.hit", existed)

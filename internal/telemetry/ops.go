@@ -81,6 +81,10 @@ func writeStatusz(w http.ResponseWriter, cfg OpsConfig) {
 			fmt.Fprintf(w, "  %-40s %g\n", metricKey(g.Name, g.Labels), g.Value)
 		}
 	}
+	for _, sec := range cfg.Registry.StatusSections() {
+		fmt.Fprintf(w, "%s:\n", sec.Name)
+		sec.Render(w)
+	}
 }
 
 // OpsServer is a running ops endpoint.

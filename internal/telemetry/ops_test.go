@@ -3,6 +3,7 @@ package telemetry
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -168,6 +169,42 @@ func TestStatuszWithoutMeter(t *testing.T) {
 	b, _ := io.ReadAll(resp.Body)
 	if resp.StatusCode != 200 || !strings.Contains(string(b), "histograms:") {
 		t.Fatalf("code %d body:\n%s", resp.StatusCode, b)
+	}
+}
+
+// TestStatusSectionsOnStatusz: named status renderers registered via
+// RegisterStatus are appended to /statusz in registration order, and
+// re-registering a name replaces its renderer instead of duplicating
+// the section (experiment cells re-register on every run).
+func TestStatusSectionsOnStatusz(t *testing.T) {
+	reg := testRegistry()
+	reg.RegisterStatus("bravo", func(w io.Writer) { fmt.Fprintln(w, "bravo-v1") })
+	reg.RegisterStatus("alpha", func(w io.Writer) { fmt.Fprintln(w, "alpha-body") })
+	reg.RegisterStatus("bravo", func(w io.Writer) { fmt.Fprintln(w, "bravo-v2") })
+
+	secs := reg.StatusSections()
+	if len(secs) != 2 || secs[0].Name != "bravo" || secs[1].Name != "alpha" {
+		t.Fatalf("sections = %+v, want [bravo alpha]", secs)
+	}
+
+	h := NewOpsHandler(OpsConfig{Registry: reg})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	body := string(b)
+	if !strings.Contains(body, "alpha-body") || !strings.Contains(body, "bravo-v2") {
+		t.Fatalf("/statusz missing registered sections:\n%s", body)
+	}
+	if strings.Contains(body, "bravo-v1") {
+		t.Fatalf("replaced renderer still rendering:\n%s", body)
+	}
+	if strings.Index(body, "bravo-v2") > strings.Index(body, "alpha-body") {
+		t.Fatalf("sections out of registration order:\n%s", body)
 	}
 }
 

@@ -20,6 +20,7 @@
 package telemetry
 
 import (
+	"io"
 	"sort"
 	"sync"
 	"unsafe"
@@ -194,12 +195,14 @@ type Collector func(emit func(Sample))
 // Registration takes a mutex; recording into registered metrics is
 // lock-free.
 type Registry struct {
-	mu         sync.Mutex
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
-	hists      map[string]*Histogram
-	collectors map[string]Collector
-	collOrder  []string
+	mu          sync.Mutex
+	counters    map[string]*Counter
+	gauges      map[string]*Gauge
+	hists       map[string]*Histogram
+	collectors  map[string]Collector
+	collOrder   []string
+	status      map[string]func(w io.Writer)
+	statusOrder []string
 }
 
 // NewRegistry returns an empty registry.
@@ -209,6 +212,7 @@ func NewRegistry() *Registry {
 		gauges:     make(map[string]*Gauge),
 		hists:      make(map[string]*Histogram),
 		collectors: make(map[string]Collector),
+		status:     make(map[string]func(w io.Writer)),
 	}
 }
 
@@ -283,6 +287,46 @@ func (r *Registry) RegisterCollector(name string, c Collector) {
 		r.collOrder = append(r.collOrder, name)
 	}
 	r.collectors[name] = c
+}
+
+// StatusSection is one registered plain-text status renderer: a named
+// block appended to /statusz output.
+type StatusSection struct {
+	Name   string
+	Render func(w io.Writer)
+}
+
+// RegisterStatus installs (or replaces) a named plain-text status
+// section. Subsystems whose live state does not reduce to scalar
+// metrics — the shard manager's hot-key list and replica placements,
+// for instance — register a renderer here and the ops endpoint appends
+// it to /statusz. Naming makes registration idempotent across
+// experiment cells, like RegisterCollector.
+func (r *Registry) RegisterStatus(name string, fn func(w io.Writer)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.status[name]; !ok {
+		r.statusOrder = append(r.statusOrder, name)
+	}
+	r.status[name] = fn
+}
+
+// StatusSections returns the registered status renderers in
+// registration order.
+func (r *Registry) StatusSections() []StatusSection {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]StatusSection, 0, len(r.statusOrder))
+	for _, name := range r.statusOrder {
+		out = append(out, StatusSection{Name: name, Render: r.status[name]})
+	}
+	return out
 }
 
 // Reset zeroes every counter and histogram (flows); gauges (levels) and

@@ -16,6 +16,16 @@ type SyntheticConfig struct {
 	ValueSize int
 	// Seed makes the stream deterministic. Default 1.
 	Seed int64
+	// FlipAt, when > 0, flips key popularity after that many drawn ops:
+	// the rank→key permutation is swapped for an independent one, so the
+	// keys that were hottest become (with overwhelming probability) cold
+	// and a fresh set becomes hot, while the population, skew and
+	// read/write mix stay identical. This is the workload event dynamic
+	// shard management exists to absorb — a product launch or viral
+	// object shifting the heavy hitters under a running service. Ops
+	// before the flip are byte-identical to a FlipAt=0 stream with the
+	// same seed.
+	FlipAt int
 }
 
 func (c *SyntheticConfig) applyDefaults() {
@@ -38,22 +48,32 @@ func (c *SyntheticConfig) applyDefaults() {
 
 // Synthetic is the fixed-size Zipfian generator.
 type Synthetic struct {
-	cfg  SyntheticConfig
-	rng  *rand.Rand
-	zipf *ZipfSampler
-	perm []int
+	cfg   SyntheticConfig
+	rng   *rand.Rand
+	zipf  *ZipfSampler
+	perm  []int
+	perm2 []int // post-flip permutation (nil when FlipAt == 0)
+	drawn int
 }
 
 // NewSynthetic builds the generator.
 func NewSynthetic(cfg SyntheticConfig) *Synthetic {
 	cfg.applyDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	return &Synthetic{
+	s := &Synthetic{
 		cfg:  cfg,
 		rng:  rng,
 		zipf: NewZipfSampler(cfg.Keys, cfg.Alpha, rng),
 		perm: permute(cfg.Keys, rng),
 	}
+	if cfg.FlipAt > 0 {
+		// The flipped permutation comes from a rng independent of the
+		// op-stream rng, so the pre-flip stream is identical to the
+		// unflipped stream with the same seed — the flip is the ONLY
+		// difference between the two experiments.
+		s.perm2 = permute(cfg.Keys, rand.New(rand.NewSource(cfg.Seed^0x9e3779b9)))
+	}
+	return s
 }
 
 // Name implements Generator.
@@ -66,7 +86,12 @@ func (s *Synthetic) Next() Op {
 	if s.rng.Float64() < s.cfg.ReadRatio {
 		kind = Read
 	}
-	return Op{Kind: kind, Key: KeyName(s.perm[rank]), ValueSize: s.cfg.ValueSize}
+	perm := s.perm
+	if s.perm2 != nil && s.drawn >= s.cfg.FlipAt {
+		perm = s.perm2
+	}
+	s.drawn++
+	return Op{Kind: kind, Key: KeyName(perm[rank]), ValueSize: s.cfg.ValueSize}
 }
 
 // Zipf exposes the underlying sampler (analytic model calibration).

@@ -231,3 +231,46 @@ func BenchmarkSyntheticNext(b *testing.B) {
 		g.Next()
 	}
 }
+
+// A flip must (a) leave the pre-flip stream byte-identical to the
+// unflipped stream, (b) change the hot set afterwards, (c) preserve the
+// population and mix.
+func TestSyntheticPopularityFlip(t *testing.T) {
+	base := NewSynthetic(SyntheticConfig{Keys: 2000, Seed: 7})
+	flip := NewSynthetic(SyntheticConfig{Keys: 2000, Seed: 7, FlipAt: 500})
+	hotBefore := map[string]int{}
+	for i := 0; i < 500; i++ {
+		a, b := base.Next(), flip.Next()
+		if a != b {
+			t.Fatalf("op %d diverges before the flip: %+v vs %+v", i, a, b)
+		}
+		hotBefore[b.Key]++
+	}
+	hotAfter := map[string]int{}
+	diverged := false
+	for i := 0; i < 500; i++ {
+		a, b := base.Next(), flip.Next()
+		if a.Kind != b.Kind {
+			t.Fatalf("op %d: flip changed the read/write mix", 500+i)
+		}
+		if a.Key != b.Key {
+			diverged = true
+		}
+		hotAfter[b.Key]++
+	}
+	if !diverged {
+		t.Fatal("streams identical after the flip")
+	}
+	top := func(m map[string]int) string {
+		best, n := "", 0
+		for k, c := range m {
+			if c > n || (c == n && k < best) {
+				best, n = k, c
+			}
+		}
+		return best
+	}
+	if top(hotBefore) == top(hotAfter) {
+		t.Fatalf("hottest key %q unchanged by the flip", top(hotBefore))
+	}
+}
