@@ -782,6 +782,7 @@ var Figures = []Figure{
 	{"overload", "open-loop cost and honest latency past saturation", FigOverload},
 	{"hotshard", "dynamic shard management through a popularity flip", FigHotShard},
 	{"timeseries", "windowed telemetry through warm-up and a cache kill", FigTimeseries},
+	{"tiering", "durable storage: cost vs DRAM:disk split", FigTiering},
 }
 
 // FigureByID returns the registered figure or an error listing options.

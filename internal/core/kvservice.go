@@ -111,6 +111,14 @@ type ServiceConfig struct {
 	RPCCost rpc.CostModel
 	// DiskPenaltyPerByte tunes the storage disk model (0 = default).
 	DiskPenaltyPerByte float64
+	// DiskPenaltyPerOp tunes the storage disk model's per-access charge
+	// (0 = default).
+	DiskPenaltyPerOp int
+	// StorageDurable switches the storage engine to the durable tiered
+	// mode (WAL + bloom-filtered SSTables): StorageCacheBytes becomes
+	// the DRAM value-tier budget per replica, cold values live on the
+	// disk tier, and disk residency is billed at the storage rate.
+	StorageDurable bool
 	// StorageFrontendWork tunes the storage node's per-statement SQL
 	// front-end charge (0 = default; used by the calibration ablation).
 	StorageFrontendWork int
@@ -307,7 +315,9 @@ func NewKVService(cfg ServiceConfig) (*KVService, error) {
 		BlockCacheBytes:    cfg.StorageCacheBytes,
 		Meter:              cfg.Meter,
 		DiskPenaltyPerByte: cfg.DiskPenaltyPerByte,
+		DiskPenaltyPerOp:   cfg.DiskPenaltyPerOp,
 		FrontendWork:       cfg.StorageFrontendWork,
+		Durable:            cfg.StorageDurable,
 		Tracer:             cfg.Tracer,
 		Telemetry:          cfg.Telemetry,
 	})

@@ -1,0 +1,128 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"cachecost/internal/storage/kv"
+)
+
+// ErrTornWrite is returned by a fault FS when torn-write injection
+// fires: only a prefix of the buffer reached the underlying file. The
+// kv engine treats durable-path I/O errors as fatal (crash-only
+// design), so under injection the process dies exactly as it would in
+// a real mid-write power cut — with a partial frame on disk that
+// recovery must reject.
+var ErrTornWrite = errors.New("fault: torn write injected")
+
+// FSOptions configures a fault-injecting filesystem wrapper.
+type FSOptions struct {
+	// Node is the injector node consulted before every fsync; its Rule
+	// prices fsync stalls (StallWork burned on the meter) and its
+	// ErrorRate can fail syncs outright. Default "fs".
+	Node string
+	// SyncSleep adds a wall-clock delay inside every fsync. The kill
+	// harness uses it to widen the window in which a SIGKILL lands
+	// mid-fsync; it is real sleeping, not metered work.
+	SyncSleep time.Duration
+	// TornWriteAfter tears the Nth write call (1-based) across all
+	// files: only a prefix of the buffer reaches the inner file and the
+	// write returns ErrTornWrite. Zero disables injection.
+	TornWriteAfter int64
+	// TornWriteFrac is the fraction of the torn buffer that survives,
+	// clamped to [0,1). Default 0.5.
+	TornWriteFrac float64
+}
+
+// FS wraps a kv.FS, consulting an Injector on every fsync and
+// optionally tearing one write. It composes with both DirFS (for the
+// crash harness) and MemFS (for in-process tests).
+type FS struct {
+	inner  kv.FS
+	in     *Injector
+	opts   FSOptions
+	writes atomic.Int64
+	syncs  atomic.Int64
+	torn   atomic.Int64
+}
+
+// NewFS returns inner filtered through the injector. A nil injector
+// still supports torn-write injection and sync sleeps.
+func (in *Injector) NewFS(inner kv.FS, opts FSOptions) *FS {
+	if opts.Node == "" {
+		opts.Node = "fs"
+	}
+	if opts.TornWriteFrac <= 0 || opts.TornWriteFrac >= 1 {
+		opts.TornWriteFrac = 0.5
+	}
+	return &FS{inner: inner, in: in, opts: opts}
+}
+
+// Writes returns the number of write calls observed across all files.
+func (f *FS) Writes() int64 { return f.writes.Load() }
+
+// Syncs returns the number of fsync calls observed.
+func (f *FS) Syncs() int64 { return f.syncs.Load() }
+
+// TornWrites returns how many writes were torn.
+func (f *FS) TornWrites() int64 { return f.torn.Load() }
+
+func (f *FS) Create(name string) (kv.File, error) {
+	file, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f}, nil
+}
+
+func (f *FS) Open(name string) (kv.File, error) {
+	file, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f}, nil
+}
+
+func (f *FS) Remove(name string) error              { return f.inner.Remove(name) }
+func (f *FS) Rename(oldName, newName string) error  { return f.inner.Rename(oldName, newName) }
+func (f *FS) List() ([]string, error)               { return f.inner.List() }
+func (f *FS) Size(name string) (int64, error)       { return f.inner.Size(name) }
+
+// faultFile interposes on the write and sync paths; reads pass through.
+type faultFile struct {
+	kv.File
+	fs *FS
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	n := f.fs.writes.Add(1)
+	if after := f.fs.opts.TornWriteAfter; after > 0 && n == after {
+		f.fs.torn.Add(1)
+		keep := int(float64(len(p)) * f.fs.opts.TornWriteFrac)
+		if keep > 0 {
+			if _, err := f.File.Write(p[:keep]); err != nil {
+				return 0, err
+			}
+		}
+		return keep, fmt.Errorf("%w: wrote %d of %d bytes", ErrTornWrite, keep, len(p))
+	}
+	return f.File.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	f.fs.syncs.Add(1)
+	if d := f.fs.opts.SyncSleep; d > 0 {
+		time.Sleep(d)
+	}
+	if f.fs.in != nil {
+		// The injector's verdict prices the stall (metered burn) and can
+		// fail the sync; a failed fsync promises nothing about what
+		// reached the platter, so callers must treat it as fatal.
+		if err := f.fs.in.Decide(f.fs.opts.Node); err != nil {
+			return fmt.Errorf("fault: fsync: %w", err)
+		}
+	}
+	return f.File.Sync()
+}

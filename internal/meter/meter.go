@@ -116,10 +116,11 @@ func (m *Meter) Snapshot() []ComponentSnapshot {
 	out := make([]ComponentSnapshot, 0, len(m.components))
 	for _, c := range m.components {
 		out = append(out, ComponentSnapshot{
-			Name:     c.name,
-			Busy:     time.Duration(c.busyNanos.Load()),
-			MemBytes: c.memBytes.Load(),
-			Ops:      c.ops.Load(),
+			Name:      c.name,
+			Busy:      time.Duration(c.busyNanos.Load()),
+			MemBytes:  c.memBytes.Load(),
+			DiskBytes: c.diskBytes.Load(),
+			Ops:       c.ops.Load(),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
@@ -236,6 +237,7 @@ type Component struct {
 	name      string
 	busyNanos atomic.Int64
 	memBytes  atomic.Int64
+	diskBytes atomic.Int64
 	ops       atomic.Int64
 	total     *atomic.Int64 // the owning Meter's busy total; nil if detached
 	clk       *busyClock    // the owning Meter's time source; nil reads wall
@@ -264,6 +266,19 @@ func (c *Component) SetMemBytes(n int64) { c.memBytes.Store(n) }
 
 // AddMemBytes adjusts provisioned memory by delta bytes (may be negative).
 func (c *Component) AddMemBytes(delta int64) { c.memBytes.Add(delta) }
+
+// SetDiskBytes records the persistent-storage footprint of the component,
+// in bytes. Like provisioned memory it is a level, not a rate: the report
+// prices it as a monthly rent at the price book's storage rate.
+func (c *Component) SetDiskBytes(n int64) { c.diskBytes.Store(n) }
+
+// AddDiskBytes adjusts the persistent-storage footprint by delta bytes
+// (may be negative). Durable stores report file-size deltas after each
+// flush or compaction so several stores can share one component.
+func (c *Component) AddDiskBytes(delta int64) { c.diskBytes.Add(delta) }
+
+// DiskBytes returns the current persistent-storage footprint in bytes.
+func (c *Component) DiskBytes() int64 { return c.diskBytes.Load() }
 
 // Busy returns the total busy time attributed so far.
 func (c *Component) Busy() time.Duration { return time.Duration(c.busyNanos.Load()) }
@@ -339,10 +354,11 @@ func (s *Stopwatch) Stop() time.Duration {
 
 // ComponentSnapshot is a frozen view of one component's counters.
 type ComponentSnapshot struct {
-	Name     string
-	Busy     time.Duration
-	MemBytes int64
-	Ops      int64
+	Name      string
+	Busy      time.Duration
+	MemBytes  int64
+	DiskBytes int64
+	Ops       int64
 }
 
 // Cores converts busy time over an elapsed window into equivalent fully-busy

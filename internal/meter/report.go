@@ -12,13 +12,15 @@ type Line struct {
 	Component string
 	Cores     float64 // equivalent fully-busy cores over the window
 	MemGB     float64 // provisioned DRAM
+	DiskGB    float64 // persistent-storage footprint
 	CPUCost   float64 // $/month
 	MemCost   float64 // $/month
+	DiskCost  float64 // $/month
 	Ops       int64
 }
 
 // Total returns the line's combined monthly cost.
-func (l Line) Total() float64 { return l.CPUCost + l.MemCost }
+func (l Line) Total() float64 { return l.CPUCost + l.MemCost + l.DiskCost }
 
 // Report is a priced summary of a Meter over its elapsed window.
 type Report struct {
@@ -29,7 +31,8 @@ type Report struct {
 	Counters  []CounterSnapshot // named event counters (degradations, retries, faults)
 	CPUCost   float64           // $/month, all components
 	MemCost   float64           // $/month, all components
-	TotalCost float64           // CPUCost + MemCost
+	DiskCost  float64           // $/month, all components (persistent storage rent)
+	TotalCost float64           // CPUCost + MemCost + DiskCost
 
 	// LaneQPS, when set (> 0), is the single-lane request rate — the
 	// throughput one closed-loop worker sustains (1/mean latency). A
@@ -59,15 +62,18 @@ func BuildReport(m *Meter, prices PriceBook) Report {
 			Component: s.Name,
 			Cores:     cores,
 			MemGB:     float64(s.MemBytes) / float64(1<<30),
+			DiskGB:    float64(s.DiskBytes) / float64(1<<30),
 			CPUCost:   prices.CPUCost(cores),
 			MemCost:   prices.MemCost(s.MemBytes),
+			DiskCost:  prices.StorageCost(s.DiskBytes),
 			Ops:       s.Ops,
 		}
 		r.Lines = append(r.Lines, line)
 		r.CPUCost += line.CPUCost
 		r.MemCost += line.MemCost
+		r.DiskCost += line.DiskCost
 	}
-	r.TotalCost = r.CPUCost + r.MemCost
+	r.TotalCost = r.CPUCost + r.MemCost + r.DiskCost
 	return r
 }
 
@@ -93,7 +99,10 @@ func (r Report) CostPerMillionRequests() float64 {
 	if r.LaneQPS > 0 {
 		memQPS = r.LaneQPS
 	}
-	return (r.CPUCost/(qps*secondsPerMonth) + r.MemCost/(memQPS*secondsPerMonth)) * 1e6
+	// Disk rent amortizes like memory rent: both are provisioned levels
+	// whose monthly bill divides by the deployment's request rate, so the
+	// single-lane normalization applies to both.
+	return (r.CPUCost/(qps*secondsPerMonth) + (r.MemCost+r.DiskCost)/(memQPS*secondsPerMonth)) * 1e6
 }
 
 // MemFraction returns provisioned-memory cost as a fraction of total cost.
@@ -146,8 +155,10 @@ func (r Report) Rollup() []Line {
 		}
 		a.Cores += l.Cores
 		a.MemGB += l.MemGB
+		a.DiskGB += l.DiskGB
 		a.CPUCost += l.CPUCost
 		a.MemCost += l.MemCost
+		a.DiskCost += l.DiskCost
 		a.Ops += l.Ops
 	}
 	out := make([]Line, 0, len(agg))
@@ -168,14 +179,14 @@ func (r Report) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "elapsed=%v requests=%d qps=%.0f prices[%s]\n",
 		r.Elapsed.Round(time.Millisecond), r.Requests, r.QPS(), r.Prices)
-	fmt.Fprintf(&b, "%-24s %10s %10s %12s %12s %12s\n",
-		"component", "cores", "memGB", "cpu$/mo", "mem$/mo", "total$/mo")
+	fmt.Fprintf(&b, "%-24s %10s %10s %10s %12s %12s %12s %12s\n",
+		"component", "cores", "memGB", "diskGB", "cpu$/mo", "mem$/mo", "disk$/mo", "total$/mo")
 	for _, l := range r.Lines {
-		fmt.Fprintf(&b, "%-24s %10.4f %10.4f %12.4f %12.4f %12.4f\n",
-			l.Component, l.Cores, l.MemGB, l.CPUCost, l.MemCost, l.Total())
+		fmt.Fprintf(&b, "%-24s %10.4f %10.4f %10.4f %12.4f %12.4f %12.4f %12.4f\n",
+			l.Component, l.Cores, l.MemGB, l.DiskGB, l.CPUCost, l.MemCost, l.DiskCost, l.Total())
 	}
-	fmt.Fprintf(&b, "%-24s %10.4f %10s %12.4f %12.4f %12.4f\n",
-		"TOTAL", r.ComponentCores(""), "", r.CPUCost, r.MemCost, r.TotalCost)
+	fmt.Fprintf(&b, "%-24s %10.4f %10s %10s %12.4f %12.4f %12.4f %12.4f\n",
+		"TOTAL", r.ComponentCores(""), "", "", r.CPUCost, r.MemCost, r.DiskCost, r.TotalCost)
 	fmt.Fprintf(&b, "cost per 1M requests: $%.6f  (memory fraction %.1f%%)\n",
 		r.CostPerMillionRequests(), 100*r.MemFraction())
 	if len(r.Counters) > 0 {

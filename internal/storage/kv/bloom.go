@@ -1,0 +1,71 @@
+package kv
+
+// bloomFilter is a classic Bloom filter over key hashes, built once per
+// SSTable at write time. With the default 10 bits per key and k=7 hash
+// functions the false-positive rate is ≈0.8%, so a point read touches
+// the blocks of (almost) exactly one table instead of every table.
+//
+// The k probe positions derive from one 64-bit FNV-1a hash via
+// double hashing (Kirsch–Mitzenmacher): h_i = h1 + i·h2. This keeps the
+// per-key cost to one hash regardless of k.
+type bloomFilter struct {
+	bits []byte
+	k    uint8
+}
+
+// bloomHash is FNV-1a 64 over the key.
+func bloomHash(key []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range key {
+		h = (h ^ uint64(c)) * 1099511628211
+	}
+	return h
+}
+
+// newBloomFilter sizes a filter for n keys at bitsPerKey.
+func newBloomFilter(n int, bitsPerKey int) *bloomFilter {
+	if n < 1 {
+		n = 1
+	}
+	nbits := n * bitsPerKey
+	if nbits < 64 {
+		nbits = 64
+	}
+	k := uint8(float64(bitsPerKey) * 0.69) // ln2 ≈ 0.69
+	if k < 1 {
+		k = 1
+	}
+	if k > 30 {
+		k = 30
+	}
+	return &bloomFilter{bits: make([]byte, (nbits+7)/8), k: k}
+}
+
+func (b *bloomFilter) nbits() uint64 { return uint64(len(b.bits)) * 8 }
+
+// add sets the k probe bits for a key hash.
+func (b *bloomFilter) add(h uint64) {
+	n := b.nbits()
+	h2 := h>>33 | h<<31
+	for i := uint8(0); i < b.k; i++ {
+		pos := (h + uint64(i)*h2) % n
+		b.bits[pos/8] |= 1 << (pos % 8)
+	}
+}
+
+// maybeContains reports whether the key hash may have been added. False
+// means definitely absent.
+func (b *bloomFilter) maybeContains(h uint64) bool {
+	if len(b.bits) == 0 {
+		return true // degenerate filter: cannot exclude anything
+	}
+	n := b.nbits()
+	h2 := h>>33 | h<<31
+	for i := uint8(0); i < b.k; i++ {
+		pos := (h + uint64(i)*h2) % n
+		if b.bits[pos/8]&(1<<(pos%8)) == 0 {
+			return false
+		}
+	}
+	return true
+}

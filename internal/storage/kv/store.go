@@ -38,17 +38,44 @@ type Item struct {
 	Version Version
 }
 
-// Config parameterizes a Store.
+// Config parameterizes a Store. Zero values mean "use the documented
+// default"; negative values are configuration errors that fail fast
+// (Validate returns a descriptive error; NewStore panics with it).
 type Config struct {
 	// PageBytes is the target encoded size of one page. Pages split when
 	// they exceed it. Default 16 KiB.
 	PageBytes int
-	// CacheBytes is the block-cache budget (the paper's s_D). Zero means
-	// no block cache: every page access goes to "disk".
+	// CacheBytes is the DRAM budget (the paper's s_D). In-memory stores
+	// spend it on the block cache over encoded pages; durable stores
+	// spend it on the DRAM value tier — the hot set served without
+	// touching the disk tier. Zero means no cache: every miss of the
+	// memtable goes to "disk".
 	CacheBytes int64
 	// MemtableBytes is the write-buffer budget; when pending writes
 	// exceed it they are flushed to pages. Default 4 MiB.
 	MemtableBytes int64
+
+	// Dir, when set, makes the store durable: state lives in this
+	// directory (WAL + SSTables) and survives Close/reopen and crashes.
+	// Mutually exclusive with FS.
+	Dir string
+	// FS, when set, makes the store durable on the given filesystem
+	// (e.g. a MemFS for crash-simulation tests, or a fault-injecting
+	// wrapper). Mutually exclusive with Dir.
+	FS FS
+	// WALSyncEvery group-commits the write-ahead log: one fsync per N
+	// appended records. 1 (the default) fsyncs every write; larger
+	// values trade a longer unacknowledged window for fewer fsyncs.
+	// Writes are only guaranteed durable after Sync returns.
+	WALSyncEvery int
+	// BlockBytes is the SSTable data-block target size. Default 4 KiB.
+	BlockBytes int
+	// BloomBitsPerKey sizes each table's bloom filter. Default 10
+	// (≈0.8% false positives).
+	BloomBitsPerKey int
+	// CompactAt triggers a full k-way-merge compaction when the table
+	// count reaches it. Default 4.
+	CompactAt int
 	// DiskPenaltyPerByte is the CPU work (Burner units) charged per
 	// encoded byte read from "disk", modeling the I/O stack on a
 	// block-cache miss. Default 1.
@@ -67,6 +94,38 @@ type Config struct {
 	Burner *meter.Burner
 }
 
+// Validate rejects configurations that would otherwise misbehave
+// silently. Each failure names the offending field and value.
+func (c Config) Validate() error {
+	switch {
+	case c.PageBytes < 0:
+		return fmt.Errorf("kv: Config.PageBytes must be positive (or 0 for the 16 KiB default), got %d", c.PageBytes)
+	case c.MemtableBytes < 0:
+		return fmt.Errorf("kv: Config.MemtableBytes must be positive (or 0 for the 4 MiB default), got %d", c.MemtableBytes)
+	case c.CacheBytes < 0:
+		return fmt.Errorf("kv: Config.CacheBytes must be >= 0, got %d", c.CacheBytes)
+	case c.DiskPenaltyPerByte < 0:
+		return fmt.Errorf("kv: Config.DiskPenaltyPerByte must be >= 0, got %v", c.DiskPenaltyPerByte)
+	case c.DiskWritePenaltyPerByte < 0:
+		return fmt.Errorf("kv: Config.DiskWritePenaltyPerByte must be >= 0, got %v", c.DiskWritePenaltyPerByte)
+	case c.DiskPenaltyPerOp < 0:
+		return fmt.Errorf("kv: Config.DiskPenaltyPerOp must be >= 0, got %d", c.DiskPenaltyPerOp)
+	case c.WALSyncEvery < 0:
+		return fmt.Errorf("kv: Config.WALSyncEvery must be positive (or 0 for fsync-every-write), got %d", c.WALSyncEvery)
+	case c.BlockBytes < 0:
+		return fmt.Errorf("kv: Config.BlockBytes must be positive (or 0 for the 4 KiB default), got %d", c.BlockBytes)
+	case c.BloomBitsPerKey < 0:
+		return fmt.Errorf("kv: Config.BloomBitsPerKey must be positive (or 0 for the default 10), got %d", c.BloomBitsPerKey)
+	case c.CompactAt < 0:
+		return fmt.Errorf("kv: Config.CompactAt must be >= 2 (or 0 for the default 4), got %d", c.CompactAt)
+	case c.CompactAt == 1:
+		return fmt.Errorf("kv: Config.CompactAt must be >= 2 (or 0 for the default 4), got %d", c.CompactAt)
+	case c.Dir != "" && c.FS != nil:
+		return fmt.Errorf("kv: Config.Dir (%q) and Config.FS are mutually exclusive", c.Dir)
+	}
+	return nil
+}
+
 func (c *Config) applyDefaults() {
 	if c.PageBytes <= 0 {
 		c.PageBytes = 16 << 10
@@ -83,12 +142,28 @@ func (c *Config) applyDefaults() {
 	if c.DiskPenaltyPerOp == 0 {
 		c.DiskPenaltyPerOp = 8192
 	}
+	if c.WALSyncEvery <= 0 {
+		c.WALSyncEvery = 1
+	}
+	if c.BlockBytes <= 0 {
+		c.BlockBytes = 4 << 10
+	}
+	if c.BloomBitsPerKey <= 0 {
+		c.BloomBitsPerKey = 10
+	}
+	if c.CompactAt <= 0 {
+		c.CompactAt = 4
+	}
 	if c.Comp != nil && c.Burner == nil {
 		c.Burner = meter.NewBurner()
 	}
 }
 
-// Stats counts store-level events.
+// durableCfg reports whether the configuration asks for a durable store.
+func (c Config) durableCfg() bool { return c.Dir != "" || c.FS != nil }
+
+// Stats counts store-level events. The fields below Flushes are only
+// nonzero for durable stores.
 type Stats struct {
 	Gets           int64
 	Puts           int64
@@ -100,6 +175,17 @@ type Stats struct {
 	DiskReadBytes  int64
 	DiskWrites     int64
 	DiskWriteBytes int64
+
+	WALAppends      int64 // records appended to the write-ahead log
+	WALFsyncs       int64 // group commits actually issued
+	WALBytes        int64 // framed bytes appended
+	Compactions     int64 // full k-way merges completed
+	CompactionBytes int64 // bytes written by compaction outputs
+	TierHits        int64 // reads served by the DRAM value tier
+	TierPromotions  int64 // values copied disk→DRAM after a tier miss
+	TierDemotions   int64 // values evicted DRAM→disk-only (LRU cold)
+	BloomNegatives  int64 // table probes skipped by the bloom filter
+	Recoveries      int64 // WAL replays performed at open
 }
 
 // Store is an ordered KV store with a memtable and block cache. All
@@ -115,6 +201,7 @@ type Store struct {
 	bcache   *cache.LRU[*decodedPage] // block cache, guarded by mu
 	mem      map[string]*memEntry     // pending writes
 	memBytes int64
+	dur      *durable // non-nil for durable stores; see durable.go
 }
 
 // memEntry is one pending write (or tombstone) in the memtable.
@@ -139,8 +226,25 @@ type decodedPage struct {
 	vers []Version
 }
 
-// NewStore returns an empty store.
+// NewStore returns an empty store. It panics on an invalid Config or a
+// durable-open failure; use Open to handle those as errors (recovery of
+// an existing directory can legitimately fail on corrupt state).
 func NewStore(cfg Config) *Store {
+	s, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Open validates cfg and returns a store. With Dir or FS set the store
+// is durable: existing SSTables are loaded (fail-closed on corruption),
+// the WAL is replayed up to its last acknowledged record, and new writes
+// are logged before they are acknowledged.
+func Open(cfg Config) (*Store, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	cfg.applyDefaults()
 	s := &Store{cfg: cfg, nextID: 1, mem: make(map[string]*memEntry)}
 	s.pages = []*page{{id: 0, encoded: encodePage(&decodedPage{})}}
@@ -151,10 +255,15 @@ func NewStore(cfg Config) *Store {
 		}
 		return n
 	})
+	if cfg.durableCfg() {
+		if err := s.openDurable(); err != nil {
+			return nil, err
+		}
+	}
 	if cfg.Comp != nil {
 		cfg.Comp.SetMemBytes(cfg.CacheBytes)
 	}
-	return s
+	return s, nil
 }
 
 // track wraps a critical section with meter attribution.
@@ -238,6 +347,14 @@ func (s *Store) Get(key []byte) (val []byte, ver Version, ok bool) {
 			ok = true
 			return
 		}
+		if s.dur != nil {
+			var v []byte
+			v, ver, ok = s.durGet(key)
+			if ok {
+				val = append([]byte(nil), v...)
+			}
+			return
+		}
 		p := s.pages[s.pageIdx(key)]
 		dp := s.loadPage(p)
 		i, found := dp.find(key)
@@ -269,6 +386,10 @@ func (s *Store) VersionOf(key []byte) (ver Version, ok bool) {
 			ok = true
 			return
 		}
+		if s.dur != nil {
+			_, ver, ok = s.durGet(key)
+			return
+		}
 		p := s.pages[s.pageIdx(key)]
 		dp := s.loadPage(p)
 		i, found := dp.find(key)
@@ -291,9 +412,15 @@ func (s *Store) Put(key, value []byte) (ver Version) {
 		s.stats.Puts++
 		s.version++
 		ver = s.version
-		// WAL append: sequential write of the record.
-		s.burnDisk(len(key)+len(value), s.cfg.DiskWritePenaltyPerByte)
 		k := string(key)
+		if s.dur != nil {
+			// Real WAL append (CRC-framed, group-committed).
+			s.durAppend(WALRecord{Op: walOpPut, Version: ver, Key: key, Value: value})
+			s.durTierWrite(k, value, ver, false)
+		} else {
+			// WAL append: sequential write of the record.
+			s.burnDisk(len(key)+len(value), s.cfg.DiskWritePenaltyPerByte)
+		}
 		if old, ok := s.mem[k]; ok {
 			s.memBytes -= int64(len(old.val))
 		} else {
@@ -319,6 +446,8 @@ func (s *Store) Delete(key []byte) (existed bool) {
 		k := string(key)
 		if e, ok := s.mem[k]; ok {
 			existed = !e.tomb
+		} else if s.dur != nil {
+			_, _, existed = s.durGet(key)
 		} else {
 			p := s.pages[s.pageIdx(key)]
 			dp := s.loadPage(p)
@@ -328,7 +457,12 @@ func (s *Store) Delete(key []byte) (existed bool) {
 			return
 		}
 		s.version++
-		s.burnDisk(len(key), s.cfg.DiskWritePenaltyPerByte) // tombstone WAL append
+		if s.dur != nil {
+			s.durAppend(WALRecord{Op: walOpDelete, Version: s.version, Key: key})
+			s.durTierWrite(k, nil, s.version, true)
+		} else {
+			s.burnDisk(len(key), s.cfg.DiskWritePenaltyPerByte) // tombstone WAL append
+		}
 		if old, ok := s.mem[k]; ok {
 			s.memBytes -= int64(len(old.val))
 		} else {
@@ -339,10 +473,15 @@ func (s *Store) Delete(key []byte) (existed bool) {
 	return existed
 }
 
-// flushLocked applies every memtable entry to the page store and clears
-// the memtable. Callers hold s.mu.
+// flushLocked applies every memtable entry to the page store (or, for a
+// durable store, writes it out as a new SSTable) and clears the
+// memtable. Callers hold s.mu.
 func (s *Store) flushLocked() {
 	if len(s.mem) == 0 {
+		return
+	}
+	if s.dur != nil {
+		s.durFlush()
 		return
 	}
 	s.stats.Flushes++
@@ -426,6 +565,10 @@ func (s *Store) Scan(start, end []byte, limit int) (items []Item) {
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		s.stats.Scans++
+		if s.dur != nil {
+			items = s.durScan(start, end, limit)
+			return
+		}
 
 		// Pending writes in range, sorted.
 		var memKeys []string
@@ -515,6 +658,9 @@ func (s *Store) scanPagesLocked(start, end []byte, limit int) (items []Item) {
 func (s *Store) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.dur != nil {
+		return s.durCount()
+	}
 	s.flushLocked()
 	n := 0
 	for _, p := range s.pages {
@@ -530,6 +676,9 @@ func (s *Store) DataBytes() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.flushLocked()
+	if s.dur != nil {
+		return s.dur.fileBytes
+	}
 	var n int64
 	for _, p := range s.pages {
 		n += int64(len(p.encoded))
@@ -551,20 +700,41 @@ func (s *Store) Stats() Stats {
 	return s.stats
 }
 
-// CacheStats returns the block cache's counters.
+// CacheStats returns the block cache's counters (the DRAM value tier's
+// for a durable store).
 func (s *Store) CacheStats() cache.Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.dur != nil {
+		if s.dur.tier == nil {
+			return cache.Stats{}
+		}
+		return s.dur.tier.Stats()
+	}
 	return s.bcache.Stats()
 }
 
-// SetCacheBytes resizes the block cache (evicting as needed) and updates
-// the metered memory provision. Used by experiments that sweep s_D.
+// SetCacheBytes resizes the DRAM budget — the block cache for in-memory
+// stores, the value tier for durable ones (evicting, i.e. demoting, as
+// needed) — and updates the metered memory provision. Used by
+// experiments that sweep s_D.
 func (s *Store) SetCacheBytes(n int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.cfg.CacheBytes = n
-	s.bcache.SetCapacity(n)
+	if s.dur != nil {
+		if s.dur.tier == nil && n > 0 {
+			d, st := s.dur, s
+			d.tier = cache.NewLRU[tierValue](n, func(k string, v tierValue) int64 {
+				return int64(len(k)+len(v.val)) + 48
+			})
+			d.tier.SetEvictFunc(func(string, tierValue) { st.stats.TierDemotions++ })
+		} else if s.dur.tier != nil {
+			s.dur.tier.SetCapacity(n)
+		}
+	} else {
+		s.bcache.SetCapacity(n)
+	}
 	if s.cfg.Comp != nil {
 		s.cfg.Comp.SetMemBytes(n)
 	}

@@ -52,6 +52,21 @@ type Config struct {
 	// block-cache hit ratio and raft replication counters (including
 	// ship lag) under Prefix.
 	Telemetry *telemetry.Registry
+	// Durable switches every replica's kv store to the durable tiered
+	// engine (WAL + bloom-filtered SSTables). BlockCacheBytes becomes the
+	// DRAM value-tier budget; values evicted from it live on the disk
+	// tier and are re-read (and priced) on miss. Each replica gets its
+	// own in-memory filesystem unless DurableFS supplies one.
+	Durable bool
+	// DurableFS, when set with Durable, supplies each replica's backing
+	// filesystem — a fault.FS for fsync-stall experiments, or a DirFS
+	// for real disks.
+	DurableFS func(replica int) kv.FS
+	// MemtableBytes, WALSyncEvery and CompactAt pass through to the
+	// durable engine; zero selects the kv defaults.
+	MemtableBytes int64
+	WALSyncEvery  int
+	CompactAt     int
 }
 
 func (c *Config) applyDefaults() {
@@ -132,15 +147,25 @@ func NewNode(cfg Config) *Node {
 	n.dbs = make([]*plan.DB, cfg.Replicas)
 	n.lastResult = make([]*plan.ResultSet, cfg.Replicas)
 	for i := 0; i < cfg.Replicas; i++ {
-		store := kv.NewStore(kv.Config{
+		kcfg := kv.Config{
 			PageBytes:          cfg.PageBytes,
 			CacheBytes:         cfg.BlockCacheBytes,
 			DiskPenaltyPerByte: cfg.DiskPenaltyPerByte,
 			DiskPenaltyPerOp:   cfg.DiskPenaltyPerOp,
 			Comp:               n.kvComp, // all replicas share the line item
 			Burner:             n.burner,
-		})
-		n.dbs[i] = plan.NewDB(store)
+		}
+		if cfg.Durable {
+			kcfg.MemtableBytes = cfg.MemtableBytes
+			kcfg.WALSyncEvery = cfg.WALSyncEvery
+			kcfg.CompactAt = cfg.CompactAt
+			if cfg.DurableFS != nil {
+				kcfg.FS = cfg.DurableFS(i)
+			} else {
+				kcfg.FS = kv.NewMemFS()
+			}
+		}
+		n.dbs[i] = plan.NewDB(kv.NewStore(kcfg))
 	}
 	// Block-cache memory is provisioned per replica; the shared component
 	// must carry the total.
@@ -196,6 +221,22 @@ func (n *Node) RegisterTelemetry(reg *telemetry.Registry) {
 			st := db.Store().Stats()
 			emit(telemetry.Sample{Name: "storage.disk.read_bytes", Labels: lbl, Kind: telemetry.KindCounter, Value: float64(st.DiskReadBytes)})
 			emit(telemetry.Sample{Name: "storage.disk.write_bytes", Labels: lbl, Kind: telemetry.KindCounter, Value: float64(st.DiskWriteBytes)})
+			if n.cfg.Durable {
+				emit(telemetry.Sample{Name: "storage.disk.reads", Labels: lbl, Kind: telemetry.KindCounter, Value: float64(st.DiskReads)})
+				emit(telemetry.Sample{Name: "storage.wal.fsync", Labels: lbl, Kind: telemetry.KindCounter, Value: float64(st.WALFsyncs)})
+				emit(telemetry.Sample{Name: "storage.wal.appends", Labels: lbl, Kind: telemetry.KindCounter, Value: float64(st.WALAppends)})
+				emit(telemetry.Sample{Name: "storage.wal.bytes", Labels: lbl, Kind: telemetry.KindCounter, Value: float64(st.WALBytes)})
+				emit(telemetry.Sample{Name: "storage.compaction.count", Labels: lbl, Kind: telemetry.KindCounter, Value: float64(st.Compactions)})
+				emit(telemetry.Sample{Name: "storage.compaction.bytes", Labels: lbl, Kind: telemetry.KindCounter, Value: float64(st.CompactionBytes)})
+				emit(telemetry.Sample{Name: "storage.tier.demotions", Labels: lbl, Kind: telemetry.KindCounter, Value: float64(st.TierDemotions)})
+				emit(telemetry.Sample{Name: "storage.tier.promotions", Labels: lbl, Kind: telemetry.KindCounter, Value: float64(st.TierPromotions)})
+				emit(telemetry.Sample{Name: "storage.tier.hits", Labels: lbl, Kind: telemetry.KindCounter, Value: float64(st.TierHits)})
+				emit(telemetry.Sample{Name: "storage.bloom.negatives", Labels: lbl, Kind: telemetry.KindCounter, Value: float64(st.BloomNegatives)})
+				dram, diskLive := db.Store().TierBytes()
+				emit(telemetry.Sample{Name: "storage.tier.dram_bytes", Labels: lbl, Kind: telemetry.KindGauge, Value: float64(dram)})
+				emit(telemetry.Sample{Name: "storage.tier.disk_bytes", Labels: lbl, Kind: telemetry.KindGauge, Value: float64(diskLive)})
+				emit(telemetry.Sample{Name: "storage.recovery.seconds", Labels: lbl, Kind: telemetry.KindGauge, Value: db.Store().RecoveryTime().Seconds()})
+			}
 		}
 		gs := n.group.Stats()
 		emit(telemetry.Sample{Name: "raft.proposals", Labels: lbl, Kind: telemetry.KindCounter, Value: float64(gs.Proposals)})
@@ -333,6 +374,20 @@ func (n *Node) DataBytes() int64 {
 		return 0
 	}
 	return db.Store().DataBytes()
+}
+
+// Close syncs and closes every replica's store. Only meaningful for
+// durable nodes; a no-op otherwise.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var first error
+	for _, db := range n.dbs {
+		if err := db.Store().Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // SetBlockCacheBytes resizes every replica's block cache (sweeping s_D).
