@@ -11,9 +11,12 @@ package cachecost_test
 
 import (
 	"testing"
+	"time"
 
 	"cachecost/internal/core"
+	"cachecost/internal/flight"
 	"cachecost/internal/meter"
+	"cachecost/internal/trace"
 	"cachecost/internal/workload"
 )
 
@@ -164,6 +167,27 @@ func BenchmarkOwnershipConsistent(b *testing.B) {
 		if _, err := svc.Read(key); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkFlightUnsampledFastPath measures the flight recorder's
+// per-request overhead for ordinary traffic: a completion that is
+// neither slow nor a bad outcome must stay 0 allocs/op (run with
+// -benchmem; TestFastPathZeroAllocs in internal/flight pins the same
+// property as a hard assertion).
+func BenchmarkFlightUnsampledFastPath(b *testing.B) {
+	rec := flight.New(flight.Config{SlowestK: 4, RingSize: 1024})
+	start := time.Now()
+	// Park the retention threshold far above the benchmarked requests.
+	for i := 0; i < 8; i++ {
+		sc := rec.Begin(trace.SpanContext{})
+		rec.Done(sc, "Bench", "bench.Op", start, time.Second, nil)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc := rec.Begin(trace.SpanContext{})
+		rec.Done(sc, "Bench", "bench.Op", start, time.Microsecond, nil)
 	}
 }
 

@@ -12,14 +12,16 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 
 	"cachecost/internal/core"
+	"cachecost/internal/flight"
 	"cachecost/internal/meter"
 	"cachecost/internal/rpc"
 	"cachecost/internal/telemetry"
@@ -53,45 +55,63 @@ func main() {
 		poolSize  = flag.Int("pool", 4, "connections per downstream endpoint")
 		preload   = flag.Int("preload", 0, "preload N keys before serving")
 		valueSize = flag.Int("valuesize", 1024, "preloaded value size")
-		metrics   = flag.String("metrics", "", "serve /metrics, /metrics.json, /statusz and /debug/pprof on this address")
+		metrics   = flag.String("metrics", "", "serve /metrics, /metrics.json, /statusz, /debug/pprof and /debug/requests on this address")
 		inflight  = flag.Int("maxinflight", 0, "admission gate: concurrent request slots (0 = no admission control)")
 		queue     = flag.Int("queuedepth", 0, "admission gate: bounded wait-queue depth behind the slots")
+		logfmt    = flag.String("logfmt", "text", "log format: text|json")
 	)
 	flag.Parse()
 
+	logger, err := telemetry.NewLogger(*logfmt, "appserver")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
+
 	arch, err := parseArch(*archName)
 	if err != nil {
-		log.Fatalf("appserver: %v", err)
+		fatal("bad -arch", "err", err)
 	}
 
 	m := meter.NewMeter()
 	reg := telemetry.NewRegistry()
 	telemetry.RegisterMeter(reg, "meter", m)
+	// The flight recorder is always on: the front door attributes every
+	// request's latency by stage and the tail sampler retains exemplars
+	// for the slowest and every bad outcome, served on /debug/requests.
+	fr := flight.New(flight.Config{CPUCoreMonthUSD: meter.GCP.CPUCoreMonth})
 	// Bind the ops endpoint before dialing or serving anything: a bad
 	// -metrics address must fail startup, not surface as a missing scrape
 	// after the service is already taking traffic.
 	if *metrics != "" {
-		msrv, err := telemetry.StartOps(*metrics, telemetry.OpsConfig{Registry: reg, Meter: m, Prices: meter.GCP})
+		msrv, err := telemetry.StartOps(*metrics, telemetry.OpsConfig{
+			Registry: reg, Meter: m, Prices: meter.GCP,
+			Debug: map[string]http.Handler{"/debug/requests": flight.Handler(fr)},
+		})
 		if err != nil {
-			log.Fatalf("appserver: %v", err)
+			fatal("metrics endpoint", "err", err)
 		}
 		defer msrv.Close()
-		log.Printf("appserver: serving metrics on http://%s/metrics", msrv.Addr)
+		logger.Info("serving metrics", "url", "http://"+msrv.Addr+"/metrics")
 	}
 	appComp := m.Component("app")
 	dbConn, err := rpc.DialPool(*storeAddr, *poolSize, appComp, meter.NewBurner(), rpc.DefaultCost)
 	if err != nil {
-		log.Fatalf("appserver: dial store: %v", err)
+		fatal("dial store", "addr", *storeAddr, "err", err)
 	}
 	dbConn.SetMetrics(rpc.NewMetrics(reg, "tcp"))
 	eps := core.RemoteEndpoints{DB: dbConn}
 	if arch == core.Remote {
 		if *cacheAddr == "" {
-			log.Fatal("appserver: -cache is required for -arch remote")
+			fatal("-cache is required for -arch remote")
 		}
 		cacheConn, err := rpc.DialPool(*cacheAddr, *poolSize, appComp, meter.NewBurner(), rpc.DefaultCost)
 		if err != nil {
-			log.Fatalf("appserver: dial cache: %v", err)
+			fatal("dial cache", "addr", *cacheAddr, "err", err)
 		}
 		cacheConn.SetMetrics(rpc.NewMetrics(reg, "tcp"))
 		eps.Cache = cacheConn
@@ -102,44 +122,64 @@ func main() {
 		Meter:         m,
 		AppCacheBytes: *appCache,
 		Telemetry:     reg,
+		Flight:        fr,
 	}
 	if *inflight > 0 {
 		svcCfg.Admission = &core.AdmissionConfig{MaxInflight: *inflight, QueueDepth: *queue}
-		log.Printf("appserver: admission gate: %d slots, queue depth %d", *inflight, *queue)
+		logger.Info("admission gate armed", "slots", *inflight, "queue_depth", *queue)
 	}
 	svc, err := core.NewKVServiceRemote(svcCfg, eps)
 	if err != nil {
-		log.Fatalf("appserver: %v", err)
+		fatal("service", "err", err)
 	}
 	svc.Front().SetMetrics(rpc.NewMetrics(reg, "server"))
 
 	if *preload > 0 {
-		log.Printf("appserver: preloading %d keys of %d bytes", *preload, *valueSize)
+		logger.Info("preloading", "keys", *preload, "value_size", *valueSize)
 		items := make([]core.PreloadItem, *preload)
 		for i := range items {
 			items[i] = core.PreloadItem{Key: workload.KeyName(i), Size: *valueSize}
 		}
 		if err := svc.Preload(items); err != nil {
-			log.Fatalf("appserver: preload: %v", err)
+			fatal("preload", "err", err)
 		}
 	}
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("appserver: %v", err)
+		fatal("listen", "addr", *addr, "err", err)
 	}
-	log.Printf("appserver: arch=%v store=%s listening on %s", arch, *storeAddr, l.Addr())
+	logger.Info("listening", "arch", arch.String(), "store", *storeAddr, "addr", l.Addr().String())
 
 	go func() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 		fmt.Println(meter.BuildReport(m, meter.GCP))
+		warnSlowest(logger, fr)
 		svc.Front().Close()
 		os.Exit(0)
 	}()
 
 	if err := svc.Front().Serve(l); err != nil {
-		log.Fatalf("appserver: %v", err)
+		fatal("serve", "err", err)
 	}
+}
+
+// warnSlowest logs the worst retained exemplar on shutdown with its
+// trace identity, so the last thing in the log correlates with the last
+// /debug/requests snapshot an operator may have saved.
+func warnSlowest(logger *slog.Logger, fr *flight.Recorder) {
+	ex := fr.Exemplars()
+	if len(ex.Slowest) == 0 {
+		return
+	}
+	r := &ex.Slowest[0].Record
+	logger.Warn("slowest retained request",
+		"method", r.Method,
+		"dur_ms", float64(r.Dur)/1e6,
+		"dominant_stage", r.DominantStage().String(),
+		"outcome", r.Outcome().String(),
+		"trace_id", r.TraceID,
+		"span_id", r.SpanID)
 }

@@ -11,13 +11,14 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"cachecost/internal/flight"
 	"cachecost/internal/meter"
 	"cachecost/internal/remotecache"
 	"cachecost/internal/shardmgr"
@@ -30,22 +31,37 @@ func main() {
 		mem        = flag.Int64("mem", 256<<20, "cache capacity in bytes")
 		shards     = flag.Int("shards", 16, "lock shards")
 		statsEvery = flag.Duration("stats", 30*time.Second, "stats logging interval (0 = off)")
-		metrics    = flag.String("metrics", "", "serve /metrics, /metrics.json, /statusz and /debug/pprof on this address")
+		metrics    = flag.String("metrics", "", "serve /metrics, /metrics.json, /statusz, /debug/pprof and /debug/requests on this address")
 		hotK       = flag.Int("hotkeys", 32, "track the node's top-k hot keys and report them on /statusz (0 = off)")
+		logfmt     = flag.String("logfmt", "text", "log format: text|json")
 	)
 	flag.Parse()
+
+	logger, err := telemetry.NewLogger(*logfmt, "cacheserver")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
 
 	m := meter.NewMeter()
 	reg := telemetry.NewRegistry()
 	telemetry.RegisterMeter(reg, "meter", m)
+	fr := flight.New(flight.Config{CPUCoreMonthUSD: meter.GCP.CPUCoreMonth})
 	// Fail startup on a bad -metrics address, before serving traffic.
 	if *metrics != "" {
-		msrv, err := telemetry.StartOps(*metrics, telemetry.OpsConfig{Registry: reg, Meter: m, Prices: meter.GCP})
+		msrv, err := telemetry.StartOps(*metrics, telemetry.OpsConfig{
+			Registry: reg, Meter: m, Prices: meter.GCP,
+			Debug: map[string]http.Handler{"/debug/requests": flight.Handler(fr)},
+		})
 		if err != nil {
-			log.Fatalf("cacheserver: %v", err)
+			fatal("metrics endpoint", "err", err)
 		}
 		defer msrv.Close()
-		log.Printf("cacheserver: serving metrics on http://%s/metrics", msrv.Addr)
+		logger.Info("serving metrics", "url", "http://"+msrv.Addr+"/metrics")
 	}
 	// An optional hot-key detector on the serve path: constant memory,
 	// no effect on correctness — it only feeds the /statusz report an
@@ -71,19 +87,24 @@ func main() {
 		srvCfg.Hot = det
 	}
 	srv := remotecache.NewServer(srvCfg)
+	// The node's own front door records every cache RPC it serves, so a
+	// slow Get is attributable here even when the appserver's view only
+	// says "cache was slow".
+	srv.RPCServer().SetFlight(fr.Scope("cache"))
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("cacheserver: %v", err)
+		fatal("listen", "addr", *addr, "err", err)
 	}
-	log.Printf("cacheserver: %d MiB capacity, listening on %s", *mem>>20, l.Addr())
+	logger.Info("listening", "capacity_mib", *mem>>20, "addr", l.Addr().String())
 
 	if *statsEvery > 0 {
 		go func() {
 			for range time.Tick(*statsEvery) {
 				st := srv.Stats()
-				log.Printf("cacheserver: hits=%d misses=%d hit-ratio=%.3f used=%d KiB",
-					st.Hits, st.Misses, st.HitRatio(), srv.UsedBytes()>>10)
+				logger.Info("cache stats",
+					"hits", st.Hits, "misses", st.Misses,
+					"hit_ratio", st.HitRatio(), "used_kib", srv.UsedBytes()>>10)
 			}
 		}()
 	}
@@ -98,6 +119,6 @@ func main() {
 	}()
 
 	if err := srv.RPCServer().Serve(l); err != nil {
-		log.Fatalf("cacheserver: %v", err)
+		fatal("serve", "err", err)
 	}
 }

@@ -16,16 +16,21 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
 
 	"cachecost/internal/core"
+	"cachecost/internal/flight"
+	"cachecost/internal/meter"
 	"cachecost/internal/telemetry"
 	"cachecost/internal/trace"
 	"cachecost/internal/workload"
@@ -112,9 +117,13 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		offered     = fs.String("offered", "", "comma-separated offered-load multipliers of closed-loop capacity for the overload figure (default sweep: 0.3,0.6,1.5,3)")
 		slo         = fs.Duration("slo", 0, "per-request latency budget for the overload figure (0 = derive from the capacity probe)")
 		arrival     = fs.String("arrival", "", "arrival process for the overload figure: poisson, bursty or diurnal (default poisson)")
-		metricsAddr = fs.String("metrics", "", "serve /metrics, /metrics.json, /statusz and /debug/pprof on this address while figures run")
+		metricsAddr = fs.String("metrics", "", "serve /metrics, /metrics.json, /statusz, /debug/pprof and /debug/requests on this address while figures run")
 		snapPath    = fs.String("snapshot", "", "append timestamped telemetry deltas to this JSONL file while figures run")
 		snapIvl     = fs.Duration("snapshot-interval", time.Second, "with -snapshot, the recording interval")
+		stall       = fs.Duration("storagestall", 0, "inject a wall-clock stall of this length on storage round trips in the tailwhy figure")
+		stallRate   = fs.Float64("stallrate", 0, "with -storagestall, the probability a storage call stalls (0 = every call)")
+		dumpDir     = fs.String("flightdump", "", "run the SLO burn-rate watchdog, writing black-box dumps under this directory")
+		dumpIvl     = fs.Duration("flightdump-interval", time.Second, "with -flightdump, the watchdog's evaluation interval")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: costbench [flags] <figure>...|all|list\n\nfigures:\n")
@@ -177,6 +186,13 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	// (-json) whether or not an ops endpoint is serving.
 	reg := telemetry.NewRegistry()
 	opts.Telemetry = reg
+	// So is the flight recorder: its unsampled fast path is a nil test
+	// plus a pooled breakdown, and /debug/requests (with -metrics) and
+	// the tailwhy figure both read from it.
+	fr := flight.New(flight.Config{CPUCoreMonthUSD: meter.GCP.CPUCoreMonth})
+	opts.Flight = fr
+	opts.StorageStall = *stall
+	opts.StorageStallRate = *stallRate
 
 	if args[0] == "list" {
 		for _, f := range core.Figures {
@@ -233,13 +249,26 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	// The ops endpoint binds before any experiment runs: a bad -metrics
 	// address must fail the run up front, like an unwritable -out.
 	if *metricsAddr != "" {
-		srv, err := telemetry.StartOps(*metricsAddr, telemetry.OpsConfig{Registry: reg})
+		srv, err := telemetry.StartOps(*metricsAddr, telemetry.OpsConfig{
+			Registry: reg,
+			Debug:    map[string]http.Handler{"/debug/requests": flight.Handler(fr)},
+		})
 		if err != nil {
 			fmt.Fprintf(stderr, "costbench: -metrics %s: %v\n", *metricsAddr, err)
 			return 1
 		}
 		defer srv.Close()
 		fmt.Fprintf(stderr, "costbench: serving metrics on http://%s/metrics\n", srv.Addr)
+	}
+	if *dumpDir != "" {
+		wd := flight.NewWatchdog(flight.WatchdogConfig{
+			Registry: reg,
+			Recorder: fr,
+			Dir:      *dumpDir,
+		})
+		stop, done := make(chan struct{}), make(chan struct{})
+		go wd.Run(*dumpIvl, stop, done)
+		defer func() { close(stop); <-done }()
 	}
 	if *snapPath != "" {
 		f, err := createOutput(*snapPath)
@@ -282,7 +311,14 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			}
 		}
 		t0 := time.Now()
-		table, err := f.Run(opts)
+		var table *core.Table
+		var err error
+		// Label the run for CPU profiles: -metrics' /debug/pprof/profile
+		// samples can then be sliced by figure (and, within open-loop
+		// cells, by arch and lane).
+		pprof.Do(context.Background(), pprof.Labels("figure", f.ID), func(context.Context) {
+			table, err = f.Run(opts)
+		})
 		if err != nil {
 			fmt.Fprintf(stderr, "costbench: %s: %v\n", f.ID, err)
 			return 1

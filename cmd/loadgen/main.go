@@ -17,7 +17,7 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"runtime"
 	"sort"
@@ -51,52 +51,65 @@ func main() {
 		rate        = flag.Float64("rate", 0, "open-loop mean offered rate in ops/sec (required with -arrival)")
 		slo         = flag.Duration("slo", 0, "open-loop per-op latency budget, propagated as a deadline (0 = none)")
 		laneDepth   = flag.Int("lanedepth", 1024, "open-loop bound on each worker's queue; arrivals past it are shed client-side")
+		sample      = flag.Int("sample", 64, "stamp a wire trace id on 1 in N ops so warnings correlate with server-side /debug/requests exemplars (0 = off)")
+		logfmt      = flag.String("logfmt", "text", "log format: text|json")
 	)
 	flag.Parse()
+
+	logger, err := telemetry.NewLogger(*logfmt, "loadgen")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
 
 	reg := telemetry.NewRegistry()
 	// Fail startup on a bad -metrics address, before issuing any load.
 	if *metrics != "" {
 		msrv, err := telemetry.StartOps(*metrics, telemetry.OpsConfig{Registry: reg})
 		if err != nil {
-			log.Fatalf("loadgen: %v", err)
+			fatal("metrics endpoint", "err", err)
 		}
 		defer msrv.Close()
-		log.Printf("loadgen: serving metrics on http://%s/metrics", msrv.Addr)
+		logger.Info("serving metrics", "url", "http://"+msrv.Addr+"/metrics")
 	}
 
 	var gen workload.Generator
 	if *traceFile != "" {
 		f, err := os.Open(*traceFile)
 		if err != nil {
-			log.Fatalf("loadgen: %v", err)
+			fatal("open trace", "err", err)
 		}
 		rep, err := workload.ReadTrace(f)
 		f.Close()
 		if err != nil {
-			log.Fatalf("loadgen: %v", err)
+			fatal("read trace", "err", err)
 		}
 		gen = rep
 	} else {
-		gen = buildGenerator(*wl, *keys, *alpha, *readRatio, *valueSize, *seed)
+		gen = buildGenerator(fatal, *wl, *keys, *alpha, *readRatio, *valueSize, *seed)
 	}
+	ids := newIDStamper(*sample)
 	if *arrival != "" {
 		proc, err := workload.ParseArrivalProcess(*arrival)
 		if err != nil {
-			log.Fatalf("loadgen: -arrival: %v", err)
+			fatal("bad -arrival", "err", err)
 		}
 		if *rate <= 0 {
-			log.Fatal("loadgen: -arrival requires a positive -rate")
+			fatal("-arrival requires a positive -rate")
 		}
-		runOpenLoop(gen, reg, *target, *ops, *concurrency, workload.ArrivalConfig{
+		runOpenLoop(logger, fatal, ids, gen, reg, *target, *ops, *concurrency, workload.ArrivalConfig{
 			Process: proc, Rate: *rate, Seed: *seed,
 		}, *slo, *laneDepth)
 		return
 	}
-	runLoad(gen, reg, *target, *ops, *concurrency)
+	runLoad(logger, fatal, ids, gen, reg, *target, *ops, *concurrency)
 }
 
-func buildGenerator(wl string, keys int, alpha, readRatio float64, valueSize int, seed int64) workload.Generator {
+func buildGenerator(fatal func(string, ...any), wl string, keys int, alpha, readRatio float64, valueSize int, seed int64) workload.Generator {
 	switch wl {
 	case "synthetic":
 		return workload.NewSynthetic(workload.SyntheticConfig{
@@ -105,12 +118,60 @@ func buildGenerator(wl string, keys int, alpha, readRatio float64, valueSize int
 	case "meta":
 		return workload.NewMetaKV(workload.MetaKVConfig{Keys: keys, Seed: seed})
 	default:
-		log.Fatalf("loadgen: unknown workload %q", wl)
+		fatal("unknown workload", "workload", wl)
 		return nil
 	}
 }
 
-func runLoad(gen workload.Generator, reg *telemetry.Registry, target string, ops, concurrency int) {
+// idStamper fabricates wire trace identities for 1 in N ops, so the
+// server joins them, its flight recorder stamps them on any exemplar the
+// request earns, and a loadgen warning's trace_id greps straight into a
+// saved /debug/requests dump. A zero N disables stamping.
+type idStamper struct {
+	every int
+	t     *trace.Tracer
+	seq   atomic.Uint64
+}
+
+func newIDStamper(every int) *idStamper {
+	if every <= 0 {
+		return &idStamper{}
+	}
+	// A capacity-1 tracer: it never records spans client-side, it only
+	// binds fabricated identities into contexts for wire encoding.
+	return &idStamper{every: every, t: trace.New(trace.Config{Capacity: 1})}
+}
+
+// stamp returns the context for op i: sampled ops carry a fresh trace id.
+func (s *idStamper) stamp(i int) trace.SpanContext {
+	if s.every <= 0 || i%s.every != 0 {
+		return trace.SpanContext{}
+	}
+	return s.t.Join(s.seq.Add(1), 0, true)
+}
+
+// failWarner rate-limits request-failure warnings: every failure counts,
+// but only the first few and then every 1024th log, so a dead server
+// doesn't turn the log into a firehose.
+type failWarner struct{ n atomic.Int64 }
+
+func (fw *failWarner) warn(logger *slog.Logger, method string, sc trace.SpanContext, err error) {
+	n := fw.n.Add(1)
+	if n > 8 && n%1024 != 0 {
+		return
+	}
+	logger.Warn("request failed", "method", method, "err", err,
+		"trace_id", sc.TraceID(), "span_id", sc.SpanID(), "failures", n)
+}
+
+func opMethod(op workload.Op) string {
+	if op.Kind == workload.Read {
+		return "app.Read"
+	}
+	return "app.Write"
+}
+
+func runLoad(logger *slog.Logger, fatal func(string, ...any), ids *idStamper, gen workload.Generator, reg *telemetry.Registry, target string, ops, concurrency int) {
 	// Pre-draw the operation stream (generators are not concurrency-safe
 	// and pre-drawing keeps the hot loop allocation-light).
 	stream := make([]workload.Op, ops)
@@ -126,7 +187,7 @@ func runLoad(gen workload.Generator, reg *telemetry.Registry, target string, ops
 	for i := range conns {
 		c, err := rpc.Dial(target, nil, nil, rpc.CostModel{})
 		if err != nil {
-			log.Fatalf("loadgen: dial: %v", err)
+			fatal("dial", "target", target, "err", err)
 		}
 		c.SetMetrics(connMetrics)
 		conns[i] = c
@@ -134,7 +195,7 @@ func runLoad(gen workload.Generator, reg *telemetry.Registry, target string, ops
 	}
 
 	var next atomic.Int64
-	var failures atomic.Int64
+	var fw failWarner
 	latencies := make([][]time.Duration, concurrency)
 	var wg sync.WaitGroup
 	t0 := time.Now()
@@ -149,18 +210,10 @@ func runLoad(gen workload.Generator, reg *telemetry.Registry, target string, ops
 					return
 				}
 				op := stream[i]
+				sc := ids.stamp(i)
 				start := time.Now()
-				var err error
-				if op.Kind == workload.Read {
-					_, err = conn.Call("app.Read", wire.Marshal(&remotecache.GetRequest{Key: op.Key}))
-				} else {
-					_, err = conn.Call("app.Write", wire.Marshal(&remotecache.SetRequest{
-						Key:   op.Key,
-						Value: core.ValueFor(op.Key, op.ValueSize),
-					}))
-				}
-				if err != nil {
-					failures.Add(1)
+				if err := callOp(conn, sc, op, time.Time{}); err != nil {
+					fw.warn(logger, opMethod(op), sc, err)
 					continue
 				}
 				d := time.Since(start)
@@ -185,7 +238,7 @@ func runLoad(gen workload.Generator, reg *telemetry.Registry, target string, ops
 		return all[i]
 	}
 	fmt.Printf("workload=%s ops=%d failures=%d elapsed=%v\n",
-		gen.Name(), len(all), failures.Load(), elapsed.Round(time.Millisecond))
+		gen.Name(), len(all), fw.n.Load(), elapsed.Round(time.Millisecond))
 	fmt.Printf("throughput: %.0f ops/s\n", float64(len(all))/elapsed.Seconds())
 	fmt.Printf("latency: p50=%v p90=%v p99=%v max=%v\n",
 		pct(0.50), pct(0.90), pct(0.99), pct(1.0))
@@ -194,14 +247,14 @@ func runLoad(gen workload.Generator, reg *telemetry.Registry, target string, ops
 // timedOp is one dispatched open-loop operation.
 type timedOp struct {
 	op       workload.Op
+	sc       trace.SpanContext
 	intended time.Time
 	deadline time.Time
 }
 
-// callOp issues one op on conn, attaching the deadline (when set) to the
-// wire trace context so the server's admission gate can act on it.
-func callOp(conn *rpc.Client, op workload.Op, deadline time.Time) error {
-	var sc trace.SpanContext
+// callOp issues one op on conn under sc, attaching the deadline (when
+// set) so the server's admission gate can act on it.
+func callOp(conn *rpc.Client, sc trace.SpanContext, op workload.Op, deadline time.Time) error {
 	if !deadline.IsZero() {
 		sc = sc.WithDeadline(deadline)
 	}
@@ -221,14 +274,14 @@ func callOp(conn *rpc.Client, op workload.Op, deadline time.Time) error {
 // the same open-loop mechanics as the in-process experiment driver
 // (bounded lanes, dispatcher pacing, dual-clock recording), over real
 // sockets.
-func runOpenLoop(gen workload.Generator, reg *telemetry.Registry, target string, ops, lanes int, acfg workload.ArrivalConfig, slo time.Duration, depth int) {
+func runOpenLoop(logger *slog.Logger, fatal func(string, ...any), ids *idStamper, gen workload.Generator, reg *telemetry.Registry, target string, ops, lanes int, acfg workload.ArrivalConfig, slo time.Duration, depth int) {
 	stream := make([]workload.Op, ops)
 	for i := range stream {
 		stream[i] = gen.Next()
 	}
 	sched, err := workload.BuildSchedule(acfg, ops)
 	if err != nil {
-		log.Fatalf("loadgen: %v", err)
+		fatal("schedule", "err", err)
 	}
 
 	reqHist := reg.Histogram("request.latency", "seconds")
@@ -237,7 +290,7 @@ func runOpenLoop(gen workload.Generator, reg *telemetry.Registry, target string,
 	for i := range conns {
 		c, err := rpc.Dial(target, nil, nil, rpc.CostModel{})
 		if err != nil {
-			log.Fatalf("loadgen: dial: %v", err)
+			fatal("dial", "target", target, "err", err)
 		}
 		c.SetMetrics(connMetrics)
 		conns[i] = c
@@ -246,9 +299,9 @@ func runOpenLoop(gen workload.Generator, reg *telemetry.Registry, target string,
 
 	type laneRec struct {
 		intended, send []time.Duration
-		failures       int64
 		executed       int
 	}
+	var fw failWarner
 	recs := make([]laneRec, lanes)
 	chans := make([]chan timedOp, lanes)
 	var wg sync.WaitGroup
@@ -260,8 +313,8 @@ func runOpenLoop(gen workload.Generator, reg *telemetry.Registry, target string,
 			rec := &recs[w]
 			for to := range chans[w] {
 				sendT0 := time.Now()
-				if err := callOp(conns[w], to.op, to.deadline); err != nil {
-					rec.failures++
+				if err := callOp(conns[w], to.sc, to.op, to.deadline); err != nil {
+					fw.warn(logger, opMethod(to.op), to.sc, err)
 					continue
 				}
 				done := time.Now()
@@ -296,7 +349,7 @@ func runOpenLoop(gen workload.Generator, reg *telemetry.Registry, target string,
 			deadline = tgt.Add(slo)
 		}
 		select {
-		case chans[i%lanes] <- timedOp{op: stream[i], intended: tgt, deadline: deadline}:
+		case chans[i%lanes] <- timedOp{op: stream[i], sc: ids.stamp(i), intended: tgt, deadline: deadline}:
 		default:
 			clientShed++
 		}
@@ -308,12 +361,10 @@ func runOpenLoop(gen workload.Generator, reg *telemetry.Registry, target string,
 	wall := time.Since(t0)
 
 	var intended, send []time.Duration
-	var failures int64
 	executed := 0
 	for i := range recs {
 		intended = append(intended, recs[i].intended...)
 		send = append(send, recs[i].send...)
-		failures += recs[i].failures
 		executed += recs[i].executed
 	}
 	sort.Slice(intended, func(i, j int) bool { return intended[i] < intended[j] })
@@ -326,7 +377,7 @@ func runOpenLoop(gen workload.Generator, reg *telemetry.Registry, target string,
 	}
 
 	fmt.Printf("workload=%s arrival=%s offered=%d executed=%d client_shed=%d failures=%d\n",
-		gen.Name(), sched.Name(), ops, executed, clientShed, failures)
+		gen.Name(), sched.Name(), ops, executed, clientShed, fw.n.Load())
 	fmt.Printf("offered rate: %.0f ops/s (schedule span %v, wall %v)\n",
 		sched.OfferedQPS(), sched.Span().Round(time.Millisecond), wall.Round(time.Millisecond))
 	fmt.Printf("throughput: %.0f ops/s (executed / schedule span)\n",

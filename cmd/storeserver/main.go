@@ -12,13 +12,14 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"cachecost/internal/flight"
 	"cachecost/internal/meter"
 	"cachecost/internal/storage"
 	"cachecost/internal/telemetry"
@@ -31,21 +32,36 @@ func main() {
 		blockCache = flag.Int64("blockcache", 64<<20, "block cache bytes per replica (s_D)")
 		pageBytes  = flag.Int("pagebytes", 16<<10, "storage page size")
 		statsEvery = flag.Duration("stats", 30*time.Second, "stats logging interval (0 = off)")
-		metrics    = flag.String("metrics", "", "serve /metrics, /metrics.json, /statusz and /debug/pprof on this address")
+		metrics    = flag.String("metrics", "", "serve /metrics, /metrics.json, /statusz, /debug/pprof and /debug/requests on this address")
+		logfmt     = flag.String("logfmt", "text", "log format: text|json")
 	)
 	flag.Parse()
+
+	logger, err := telemetry.NewLogger(*logfmt, "storeserver")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
 
 	m := meter.NewMeter()
 	reg := telemetry.NewRegistry()
 	telemetry.RegisterMeter(reg, "meter", m)
+	fr := flight.New(flight.Config{CPUCoreMonthUSD: meter.GCP.CPUCoreMonth})
 	// Fail startup on a bad -metrics address, before serving traffic.
 	if *metrics != "" {
-		msrv, err := telemetry.StartOps(*metrics, telemetry.OpsConfig{Registry: reg, Meter: m, Prices: meter.GCP})
+		msrv, err := telemetry.StartOps(*metrics, telemetry.OpsConfig{
+			Registry: reg, Meter: m, Prices: meter.GCP,
+			Debug: map[string]http.Handler{"/debug/requests": flight.Handler(fr)},
+		})
 		if err != nil {
-			log.Fatalf("storeserver: %v", err)
+			fatal("metrics endpoint", "err", err)
 		}
 		defer msrv.Close()
-		log.Printf("storeserver: serving metrics on http://%s/metrics", msrv.Addr)
+		logger.Info("serving metrics", "url", "http://"+msrv.Addr+"/metrics")
 	}
 	node := storage.NewNode(storage.Config{
 		Replicas:        *replicas,
@@ -54,20 +70,25 @@ func main() {
 		Meter:           m,
 		Telemetry:       reg,
 	})
+	// Record every SQL RPC this node serves: a raft-ship stall shows up
+	// here as a storage/raft-dominant exemplar even when the appserver
+	// only sees an opaque slow round trip.
+	node.Server().SetFlight(fr.Scope("store"))
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("storeserver: %v", err)
+		fatal("listen", "addr", *addr, "err", err)
 	}
-	log.Printf("storeserver: %d replicas, %d MiB block cache/replica, listening on %s",
-		*replicas, *blockCache>>20, l.Addr())
+	logger.Info("listening",
+		"replicas", *replicas, "blockcache_mib", *blockCache>>20, "addr", l.Addr().String())
 
 	if *statsEvery > 0 {
 		go func() {
 			for range time.Tick(*statsEvery) {
 				rep := meter.BuildReport(m, meter.GCP)
-				log.Printf("storeserver: %d ops, %.3f cores busy, data %d KiB",
-					rep.Requests, rep.ComponentCores(""), node.DataBytes()>>10)
+				logger.Info("store stats",
+					"ops", rep.Requests, "cores_busy", rep.ComponentCores(""),
+					"data_kib", node.DataBytes()>>10)
 			}
 		}()
 	}
@@ -82,6 +103,6 @@ func main() {
 	}()
 
 	if err := node.Server().Serve(l); err != nil {
-		log.Fatalf("storeserver: %v", err)
+		fatal("serve", "err", err)
 	}
 }

@@ -9,9 +9,9 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 
+	"cachecost/internal/telemetry"
 	"cachecost/internal/workload"
 )
 
@@ -26,8 +26,19 @@ func main() {
 		readRatio = flag.Float64("readratio", 0.9, "read fraction (synthetic)")
 		valueSize = flag.Int("valuesize", 1024, "value size (synthetic)")
 		seed      = flag.Int64("seed", 1, "generator seed")
+		logfmt    = flag.String("logfmt", "text", "log format: text|json")
 	)
 	flag.Parse()
+
+	logger, err := telemetry.NewLogger(*logfmt, "tracegen")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
 
 	switch {
 	case *out != "":
@@ -42,27 +53,27 @@ func main() {
 		case "unity":
 			gen = workload.NewUnity(workload.UnityConfig{Tables: *keys, Seed: *seed})
 		default:
-			log.Fatalf("tracegen: unknown workload %q", *wl)
+			fatal("unknown workload", "workload", *wl)
 		}
 		f, err := os.Create(*out)
 		if err != nil {
-			log.Fatalf("tracegen: %v", err)
+			fatal("create", "err", err)
 		}
 		defer f.Close()
 		if err := workload.WriteTrace(f, gen, *ops); err != nil {
-			log.Fatalf("tracegen: %v", err)
+			fatal("write trace", "err", err)
 		}
 		fmt.Printf("recorded %d %s operations to %s\n", *ops, gen.Name(), *out)
 
 	case *in != "":
 		f, err := os.Open(*in)
 		if err != nil {
-			log.Fatalf("tracegen: %v", err)
+			fatal("open", "err", err)
 		}
 		defer f.Close()
 		rep, err := workload.ReadTrace(f)
 		if err != nil {
-			log.Fatalf("tracegen: %v", err)
+			fatal("read trace", "err", err)
 		}
 		st := workload.Analyze(rep, rep.Len())
 		fmt.Printf("trace %s: %s\n", *in, st)

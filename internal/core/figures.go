@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"cachecost/internal/consistency"
+	"cachecost/internal/flight"
 	"cachecost/internal/meter"
 	"cachecost/internal/telemetry"
 	"cachecost/internal/trace"
@@ -67,6 +68,18 @@ type FigOptions struct {
 	// (cmd/costbench -arrival): poisson, bursty or diurnal. Empty means
 	// poisson.
 	Arrival string
+	// Flight, when non-nil, is the tail-latency flight recorder the
+	// tailwhy figure arms on every cell's front door (cmd/costbench
+	// creates one when -metrics serves /debug/requests, or per run of
+	// -figure tailwhy). Nil lets the figure build a private one.
+	Flight *flight.Recorder
+	// StorageStall, when > 0, injects a wall-clock stall of this length
+	// on the app→storage connection (StorageFaultNode) in the tailwhy
+	// figure's cells (cmd/costbench -storagestall).
+	StorageStall time.Duration
+	// StorageStallRate is the probability a storage call pays
+	// StorageStall. Zero means every call (cmd/costbench -stallrate).
+	StorageStallRate float64
 	// OnResult, when non-nil, receives every completed experiment cell's
 	// result as figures produce them, keyed by a cell label
 	// ("fig5b/Remote", "chaos/Linked/rate=0.1", ...). cmd/costbench uses
@@ -780,6 +793,7 @@ var Figures = []Figure{
 	{"batch", "cost vs multi-key batch size", FigBatch},
 	{"chaos", "cost under cache-tier faults", FigChaos},
 	{"overload", "open-loop cost and honest latency past saturation", FigOverload},
+	{"tailwhy", "stage attribution of the latency tail under overload", FigTailwhy},
 	{"hotshard", "dynamic shard management through a popularity flip", FigHotShard},
 	{"timeseries", "windowed telemetry through warm-up and a cache kill", FigTimeseries},
 	{"tiering", "durable storage: cost vs DRAM:disk split", FigTiering},

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"cachecost/internal/fault"
+	"cachecost/internal/flight"
+	"cachecost/internal/meter"
+	"cachecost/internal/trace"
+	"cachecost/internal/workload"
+)
+
+// allExemplars flattens every retained class of a snapshot.
+func allExemplars(ex flight.ExemplarSet) []flight.Exemplar {
+	var out []flight.Exemplar
+	out = append(out, ex.Slowest...)
+	out = append(out, ex.Shed...)
+	out = append(out, ex.Deadline...)
+	out = append(out, ex.Degraded...)
+	out = append(out, ex.Error...)
+	return out
+}
+
+// TestFlightConservationUnderLoad drives an overloaded open-loop window
+// with the flight recorder armed, at P1 and P4, and pins the stage
+// attribution's conservation contract: for every captured exemplar the
+// stage durations (StageRaft excluded — it is inside StageStorage)
+// account for at least 90% of the request's intended-clock latency. At
+// P4 the shallow admission gate under 3x offered load must also surface
+// shed exemplars.
+func TestFlightConservationUnderLoad(t *testing.T) {
+	const warmup, ops = 200, 2000
+	for _, par := range []int{1, 4} {
+		t.Run(fmt.Sprintf("P%d", par), func(t *testing.T) {
+			// Probe closed-loop capacity so the open-loop window is
+			// reliably past saturation on any machine.
+			m := meter.NewMeter()
+			gen := smallGen(11)
+			cfg := smallCfg(Remote, m)
+			cfg.Parallelism = par
+			svc, err := BuildKVService(cfg, gen)
+			if err != nil {
+				t.Fatal(err)
+			}
+			probe, err := RunExperimentCfg(svc, m, gen, RunConfig{
+				Warmup: warmup, Ops: 500, Parallelism: par, Prices: meter.GCP,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			rec := flight.New(flight.Config{SlowestK: 32})
+			m2 := meter.NewMeter()
+			cfg2 := smallCfg(Remote, m2)
+			cfg2.Parallelism = par
+			cfg2.Flight = rec
+			// One slot and one queue position: with par lanes feeding the
+			// gate concurrently, par > 2 guarantees queue-full sheds.
+			cfg2.Admission = &AdmissionConfig{MaxInflight: 1, QueueDepth: 1}
+			if par > 1 {
+				// A wall-clock stall on storage round trips makes the
+				// admitted request hold the gate slot in real time, so the
+				// other lanes pile onto the gate even on a single-core
+				// machine — the shed assertion below must not depend on
+				// preemption luck.
+				inj := fault.New(7, fault.Options{Meter: m2})
+				inj.SetRule(StorageFaultNode, fault.Rule{StallSleep: time.Millisecond, StallRate: 1})
+				cfg2.Faults = inj
+			}
+			svc2, err := BuildKVService(cfg2, gen)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec.Reset()
+			if _, err := RunExperimentCfg(svc2, m2, gen, RunConfig{
+				Warmup: warmup, Ops: ops, Parallelism: par, Prices: meter.GCP,
+				SLO: 20 * time.Millisecond,
+				Arrival: &workload.ArrivalConfig{
+					Process: workload.ArrivalPoisson,
+					Rate:    3 * probe.Throughput,
+					Seed:    11,
+				},
+			}); err != nil {
+				t.Fatal(err)
+			}
+
+			ex := rec.Exemplars()
+			if len(ex.Slowest) == 0 {
+				t.Fatal("overloaded window retained no slowest exemplars")
+			}
+			for _, e := range allExemplars(ex) {
+				if e.Dur <= 0 {
+					t.Fatalf("exemplar %s has non-positive Dur %d", e.Method, e.Dur)
+				}
+				ratio := float64(e.SumStages()) / float64(e.Dur)
+				if ratio < 0.9 || ratio > 1.1 {
+					t.Errorf("conservation violated: %s outcome=%s stages sum to %.0f%% of Dur=%v (stages %v)",
+						e.Method, e.Outcome(), 100*ratio, time.Duration(e.Dur), e.Stages)
+				}
+			}
+			if par > 1 && len(ex.Shed) == 0 {
+				t.Error("3x overload through a shallow admission gate surfaced no shed exemplars")
+			}
+		})
+	}
+}
+
+// populate writes every key of the small synthetic population so
+// subsequent reads never miss storage entirely.
+func populate(t *testing.T, svc *KVService) {
+	t.Helper()
+	for i := 0; i < 300; i++ {
+		key := workload.KeyName(i)
+		if err := svc.Write(key, ValueFor(key, 2048)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// dominantShare counts how many exemplars name stage s dominant.
+func dominantShare(exs []flight.Exemplar, s trace.Stage) (dominant, total int) {
+	for i := range exs {
+		if exs[i].DominantStage() == s {
+			dominant++
+		}
+	}
+	return dominant, len(exs)
+}
+
+// TestFlightStorageStallDominant injects a pure wall-clock stall on the
+// app→storage connection and pins the acceptance contract: the blown
+// deadlines this causes are captured as deadline exemplars whose
+// dominant stage is storage — the injected fault is visible in the
+// breakdown, not just in the aggregate tail.
+func TestFlightStorageStallDominant(t *testing.T) {
+	rec := flight.New(flight.Config{SlowestK: 16})
+	m := meter.NewMeter()
+	gen := smallGen(5)
+	inj := fault.New(5, fault.Options{Meter: m})
+	cfg := smallCfg(Base, m) // no cache tier: every read round-trips storage
+	cfg.Faults = inj
+	cfg.Flight = rec
+	svc, err := BuildKVService(cfg, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	populate(t, svc)
+
+	rec.Reset()
+	inj.SetRule(StorageFaultNode, fault.Rule{StallSleep: 3 * time.Millisecond, StallRate: 1})
+	for i := 0; i < 40; i++ {
+		op := gen.Next()
+		// A 1ms budget the 3ms storage stall always blows; the deadline
+		// is only knowable at completion.
+		if _, err := svc.ReadDeadline(op.Key, time.Now().Add(time.Millisecond)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ex := rec.Exemplars()
+	if len(ex.Deadline) == 0 {
+		t.Fatal("stalled storage blew no deadlines into the deadline exemplar class")
+	}
+	if dom, total := dominantShare(ex.Deadline, trace.StageStorage); dom*10 < total*9 {
+		t.Errorf("storage dominant in %d/%d deadline exemplars, want >=90%%", dom, total)
+	}
+	if dom, total := dominantShare(ex.Slowest, trace.StageStorage); dom*10 < total*9 {
+		t.Errorf("storage dominant in %d/%d slowest exemplars, want >=90%%", dom, total)
+	}
+}
+
+// TestFlightCacheStallDominant: the same contract for the cache tier —
+// a stalled remote cache makes StageCache dominant in the slowest
+// exemplars of a Remote-architecture service.
+func TestFlightCacheStallDominant(t *testing.T) {
+	rec := flight.New(flight.Config{SlowestK: 16})
+	m := meter.NewMeter()
+	gen := smallGen(6)
+	inj := fault.New(6, fault.Options{Meter: m})
+	cfg := smallCfg(Remote, m)
+	cfg.Faults = inj
+	cfg.Flight = rec
+	svc, err := BuildKVService(cfg, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	populate(t, svc)
+	// Warm the cache tier so reads are mostly hits (one stalled get)
+	// rather than misses (stalled get + storage + stalled set) — either
+	// way cache wall time dominates, but warmth keeps the test fast.
+	for i := 0; i < 200; i++ {
+		op := gen.Next()
+		if op.Kind == workload.Read {
+			if _, err := svc.Read(op.Key); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	rec.Reset()
+	inj.SetRule(CacheNode, fault.Rule{StallSleep: 3 * time.Millisecond, StallRate: 1})
+	for i := 0; i < 40; i++ {
+		op := gen.Next()
+		if _, err := svc.Read(op.Key); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ex := rec.Exemplars()
+	if len(ex.Slowest) == 0 {
+		t.Fatal("stalled cache retained no slowest exemplars")
+	}
+	if dom, total := dominantShare(ex.Slowest, trace.StageCache); dom*10 < total*9 {
+		t.Errorf("cache dominant in %d/%d slowest exemplars, want >=90%%", dom, total)
+	}
+}

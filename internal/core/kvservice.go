@@ -10,6 +10,7 @@ import (
 	"cachecost/internal/cluster"
 	"cachecost/internal/consistency"
 	"cachecost/internal/fault"
+	"cachecost/internal/flight"
 	"cachecost/internal/linkedcache"
 	"cachecost/internal/meter"
 	"cachecost/internal/remotecache"
@@ -29,6 +30,13 @@ const (
 	CacheNode       = "cache0"
 	LinkedCacheNode = "app.cache"
 )
+
+// StorageFaultNode is the fault-injection target name of the app→storage
+// connection on in-process deployments. A Rule with StallWork against it
+// burns metered work on every storage round trip, which the flight
+// recorder observes as StageStorage time — the injected fault the tailwhy
+// smoke test expects to dominate deadline exemplars.
+const StorageFaultNode = "storage0"
 
 // DegradedCounter is the meter counter that counts cache errors demoted
 // to misses so the service keeps serving through cache loss.
@@ -132,7 +140,9 @@ type ServiceConfig struct {
 	// in-process cache is gated under LinkedCacheNode. Cache errors are
 	// demoted to misses (counted under DegradedCounter), so the service
 	// keeps serving through cache loss as the paper's availability
-	// discussion assumes.
+	// discussion assumes. In-process deployments additionally wrap the
+	// app→storage connection under StorageFaultNode, so storage stalls
+	// can be injected for the tail-attribution experiments.
 	Faults *fault.Injector
 	// CacheRetry, when non-nil, wraps the Remote architecture's cache
 	// connection in an rpc.RetryConn with this policy (retries are
@@ -151,6 +161,14 @@ type ServiceConfig struct {
 	// client operation. Nil disables tracing; the instrumented paths then
 	// cost one pointer test per layer.
 	Tracer *trace.Tracer
+
+	// Flight, when non-nil, is the tail-latency flight recorder: every
+	// front-door dispatch gets an always-on stage breakdown (queue,
+	// admission, cache, storage, app) and, at completion, the recorder's
+	// tail sampler decides whether to retain the request as an exemplar.
+	// Nil disables recording; the fast path then costs one nil test per
+	// dispatch.
+	Flight *flight.Recorder
 
 	// Telemetry, when non-nil, threads a metrics registry through every
 	// layer of the deployment: per-message RPC histograms on each loopback
@@ -279,6 +297,11 @@ type KVService struct {
 	// Parallelism > 1.
 	def   kvLane
 	lanes []*kvLane
+
+	// intendedNS is the default lane's pending intended arrival instant
+	// (see KVWorker.SetIntended); the single-threaded open-loop driver is
+	// its only writer and reader.
+	intendedNS int64
 }
 
 // kvLane is one request path through the service: a front door whose
@@ -328,7 +351,11 @@ func NewKVService(cfg ServiceConfig) (*KVService, error) {
 	lbm := rpc.NewMetrics(cfg.Telemetry, "loopback")
 	dbLoop := rpc.NewLoopback(s.node.Server(), s.appComp, meter.NewBurner(), cfg.RPCCost)
 	dbLoop.SetMetrics(lbm)
-	s.db = storage.NewClient(dbLoop)
+	var dbConn rpc.Conn = dbLoop
+	if cfg.Faults != nil {
+		dbConn = cfg.Faults.Wrap(StorageFaultNode, dbConn)
+	}
+	s.db = storage.NewClient(dbConn)
 
 	var cacheConn rpc.Conn
 	if cfg.Arch == Remote {
@@ -639,6 +666,9 @@ func (s *KVService) finish(cacheConn rpc.Conn) error {
 func (s *KVService) newFront(l *kvLane) *rpc.Server {
 	front := rpc.NewServer(s.appComp, meter.NewBurner(), s.cfg.RPCCost)
 	front.SetMeterHandlerBody(false)
+	if s.cfg.Flight != nil {
+		front.SetFlight(s.cfg.Flight.Scope(s.cfg.Arch.String()))
+	}
 	front.HandleCtx("app.Read", func(sc trace.SpanContext, req []byte) ([]byte, error) { return s.handleRead(l, sc, req) })
 	front.HandleCtx("app.Write", func(sc trace.SpanContext, req []byte) ([]byte, error) { return s.handleWrite(l, sc, req) })
 	front.HandleCtx("app.ReadBatch", func(sc trace.SpanContext, req []byte) ([]byte, error) { return s.handleReadBatch(l, sc, req) })
@@ -666,9 +696,15 @@ func (s *KVService) buildLanes() error {
 	lbm := rpc.NewMetrics(cfg.Telemetry, "loopback")
 	for i := range s.lanes {
 		l := &kvLane{w: i, attr: s.m.NewAttrCtx()}
-		dbConn := rpc.NewLoopback(s.node.Server(), s.appComp, meter.NewBurner(), cfg.RPCCost)
-		dbConn.SetAttrCtx(l.attr)
-		dbConn.SetMetrics(lbm)
+		dbLoop := rpc.NewLoopback(s.node.Server(), s.appComp, meter.NewBurner(), cfg.RPCCost)
+		dbLoop.SetAttrCtx(l.attr)
+		dbLoop.SetMetrics(lbm)
+		var dbConn rpc.Conn = dbLoop
+		if cfg.Faults != nil {
+			fc := cfg.Faults.WrapWorker(StorageFaultNode, i, dbConn)
+			fc.SetAttrCtx(l.attr)
+			dbConn = fc
+		}
 		l.db = storage.NewClient(dbConn)
 		if cfg.Arch == Remote && s.smap != nil {
 			rc, retries, err := s.routedCacheClient(lbm, l.attr, i)
@@ -714,6 +750,33 @@ func (s *KVService) buildLanes() error {
 type KVWorker struct {
 	s *KVService
 	l *kvLane
+	// intendedNS is the next operation's intended arrival instant (unix
+	// nanoseconds), set by the open-loop driver via SetIntended before
+	// each op. The lane's driver goroutine is the only writer and reader,
+	// so a plain field suffices. Zero (closed loop) leaves the flight
+	// recorder's queue stage at zero.
+	intendedNS int64
+}
+
+// SetIntended records the next operation's intended arrival instant (the
+// open-loop schedule slot). The flight recorder measures queue wait —
+// schedule slip before the handler started — and intended-clock latency
+// from it. The zero time clears it.
+func (w *KVWorker) SetIntended(t time.Time) {
+	if t.IsZero() {
+		w.intendedNS = 0
+		return
+	}
+	w.intendedNS = t.UnixNano()
+}
+
+// withIntended stamps the pending intended instant (if any) onto a fresh
+// request context.
+func (w *KVWorker) withIntended(sc trace.SpanContext) trace.SpanContext {
+	if w.intendedNS != 0 {
+		return sc.WithIntendedUnixNano(w.intendedNS)
+	}
+	return sc
 }
 
 // Worker returns lane i. The service must have been built with
@@ -730,7 +793,7 @@ func (s *KVService) Worker(i int) (ServiceWorker, error) {
 // spans.
 func (w *KVWorker) Read(key string) ([]byte, error) {
 	sc, act := w.s.cfg.Tracer.StartRequest("read")
-	v, err := frontRead(sc, w.l.front, key)
+	v, err := frontRead(w.withIntended(sc), w.l.front, key)
 	act.End()
 	return v, err
 }
@@ -738,7 +801,7 @@ func (w *KVWorker) Read(key string) ([]byte, error) {
 // Write drives a client write through the worker's lane.
 func (w *KVWorker) Write(key string, value []byte) error {
 	sc, act := w.s.cfg.Tracer.StartRequest("write")
-	err := frontWrite(sc, w.l.front, key, value)
+	err := frontWrite(w.withIntended(sc), w.l.front, key, value)
 	act.End()
 	return err
 }
@@ -748,7 +811,7 @@ func (w *KVWorker) Write(key string, value []byte) error {
 // gate.
 func (w *KVWorker) ReadDeadline(key string, deadline time.Time) ([]byte, error) {
 	sc, act := w.s.cfg.Tracer.StartRequest("read")
-	v, err := frontRead(sc.WithDeadline(deadline), w.l.front, key)
+	v, err := frontRead(w.withIntended(sc).WithDeadline(deadline), w.l.front, key)
 	act.End()
 	return v, err
 }
@@ -756,7 +819,7 @@ func (w *KVWorker) ReadDeadline(key string, deadline time.Time) ([]byte, error) 
 // WriteDeadline implements DeadlineWorker.
 func (w *KVWorker) WriteDeadline(key string, value []byte, deadline time.Time) error {
 	sc, act := w.s.cfg.Tracer.StartRequest("write")
-	err := frontWrite(sc.WithDeadline(deadline), w.l.front, key, value)
+	err := frontWrite(w.withIntended(sc).WithDeadline(deadline), w.l.front, key, value)
 	act.End()
 	return err
 }
@@ -930,6 +993,7 @@ func (s *KVService) linkedFault(l *kvLane, sc trace.SpanContext) bool {
 	}
 	if err := s.cfg.Faults.DecideTrace(LinkedCacheNode, l.w, l.attr, sc); err != nil {
 		s.degraded.Inc()
+		sc.MarkOutcome(trace.FlagDegraded)
 		return true
 	}
 	return false
@@ -1102,14 +1166,24 @@ func (s *KVService) admit(sc trace.SpanContext) (admission.Outcome, func()) {
 	if s.gate == nil {
 		return admission.Admitted, func() {}
 	}
+	b := sc.Breakdown()
+	var t0 time.Time
+	if b != nil {
+		t0 = time.Now()
+	}
 	outcome, release := s.gate.Enter(sc.Deadline())
+	if b != nil {
+		b.Add(trace.StageAdmission, time.Since(t0))
+	}
 	switch outcome {
 	case admission.ShedQueueFull:
 		s.shedCtr.Inc()
 		s.telShed.Inc()
+		b.Mark(trace.FlagShed)
 	case admission.DeadlineExpired:
 		s.dlCtr.Inc()
 		s.telExpired.Inc()
+		b.Mark(trace.FlagDeadline)
 	}
 	return outcome, release
 }
@@ -1179,6 +1253,14 @@ func encodeAck(ok bool) []byte {
 func (s *KVService) handleRead(l *kvLane, sc trace.SpanContext, req []byte) ([]byte, error) {
 	var out []byte
 	var err error
+	b := sc.Breakdown()
+	var c0 time.Duration
+	if b != nil {
+		// Bill the request's busy time on the meter's clock (thread CPU
+		// when the driver enables it): the priced quantity the flight
+		// recorder reports per exemplar.
+		c0 = l.attr.Now()
+	}
 	meter.AttributeCtx(s.m, l.attr, s.appComp, func() {
 		act, asc := trace.Start(sc, "app", "read")
 		defer act.End()
@@ -1210,6 +1292,9 @@ func (s *KVService) handleRead(l *kvLane, sc trace.SpanContext, req []byte) ([]b
 		act.SetBytes(len(req), len(v))
 		out = encodeReadOut(true, v)
 	})
+	if b != nil {
+		b.AddCost(l.attr.Now() - c0)
+	}
 	return out, err
 }
 
@@ -1219,6 +1304,11 @@ func (s *KVService) handleRead(l *kvLane, sc trace.SpanContext, req []byte) ([]b
 func (s *KVService) handleWrite(l *kvLane, sc trace.SpanContext, req []byte) ([]byte, error) {
 	var out []byte
 	var err error
+	b := sc.Breakdown()
+	var c0 time.Duration
+	if b != nil {
+		c0 = l.attr.Now()
+	}
 	meter.AttributeCtx(s.m, l.attr, s.appComp, func() {
 		act, asc := trace.Start(sc, "app", "write")
 		defer act.End()
@@ -1244,6 +1334,9 @@ func (s *KVService) handleWrite(l *kvLane, sc trace.SpanContext, req []byte) ([]
 		act.SetBytes(len(req), 0)
 		out = encodeAck(true)
 	})
+	if b != nil {
+		b.AddCost(l.attr.Now() - c0)
+	}
 	return out, err
 }
 
@@ -1253,7 +1346,7 @@ func (s *KVService) Read(key string) ([]byte, error) {
 	// bill (the paper prices the service, not its callers). The root span
 	// opens here too: the trace covers the whole client-visible request.
 	sc, act := s.cfg.Tracer.StartRequest("read")
-	v, err := frontRead(sc, s.front, key)
+	v, err := frontRead(s.withIntended(sc), s.front, key)
 	act.End()
 	return v, err
 }
@@ -1261,7 +1354,7 @@ func (s *KVService) Read(key string) ([]byte, error) {
 // Write implements Service.
 func (s *KVService) Write(key string, value []byte) error {
 	sc, act := s.cfg.Tracer.StartRequest("write")
-	err := frontWrite(sc, s.front, key, value)
+	err := frontWrite(s.withIntended(sc), s.front, key, value)
 	act.End()
 	return err
 }
@@ -1269,7 +1362,7 @@ func (s *KVService) Write(key string, value []byte) error {
 // ReadDeadline implements DeadlineWorker on the default lane.
 func (s *KVService) ReadDeadline(key string, deadline time.Time) ([]byte, error) {
 	sc, act := s.cfg.Tracer.StartRequest("read")
-	v, err := frontRead(sc.WithDeadline(deadline), s.front, key)
+	v, err := frontRead(s.withIntended(sc).WithDeadline(deadline), s.front, key)
 	act.End()
 	return v, err
 }
@@ -1277,9 +1370,26 @@ func (s *KVService) ReadDeadline(key string, deadline time.Time) ([]byte, error)
 // WriteDeadline implements DeadlineWorker on the default lane.
 func (s *KVService) WriteDeadline(key string, value []byte, deadline time.Time) error {
 	sc, act := s.cfg.Tracer.StartRequest("write")
-	err := frontWrite(sc.WithDeadline(deadline), s.front, key, value)
+	err := frontWrite(s.withIntended(sc).WithDeadline(deadline), s.front, key, value)
 	act.End()
 	return err
+}
+
+// SetIntended implements IntendedWorker on the default lane (see
+// KVWorker.SetIntended).
+func (s *KVService) SetIntended(t time.Time) {
+	if t.IsZero() {
+		s.intendedNS = 0
+		return
+	}
+	s.intendedNS = t.UnixNano()
+}
+
+func (s *KVService) withIntended(sc trace.SpanContext) trace.SpanContext {
+	if s.intendedNS != 0 {
+		return sc.WithIntendedUnixNano(s.intendedNS)
+	}
+	return sc
 }
 
 // AdmissionStats snapshots the admission gate's conservation counters

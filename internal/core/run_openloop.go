@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -28,6 +31,15 @@ import (
 type DeadlineWorker interface {
 	ReadDeadline(key string, deadline time.Time) ([]byte, error)
 	WriteDeadline(key string, value []byte, deadline time.Time) error
+}
+
+// IntendedWorker is a ServiceWorker that accepts each op's intended
+// arrival instant (the open-loop schedule slot) before the op runs, so
+// the flight recorder can attribute schedule slip to its queue stage and
+// measure latency on the intended clock. The runner calls SetIntended
+// from the lane's own goroutine only.
+type IntendedWorker interface {
+	SetIntended(t time.Time)
 }
 
 // applyOpDeadline executes one op, attaching the deadline when the
@@ -155,24 +167,33 @@ func runOpenLoop(svc Service, m *meter.Meter, gen workload.Generator, cfg RunCon
 			// this lane's request path are against one clock.
 			runtime.LockOSThread()
 			defer runtime.UnlockOSThread()
-			rec := &recs[w]
-			for so := range chans[w] {
-				sendT0 := time.Now()
-				if err := applyOpDeadline(workers[w], so.op, so.deadline); err != nil {
-					rec.err = err
-					// Keep draining so the dispatcher never blocks; the
-					// remaining ops are not executed.
-					for range chans[w] {
+			// Label the lane for CPU profiles: `go tool pprof` can then
+			// slice samples by architecture and lane.
+			labels := pprof.Labels("arch", svc.Arch().String(), "lane", strconv.Itoa(w))
+			pprof.Do(context.Background(), labels, func(context.Context) {
+				iw, _ := workers[w].(IntendedWorker)
+				rec := &recs[w]
+				for so := range chans[w] {
+					if iw != nil {
+						iw.SetIntended(so.intended)
 					}
-					return
+					sendT0 := time.Now()
+					if err := applyOpDeadline(workers[w], so.op, so.deadline); err != nil {
+						rec.err = err
+						// Keep draining so the dispatcher never blocks; the
+						// remaining ops are not executed.
+						for range chans[w] {
+						}
+						return
+					}
+					done := time.Now()
+					rec.executed++
+					dIntended := done.Sub(so.intended)
+					reqHist.Observe(int64(dIntended))
+					rec.intended = append(rec.intended, dIntended)
+					rec.send = append(rec.send, done.Sub(sendT0))
 				}
-				done := time.Now()
-				rec.executed++
-				dIntended := done.Sub(so.intended)
-				reqHist.Observe(int64(dIntended))
-				rec.intended = append(rec.intended, dIntended)
-				rec.send = append(rec.send, done.Sub(sendT0))
-			}
+			})
 		}(w)
 	}
 

@@ -32,6 +32,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cachecost/internal/meter"
 	"cachecost/internal/rpc"
@@ -65,8 +66,14 @@ type Rule struct {
 	// the cost report.
 	StallWork int
 	// StallRate is the probability a call pays StallWork. Zero means 1
-	// (every call stalls) when StallWork > 0.
+	// (every call stalls) when StallWork or StallSleep is set.
 	StallRate float64
+	// StallSleep is wall-clock occupancy injected per stalled call, on
+	// top of any StallWork: the caller sleeps this long, modeling a slow
+	// disk or network path whose latency is real time, not CPU. Unlike
+	// StallWork it charges nothing to the meter — it is pure latency, the
+	// quantity the flight recorder's stage attribution observes.
+	StallSleep time.Duration
 	// SlowStartCalls is how many calls after Revive pay SlowStartWork
 	// each — a cold cache, connection re-establishment, page-in.
 	SlowStartCalls int
@@ -76,7 +83,7 @@ type Rule struct {
 }
 
 func (r Rule) stallRate() float64 {
-	if r.StallWork <= 0 {
+	if r.StallWork <= 0 && r.StallSleep <= 0 {
 		return 0
 	}
 	if r.StallRate == 0 {
@@ -342,13 +349,13 @@ func (in *Injector) DecideTrace(node string, worker int, ctx *meter.AttrCtx, sc 
 	st.stats.calls.Add(1)
 	if n.killed.Load() {
 		st.stats.downRejects.Add(1)
-		in.recordFault(sc, node, "down", 0, nil)
+		in.recordFault(sc, node, "down", 0, 0, nil)
 		return ErrNodeDown
 	}
 	if n.blackholed.Load() {
 		st.stats.blackholed.Add(1)
 		st.stats.workInjected.Add(int64(in.timeoutWork))
-		in.recordFault(sc, node, "blackhole", in.timeoutWork, ctx)
+		in.recordFault(sc, node, "blackhole", in.timeoutWork, 0, ctx)
 		return ErrBlackhole
 	}
 	rule := *n.rule.Load()
@@ -372,8 +379,10 @@ func (in *Injector) DecideTrace(node string, worker int, ctx *meter.AttrCtx, sc 
 	stallDraw := unit(draw)
 	errDraw := unit(splitmix64(draw))
 	stalled := false
+	var sleep time.Duration
 	if rule.stallRate() > 0 && stallDraw < rule.stallRate() {
 		work += rule.StallWork
+		sleep = rule.StallSleep
 		st.stats.stalls.Add(1)
 		stalled = true
 	}
@@ -383,7 +392,7 @@ func (in *Injector) DecideTrace(node string, worker int, ctx *meter.AttrCtx, sc 
 		err = ErrInjected
 	}
 	st.stats.workInjected.Add(int64(work))
-	if err == nil && work == 0 {
+	if err == nil && work == 0 && sleep == 0 {
 		return nil // clean decision: no span, no burn
 	}
 	outcome := "stall"
@@ -393,16 +402,19 @@ func (in *Injector) DecideTrace(node string, worker int, ctx *meter.AttrCtx, sc 
 	case slow && !stalled:
 		outcome = "slow-start"
 	}
-	in.recordFault(sc, node, outcome, work, ctx)
+	in.recordFault(sc, node, outcome, work, sleep, ctx)
 	return err
 }
 
-// recordFault burns the injected work and, when the request is traced,
-// wraps it in a "fault" span annotated with the outcome, bumping the
-// path-level fault counter.
-func (in *Injector) recordFault(sc trace.SpanContext, node, outcome string, work int, ctx *meter.AttrCtx) {
+// recordFault burns the injected work, sleeps any wall-clock stall and,
+// when the request is traced, wraps both in a "fault" span annotated with
+// the outcome, bumping the path-level fault counter.
+func (in *Injector) recordFault(sc trace.SpanContext, node, outcome string, work int, sleep time.Duration, ctx *meter.AttrCtx) {
 	if !sc.Traced() {
 		in.burn(work, ctx)
+		if sleep > 0 {
+			time.Sleep(sleep)
+		}
 		return
 	}
 	sc.Tracer().CountFault()
@@ -411,7 +423,13 @@ func (in *Injector) recordFault(sc trace.SpanContext, node, outcome string, work
 	if work > 0 {
 		act.AnnotateInt("fault.work", int64(work))
 	}
+	if sleep > 0 {
+		act.AnnotateInt("fault.sleep_ns", int64(sleep))
+	}
 	in.burn(work, ctx)
+	if sleep > 0 {
+		time.Sleep(sleep)
+	}
 	act.End()
 }
 

@@ -1,0 +1,9 @@
+//go:build race
+
+package flight
+
+// raceEnabled reports that the race detector is active. Its
+// instrumentation changes allocation accounting, so the zero-alloc pin
+// skips itself under -race (the concurrency tests are the -race payload
+// here).
+const raceEnabled = true

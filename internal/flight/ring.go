@@ -1,0 +1,93 @@
+package flight
+
+import "sync/atomic"
+
+// ring is the lock-free recent-request buffer. Each slot is guarded by
+// its own version word used as a tiny claim lock: even = stable, odd =
+// claimed. Writers claim the next slot round-robin with a single CAS,
+// copy the record in, and release; if a slot is still claimed (a reader
+// mid-copy, or a writer that lapped the ring), the writer skips forward
+// rather than wait — recency is best-effort, the fast path never blocks
+// and never allocates. Readers claim slots the same way while copying,
+// so every access to a slot's record is exclusive and the structure is
+// race-detector-clean without a global lock.
+type ring struct {
+	slots []slot
+	next  atomic.Uint64
+}
+
+type slot struct {
+	ver atomic.Uint64
+	rec Record
+	// full marks a slot that has ever been written, distinguishing an
+	// empty ring position from a genuine zero-ish record.
+	full bool
+}
+
+// writeAttempts bounds how many slots a writer probes before dropping
+// the record; with RingSize >> writers a second probe is already rare.
+const writeAttempts = 4
+
+func newRing(n int) *ring {
+	if n <= 0 {
+		n = 1
+	}
+	return &ring{slots: make([]slot, n)}
+}
+
+func (s *slot) tryClaim() bool {
+	v := s.ver.Load()
+	return v&1 == 0 && s.ver.CompareAndSwap(v, v+1)
+}
+
+func (s *slot) release() { s.ver.Add(1) }
+
+// put stores rec in the next slot, skipping claimed slots.
+func (r *ring) put(rec Record) {
+	n := uint64(len(r.slots))
+	for i := 0; i < writeAttempts; i++ {
+		s := &r.slots[(r.next.Add(1)-1)%n]
+		if s.tryClaim() {
+			s.rec = rec
+			s.full = true
+			s.release()
+			return
+		}
+	}
+}
+
+// snapshot copies up to limit records, newest first (limit <= 0: all).
+func (r *ring) snapshot(limit int) []Record {
+	n := len(r.slots)
+	if limit <= 0 || limit > n {
+		limit = n
+	}
+	out := make([]Record, 0, limit)
+	pos := r.next.Load()
+	for i := 0; i < n && len(out) < limit; i++ {
+		// Walk backwards from the most recently assigned slot; the
+		// +n-1-i offset keeps the index arithmetic underflow-free.
+		s := &r.slots[(pos+uint64(n)-1-uint64(i))%uint64(n)]
+		if !s.tryClaim() {
+			continue
+		}
+		if s.full {
+			out = append(out, s.rec)
+		}
+		s.release()
+	}
+	return out
+}
+
+// reset clears every slot.
+func (r *ring) reset() {
+	for i := range r.slots {
+		s := &r.slots[i]
+		if s.tryClaim() {
+			s.rec = Record{}
+			s.full = false
+			s.release()
+		}
+	}
+	r.next.Store(0)
+}

@@ -1,0 +1,94 @@
+package flight
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestRingSnapshotNewestFirst: records come back most-recent first and
+// empty slots are skipped.
+func TestRingSnapshotNewestFirst(t *testing.T) {
+	r := newRing(8)
+	for i := 1; i <= 5; i++ {
+		r.put(Record{Dur: int64(i)})
+	}
+	got := r.snapshot(0)
+	if len(got) != 5 {
+		t.Fatalf("snapshot has %d records, want 5", len(got))
+	}
+	for i, rec := range got {
+		if want := int64(5 - i); rec.Dur != want {
+			t.Fatalf("snapshot[%d].Dur = %d, want %d", i, rec.Dur, want)
+		}
+	}
+	if got := r.snapshot(2); len(got) != 2 || got[0].Dur != 5 || got[1].Dur != 4 {
+		t.Fatalf("limited snapshot = %+v, want newest two", got)
+	}
+}
+
+// TestRingWrap: a writer lapping the ring keeps only the newest
+// capacity-many records.
+func TestRingWrap(t *testing.T) {
+	r := newRing(4)
+	for i := 1; i <= 10; i++ {
+		r.put(Record{Dur: int64(i)})
+	}
+	got := r.snapshot(0)
+	if len(got) != 4 {
+		t.Fatalf("snapshot has %d records, want 4", len(got))
+	}
+	for i, rec := range got {
+		if want := int64(10 - i); rec.Dur != want {
+			t.Fatalf("snapshot[%d].Dur = %d, want %d", i, rec.Dur, want)
+		}
+	}
+}
+
+// TestRingConcurrent: N writers and a snapshotting reader race on the
+// ring; under -race the per-slot claim locks must keep every slot access
+// exclusive, and each returned record must be one that was actually
+// written (no torn copies: Dur encodes writer and sequence).
+func TestRingConcurrent(t *testing.T) {
+	const writers, each = 8, 2000
+	r := newRing(64)
+	stop := make(chan struct{})
+	var bad sync.Once
+	var badVal int64
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				for _, rec := range r.snapshot(0) {
+					w, seq := rec.Dur/1_000_000, rec.Dur%1_000_000
+					if w < 0 || w >= writers || seq < 0 || seq >= each {
+						bad.Do(func() { badVal = rec.Dur })
+					}
+				}
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				r.put(Record{Dur: int64(w)*1_000_000 + int64(i)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	if badVal != 0 {
+		t.Fatalf("snapshot returned a Dur never written: %d", badVal)
+	}
+	if got := r.snapshot(0); len(got) == 0 {
+		t.Fatal("ring empty after concurrent writes")
+	}
+}

@@ -194,6 +194,18 @@ type AttrCtx struct {
 // so Span measurements agree with the stopwatches crediting into it.
 func (m *Meter) NewAttrCtx() *AttrCtx { return &AttrCtx{clk: &m.clk} }
 
+// Now returns the context's busy-clock reading. The flight recorder
+// reads it on entry and exit of a request handler to bill the request's
+// busy time on the same clock the meter prices (the thread-CPU clock
+// when the concurrent driver enables it). Nil-safe: a nil context reads
+// the wall clock.
+func (c *AttrCtx) Now() time.Duration {
+	if c == nil {
+		return time.Duration(wallNanos())
+	}
+	return time.Duration(c.clk.now())
+}
+
 // AddInner records d as busy time already attributed by a callee on this
 // goroutine (and therefore excluded from the enclosing component's own
 // time).

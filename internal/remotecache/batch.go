@@ -201,6 +201,24 @@ func (c *Client) MultiGet(keys []string) ([][]byte, []bool, error) {
 // counters exactly as the scalar path would. In degraded mode a failed
 // node RPC demotes its keys to misses without failing the batch.
 func (c *Client) MultiGetCtx(sc trace.SpanContext, keys []string) ([][]byte, []bool, error) {
+	b := sc.Breakdown()
+	if b == nil {
+		return c.multiGetCtx(sc, keys)
+	}
+	t0 := time.Now()
+	d0 := c.degraded.Load()
+	v, f, err := c.multiGetCtx(sc, keys)
+	b.Add(trace.StageCache, time.Since(t0))
+	// A moved demotion counter means this batch (or, rarely, a concurrent
+	// one) hit the degraded path; marking degraded is the mildest outcome
+	// bit, so the imprecision is harmless.
+	if c.degraded.Load() != d0 {
+		b.Mark(trace.FlagDegraded)
+	}
+	return v, f, err
+}
+
+func (c *Client) multiGetCtx(sc trace.SpanContext, keys []string) ([][]byte, []bool, error) {
 	values := make([][]byte, len(keys))
 	found := make([]bool, len(keys))
 	if len(keys) == 0 {
@@ -299,6 +317,21 @@ func (c *Client) MultiSetTTL(keys []string, values [][]byte, ttl time.Duration) 
 // degraded mode a failed node RPC is one counted no-op demotion: the
 // next read of those keys re-populates.
 func (c *Client) MultiSetTTLCtx(sc trace.SpanContext, keys []string, values [][]byte, ttl time.Duration) error {
+	b := sc.Breakdown()
+	if b == nil {
+		return c.multiSetTTLCtx(sc, keys, values, ttl)
+	}
+	t0 := time.Now()
+	d0 := c.degraded.Load()
+	err := c.multiSetTTLCtx(sc, keys, values, ttl)
+	b.Add(trace.StageCache, time.Since(t0))
+	if c.degraded.Load() != d0 {
+		b.Mark(trace.FlagDegraded)
+	}
+	return err
+}
+
+func (c *Client) multiSetTTLCtx(sc trace.SpanContext, keys []string, values [][]byte, ttl time.Duration) error {
 	if len(keys) != len(values) {
 		return fmt.Errorf("remotecache: MultiSet %d keys but %d values", len(keys), len(values))
 	}
@@ -361,6 +394,21 @@ func (c *Client) MultiDelete(keys []string) error {
 
 // MultiDeleteCtx is MultiDelete carrying the caller's span context.
 func (c *Client) MultiDeleteCtx(sc trace.SpanContext, keys []string) error {
+	b := sc.Breakdown()
+	if b == nil {
+		return c.multiDeleteCtx(sc, keys)
+	}
+	t0 := time.Now()
+	d0 := c.degraded.Load()
+	err := c.multiDeleteCtx(sc, keys)
+	b.Add(trace.StageCache, time.Since(t0))
+	if c.degraded.Load() != d0 {
+		b.Mark(trace.FlagDegraded)
+	}
+	return err
+}
+
+func (c *Client) multiDeleteCtx(sc trace.SpanContext, keys []string) error {
 	if len(keys) == 0 {
 		return nil
 	}

@@ -116,11 +116,22 @@ func (c *Client) Get(key string) ([]byte, bool, error) {
 // GetCtx is Get carrying the caller's span context: the lookup's outcome
 // (including a degraded-mode demotion, which reads as a miss) feeds the
 // trace-level cache hit/miss counters, and the cache RPC's two protocol
-// messages are counted against the request path.
+// messages are counted against the request path. With a flight-recorder
+// breakdown attached, the client-observed round trip lands in StageCache
+// and a demotion marks the request degraded.
 func (c *Client) GetCtx(sc trace.SpanContext, key string) ([]byte, bool, error) {
+	b := sc.Breakdown()
+	var t0 time.Time
+	if b != nil {
+		t0 = time.Now()
+	}
 	v, found, err := c.get(sc, key)
+	if b != nil {
+		b.Add(trace.StageCache, time.Since(t0))
+	}
 	if err != nil && c.degrade.Load() {
 		c.demote()
+		b.Mark(trace.FlagDegraded)
 		err = nil
 		v, found = nil, false
 	}
@@ -180,9 +191,19 @@ func (c *Client) SetTTL(key string, value []byte, ttl time.Duration) error {
 
 // SetTTLCtx is SetTTL carrying the caller's span context.
 func (c *Client) SetTTLCtx(sc trace.SpanContext, key string, value []byte, ttl time.Duration) error {
-	if err := c.setTTL(sc, key, value, ttl); err != nil {
+	b := sc.Breakdown()
+	var t0 time.Time
+	if b != nil {
+		t0 = time.Now()
+	}
+	err := c.setTTL(sc, key, value, ttl)
+	if b != nil {
+		b.Add(trace.StageCache, time.Since(t0))
+	}
+	if err != nil {
 		if c.degrade.Load() {
 			c.demote()
+			b.Mark(trace.FlagDegraded)
 			return nil
 		}
 		return err
@@ -224,9 +245,18 @@ func (c *Client) Delete(key string) (bool, error) {
 
 // DeleteCtx is Delete carrying the caller's span context.
 func (c *Client) DeleteCtx(sc trace.SpanContext, key string) (bool, error) {
+	b := sc.Breakdown()
+	var t0 time.Time
+	if b != nil {
+		t0 = time.Now()
+	}
 	ok, err := c.delete(sc, key)
+	if b != nil {
+		b.Add(trace.StageCache, time.Since(t0))
+	}
 	if err != nil && c.degrade.Load() {
 		c.demote()
+		b.Mark(trace.FlagDegraded)
 		return false, nil
 	}
 	return ok, err

@@ -5,10 +5,23 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"cachecost/internal/meter"
 	"cachecost/internal/trace"
 )
+
+// FlightRecorder is the completion-time flight-recorder hook a front-door
+// server drives (implemented by internal/flight, declared here so the
+// transport does not depend on it). Begin attaches the per-request stage
+// accumulator before the handler runs; Done, called after the handler
+// returns, turns the accumulated breakdown into a flight record and makes
+// the tail-retention decision — at completion, when outcome and latency
+// are known.
+type FlightRecorder interface {
+	Begin(sc trace.SpanContext) trace.SpanContext
+	Done(sc trace.SpanContext, method string, start time.Time, dur time.Duration, err error)
+}
 
 // Server dispatches incoming calls to registered handlers and attributes
 // the CPU they consume — handler body plus transport overhead — to a meter
@@ -33,6 +46,11 @@ type Server struct {
 	meterBody bool
 	// metrics, when set, records per-dispatch latency and sizes.
 	metrics *Metrics
+	// flight, when set, records a per-request flight record around each
+	// dispatch. Set only on front-door servers: a request that already
+	// carries a breakdown (a nested in-process dispatch) is not
+	// re-recorded.
+	flight FlightRecorder
 
 	lnMu      sync.Mutex
 	listeners map[net.Listener]struct{}
@@ -74,6 +92,11 @@ func (s *Server) SetMeterHandlerBody(on bool) { s.meterBody = on }
 // not synchronized against Dispatch.
 func (s *Server) SetMetrics(m *Metrics) { s.metrics = m }
 
+// SetFlight binds the flight recorder driven around each dispatch. Set
+// it on front-door servers only; like SetMetrics it must be called
+// before the server receives traffic.
+func (s *Server) SetFlight(f FlightRecorder) { s.flight = f }
+
 // Handle registers fn for method. Registering the same method twice
 // replaces the earlier handler.
 func (s *Server) Handle(method string, fn HandlerFunc) {
@@ -100,8 +123,22 @@ func (s *Server) Dispatch(method string, req []byte) ([]byte, error) {
 }
 
 // DispatchCtx is Dispatch carrying the caller's span context through to
-// the handler.
+// the handler. On a front-door server with a flight recorder bound, it
+// brackets the dispatch with the recorder's Begin/Done so every request
+// leaves a completion-time flight record; nested dispatches (a context
+// that already carries a breakdown) pass straight through.
 func (s *Server) DispatchCtx(sc trace.SpanContext, method string, req []byte) ([]byte, error) {
+	if s.flight != nil && sc.Breakdown() == nil {
+		fsc := s.flight.Begin(sc)
+		t0 := time.Now()
+		resp, err := s.dispatch(fsc, method, req)
+		s.flight.Done(fsc, method, t0, time.Since(t0), err)
+		return resp, err
+	}
+	return s.dispatch(sc, method, req)
+}
+
+func (s *Server) dispatch(sc trace.SpanContext, method string, req []byte) ([]byte, error) {
 	s.mu.RLock()
 	fn, ok := s.handlers[method]
 	s.mu.RUnlock()

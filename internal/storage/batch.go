@@ -76,6 +76,16 @@ func (c *Client) BatchQueryCtx(sc trace.SpanContext, src string, params []sql.Va
 	if len(params) == 0 {
 		return nil, nil
 	}
+	if b := sc.Breakdown(); b != nil {
+		t0 := time.Now()
+		rs, err := c.batchQueryInner(sc, src, params)
+		b.Add(trace.StageStorage, time.Since(t0))
+		return rs, err
+	}
+	return c.batchQueryInner(sc, src, params)
+}
+
+func (c *Client) batchQueryInner(sc trace.SpanContext, src string, params []sql.Value) ([]*plan.ResultSet, error) {
 	e := wire.GetEncoder()
 	e.String(1, src)
 	for _, p := range params {

@@ -1,6 +1,8 @@
 package storage
 
 import (
+	"time"
+
 	"cachecost/internal/rpc"
 	"cachecost/internal/storage/plan"
 	"cachecost/internal/storage/sql"
@@ -45,7 +47,21 @@ func (c *Client) ExecCtx(sc trace.SpanContext, src string, params ...sql.Value) 
 // set. Request and response buffers cycle through the transport pool: the
 // ResultSet decoder copies every string and blob out of its input, so the
 // response is dead once Unmarshal returns.
+//
+// When the request carries a flight-recorder breakdown, the whole
+// client-observed round trip — marshal, hop, server occupancy (injected
+// stalls included), decode — lands in StageStorage.
 func (c *Client) roundTrip(sc trace.SpanContext, method, src string, params []sql.Value) (*plan.ResultSet, error) {
+	if b := sc.Breakdown(); b != nil {
+		t0 := time.Now()
+		rs, err := c.roundTripInner(sc, method, src, params)
+		b.Add(trace.StageStorage, time.Since(t0))
+		return rs, err
+	}
+	return c.roundTripInner(sc, method, src, params)
+}
+
+func (c *Client) roundTripInner(sc trace.SpanContext, method, src string, params []sql.Value) (*plan.ResultSet, error) {
 	// QueryRequest shape {1: sql, 2: param...}, encoded from the pool.
 	e := wire.GetEncoder()
 	e.String(1, src)
@@ -73,6 +89,16 @@ func (c *Client) Version(table string, pk sql.Value) (uint64, bool, error) {
 
 // VersionCtx is Version carrying the caller's span context.
 func (c *Client) VersionCtx(sc trace.SpanContext, table string, pk sql.Value) (uint64, bool, error) {
+	if b := sc.Breakdown(); b != nil {
+		t0 := time.Now()
+		v, found, err := c.versionInner(sc, table, pk)
+		b.Add(trace.StageStorage, time.Since(t0))
+		return v, found, err
+	}
+	return c.versionInner(sc, table, pk)
+}
+
+func (c *Client) versionInner(sc trace.SpanContext, table string, pk sql.Value) (uint64, bool, error) {
 	// VersionRequest shape {1: table, 2: pk}.
 	e := wire.GetEncoder()
 	e.String(1, table)

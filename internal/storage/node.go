@@ -532,8 +532,20 @@ func (n *Node) handleExec(sc trace.SpanContext, req []byte) ([]byte, error) {
 		Key:   []byte(q.SQL[:min(len(q.SQL), 32)]),
 		Value: encodeCmd(&replicatedCmd{SQL: q.SQL, Params: q.Params}),
 	}
-	if _, err := n.group.ProposeCtx(sc, cmd); err != nil {
-		return nil, err
+	// The replication slice of the write is informational sub-stage time:
+	// for an in-process request it is already inside the client-observed
+	// StageStorage, so conservation sums exclude StageRaft.
+	b := sc.Breakdown()
+	var raftT0 time.Time
+	if b != nil {
+		raftT0 = time.Now()
+	}
+	_, perr := n.group.ProposeCtx(sc, cmd)
+	if b != nil {
+		b.Add(trace.StageRaft, time.Since(raftT0))
+	}
+	if perr != nil {
+		return nil, perr
 	}
 	if err := n.ApplyErr(); err != nil {
 		return nil, err

@@ -1,0 +1,32 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+)
+
+// NewLogger builds the process-wide structured logger for a cmd binary.
+// format selects the handler: "text" (human-oriented, the default for an
+// empty string) or "json" (one object per line, for log scrapers — the
+// shape that lets a pipeline join a warning's trace_id/span_id against
+// the flight recorder's /debug/requests exemplars). Every line carries
+// the binary name under "bin" so multi-process runs interleave cleanly
+// on a shared stderr.
+func NewLogger(format, binary string) (*slog.Logger, error) {
+	return newLoggerTo(os.Stderr, format, binary)
+}
+
+func newLoggerTo(w io.Writer, format, binary string) (*slog.Logger, error) {
+	var h slog.Handler
+	switch format {
+	case "", "text":
+		h = slog.NewTextHandler(w, nil)
+	case "json":
+		h = slog.NewJSONHandler(w, nil)
+	default:
+		return nil, fmt.Errorf("telemetry: unknown log format %q (text|json)", format)
+	}
+	return slog.New(h).With("bin", binary), nil
+}

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -17,6 +18,10 @@ type OpsConfig struct {
 	Meter *meter.Meter
 	// Prices prices the /statusz report; zero value falls back to GCP.
 	Prices meter.PriceBook
+	// Debug mounts extra handlers on the ops mux by path (e.g. the
+	// flight recorder's "/debug/requests"). Paths collide with the
+	// built-in mounts at the caller's own risk.
+	Debug map[string]http.Handler
 }
 
 // NewOpsHandler builds the ops mux: Prometheus-text /metrics, JSON
@@ -38,20 +43,24 @@ func NewOpsHandler(cfg OpsConfig) http.Handler {
 	})
 	mux.HandleFunc("/statusz", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		writeStatusz(w, cfg)
+		WriteStatusz(w, cfg)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for path, h := range cfg.Debug {
+		mux.Handle(path, h)
+	}
 	return mux
 }
 
-// writeStatusz renders the plain-text cost table: the meter's priced
+// WriteStatusz renders the plain-text cost table: the meter's priced
 // report when a meter is attached, then every histogram digest, then
-// counters and gauges.
-func writeStatusz(w http.ResponseWriter, cfg OpsConfig) {
+// counters and gauges. Exported so the flight recorder's black-box dump
+// can write the same report to a file that /statusz serves over HTTP.
+func WriteStatusz(w io.Writer, cfg OpsConfig) {
 	prices := cfg.Prices
 	if prices == (meter.PriceBook{}) {
 		prices = meter.GCP

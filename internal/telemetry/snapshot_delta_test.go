@@ -1,0 +1,109 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDeltaSinceHistogramGrowth: observations landing in previously
+// untouched buckets across windows must difference cleanly — the window
+// sees only its own flows, and the windowed quantiles reflect the new
+// observations, not the cumulative distribution.
+func TestDeltaSinceHistogramGrowth(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "seconds")
+	// First window: a tight cluster of fast observations.
+	for i := 0; i < 1000; i++ {
+		h.Observe(int64(time.Millisecond))
+	}
+	prev := r.Snapshot()
+
+	// Second window: far slower observations populate high buckets that
+	// were zero in the baseline.
+	for i := 0; i < 10; i++ {
+		h.Observe(int64(time.Second))
+	}
+	cur := r.Snapshot()
+
+	d := cur.DeltaSince(prev)
+	if len(d.Hists) != 1 {
+		t.Fatalf("delta hists = %d, want 1", len(d.Hists))
+	}
+	hd := d.Hists[0]
+	if hd.Count != 10 {
+		t.Fatalf("windowed count = %d, want 10", hd.Count)
+	}
+	if hd.Sum != 10*int64(time.Second) {
+		t.Fatalf("windowed sum = %d, want %d", hd.Sum, 10*int64(time.Second))
+	}
+	// The cumulative p50 is ~1ms (1000 of 1010 observations); the
+	// windowed p50 must be ~1s — the growth happened in this window.
+	if p50 := hd.Summary().P50; p50 < int64(500*time.Millisecond) {
+		t.Errorf("windowed p50 = %v, want ~1s (cumulative distribution leaked into the window)", time.Duration(p50))
+	}
+	if p50 := cur.Hists[0].Summary().P50; p50 > int64(100*time.Millisecond) {
+		t.Errorf("cumulative p50 = %v, want ~1ms", time.Duration(p50))
+	}
+	// Only window buckets are populated: total bucket mass equals count.
+	var mass int64
+	for _, b := range hd.Buckets {
+		mass += b
+	}
+	if mass != hd.Count {
+		t.Errorf("window bucket mass = %d, want %d", mass, hd.Count)
+	}
+}
+
+// TestDeltaSinceHistogramShapeMismatch: a baseline whose bucket layout
+// no longer matches (a binary upgrade changed resolution, or a Reset
+// rebuilt the histogram) must not difference garbage — the current state
+// passes through whole.
+func TestDeltaSinceHistogramShapeMismatch(t *testing.T) {
+	cur := Snapshot{Hists: []HistState{{
+		Name: "lat", Buckets: []int64{3, 4, 5}, Count: 12, Sum: 600,
+	}}}
+	prev := Snapshot{Hists: []HistState{{
+		Name: "lat", Buckets: []int64{1, 2}, Count: 3, Sum: 50,
+	}}}
+	d := cur.DeltaSince(prev)
+	if len(d.Hists) != 1 || d.Hists[0].Count != 12 || d.Hists[0].Sum != 600 {
+		t.Fatalf("mismatched-shape delta = %+v, want current state whole", d.Hists)
+	}
+}
+
+// TestDeltaSinceHistogramCountRegression: a histogram whose count went
+// backwards (reset mid-window) also passes through whole instead of
+// yielding negative flows.
+func TestDeltaSinceHistogramCountRegression(t *testing.T) {
+	cur := Snapshot{Hists: []HistState{{
+		Name: "lat", Buckets: []int64{2, 0}, Count: 2, Sum: 20,
+	}}}
+	prev := Snapshot{Hists: []HistState{{
+		Name: "lat", Buckets: []int64{5, 5}, Count: 10, Sum: 500,
+	}}}
+	d := cur.DeltaSince(prev)
+	if len(d.Hists) != 1 || d.Hists[0].Count != 2 || d.Hists[0].Sum != 20 {
+		t.Fatalf("post-regression delta = %+v, want current state whole", d.Hists)
+	}
+}
+
+// TestDeltaSinceLabelledCounterReset: the reset clamp is keyed on the
+// full metric key — a labelled counter resetting must clamp while its
+// same-named sibling with different labels differences normally.
+func TestDeltaSinceLabelledCounterReset(t *testing.T) {
+	prev := Snapshot{Counters: []CounterState{
+		{Name: "ops", Labels: []Label{L("shard", "a")}, Value: 100},
+		{Name: "ops", Labels: []Label{L("shard", "b")}, Value: 40},
+	}}
+	cur := Snapshot{Counters: []CounterState{
+		{Name: "ops", Labels: []Label{L("shard", "a")}, Value: 7},  // reset
+		{Name: "ops", Labels: []Label{L("shard", "b")}, Value: 55}, // grew
+	}}
+	d := cur.DeltaSince(prev)
+	want := map[string]float64{"a": 7, "b": 15}
+	for _, c := range d.Counters {
+		if got, w := c.Value, want[c.Labels[0].Value]; got != w {
+			t.Errorf("shard %s delta = %g, want %g", c.Labels[0].Value, got, w)
+		}
+	}
+}

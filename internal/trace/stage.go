@@ -1,0 +1,210 @@
+package trace
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Stage labels one slice of a request's latency budget. Stages partition
+// the intended-clock latency of a client-visible request: where the
+// request *waited to start* (queue), where it waited for capacity
+// (admission), and which downstream tier it spent the rest in. The flight
+// recorder (internal/flight) aggregates per-request stage durations into
+// the always-on breakdown that tail exemplars and the `tailwhy` figure
+// report.
+type Stage uint8
+
+const (
+	// StageQueue is time between the request's intended arrival (open-loop
+	// schedule slot) and the moment its handler started: lane-queue wait
+	// plus dispatcher slip. Computed at completion from the intended
+	// timestamp; zero for closed-loop requests.
+	StageQueue Stage = iota
+	// StageAdmission is time blocked in admission.Gate.Enter waiting for
+	// an inflight slot (or for the deadline that rejected the request).
+	StageAdmission
+	// StageCache is client-observed time in remote-cache calls (the whole
+	// round trip: marshal, hop, server occupancy, injected stalls).
+	StageCache
+	// StageStorage is client-observed time in storage round trips
+	// (queries, writes, version checks), inclusive of raft replication.
+	StageStorage
+	// StageRaft is the replication slice *within* StageStorage (ship +
+	// commit wait on the storage node). It is informational and excluded
+	// from conservation sums: its time is already inside StageStorage.
+	StageRaft
+	// StageApp is the handler remainder: wall time inside the front-door
+	// dispatch not attributed to admission, cache or storage. Computed at
+	// completion.
+	StageApp
+
+	// NumStages sizes per-request stage arrays.
+	NumStages
+)
+
+var stageNames = [NumStages]string{"queue", "admission", "cache", "storage", "raft", "app"}
+
+// String returns the stage's wire/JSON name.
+func (s Stage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return "unknown"
+}
+
+// Outcome flag bits carried on a Breakdown. A request may carry several
+// (a degraded read that still blew its deadline); the flight recorder
+// classifies by severity: error > shed > deadline > degraded > ok.
+const (
+	// FlagShed marks a request rejected by the admission gate (queue
+	// full) and answered by the cheap degraded path.
+	FlagShed uint32 = 1 << iota
+	// FlagDeadline marks a request whose SLO deadline expired before or
+	// during service.
+	FlagDeadline
+	// FlagDegraded marks a request answered in cache-degraded mode
+	// (cache tier demoted or bypassed; answer may be stale or partial).
+	FlagDegraded
+	// FlagError marks a request whose handler returned an error.
+	FlagError
+)
+
+// Breakdown is the always-on per-request stage accumulator. One Breakdown
+// rides the request's SpanContext from front door to completion; every
+// instrumented layer adds its client-observed stage time with StageAdd.
+// All methods are atomic (stages on different goroutines of one request
+// may add concurrently) and nil-safe via the SpanContext wrappers, so the
+// untraced fast path pays only a nil test.
+//
+// Breakdowns are pooled by the flight recorder: Reset returns one to its
+// zero state for reuse, which keeps the per-request fast path
+// allocation-free.
+type Breakdown struct {
+	stages [NumStages]atomic.Int64
+	flags  atomic.Uint32
+	// cost is the request's busy time on the meter's clock (thread-CPU
+	// when the driver enables it) — the quantity the paper prices.
+	cost atomic.Int64
+}
+
+// Add accumulates d into stage s. Negative or zero durations are ignored.
+func (b *Breakdown) Add(s Stage, d time.Duration) {
+	if b == nil || d <= 0 || s >= NumStages {
+		return
+	}
+	b.stages[s].Add(int64(d))
+}
+
+// Set overwrites stage s (used for the completion-computed queue and app
+// remainders). Negative durations clamp to zero.
+func (b *Breakdown) Set(s Stage, d time.Duration) {
+	if b == nil || s >= NumStages {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	b.stages[s].Store(int64(d))
+}
+
+// Stage returns the accumulated duration of stage s.
+func (b *Breakdown) Stage(s Stage) time.Duration {
+	if b == nil || s >= NumStages {
+		return 0
+	}
+	return time.Duration(b.stages[s].Load())
+}
+
+// Stages returns a snapshot of all stage durations in nanoseconds,
+// indexed by Stage.
+func (b *Breakdown) Stages() [NumStages]int64 {
+	var out [NumStages]int64
+	if b == nil {
+		return out
+	}
+	for i := range out {
+		out[i] = b.stages[i].Load()
+	}
+	return out
+}
+
+// Mark sets outcome flag bits.
+func (b *Breakdown) Mark(flags uint32) {
+	if b == nil || flags == 0 {
+		return
+	}
+	for {
+		old := b.flags.Load()
+		if old&flags == flags || b.flags.CompareAndSwap(old, old|flags) {
+			return
+		}
+	}
+}
+
+// Flags returns the outcome flag bits set so far.
+func (b *Breakdown) Flags() uint32 {
+	if b == nil {
+		return 0
+	}
+	return b.flags.Load()
+}
+
+// AddCost accumulates request busy time on the meter's clock.
+func (b *Breakdown) AddCost(d time.Duration) {
+	if b == nil || d <= 0 {
+		return
+	}
+	b.cost.Add(int64(d))
+}
+
+// Cost returns the accumulated busy time.
+func (b *Breakdown) Cost() time.Duration {
+	if b == nil {
+		return 0
+	}
+	return time.Duration(b.cost.Load())
+}
+
+// Reset zeroes the breakdown for pooled reuse.
+func (b *Breakdown) Reset() {
+	if b == nil {
+		return
+	}
+	for i := range b.stages {
+		b.stages[i].Store(0)
+	}
+	b.flags.Store(0)
+	b.cost.Store(0)
+}
+
+// WithBreakdown returns sc carrying b. The breakdown is in-process state:
+// like the activeTrace pointer it does not cross the wire, so a remote
+// server's flight recorder attaches its own.
+func (sc SpanContext) WithBreakdown(b *Breakdown) SpanContext {
+	sc.b = b
+	return sc
+}
+
+// Breakdown returns the attached per-request breakdown, or nil.
+func (sc SpanContext) Breakdown() *Breakdown { return sc.b }
+
+// StageAdd accumulates d into stage s of the attached breakdown. Nil-safe
+// on any context: without a breakdown it is a no-op costing one nil test.
+func (sc SpanContext) StageAdd(s Stage, d time.Duration) { sc.b.Add(s, d) }
+
+// MarkOutcome sets outcome flag bits on the attached breakdown. Nil-safe.
+func (sc SpanContext) MarkOutcome(flags uint32) { sc.b.Mark(flags) }
+
+// AddCost accumulates busy time on the attached breakdown. Nil-safe.
+func (sc SpanContext) AddCost(d time.Duration) { sc.b.AddCost(d) }
+
+// WithIntendedUnixNano returns sc carrying the request's intended arrival
+// instant (open-loop schedule slot) in unix nanoseconds; 0 clears. The
+// flight recorder measures queue wait and intended-clock latency from it.
+func (sc SpanContext) WithIntendedUnixNano(ns int64) SpanContext {
+	sc.intended = ns
+	return sc
+}
+
+// IntendedUnixNano returns the intended arrival instant (0 if none).
+func (sc SpanContext) IntendedUnixNano() int64 { return sc.intended }

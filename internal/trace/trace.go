@@ -105,6 +105,13 @@ type SpanContext struct {
 	// to sampling: an unsampled (or even untraced) request still
 	// carries its deadline.
 	deadline int64
+	// intended is the request's intended arrival instant in unix
+	// nanoseconds (0: none); see WithIntendedUnixNano. In-process only.
+	intended int64
+	// b is the always-on per-request stage accumulator attached by the
+	// flight recorder (see stage.go). In-process only: like at, it does
+	// not cross a wire hop.
+	b *Breakdown
 }
 
 // Traced reports whether a Tracer is attached (path counters are live).
@@ -160,6 +167,23 @@ func (sc SpanContext) DeadlineUnixNano() int64 { return sc.deadline }
 // A context without a deadline never expires.
 func (sc SpanContext) Expired(now time.Time) bool {
 	return sc.deadline != 0 && now.UnixNano() > sc.deadline
+}
+
+// SnapshotSpans returns a copy of the spans recorded so far for this
+// request's in-process trace fragment, in start order. Nil when the
+// request is unsampled or the context crossed a wire (the fragment lives
+// in another process). Spans still open have zero Duration. The flight
+// recorder calls this at completion time to retain the span tree of a
+// tail exemplar before the trace finalizes into the ring.
+func (sc SpanContext) SnapshotSpans() []Span {
+	at := sc.at
+	if at == nil {
+		return nil
+	}
+	at.mu.Lock()
+	out := append([]Span(nil), at.spans...)
+	at.mu.Unlock()
+	return out
 }
 
 // Active is a span in progress. The zero value (returned whenever the
@@ -396,7 +420,8 @@ func (t *Tracer) start(sc SpanContext, component, op string) (Active, SpanContex
 	at.open++
 	at.mu.Unlock()
 	a := Active{t: t, at: at, idx: idx}
-	return a, SpanContext{t: t, at: at, trace: at.id, span: sid, deadline: sc.deadline}
+	return a, SpanContext{t: t, at: at, trace: at.id, span: sid,
+		deadline: sc.deadline, intended: sc.intended, b: sc.b}
 }
 
 // context rebuilds the handle's own span context (used for the root).
