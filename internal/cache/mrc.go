@@ -72,6 +72,9 @@ func (a *ReuseAnalyzer) Access(key string, size int64) {
 	a.lastSize[key] = size
 }
 
+// Distinct returns the number of distinct keys observed so far.
+func (a *ReuseAnalyzer) Distinct() int { return len(a.last) }
+
 // Curve freezes the analyzer into a queryable miss-ratio curve. The
 // analyzer may continue to be used afterwards; Curve can be called again.
 func (a *ReuseAnalyzer) Curve() *MRC {

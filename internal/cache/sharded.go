@@ -12,7 +12,9 @@ type Sharded[V any] struct {
 }
 
 // NewSharded returns a sharded cache with the given total byte capacity
-// split across nShards shards. nShards < 1 is treated as 1.
+// split across nShards shards. nShards < 1 is treated as 1. The split
+// conserves every byte: Σ shard capacities == capacity (see
+// shardCapacities for the small-capacity rule).
 func NewSharded[V any](capacity int64, nShards int, sizeOf SizeOf[V]) *Sharded[V] {
 	if nShards < 1 {
 		nShards = 1
@@ -20,11 +22,50 @@ func NewSharded[V any](capacity int64, nShards int, sizeOf SizeOf[V]) *Sharded[V
 	s := &Sharded[V]{
 		shards: make([]locked[V], nShards),
 	}
-	per := capacity / int64(nShards)
+	caps := shardCapacities(capacity, nShards)
 	for i := range s.shards {
-		s.shards[i].lru = NewLRU[V](per, sizeOf)
+		s.shards[i].lru = NewLRU[V](caps[i], sizeOf)
 	}
 	return s
+}
+
+// shardCapacities splits a total byte budget across n shards so the
+// per-shard budgets always sum exactly to the total: every shard gets
+// the floor share and the remainder is spread one byte at a time over
+// the leading shards. When capacity < n — the small-capacity case —
+// the leading `capacity` shards get one byte each and the rest zero:
+// keys hashing to a zero-budget shard are simply never admitted, but
+// no configured byte silently disappears. Negative capacities are
+// normalized to zero (an LRU with no budget caches nothing).
+func shardCapacities(capacity int64, n int) []int64 {
+	if capacity < 0 {
+		capacity = 0
+	}
+	per := capacity / int64(n)
+	rem := capacity % int64(n)
+	caps := make([]int64, n)
+	for i := range caps {
+		caps[i] = per
+		if int64(i) < rem {
+			caps[i]++
+		}
+	}
+	return caps
+}
+
+// Resize moves the cache to a new total byte capacity, redistributing
+// per-shard budgets under the same remainder rule as construction.
+// Shrinking evicts down immediately (each shard's LRU evicts to fit its
+// new budget); growing keeps resident entries. Each shard switches
+// budgets atomically under its own lock, so concurrent readers and
+// writers are never exposed to a torn total.
+func (s *Sharded[V]) Resize(capacity int64) {
+	caps := shardCapacities(capacity, len(s.shards))
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+		s.shards[i].lru.SetCapacity(caps[i])
+		s.shards[i].mu.Unlock()
+	}
 }
 
 // SetEvictFunc installs fn on every shard. fn may be called concurrently

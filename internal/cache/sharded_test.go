@@ -136,3 +136,102 @@ func TestShardedEvictCallbackConcurrentSafe(t *testing.T) {
 		t.Fatal("expected evictions under byte pressure")
 	}
 }
+
+// Capacity conservation: the shard split must never discard the
+// remainder bytes (the pre-fix code floored capacity/nShards, silently
+// losing capacity % nShards — 15 bytes of every 16-shard cache with an
+// odd budget) and must stay exact even when capacity < nShards.
+func TestShardedCapacityConservation(t *testing.T) {
+	cases := []struct {
+		capacity int64
+		shards   int
+	}{
+		{800, 8},   // divides evenly
+		{1023, 16}, // remainder 15
+		{100, 16},  // remainder 4
+		{5, 16},    // small-capacity case: fewer bytes than shards
+		{1, 16},    // single byte
+		{0, 4},     // empty cache
+		{17, 16},   // remainder 1
+		{-5, 4},    // negative normalizes to zero
+	}
+	for _, c := range cases {
+		s := NewSharded[[]byte](c.capacity, c.shards, byteSize)
+		want := c.capacity
+		if want < 0 {
+			want = 0
+		}
+		if got := s.Capacity(); got != want {
+			t.Errorf("NewSharded(%d, %d): Σ shard capacities = %d, want %d",
+				c.capacity, c.shards, got, want)
+		}
+		var sum int64
+		for i := range s.shards {
+			if cap := s.shards[i].lru.Capacity(); cap < 0 {
+				t.Errorf("NewSharded(%d, %d): shard %d has negative capacity %d",
+					c.capacity, c.shards, i, cap)
+			} else {
+				sum += cap
+			}
+		}
+		if sum != want {
+			t.Errorf("NewSharded(%d, %d): per-shard sum = %d, want %d",
+				c.capacity, c.shards, sum, want)
+		}
+	}
+}
+
+// The small-capacity case is defined, not degenerate: with fewer bytes
+// than shards the leading shards carry the budget, so entries small
+// enough to fit are still cacheable somewhere.
+func TestShardedSmallCapacityAdmits(t *testing.T) {
+	s := NewSharded[[]byte](5, 16, byteSize)
+	admitted := 0
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("%d", i)
+		if len(k) > 1 {
+			k = k[:1]
+		}
+		s.Put(k, nil)
+		if _, ok := s.Get(k); ok {
+			admitted++
+		}
+	}
+	if admitted == 0 {
+		t.Fatal("a 5-byte cache must still admit 1-byte entries on its non-zero shards")
+	}
+}
+
+// Resize redistributes with the same conservation guarantee, evicts
+// down on shrink, and keeps residents on grow.
+func TestShardedResize(t *testing.T) {
+	s := NewSharded[[]byte](1<<20, 8, byteSize)
+	for i := 0; i < 100; i++ {
+		s.Put(fmt.Sprintf("k%d", i), make([]byte, 100))
+	}
+	used := s.UsedBytes()
+	if used == 0 {
+		t.Fatal("setup: nothing cached")
+	}
+
+	// Grow: capacity conserved, residents kept.
+	s.Resize(2<<20 + 13)
+	if got := s.Capacity(); got != 2<<20+13 {
+		t.Fatalf("grow: Capacity = %d, want %d", got, 2<<20+13)
+	}
+	if got := s.UsedBytes(); got != used {
+		t.Fatalf("grow evicted residents: used %d -> %d", used, got)
+	}
+
+	// Shrink: every shard evicts down, so the total fits the new budget.
+	s.Resize(used / 2)
+	if got := s.Capacity(); got != used/2 {
+		t.Fatalf("shrink: Capacity = %d, want %d", got, used/2)
+	}
+	if got := s.UsedBytes(); got > used/2 {
+		t.Fatalf("shrink: used %d exceeds new capacity %d", got, used/2)
+	}
+	if got := s.UsedBytes(); got == 0 {
+		t.Fatal("shrink to a non-zero budget should keep some residents")
+	}
+}

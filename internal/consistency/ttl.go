@@ -2,6 +2,7 @@ package consistency
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cachecost/internal/linkedcache"
@@ -20,9 +21,17 @@ import (
 //	VersionedCache    linearizable           storage round trip per read
 type TTLCache[V any] struct {
 	cache *linkedcache.Cache[ttlEntry[V]]
-	ttl   time.Duration
+	ttl   atomic.Int64 // nanoseconds; SetTTL retunes it live
 	now   func() time.Time
 
+	// mu guards the stats, the flight table, and — crucially — every
+	// mutation of the underlying cache (Put, Delete). Serializing the
+	// mutations is what makes the freshness invariants below checkable:
+	// a Write that lands during a load flight marks the flight
+	// superseded (so the leader's older loaded value never clobbers the
+	// fresher written one), and the expired-path delete re-checks the
+	// entry it is about to drop (so it never deletes a concurrently
+	// refreshed one). Lookups stay outside the lock.
 	mu      sync.Mutex
 	stats   TTLStats
 	flights map[string]*ttlFlight[V]
@@ -36,36 +45,76 @@ type ttlEntry[V any] struct {
 // ttlFlight is one in-progress load. Concurrent readers of the same
 // expired or missing key attach to the flight instead of issuing their
 // own load; the leader publishes val/err before closing done.
+// superseded (guarded by TTLCache.mu) is the per-key generation bump:
+// a Write or Invalidate during the flight sets it, and the leader then
+// discards its Put — the loaded value predates the write.
 type ttlFlight[V any] struct {
-	done chan struct{}
-	val  V
-	err  error
+	done       chan struct{}
+	val        V
+	err        error
+	superseded bool
 }
 
-// TTLStats counts TTL-cache events.
+// TTLStats counts TTL-cache events. The counters conserve:
+//
+//	Reads == Hits + Coalesced + Loads + LoadErrors
+//
+// every read either hits (fresh entry), piggybacks on a flight, or
+// leads a load that succeeds or errors. Expired and Misses are
+// sub-classifications of the non-hit paths (entry aged out vs absent)
+// and do not enter the identity.
 type TTLStats struct {
-	Reads     int64
-	Hits      int64 // served within TTL, no storage contact
-	Expired   int64 // entry present but aged out
-	Misses    int64
-	Loads     int64
-	Coalesced int64 // reads that piggybacked on an in-flight load
+	Reads      int64
+	Hits       int64 // served within TTL, no storage contact
+	Expired    int64 // entry present but aged out
+	Misses     int64
+	Loads      int64 // leader loads that succeeded
+	LoadErrors int64 // leader loads that failed (nothing cached)
+	Coalesced  int64 // reads that piggybacked on an in-flight load
 }
 
 // NewTTLCache builds a TTL cache with the given freshness bound.
 func NewTTLCache[V any](cfg linkedcache.Config, ttl time.Duration, sizeOf func(key string, v V) int64) *TTLCache[V] {
-	return &TTLCache[V]{
+	c := &TTLCache[V]{
 		cache: linkedcache.New(cfg, func(k string, e ttlEntry[V]) int64 {
 			return sizeOf(k, e.value) + 24
 		}),
-		ttl:     ttl,
 		now:     time.Now,
 		flights: make(map[string]*ttlFlight[V]),
 	}
+	c.ttl.Store(int64(ttl))
+	return c
 }
 
 // SetClock overrides the time source (tests).
 func (c *TTLCache[V]) SetClock(now func() time.Time) { c.now = now }
+
+// TTL returns the current freshness bound.
+func (c *TTLCache[V]) TTL() time.Duration { return time.Duration(c.ttl.Load()) }
+
+// SetTTL retunes the freshness bound live; the elastic controller
+// trades staleness against refresh-load cost with it. Entries already
+// cached are re-judged against the new bound on their next read.
+// Non-positive bounds are ignored.
+func (c *TTLCache[V]) SetTTL(d time.Duration) {
+	if d > 0 {
+		c.ttl.Store(int64(d))
+	}
+}
+
+// Resize moves the cache's byte budget (evict-down on shrink),
+// re-pricing its metered footprint.
+func (c *TTLCache[V]) Resize(bytes int64) { c.cache.Resize(bytes) }
+
+// Capacity returns the current byte budget.
+func (c *TTLCache[V]) Capacity() int64 { return c.cache.Capacity() }
+
+// UsedBytes returns the budgeted bytes of live entries.
+func (c *TTLCache[V]) UsedBytes() int64 { return c.cache.UsedBytes() }
+
+// SetBilledReplicas records how many application servers replicate this
+// cache; the metered memory footprint is budget × replicas.
+func (c *TTLCache[V]) SetBilledReplicas(n int) { c.cache.SetBilledReplicas(n) }
 
 // Read serves key with staleness bounded by the TTL: a fresh-enough
 // entry returns immediately; otherwise the value is reloaded. Concurrent
@@ -75,20 +124,21 @@ func (c *TTLCache[V]) SetClock(now func() time.Time) { c.now = now }
 // thundering herd on a hot key's TTL edge).
 func (c *TTLCache[V]) Read(key string, load LoadFunc[V]) (V, bool, error) {
 	var zero V
+	ttl := c.TTL()
 	c.count(func(s *TTLStats) { s.Reads++ })
-	if e, ok := c.cache.Get(key); ok {
-		if c.now().Sub(e.fetched) < c.ttl {
-			c.count(func(s *TTLStats) { s.Hits++ })
-			return e.value, true, nil
-		}
-		c.count(func(s *TTLStats) { s.Expired++ })
-		c.cache.Delete(key)
-	} else {
-		c.count(func(s *TTLStats) { s.Misses++ })
+	e, ok := c.cache.Get(key)
+	if ok && c.now().Sub(e.fetched) < ttl {
+		c.count(func(s *TTLStats) { s.Hits++ })
+		return e.value, true, nil
 	}
 
 	c.mu.Lock()
-	if fl, ok := c.flights[key]; ok {
+	if ok {
+		c.stats.Expired++
+	} else {
+		c.stats.Misses++
+	}
+	if fl, flying := c.flights[key]; flying {
 		c.stats.Coalesced++
 		c.mu.Unlock()
 		<-fl.done
@@ -97,21 +147,38 @@ func (c *TTLCache[V]) Read(key string, load LoadFunc[V]) (V, bool, error) {
 		}
 		return fl.val, false, nil
 	}
+	if ok {
+		// Drop only the entry we observed expire. Between the lock-free
+		// Get above and here, a concurrent Write may have Put a fresh
+		// entry; a blind Delete would throw that write away. Writes
+		// mutate under mu, so re-reading under mu is authoritative.
+		if cur, still := c.cache.Get(key); still {
+			if c.now().Sub(cur.fetched) < ttl {
+				// Refreshed while we decided: serve it, no load needed.
+				c.stats.Hits++
+				c.mu.Unlock()
+				return cur.value, true, nil
+			}
+			c.cache.Delete(key)
+		}
+	}
 	fl := &ttlFlight[V]{done: make(chan struct{})}
 	c.flights[key] = fl
 	c.mu.Unlock()
 
 	v, _, err := load(key)
-	if err == nil {
-		c.cache.Put(key, ttlEntry[V]{value: v, fetched: c.now()})
-	}
-	fl.val, fl.err = v, err
 	c.mu.Lock()
 	delete(c.flights, key)
 	if err == nil {
 		c.stats.Loads++
+		if !fl.superseded {
+			c.cache.Put(key, ttlEntry[V]{value: v, fetched: c.now()})
+		}
+	} else {
+		c.stats.LoadErrors++
 	}
 	c.mu.Unlock()
+	fl.val, fl.err = v, err
 	close(fl.done)
 	if err != nil {
 		return zero, false, err
@@ -120,12 +187,28 @@ func (c *TTLCache[V]) Read(key string, load LoadFunc[V]) (V, bool, error) {
 }
 
 // Write records a locally performed write, resetting the entry's age.
+// A load flight in progress for the key is marked superseded: the
+// flight's loaded value predates this write, so the leader discards its
+// Put and the written value (and its age) stand.
 func (c *TTLCache[V]) Write(key string, v V) {
+	c.mu.Lock()
+	if fl, flying := c.flights[key]; flying {
+		fl.superseded = true
+	}
 	c.cache.Put(key, ttlEntry[V]{value: v, fetched: c.now()})
+	c.mu.Unlock()
 }
 
-// Invalidate drops key.
-func (c *TTLCache[V]) Invalidate(key string) { c.cache.Delete(key) }
+// Invalidate drops key. Like Write it supersedes any in-progress load:
+// the flight's value was read before the invalidation's cause.
+func (c *TTLCache[V]) Invalidate(key string) {
+	c.mu.Lock()
+	if fl, flying := c.flights[key]; flying {
+		fl.superseded = true
+	}
+	c.cache.Delete(key)
+	c.mu.Unlock()
+}
 
 // Stats returns a snapshot of counters.
 func (c *TTLCache[V]) Stats() TTLStats {

@@ -229,3 +229,242 @@ func TestTTLCheaperThanVersioned(t *testing.T) {
 		t.Fatalf("versioned contacts = %d, want >= 100", vcContacts)
 	}
 }
+
+// Regression: a Write landing while a load flight is in progress must
+// not be clobbered by the flight leader's Put. Pre-fix, the leader
+// unconditionally Put its (older) loaded value after the loader
+// returned, overwriting the fresher written entry and resetting its age
+// backwards.
+func TestTTLWriteDuringFlightNotClobbered(t *testing.T) {
+	c, _ := newTTL(time.Minute)
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	blockingLoad := func(key string) (string, uint64, error) {
+		close(entered)
+		<-gate
+		return "stale-loaded", 0, nil
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Leader: misses, starts the load, blocks in the loader.
+		c.Read("k", blockingLoad)
+	}()
+	<-entered
+
+	// The write lands mid-flight: it must win.
+	c.Write("k", "fresh-written")
+	close(gate)
+	<-done
+
+	v, hit, err := c.Read("k", func(string) (string, uint64, error) {
+		t.Fatal("fresh written entry must be served without a load")
+		return "", 0, nil
+	})
+	if err != nil || !hit || v != "fresh-written" {
+		t.Fatalf("read after mid-flight write = %q hit=%v err=%v, want fresh-written hit",
+			v, hit, err)
+	}
+}
+
+// Invalidate during a flight must equally supersede the leader's Put —
+// the loaded value was read before whatever caused the invalidation.
+func TestTTLInvalidateDuringFlightSupersedes(t *testing.T) {
+	c, _ := newTTL(time.Minute)
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.Read("k", func(string) (string, uint64, error) {
+			close(entered)
+			<-gate
+			return "stale-loaded", 0, nil
+		})
+	}()
+	<-entered
+	c.Invalidate("k")
+	close(gate)
+	<-done
+
+	loads := 0
+	v, hit, _ := c.Read("k", func(string) (string, uint64, error) {
+		loads++
+		return "reloaded", 0, nil
+	})
+	if hit || v != "reloaded" || loads != 1 {
+		t.Fatalf("read after mid-flight invalidate = %q hit=%v loads=%d, want a fresh reload",
+			v, hit, loads)
+	}
+}
+
+// Regression: the expired-path delete must not drop a concurrently
+// written fresh entry. The clock hook simulates the racing write in the
+// exact window the pre-fix code left open — between Read observing the
+// expired entry and its unconditional cache.Delete.
+func TestTTLExpiredDeleteDoesNotDropConcurrentWrite(t *testing.T) {
+	const ttl = 10 * time.Second
+	c := NewTTLCache[string](linkedcache.Config{CapacityBytes: 1 << 20}, ttl, strSize)
+	now := time.Unix(1000, 0)
+	c.SetClock(func() time.Time { return now })
+	c.Write("k", "old")
+	now = now.Add(ttl * 2) // "old" is expired
+
+	// From the first freshness check on, the next clock reading performs
+	// the racing write — exactly what a concurrent writer in the
+	// Get→Delete window does. The guard keeps the hook from recursing
+	// (Write itself reads the clock).
+	fired := false
+	c.SetClock(func() time.Time {
+		if !fired {
+			fired = true
+			c.Write("k", "fresh")
+		}
+		return now
+	})
+
+	loads := 0
+	v, _, err := c.Read("k", func(string) (string, uint64, error) {
+		loads++
+		return "loaded", 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != "fresh" || loads != 0 {
+		t.Fatalf("read raced with write: got %q after %d loads, want %q with no load",
+			v, loads, "fresh")
+	}
+	// And the written entry survived — it must still be served fresh.
+	v, hit, _ := c.Read("k", func(string) (string, uint64, error) {
+		t.Fatal("surviving written entry must be served without a load")
+		return "", 0, nil
+	})
+	if !hit || v != "fresh" {
+		t.Fatalf("follow-up read = %q hit=%v, want fresh hit", v, hit)
+	}
+}
+
+// Regression: errored loads must be counted, so the stats conserve:
+// Reads == Hits + Coalesced + Loads + LoadErrors. Pre-fix, failed loads
+// vanished from the ledger.
+func TestTTLStatsConservationWithLoadErrors(t *testing.T) {
+	st := newFakeStore()
+	c, now := newTTL(10 * time.Second)
+	errLoad := func(string) (string, uint64, error) { return "", 0, fmt.Errorf("storage down") }
+
+	st.put("a", "v")
+	c.Read("a", st.load)        // miss -> load
+	c.Read("a", st.load)        // hit
+	c.Read("missing", errLoad)  // miss -> load error
+	c.Read("missing", errLoad)  // still missing -> load error again
+	*now = now.Add(time.Minute) // expire "a"
+	c.Read("a", st.load)        // expired -> load
+	c.Read("b", errLoad)        // miss -> error
+
+	s := c.Stats()
+	if s.LoadErrors != 3 {
+		t.Fatalf("LoadErrors = %d, want 3 (stats: %+v)", s.LoadErrors, s)
+	}
+	if s.Reads != s.Hits+s.Coalesced+s.Loads+s.LoadErrors {
+		t.Fatalf("conservation violated: Reads=%d != Hits=%d + Coalesced=%d + Loads=%d + LoadErrors=%d",
+			s.Reads, s.Hits, s.Coalesced, s.Loads, s.LoadErrors)
+	}
+}
+
+// Race coverage (run under -race): readers with a tiny TTL hammer the
+// same keys as writers and invalidators. Afterwards the stats must
+// conserve, and a final write must be durable against any straggler
+// flight.
+func TestTTLConcurrentReadWriteRace(t *testing.T) {
+	c := NewTTLCache[string](linkedcache.Config{CapacityBytes: 1 << 20}, time.Microsecond, strSize)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(2)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				key := fmt.Sprintf("k%d", i%8)
+				c.Read(key, func(k string) (string, uint64, error) {
+					if i%7 == 0 {
+						return "", 0, fmt.Errorf("flaky")
+					}
+					return "loaded", 0, nil
+				})
+			}
+		}(g)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				key := fmt.Sprintf("k%d", i%8)
+				if i%5 == 0 {
+					c.Invalidate(key)
+				} else {
+					c.Write(key, "written")
+				}
+			}
+		}(g)
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	s := c.Stats()
+	if s.Reads != s.Hits+s.Coalesced+s.Loads+s.LoadErrors {
+		t.Fatalf("conservation violated after race: %+v", s)
+	}
+
+	// With all flights drained, a write is durable: a fresh-TTL read
+	// serves it without reloading.
+	c.SetTTL(time.Minute)
+	c.Write("k0", "final")
+	v, hit, _ := c.Read("k0", func(string) (string, uint64, error) {
+		t.Fatal("final write must be served without a load")
+		return "", 0, nil
+	})
+	if !hit || v != "final" {
+		t.Fatalf("post-race read = %q hit=%v, want final hit", v, hit)
+	}
+}
+
+// SetTTL retunes the bound live: entries judged stale under a short TTL
+// become servable again under a longer one and vice versa.
+func TestTTLSetTTLRetunesLive(t *testing.T) {
+	st := newFakeStore()
+	st.put("k", "v1")
+	c, now := newTTL(10 * time.Second)
+	c.Read("k", st.load)
+	*now = now.Add(30 * time.Second)
+
+	// Under the original bound this read would reload; widen it first.
+	c.SetTTL(time.Minute)
+	loads := st.loads
+	if _, hit, _ := c.Read("k", st.load); !hit || st.loads != loads {
+		t.Fatal("widened TTL must serve the aged entry without a load")
+	}
+
+	// Tighten: the same entry is now stale again.
+	c.SetTTL(time.Second)
+	if _, hit, _ := c.Read("k", st.load); hit || st.loads != loads+1 {
+		t.Fatal("tightened TTL must force a reload")
+	}
+	if c.TTL() != time.Second {
+		t.Fatalf("TTL() = %v", c.TTL())
+	}
+	c.SetTTL(0) // ignored
+	if c.TTL() != time.Second {
+		t.Fatal("non-positive SetTTL must be ignored")
+	}
+}

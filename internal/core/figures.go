@@ -797,6 +797,7 @@ var Figures = []Figure{
 	{"hotshard", "dynamic shard management through a popularity flip", FigHotShard},
 	{"timeseries", "windowed telemetry through warm-up and a cache kill", FigTimeseries},
 	{"tiering", "durable storage: cost vs DRAM:disk split", FigTiering},
+	{"elastic", "elastic vs static cache provisioning", FigElastic},
 }
 
 // FigureByID returns the registered figure or an error listing options.

@@ -222,7 +222,7 @@ func TestFigMarginalShape(t *testing.T) {
 }
 
 func TestFigureRegistry(t *testing.T) {
-	if len(Figures) != 21 {
+	if len(Figures) != 22 {
 		t.Fatalf("registered figures = %d", len(Figures))
 	}
 	seen := map[string]bool{}

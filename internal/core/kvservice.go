@@ -302,6 +302,10 @@ type KVService struct {
 	// (see KVWorker.SetIntended); the single-threaded open-loop driver is
 	// its only writer and reader.
 	intendedNS int64
+
+	// obs, when set (before traffic starts), observes every successful
+	// read — the elastic controller's demand feed.
+	obs func(key string, size int64)
 }
 
 // kvLane is one request path through the service: a front door whose
@@ -825,9 +829,38 @@ func (w *KVWorker) WriteDeadline(key string, value []byte, deadline time.Time) e
 }
 
 // scaleLinkedMemory bills the linked cache once per application server.
+// Tiers that can resize at runtime route through SetBilledReplicas so a
+// later Resize re-prices budget × replicas instead of reverting to the
+// construction-time level; the others price the static configuration
+// directly.
 func (s *KVService) scaleLinkedMemory() {
-	s.m.Component("app.cache").SetMemBytes(s.cfg.AppCacheBytes * int64(s.cfg.AppReplicas))
+	switch {
+	case s.lc != nil:
+		s.lc.SetBilledReplicas(s.cfg.AppReplicas)
+	case s.tc != nil:
+		s.tc.SetBilledReplicas(s.cfg.AppReplicas)
+	default:
+		s.m.Component("app.cache").SetMemBytes(s.cfg.AppCacheBytes * int64(s.cfg.AppReplicas))
+	}
 }
+
+// LinkedCache returns the Linked tier's cache, or nil on other
+// architectures. The elastic controller resizes through it.
+func (s *KVService) LinkedCache() *linkedcache.Cache[[]byte] { return s.lc }
+
+// TTLTier returns the LinkedTTL tier's cache, or nil on other
+// architectures.
+func (s *KVService) TTLTier() *consistency.TTLCache[[]byte] { return s.tc }
+
+// RemoteCacheServer returns the single-node Remote tier's cache server,
+// or nil (other architectures, or CacheNodes > 1).
+func (s *KVService) RemoteCacheServer() *remotecache.Server { return s.rcServer }
+
+// SetAccessObserver installs a hook observing every successful read's
+// key and approximate cached-entry footprint — the elastic controller's
+// demand feed. Install it before traffic starts; it is read without
+// synchronization on the hot path.
+func (s *KVService) SetAccessObserver(fn func(key string, size int64)) { s.obs = fn }
 
 // Front returns the client-facing RPC server.
 func (s *KVService) Front() *rpc.Server { return s.front }
@@ -999,9 +1032,21 @@ func (s *KVService) linkedFault(l *kvLane, sc trace.SpanContext) bool {
 	return false
 }
 
-// read dispatches a read through the architecture's cache hierarchy on
-// lane l.
+// read runs the architecture dispatch and feeds the access observer,
+// when one is installed (the elastic controller's windowed MRC).
 func (s *KVService) read(l *kvLane, sc trace.SpanContext, key string) ([]byte, error) {
+	v, err := s.readArch(l, sc, key)
+	if obs := s.obs; obs != nil && err == nil {
+		// Approximate the entry's budgeted footprint the way the cache
+		// tiers size entries: key + value + per-entry overhead.
+		obs(key, int64(len(key)+len(v)+64))
+	}
+	return v, err
+}
+
+// readArch dispatches a read through the architecture's cache hierarchy
+// on lane l.
+func (s *KVService) readArch(l *kvLane, sc trace.SpanContext, key string) ([]byte, error) {
 	switch s.cfg.Arch {
 	case Base:
 		return s.loadFromDB(l, sc, key)

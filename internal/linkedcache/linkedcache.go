@@ -11,6 +11,7 @@
 package linkedcache
 
 import (
+	"sync/atomic"
 	"time"
 
 	"cachecost/internal/cache"
@@ -26,6 +27,10 @@ type Cache[V any] struct {
 	store *cache.Sharded[V]
 	comp  *meter.Component
 	name  string
+	// replicas is how many application servers replicate this cache —
+	// the metered memory footprint is budget × replicas, kept current
+	// across Resize so the bill always prices the live provision.
+	replicas atomic.Int64
 }
 
 // Config parameterizes a linked cache.
@@ -56,12 +61,41 @@ func New[V any](cfg Config, sizeOf cache.SizeOf[V]) *Cache[V] {
 		name = "app.cache"
 	}
 	c := &Cache[V]{store: cache.NewSharded[V](cfg.CapacityBytes, cfg.Shards, sizeOf), name: name}
+	c.replicas.Store(1)
 	if cfg.Meter != nil {
 		c.comp = cfg.Meter.Component(name)
 		c.comp.SetMemBytes(cfg.CapacityBytes)
 	}
 	c.RegisterTelemetry(cfg.Telemetry)
 	return c
+}
+
+// Resize moves the cache's byte budget: shrinking evicts down
+// immediately, growing keeps residents. The metered memory footprint
+// (budget × billed replicas) follows every change, so /statusz and the
+// report price the current provision, not the construction-time one.
+func (c *Cache[V]) Resize(bytes int64) {
+	if bytes < 0 {
+		bytes = 0
+	}
+	c.store.Resize(bytes)
+	if c.comp != nil {
+		c.comp.SetMemBytes(bytes * c.replicas.Load())
+	}
+}
+
+// SetBilledReplicas records how many application servers replicate this
+// cache (the linked tier is deployed once per app server, §2.4); the
+// metered footprint is re-priced as budget × n immediately. n < 1 is
+// treated as 1.
+func (c *Cache[V]) SetBilledReplicas(n int) {
+	if n < 1 {
+		n = 1
+	}
+	c.replicas.Store(int64(n))
+	if c.comp != nil {
+		c.comp.SetMemBytes(c.store.Capacity() * int64(n))
+	}
 }
 
 // RegisterTelemetry installs a pull collector publishing the cache's
@@ -78,6 +112,7 @@ func (c *Cache[V]) RegisterTelemetry(reg *telemetry.Registry) {
 		emit(telemetry.Sample{Name: "cache.misses", Labels: lbl, Kind: telemetry.KindCounter, Value: float64(st.Misses)})
 		emit(telemetry.Sample{Name: "cache.evictions", Labels: lbl, Kind: telemetry.KindCounter, Value: float64(st.Evictions)})
 		emit(telemetry.Sample{Name: "cache.used_bytes", Labels: lbl, Kind: telemetry.KindGauge, Value: float64(c.store.UsedBytes())})
+		emit(telemetry.Sample{Name: "cache.capacity_bytes", Labels: lbl, Kind: telemetry.KindGauge, Value: float64(c.store.Capacity())})
 	})
 }
 

@@ -167,3 +167,50 @@ func TestPartitionedReshardEvicts(t *testing.T) {
 		}
 	}
 }
+
+func TestResizeRepricesMeter(t *testing.T) {
+	m := meter.NewMeter()
+	c := New(Config{CapacityBytes: 64 << 10, Meter: m, Name: "app.cache"}, objSize)
+	comp := m.Component("app.cache")
+
+	// Fill, then shrink: residents evict down and the bill follows.
+	for i := 0; i < 100; i++ {
+		c.Put(fmt.Sprintf("k%d", i), &richObj{Blob: make([]byte, 400)})
+	}
+	c.Resize(8 << 10)
+	if c.Capacity() != 8<<10 || c.UsedBytes() > 8<<10 {
+		t.Fatalf("shrink: capacity=%d used=%d", c.Capacity(), c.UsedBytes())
+	}
+	if got := comp.MemBytes(); got != 8<<10 {
+		t.Fatalf("metered mem after shrink = %d, want %d", got, 8<<10)
+	}
+
+	c.Resize(1 << 20)
+	if got := comp.MemBytes(); got != 1<<20 {
+		t.Fatalf("metered mem after grow = %d, want %d", got, 1<<20)
+	}
+	c.Resize(-5)
+	if c.Capacity() != 0 || comp.MemBytes() != 0 {
+		t.Fatalf("negative resize must clamp to zero: cap=%d mem=%d", c.Capacity(), comp.MemBytes())
+	}
+}
+
+func TestBilledReplicasMultiplyFootprint(t *testing.T) {
+	m := meter.NewMeter()
+	c := New(Config{CapacityBytes: 10 << 20, Meter: m, Name: "app.cache"}, objSize)
+	comp := m.Component("app.cache")
+
+	c.SetBilledReplicas(4)
+	if got := comp.MemBytes(); got != 4*(10<<20) {
+		t.Fatalf("4 replicas: metered mem = %d, want %d", got, 4*(10<<20))
+	}
+	// Resize under replication re-prices budget × replicas.
+	c.Resize(2 << 20)
+	if got := comp.MemBytes(); got != 4*(2<<20) {
+		t.Fatalf("resize under 4 replicas: metered mem = %d, want %d", got, 4*(2<<20))
+	}
+	c.SetBilledReplicas(0) // treated as 1
+	if got := comp.MemBytes(); got != 2<<20 {
+		t.Fatalf("replicas clamp: metered mem = %d, want %d", got, 2<<20)
+	}
+}

@@ -69,7 +69,11 @@ func (m *Meter) Component(name string) *Component {
 	defer m.mu.Unlock()
 	c, ok := m.components[name]
 	if !ok {
-		c = &Component{name: name, total: &m.busy, clk: &m.clk}
+		// The memory integral anchors at the window start, not at
+		// creation: a component built moments into the window whose level
+		// is then set once (the universal construction pattern) prices
+		// exactly that level, bit-for-bit compatible with level pricing.
+		c = &Component{name: name, total: &m.busy, clk: &m.clk, memAnchor: m.start}
 		m.components[name] = c
 	}
 	return c
@@ -89,16 +93,23 @@ func (m *Meter) Requests() int64 { return m.requests.Load() }
 func (m *Meter) Reset() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	now := time.Now()
 	for _, c := range m.components {
 		c.busyNanos.Store(0)
 		c.ops.Store(0)
+		// Restart the memory integral at the new window boundary: the
+		// level carries over, the byte-seconds of the old window do not.
+		c.memMu.Lock()
+		c.memInt = 0
+		c.memAnchor = now
+		c.memMu.Unlock()
 	}
 	for _, c := range m.counters {
 		c.n.Store(0)
 	}
 	m.busy.Store(0)
 	m.requests.Store(0)
-	m.start = time.Now()
+	m.start = now
 }
 
 // Elapsed returns the wall time since the meter was created or last Reset.
@@ -113,14 +124,16 @@ func (m *Meter) Elapsed() time.Duration {
 func (m *Meter) Snapshot() []ComponentSnapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	now := time.Now()
 	out := make([]ComponentSnapshot, 0, len(m.components))
 	for _, c := range m.components {
 		out = append(out, ComponentSnapshot{
-			Name:      c.name,
-			Busy:      time.Duration(c.busyNanos.Load()),
-			MemBytes:  c.memBytes.Load(),
-			DiskBytes: c.diskBytes.Load(),
-			Ops:       c.ops.Load(),
+			Name:        c.name,
+			Busy:        time.Duration(c.busyNanos.Load()),
+			MemBytes:    c.memBytes.Load(),
+			MemAvgBytes: c.avgMemBytes(m.start, now),
+			DiskBytes:   c.diskBytes.Load(),
+			Ops:         c.ops.Load(),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
@@ -253,6 +266,15 @@ type Component struct {
 	ops       atomic.Int64
 	total     *atomic.Int64 // the owning Meter's busy total; nil if detached
 	clk       *busyClock    // the owning Meter's time source; nil reads wall
+
+	// Provisioned memory is priced by its time-average over the metered
+	// window, so a controller that resizes a cache mid-window is billed
+	// for the byte-seconds it actually held, not the level it happened to
+	// end on. The level itself stays in memBytes (atomic, hot getters);
+	// memMu guards the integral, which only the rare change path touches.
+	memMu     sync.Mutex
+	memInt    float64   // byte-seconds accumulated over completed segments
+	memAnchor time.Time // start of the current constant-level segment
 }
 
 // Name returns the component's registered name.
@@ -273,11 +295,59 @@ func (c *Component) AddOps(n int64) { c.ops.Add(n) }
 
 // SetMemBytes records the memory provisioned for the component, in bytes.
 // Provisioned memory is a level, not a rate, so Set replaces rather than
-// accumulates.
-func (c *Component) SetMemBytes(n int64) { c.memBytes.Store(n) }
+// accumulates. Reports price the level's time-average over the window,
+// so mid-window changes (an elastic controller resizing a cache) bill
+// the byte-seconds actually held.
+func (c *Component) SetMemBytes(n int64) { c.setMemLevel(n, false) }
 
 // AddMemBytes adjusts provisioned memory by delta bytes (may be negative).
-func (c *Component) AddMemBytes(delta int64) { c.memBytes.Add(delta) }
+func (c *Component) AddMemBytes(delta int64) { c.setMemLevel(delta, true) }
+
+// setMemLevel integrates the outgoing level into the window's
+// byte-seconds and installs the new one. Establishing a footprint for
+// the first time in a window (prior level zero, nothing integrated yet)
+// is retroactive to the window start: the universal pattern of setting a
+// cache's budget once at build time keeps pricing exactly that budget.
+func (c *Component) setMemLevel(n int64, delta bool) {
+	c.memMu.Lock()
+	prev := c.memBytes.Load()
+	if delta {
+		n += prev
+	}
+	if prev != 0 || c.memInt != 0 {
+		now := time.Now()
+		if d := now.Sub(c.memAnchor); d > 0 {
+			c.memInt += float64(prev) * d.Seconds()
+		}
+		c.memAnchor = now
+	}
+	c.memBytes.Store(n)
+	c.memMu.Unlock()
+}
+
+// avgMemBytes returns the level's time-average over [windowStart, now].
+// A level that never moved inside the window returns itself exactly.
+func (c *Component) avgMemBytes(windowStart, now time.Time) int64 {
+	c.memMu.Lock()
+	defer c.memMu.Unlock()
+	level := c.memBytes.Load()
+	if c.memInt == 0 && !c.memAnchor.After(windowStart) {
+		return level // constant all window: avoid FP round-off entirely
+	}
+	elapsed := now.Sub(windowStart).Seconds()
+	if elapsed <= 0 {
+		return level
+	}
+	total := c.memInt
+	if d := now.Sub(c.memAnchor); d > 0 {
+		total += float64(level) * d.Seconds()
+	}
+	avg := total / elapsed
+	if avg < 0 {
+		return 0
+	}
+	return int64(avg + 0.5)
+}
 
 // SetDiskBytes records the persistent-storage footprint of the component,
 // in bytes. Like provisioned memory it is a level, not a rate: the report
@@ -366,11 +436,15 @@ func (s *Stopwatch) Stop() time.Duration {
 
 // ComponentSnapshot is a frozen view of one component's counters.
 type ComponentSnapshot struct {
-	Name      string
-	Busy      time.Duration
-	MemBytes  int64
-	DiskBytes int64
-	Ops       int64
+	Name     string
+	Busy     time.Duration
+	MemBytes int64 // current provisioned level
+	// MemAvgBytes is the level's time-average over the metered window —
+	// what reports price. Equal to MemBytes unless the level moved
+	// mid-window (elastic resizing).
+	MemAvgBytes int64
+	DiskBytes   int64
+	Ops         int64
 }
 
 // Cores converts busy time over an elapsed window into equivalent fully-busy

@@ -11,7 +11,7 @@ import (
 type Line struct {
 	Component string
 	Cores     float64 // equivalent fully-busy cores over the window
-	MemGB     float64 // provisioned DRAM
+	MemGB     float64 // provisioned DRAM, time-averaged over the window
 	DiskGB    float64 // persistent-storage footprint
 	CPUCost   float64 // $/month
 	MemCost   float64 // $/month
@@ -58,13 +58,17 @@ func BuildReport(m *Meter, prices PriceBook) Report {
 	}
 	for _, s := range snaps {
 		cores := s.Cores(elapsed)
+		// Memory rent prices the provision's time-average over the
+		// window: for a fixed budget this is the budget itself, while an
+		// elastically resized cache is billed the byte-seconds it held —
+		// the whole point of shrinking off-peak.
 		line := Line{
 			Component: s.Name,
 			Cores:     cores,
-			MemGB:     float64(s.MemBytes) / float64(1<<30),
+			MemGB:     float64(s.MemAvgBytes) / float64(1<<30),
 			DiskGB:    float64(s.DiskBytes) / float64(1<<30),
 			CPUCost:   prices.CPUCost(cores),
-			MemCost:   prices.MemCost(s.MemBytes),
+			MemCost:   prices.MemCost(s.MemAvgBytes),
 			DiskCost:  prices.StorageCost(s.DiskBytes),
 			Ops:       s.Ops,
 		}

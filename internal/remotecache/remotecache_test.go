@@ -188,3 +188,32 @@ func BenchmarkRemoteGet1KB(b *testing.B) {
 		}
 	}
 }
+
+func TestServerResizeRepricesMeter(t *testing.T) {
+	m := meter.NewMeter()
+	srv := newNode(t, m, 64<<10)
+	comp := m.Component("remotecache")
+	c := NewSingleClient(rpc.NewLoopback(srv.RPCServer(), nil, nil, rpc.CostModel{}))
+	for i := 0; i < 200; i++ {
+		c.Set(fmt.Sprintf("k%d", i), bytes.Repeat([]byte("x"), 400))
+	}
+
+	srv.Resize(8 << 10)
+	if srv.Capacity() != 8<<10 || srv.UsedBytes() > 8<<10 {
+		t.Fatalf("shrink: capacity=%d used=%d", srv.Capacity(), srv.UsedBytes())
+	}
+	if got := comp.MemBytes(); got != 8<<10 {
+		t.Fatalf("metered mem after shrink = %d, want %d", got, 8<<10)
+	}
+	srv.Resize(1 << 20)
+	if got := comp.MemBytes(); got != 1<<20 {
+		t.Fatalf("metered mem after grow = %d, want %d", got, 1<<20)
+	}
+	// The node still serves after resizing both ways.
+	if err := c.Set("post", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if v, found, err := c.Get("post"); err != nil || !found || string(v) != "v" {
+		t.Fatalf("get after resize = %q %v %v", v, found, err)
+	}
+}

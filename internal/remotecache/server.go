@@ -168,6 +168,22 @@ func (s *Server) Stats() cache.Stats { return s.store.Stats() }
 // UsedBytes returns the budgeted bytes currently cached.
 func (s *Server) UsedBytes() int64 { return s.store.UsedBytes() }
 
+// Capacity returns the node's current byte budget.
+func (s *Server) Capacity() int64 { return s.store.Capacity() }
+
+// Resize moves the node's byte budget — shrinking evicts down, growing
+// keeps residents — and re-prices its metered memory on the spot, so
+// the bill follows the elastic controller's every step.
+func (s *Server) Resize(bytes int64) {
+	if bytes < 0 {
+		bytes = 0
+	}
+	s.store.Resize(bytes)
+	if s.comp != nil {
+		s.comp.SetMemBytes(bytes)
+	}
+}
+
 // RegisterTelemetry installs a pull collector publishing the node's
 // cache counters and used bytes. The store's own atomics are read only
 // at scrape time; the serving hot path is untouched.
@@ -183,6 +199,7 @@ func (s *Server) RegisterTelemetry(reg *telemetry.Registry) {
 		emit(telemetry.Sample{Name: "cache.evictions", Labels: lbl, Kind: telemetry.KindCounter, Value: float64(st.Evictions)})
 		emit(telemetry.Sample{Name: "cache.expirations", Labels: lbl, Kind: telemetry.KindCounter, Value: float64(st.Expirations)})
 		emit(telemetry.Sample{Name: "cache.used_bytes", Labels: lbl, Kind: telemetry.KindGauge, Value: float64(s.store.UsedBytes())})
+		emit(telemetry.Sample{Name: "cache.capacity_bytes", Labels: lbl, Kind: telemetry.KindGauge, Value: float64(s.store.Capacity())})
 	})
 }
 
